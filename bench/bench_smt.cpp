@@ -1,0 +1,145 @@
+// E4 — "SMT solver cost" (reconstructed Figure 3) + rewriter ablation.
+//
+//   (a) Solver share of exploration time vs constraint-chain depth
+//       (progChecksum(n): one xor chain of n symbolic bytes feeding a final
+//       equality — deep terms, two paths).
+//   (b) Ablation: the term rewriter on vs off — same results, different
+//       term/solver work (DESIGN.md §6 decision 2).
+//
+// Registers google-benchmark timings for isolated solver queries as well.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "driver/session.h"
+#include "workloads/programs.h"
+
+using namespace adlsym;
+
+namespace {
+
+void depthTable() {
+  std::printf("(a) solver cost vs constraint depth (progChecksum)\n\n");
+  benchutil::Table table({"n", "paths", "queries", "sat", "unsat",
+                          "solve-ms", "total-ms", "solver-share"});
+  for (const unsigned n : {2u, 4u, 8u, 16u, 24u, 32u}) {
+    auto session =
+        driver::Session::forPortable(workloads::progChecksum(n), "rv32e");
+    benchutil::Timer t;
+    const auto summary = session->explore();
+    const double totalMs = t.millis();
+    const auto& st = session->solver().stats();
+    const double solveMs = st.totalMicros / 1e3;
+    table.addRow({benchutil::num(n), benchutil::num(summary.paths.size()),
+                  benchutil::num(st.queries), benchutil::num(st.sat),
+                  benchutil::num(st.unsat), benchutil::fmt("%.2f", solveMs),
+                  benchutil::fmt("%.2f", totalMs),
+                  benchutil::fmt("%.0f%%", 100.0 * solveMs / totalMs)});
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void ablationTable() {
+  std::printf("(b) term-rewriter ablation (same program, rewrites on/off)\n\n");
+  benchutil::Table table({"workload", "rewriter", "terms", "rewrite-hits",
+                          "gates", "sat-conflicts", "wall-ms"});
+  struct Case {
+    const char* name;
+    workloads::PProgram prog;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"checksum16", workloads::progChecksum(16)});
+  cases.push_back({"bitcount8", workloads::progBitcount(8)});
+  cases.push_back({"sort4", workloads::progSort(4)});
+  for (const Case& c : cases) {
+    for (const bool rewrite : {true, false}) {
+      driver::SessionOptions opt;
+      opt.rewriting = rewrite;
+      auto session = driver::Session::forPortable(c.prog, "rv32e", opt);
+      benchutil::Timer t;
+      const auto summary = session->explore();
+      (void)summary;
+      table.addRow({c.name, rewrite ? "on" : "off",
+                    benchutil::num(session->termManager().numTerms()),
+                    benchutil::num(session->termManager().rewriteHits()),
+                    benchutil::num(session->solver().blastStats().gates),
+                    benchutil::num(session->solver().satStats().conflicts),
+                    benchutil::fmt("%.2f", t.millis())});
+    }
+  }
+  table.print();
+  std::printf("\nshape check: solver share grows with depth; disabling the\n"
+              "rewriter inflates term count and gate count for identical\n"
+              "exploration results.\n\n");
+}
+
+void cacheTable() {
+  std::printf("(c) query-cache ablation (identical exploration results)\n\n");
+  benchutil::Table table({"workload", "cache", "queries", "cache-hits",
+                          "solve-ms", "wall-ms"});
+  struct Case {
+    const char* name;
+    workloads::PProgram prog;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"bitcount8", workloads::progBitcount(8)});
+  cases.push_back({"max6", workloads::progMax(6)});
+  cases.push_back({"earlyexit16", workloads::progEarlyExit(16)});
+  for (const Case& c : cases) {
+    for (const bool cache : {true, false}) {
+      driver::SessionOptions opt;
+      opt.queryCache = cache;
+      auto session = driver::Session::forPortable(c.prog, "rv32e", opt);
+      benchutil::Timer t;
+      (void)session->explore();
+      const auto& st = session->solver().stats();
+      table.addRow({c.name, cache ? "on" : "off", benchutil::num(st.queries),
+                    benchutil::num(session->solver().cacheHits()),
+                    benchutil::fmt("%.2f", st.totalMicros / 1e3),
+                    benchutil::fmt("%.2f", t.millis())});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void BM_SolverQueryShallow(benchmark::State& state) {
+  smt::TermManager tm;
+  smt::SmtSolver solver(tm);
+  auto x = tm.mkVar(32, "x");
+  auto y = tm.mkVar(32, "y");
+  uint64_t k = 1;
+  for (auto _ : state) {
+    auto c = tm.mkEq(tm.mkAdd(x, tm.mkConst(32, k++)), y);
+    benchmark::DoNotOptimize(solver.check({c, tm.mkUlt(x, y)}));
+  }
+}
+
+void BM_SolverQueryMul(benchmark::State& state) {
+  smt::TermManager tm;
+  smt::SmtSolver solver(tm);
+  auto x = tm.mkVar(32, "x");
+  auto y = tm.mkVar(32, "y");
+  uint64_t k = 3;
+  for (auto _ : state) {
+    auto c = tm.mkEq(tm.mkMul(x, y), tm.mkConst(32, k));
+    k = k * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(solver.check({c, tm.mkUgt(x, tm.mkConst(32, 1)),
+                                           tm.mkUgt(y, tm.mkConst(32, 1))}));
+  }
+}
+
+BENCHMARK(BM_SolverQueryShallow)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_SolverQueryMul)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("E4: SMT solver cost breakdown\n\n");
+  depthTable();
+  ablationTable();
+  cacheTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Shared helpers for the experiment benches (E1..E7): simple aligned table
+// printing and wall-clock timing. Every bench prints a paper-style table to
+// stdout; EXPERIMENTS.md records the measured rows.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void addRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void print() const {
+    std::vector<size_t> width(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        width[c] = std::max(width[c], row[c].size());
+      }
+    }
+    auto line = [&](const std::vector<std::string>& cells) {
+      std::string out;
+      for (size_t c = 0; c < width.size(); ++c) {
+        const std::string& s = c < cells.size() ? cells[c] : std::string();
+        out += s;
+        out.append(width[c] - s.size() + 2, ' ');
+      }
+      std::printf("%s\n", out.c_str());
+    };
+    line(headers_);
+    std::string rule;
+    for (size_t c = 0; c < width.size(); ++c) rule.append(width[c] + 2, '-');
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) line(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+inline std::string fmt(const char* f, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, f, v);
+  return buf;
+}
+
+inline std::string num(uint64_t v) { return std::to_string(v); }
+
+}  // namespace benchutil

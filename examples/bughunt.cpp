@@ -1,0 +1,46 @@
+// Bughunt: run the engine's defect checkers over the CWE-style defect
+// suite on one ISA and print each finding with its witness input — the
+// workflow a user adopts this library for.
+//
+//   $ build/examples/bughunt [isa]        (default: rv32e)
+#include <cstdio>
+#include <string>
+
+#include "core/testgen.h"
+#include "driver/session.h"
+#include "workloads/defects.h"
+
+int main(int argc, char** argv) {
+  const std::string isa = argc > 1 ? argv[1] : "rv32e";
+
+  unsigned found = 0;
+  unsigned falseAlarms = 0;
+  unsigned seeded = 0;
+  unsigned guarded = 0;
+  for (const adlsym::workloads::DefectCase& dc : adlsym::workloads::defectSuite()) {
+    auto session = adlsym::driver::Session::forPortable(dc.program, isa);
+    const auto summary = session->explore();
+
+    std::printf("%-22s (%s): ", dc.name.c_str(), dc.cwe);
+    bool reported = false;
+    for (const adlsym::core::PathResult& p : summary.paths) {
+      if (!p.defect) continue;
+      reported = true;
+      std::printf("\n    %s at pc=0x%llx [%s]  witness: %s",
+                  adlsym::core::defectKindName(p.defect->kind),
+                  static_cast<unsigned long long>(p.defect->pc),
+                  p.defect->mnemonic.c_str(),
+                  adlsym::core::formatTestCase(p.defect->witness).c_str());
+    }
+    if (!reported) std::printf("clean");
+    std::printf("\n");
+
+    seeded += dc.expected ? 1 : 0;
+    guarded += dc.expected ? 0 : 1;
+    if (dc.expected && reported) ++found;
+    if (!dc.expected && reported) ++falseAlarms;
+  }
+  std::printf("\nseeded defects found: %u/%u, false alarms: %u/%u\n", found,
+              seeded, falseAlarms, guarded);
+  return falseAlarms == 0 && found == seeded ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+// Retargeting walkthrough: define a brand-new architecture inline — a toy
+// 4-register stack-less calculator ISA — and get a symbolic execution
+// engine, assembler and test generator for it without touching any engine
+// code. This is the paper's central claim as a 60-line user program.
+//
+//   $ build/examples/newisa
+#include <cstdio>
+
+#include "asmgen/disasm.h"
+#include "core/testgen.h"
+#include "driver/session.h"
+
+namespace {
+
+// The inline architecture: 16-bit words, 4 registers, fixed 2-byte insns.
+constexpr char kCalcAdl[] = R"ADL(
+arch calc4 {
+  endian little;
+  wordsize 16;
+  reg pc : 16;
+  regfile g[4] : 16;
+  mem M : byte[16];
+
+  enc RR  = [opcode:8][rd:2][ra:2][pad:4];
+  enc RI  = [opcode:8][rd:2][imm6:6];
+  enc BR  = [opcode:8][ra:2][off6:6];
+
+  insn li  "li %r(rd), %i(imm6)" : RI(opcode=1) { g[rd] = zext(imm6, 16); }
+  insn add "add %r(rd), %r(ra)" : RR(opcode=2, pad=0) { g[rd] = g[rd] + g[ra]; }
+  insn mul "mul %r(rd), %r(ra)" : RR(opcode=3, pad=0) { g[rd] = g[rd] * g[ra]; }
+  insn inp "inp %r(rd)" : RI(opcode=4, imm6=0) { g[rd] = input16(); }
+  insn bz  "bz %r(ra), %rel2(off6)" : BR(opcode=5) {
+    if (g[ra] == 0) { pc = pc + (sext(off6, 16) << 1); }
+  }
+  insn prt "prt %r(ra)" : BR(opcode=6, off6=0) { output(g[ra]); }
+  insn hlt "hlt %i(imm6)" : RI(opcode=7, rd=0) { halt(imm6); }
+}
+)ADL";
+
+constexpr char kCalcProgram[] = R"(
+  .entry _start
+_start:
+  inp g0          ; symbolic 16-bit input
+  li g1, 3
+  mul g1, g0      ; g1 = 3 * input
+  bz g0, zero
+  prt g1
+  hlt 1
+zero:
+  prt g0
+  hlt 0
+)";
+
+}  // namespace
+
+int main() {
+  // Session accepts shipped ISA names; for an inline ADL we drive the
+  // layers directly — this is the "retargeting" code path.
+  adlsym::DiagEngine diags("calc4.adl");
+  auto model = adlsym::adl::loadArchModel(kCalcAdl, diags);
+  if (!model) {
+    std::printf("ADL errors:\n%s", diags.str().c_str());
+    return 1;
+  }
+  std::printf("loaded arch '%s': %u instructions\n", model->name.c_str(),
+              model->stats().numInsns);
+
+  adlsym::asmgen::Assembler assembler(*model);
+  adlsym::DiagEngine asmDiags("calc4.s");
+  auto image = assembler.assemble(kCalcProgram, asmDiags);
+  if (!image) {
+    std::printf("assembly errors:\n%s", asmDiags.str().c_str());
+    return 1;
+  }
+
+  std::printf("\ndisassembly (round-tripped from the binary):\n%s\n",
+              adlsym::asmgen::disassembleSection(*model, *image, "text").c_str());
+
+  adlsym::smt::TermManager tm;
+  adlsym::smt::SmtSolver solver(tm);
+  adlsym::core::EngineConfig config;
+  adlsym::core::EngineServices services(tm, solver, *image, config);
+  adlsym::core::AdlExecutor executor(*model, services);
+  adlsym::core::Explorer explorer(executor, services,
+                                  adlsym::core::ExplorerConfig{});
+  const auto summary = explorer.run();
+  std::printf("%s", adlsym::core::formatSummary(summary).c_str());
+  return summary.paths.size() == 2 ? 0 : 1;
+}

@@ -1,0 +1,201 @@
+// Parse-tree for the ADL. The parser builds this untyped tree; sema.cpp
+// resolves names and widths into the executable ArchModel IR (model.h).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diag.h"
+
+namespace adlsym::adl::ast {
+
+// ---------------------------------------------------------------- exprs --
+
+enum class UnOp { Not, Neg, LogicalNot };
+
+enum class BinOp {
+  Add, Sub, Mul, UDiv, URem,
+  And, Or, Xor,
+  Shl, LShr, AShr,
+  Eq, Ne, Ult, Ule, Ugt, Uge, Slt, Sle, Sgt, Sge,
+  LogicalAnd, LogicalOr,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  enum class Kind { IntLit, NameRef, Index, Unary, Binary, Call } kind;
+  SourceLoc loc;
+
+  // IntLit
+  uint64_t intValue = 0;
+  // NameRef / Index (base name) / Call (callee)
+  std::string name;
+  // Index subscript, Unary operand, Binary lhs/rhs, Call args
+  UnOp unop{};
+  BinOp binop{};
+  std::vector<ExprPtr> args;
+
+  static ExprPtr makeInt(SourceLoc loc, uint64_t v);
+  static ExprPtr makeName(SourceLoc loc, std::string name);
+  static ExprPtr makeIndex(SourceLoc loc, std::string base, ExprPtr idx);
+  static ExprPtr makeUnary(SourceLoc loc, UnOp op, ExprPtr a);
+  static ExprPtr makeBinary(SourceLoc loc, BinOp op, ExprPtr a, ExprPtr b);
+  static ExprPtr makeCall(SourceLoc loc, std::string callee,
+                          std::vector<ExprPtr> callArgs);
+};
+
+// ---------------------------------------------------------------- stmts --
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct Stmt {
+  enum class Kind {
+    AssignReg,      // name = expr           (reg / flag / pc)
+    AssignIndexed,  // name[idx] = expr      (regfile element)
+    Let,            // let name = expr
+    If,             // if (cond) {...} else {...}
+    CallStmt,       // intrinsic(...): store8/16/32, output, halt, ...
+  } kind;
+  SourceLoc loc;
+
+  std::string name;          // target / let name / callee
+  ExprPtr index;             // AssignIndexed subscript
+  ExprPtr value;             // assignment / let value / If condition
+  std::vector<ExprPtr> args; // CallStmt arguments
+  std::vector<StmtPtr> thenBody;
+  std::vector<StmtPtr> elseBody;
+};
+
+// ---------------------------------------------------------- declarations --
+
+struct ConstDecl {
+  SourceLoc loc;
+  std::string name;
+  uint64_t value = 0;
+};
+
+struct RegDecl {
+  SourceLoc loc;
+  std::string name;
+  unsigned width = 0;
+};
+
+struct RegFileDecl {
+  SourceLoc loc;
+  std::string name;
+  unsigned count = 0;
+  unsigned width = 0;
+  std::optional<unsigned> zeroReg;  // index hardwired to zero
+};
+
+struct FlagDecl {
+  SourceLoc loc;
+  std::string name;
+};
+
+struct MemDecl {
+  SourceLoc loc;
+  std::string name;
+  unsigned addrWidth = 0;
+};
+
+struct EncFieldDecl {
+  SourceLoc loc;
+  std::string name;
+  unsigned width = 0;
+};
+
+struct EncodingDecl {
+  SourceLoc loc;
+  std::string name;
+  std::vector<EncFieldDecl> fields;  // MSB-first as written
+};
+
+struct FieldFix {
+  SourceLoc loc;
+  std::string field;
+  uint64_t value = 0;
+  std::string ref;  // nonempty: value comes from a named `const`
+};
+
+struct InsnDecl {
+  SourceLoc loc;
+  std::string name;
+  std::string syntax;          // assembly template, e.g. "add %r(rd), %r(rs1)"
+  std::string encodingName;
+  std::vector<FieldFix> fixes;
+  std::vector<StmtPtr> body;
+};
+
+struct ArchDecl {
+  SourceLoc loc;
+  std::string name;
+  bool endianLittle = true;
+  bool endianSeen = false;
+  unsigned wordSize = 0;
+  std::vector<ConstDecl> consts;
+  std::vector<RegDecl> regs;
+  std::vector<RegFileDecl> regfiles;
+  std::vector<FlagDecl> flags;
+  std::vector<MemDecl> mems;
+  std::vector<EncodingDecl> encodings;
+  std::vector<InsnDecl> insns;
+};
+
+// ------------------------------------------------------------- factories --
+
+inline ExprPtr Expr::makeInt(SourceLoc loc, uint64_t v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::IntLit;
+  e->loc = loc;
+  e->intValue = v;
+  return e;
+}
+inline ExprPtr Expr::makeName(SourceLoc loc, std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::NameRef;
+  e->loc = loc;
+  e->name = std::move(name);
+  return e;
+}
+inline ExprPtr Expr::makeIndex(SourceLoc loc, std::string base, ExprPtr idx) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Index;
+  e->loc = loc;
+  e->name = std::move(base);
+  e->args.push_back(std::move(idx));
+  return e;
+}
+inline ExprPtr Expr::makeUnary(SourceLoc loc, UnOp op, ExprPtr a) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Unary;
+  e->loc = loc;
+  e->unop = op;
+  e->args.push_back(std::move(a));
+  return e;
+}
+inline ExprPtr Expr::makeBinary(SourceLoc loc, BinOp op, ExprPtr a, ExprPtr b) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Binary;
+  e->loc = loc;
+  e->binop = op;
+  e->args.push_back(std::move(a));
+  e->args.push_back(std::move(b));
+  return e;
+}
+inline ExprPtr Expr::makeCall(SourceLoc loc, std::string callee,
+                              std::vector<ExprPtr> callArgs) {
+  auto e = std::make_unique<Expr>();
+  e->kind = Kind::Call;
+  e->loc = loc;
+  e->name = std::move(callee);
+  e->args = std::move(callArgs);
+  return e;
+}
+
+}  // namespace adlsym::adl::ast

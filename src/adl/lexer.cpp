@@ -1,0 +1,232 @@
+#include "adl/lexer.h"
+
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace adlsym::adl {
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::Int: return "integer";
+    case Tok::String: return "string";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Colon: return "':'";
+    case Tok::Comma: return "','";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Bang: return "'!'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::EqEq: return "'=='";
+    case Tok::BangEq: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::LtEq: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::GtEq: return "'>='";
+    case Tok::LtS: return "'<s'";
+    case Tok::LtEqS: return "'<=s'";
+    case Tok::GtS: return "'>s'";
+    case Tok::GtEqS: return "'>=s'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::ShrA: return "'>>a'";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view source, DiagEngine& diags)
+    : src_(source), diags_(diags) {}
+
+char Lexer::peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::advance() {
+  const char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    col_ = 1;
+  } else {
+    ++col_;
+  }
+  return c;
+}
+
+bool Lexer::match(char expected) {
+  if (peek() != expected) return false;
+  advance();
+  return true;
+}
+
+bool Lexer::matchWordSuffix(char expected) {
+  // Consume a one-letter operator suffix ('s' in '<s', 'a' in '>>a') only
+  // when it is not the start of an identifier: `x <s y` vs `x < sum`.
+  if (peek() != expected) return false;
+  const char after = peek(1);
+  if (std::isalnum(static_cast<unsigned char>(after)) || after == '_') return false;
+  advance();
+  return true;
+}
+
+void Lexer::skipTrivia() {
+  while (pos_ < src_.size()) {
+    const char c = peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+    } else if (c == '/' && peek(1) == '/') {
+      while (pos_ < src_.size() && peek() != '\n') advance();
+    } else if (c == '/' && peek(1) == '*') {
+      const SourceLoc start = here();
+      advance();
+      advance();
+      bool closed = false;
+      while (pos_ < src_.size()) {
+        if (peek() == '*' && peek(1) == '/') {
+          advance();
+          advance();
+          closed = true;
+          break;
+        }
+        advance();
+      }
+      if (!closed) diags_.error(start, "unterminated block comment");
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::next() {
+  skipTrivia();
+  Token tok;
+  tok.loc = here();
+  if (pos_ >= src_.size()) {
+    tok.kind = Tok::End;
+    return tok;
+  }
+  const char c = advance();
+
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+    std::string text(1, c);
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_')
+      text.push_back(advance());
+    tok.kind = Tok::Ident;
+    tok.text = std::move(text);
+    return tok;
+  }
+
+  if (std::isdigit(static_cast<unsigned char>(c))) {
+    std::string text(1, c);
+    // Accept hex/bin/oct prefixes and '_' separators; parseInt validates.
+    while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+      // Stop before ">>a"-style suffix? Numbers never contain '>' so fine.
+      text.push_back(advance());
+    }
+    const auto v = parseInt(text);
+    if (!v) {
+      diags_.error(tok.loc, "malformed integer literal '" + text + "'");
+      tok.kind = Tok::Int;
+      tok.intValue = 0;
+      return tok;
+    }
+    tok.kind = Tok::Int;
+    tok.intValue = *v;
+    return tok;
+  }
+
+  switch (c) {
+    case '"': {
+      std::string text;
+      bool closed = false;
+      while (pos_ < src_.size()) {
+        const char d = advance();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\' && pos_ < src_.size()) {
+          const char e = advance();
+          switch (e) {
+            case 'n': text.push_back('\n'); break;
+            case 't': text.push_back('\t'); break;
+            default: text.push_back(e); break;
+          }
+          continue;
+        }
+        if (d == '\n') break;  // unterminated
+        text.push_back(d);
+      }
+      if (!closed) diags_.error(tok.loc, "unterminated string literal");
+      tok.kind = Tok::String;
+      tok.text = std::move(text);
+      return tok;
+    }
+    case '{': tok.kind = Tok::LBrace; return tok;
+    case '}': tok.kind = Tok::RBrace; return tok;
+    case '(': tok.kind = Tok::LParen; return tok;
+    case ')': tok.kind = Tok::RParen; return tok;
+    case '[': tok.kind = Tok::LBracket; return tok;
+    case ']': tok.kind = Tok::RBracket; return tok;
+    case ';': tok.kind = Tok::Semi; return tok;
+    case ':': tok.kind = Tok::Colon; return tok;
+    case ',': tok.kind = Tok::Comma; return tok;
+    case '+': tok.kind = Tok::Plus; return tok;
+    case '-': tok.kind = Tok::Minus; return tok;
+    case '*': tok.kind = Tok::Star; return tok;
+    case '/': tok.kind = Tok::Slash; return tok;
+    case '%': tok.kind = Tok::Percent; return tok;
+    case '^': tok.kind = Tok::Caret; return tok;
+    case '~': tok.kind = Tok::Tilde; return tok;
+    case '&': tok.kind = match('&') ? Tok::AmpAmp : Tok::Amp; return tok;
+    case '|': tok.kind = match('|') ? Tok::PipePipe : Tok::Pipe; return tok;
+    case '=':
+      tok.kind = match('=') ? Tok::EqEq : Tok::Assign;
+      return tok;
+    case '!':
+      tok.kind = match('=') ? Tok::BangEq : Tok::Bang;
+      return tok;
+    case '<':
+      if (match('<')) { tok.kind = Tok::Shl; return tok; }
+      if (match('=')) { tok.kind = matchWordSuffix('s') ? Tok::LtEqS : Tok::LtEq; return tok; }
+      tok.kind = matchWordSuffix('s') ? Tok::LtS : Tok::Lt;
+      return tok;
+    case '>':
+      if (match('>')) {
+        tok.kind = matchWordSuffix('a') ? Tok::ShrA : Tok::Shr;
+        return tok;
+      }
+      if (match('=')) { tok.kind = matchWordSuffix('s') ? Tok::GtEqS : Tok::GtEq; return tok; }
+      tok.kind = matchWordSuffix('s') ? Tok::GtS : Tok::Gt;
+      return tok;
+    default:
+      diags_.error(tok.loc, formatStr("unexpected character '%c'", c));
+      return next();
+  }
+}
+
+std::vector<Token> Lexer::lexAll() {
+  std::vector<Token> out;
+  while (true) {
+    out.push_back(next());
+    if (out.back().kind == Tok::End) return out;
+  }
+}
+
+}  // namespace adlsym::adl

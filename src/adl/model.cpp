@@ -1,0 +1,37 @@
+#include "adl/model.h"
+
+#include "adl/parser.h"
+#include "adl/sema.h"
+
+namespace adlsym::adl {
+
+namespace {
+unsigned countStmts(const std::vector<rtl::StmtPtr>& body) {
+  unsigned n = 0;
+  for (const auto& s : body) {
+    ++n;
+    n += countStmts(s->thenBody);
+    n += countStmts(s->elseBody);
+  }
+  return n;
+}
+}  // namespace
+
+ArchModel::ModelStats ArchModel::stats() const {
+  ModelStats st;
+  st.numInsns = static_cast<unsigned>(insns.size());
+  st.numEncodings = static_cast<unsigned>(encodings.size());
+  st.numRegs = static_cast<unsigned>(regs.size()) +
+               (regfile ? regfile->count : 0);
+  for (const auto& i : insns) st.rtlStmts += countStmts(i.semantics);
+  return st;
+}
+
+std::unique_ptr<ArchModel> loadArchModel(std::string_view source,
+                                         DiagEngine& diags) {
+  auto decl = parseArch(source, diags);
+  if (!decl) return nullptr;
+  return analyzeArch(*decl, diags);
+}
+
+}  // namespace adlsym::adl

@@ -1,0 +1,213 @@
+// ArchModel: the validated, width-checked IR produced by sema from an ADL
+// parse tree. This is the single interface between the architecture
+// description and every generic tool built on it — the decoder generator,
+// the retargetable (dis)assembler and the symbolic execution engine all
+// consume ArchModel and nothing else (DESIGN.md S3).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "support/diag.h"
+#include "support/error.h"
+
+namespace adlsym::adl {
+
+// ----------------------------------------------------------------- RTL --
+// Resolved, width-annotated RTL expression/statement IR for instruction
+// semantics. Every node carries its result width; sema guarantees operand
+// width agreement so the evaluator never re-checks.
+
+namespace rtl {
+
+enum class ExprOp : uint8_t {
+  Const,     // aux = value
+  Field,     // aux = operand-field index within the instruction
+  LetRef,    // aux = let slot
+  RegRead,   // aux = register index (incl. flags and pc)
+  RegFileRead,  // args[0] = index expr (decode-concrete)
+  Load,      // aux = access size in bytes; args[0] = address
+  Input,     // fresh symbolic input of this width at execution time
+  Not, Neg, LogicalNot,
+  Add, Sub, Mul, UDiv, URem, SDiv, SRem,
+  And, Or, Xor, Shl, LShr, AShr,
+  Eq, Ne, Ult, Ule, Ugt, Uge, Slt, Sle, Sgt, Sge,
+  LogicalAnd, LogicalOr,
+  ZExt, SExt, Trunc,   // args[0]; width = target width
+  Concat,              // args[0] = high, args[1] = low
+  Extract,             // aux = (hi<<8)|lo
+};
+
+struct Expr {
+  ExprOp op;
+  uint8_t width;  // result width in bits, 1..64
+  uint64_t aux = 0;
+  std::vector<std::unique_ptr<Expr>> args;
+};
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class StmtOp : uint8_t {
+  AssignReg,      // aux = register index; args[0] = value
+  AssignRegFile,  // args[0] = index expr, args[1] = value
+  Store,          // aux = size in bytes; args[0] = addr, args[1] = value
+  Let,            // aux = let slot; args[0] = value
+  Output,         // args[0] = value
+  Halt,           // args[0] = exit code (resized to 32 by sema)
+  AssertEq,       // args[0], args[1]
+  Trap,           // aux = trap class id
+  If,             // args[0] = condition (width 1)
+};
+
+struct Stmt {
+  StmtOp op;
+  SourceLoc loc;
+  uint64_t aux = 0;
+  std::vector<ExprPtr> args;
+  std::vector<std::unique_ptr<Stmt>> thenBody;
+  std::vector<std::unique_ptr<Stmt>> elseBody;
+};
+using StmtPtr = std::unique_ptr<Stmt>;
+
+}  // namespace rtl
+
+// ------------------------------------------------------------- storage --
+
+struct RegInfo {
+  std::string name;
+  unsigned width = 0;
+  bool isPC = false;
+  bool isFlag = false;
+};
+
+struct RegFileInfo {
+  std::string name;
+  unsigned count = 0;
+  unsigned width = 0;
+  std::optional<unsigned> zeroReg;
+};
+
+struct MemInfo {
+  std::string name;
+  unsigned addrWidth = 0;
+};
+
+// ----------------------------------------------------------- encodings --
+
+struct EncFieldInfo {
+  std::string name;
+  unsigned width = 0;
+  unsigned lo = 0;  // bit offset of the field's LSB within the encoding word
+};
+
+struct EncodingInfo {
+  std::string name;
+  unsigned totalWidth = 0;  // multiple of 8
+  std::vector<EncFieldInfo> fields;
+
+  const EncFieldInfo* findField(const std::string& n) const {
+    for (const auto& f : fields) {
+      if (f.name == n) return &f;
+    }
+    return nullptr;
+  }
+};
+
+/// How an operand field appears in assembly syntax.
+enum class OperandKind : uint8_t {
+  Reg,  // %r(f): register of the architecture's regfile
+  Imm,  // %i(f): immediate integer
+  Rel,  // %rel(f): pc-relative label (encoded as (label - insn) / scale;
+        //          %rel2/%rel4 use scale 2/4 for compact encodings)
+  Abs,  // %abs(f): absolute label address (or integer)
+};
+
+struct OperandInfo {
+  std::string fieldName;
+  unsigned fieldIndex = 0;  // index into InsnInfo::operandFields
+  OperandKind kind = OperandKind::Imm;
+  unsigned relScale = 1;    // Rel only: encoded offset unit in bytes
+};
+
+/// One piece of the assembly template: literal text or an operand slot.
+struct SyntaxPiece {
+  bool isOperand = false;
+  std::string literal;   // when !isOperand (separators like ", ")
+  unsigned operandIdx = 0;  // when isOperand: index into InsnInfo::operands
+};
+
+struct InsnInfo {
+  std::string name;       // mnemonic
+  std::string syntax;     // original template string
+  unsigned encodingIdx = 0;
+  unsigned lengthBytes = 0;
+  uint64_t fixedMask = 0;   // bits fixed by the encoding choice
+  uint64_t fixedMatch = 0;  // their required values
+  /// Operand fields in encoding order (the non-fixed fields).
+  std::vector<const EncFieldInfo*> operandFields;
+  std::vector<OperandInfo> operands;     // in syntax order
+  std::vector<SyntaxPiece> syntaxPieces; // parsed template
+  unsigned numLetSlots = 0;
+  std::vector<rtl::StmtPtr> semantics;
+
+  /// Index into operandFields for a field name, or -1.
+  int operandFieldIndex(const std::string& n) const {
+    for (size_t i = 0; i < operandFields.size(); ++i) {
+      if (operandFields[i]->name == n) return static_cast<int>(i);
+    }
+    return -1;
+  }
+};
+
+// ------------------------------------------------------------ ArchModel --
+
+class ArchModel {
+ public:
+  std::string name;
+  bool endianLittle = true;
+  unsigned wordSize = 0;
+
+  /// All scalar storage: plain regs, flags (width 1) and the pc. The pc is
+  /// always present and identified by pcIndex.
+  std::vector<RegInfo> regs;
+  unsigned pcIndex = 0;
+  std::optional<RegFileInfo> regfile;
+  MemInfo mem;
+
+  std::vector<EncodingInfo> encodings;
+  std::vector<InsnInfo> insns;
+
+  unsigned minInsnBytes = 0;
+  unsigned maxInsnBytes = 0;
+
+  int regIndex(const std::string& n) const {
+    for (size_t i = 0; i < regs.size(); ++i) {
+      if (regs[i].name == n) return static_cast<int>(i);
+    }
+    return -1;
+  }
+  const InsnInfo* findInsn(const std::string& mnemonic) const {
+    for (const auto& i : insns) {
+      if (i.name == mnemonic) return &i;
+    }
+    return nullptr;
+  }
+
+  /// Statistics for the E1 retargeting-cost table.
+  struct ModelStats {
+    unsigned numInsns = 0;
+    unsigned numEncodings = 0;
+    unsigned numRegs = 0;
+    unsigned rtlStmts = 0;
+  };
+  ModelStats stats() const;
+};
+
+/// Parse + analyze ADL source text. Returns nullptr and fills `diags` on
+/// any error. `bufferName` is used in diagnostics.
+std::unique_ptr<ArchModel> loadArchModel(std::string_view source,
+                                         DiagEngine& diags);
+
+}  // namespace adlsym::adl

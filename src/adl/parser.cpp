@@ -1,0 +1,528 @@
+#include "adl/parser.h"
+
+#include "adl/lexer.h"
+#include "support/strings.h"
+
+namespace adlsym::adl {
+
+namespace {
+
+using ast::BinOp;
+using ast::Expr;
+using ast::ExprPtr;
+using ast::Stmt;
+using ast::StmtPtr;
+using ast::UnOp;
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, DiagEngine& diags)
+      : toks_(std::move(toks)), diags_(diags) {}
+
+  std::unique_ptr<ast::ArchDecl> parseArch();
+
+ private:
+  const Token& peek(size_t ahead = 0) const {
+    const size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& advance() {
+    const Token& t = peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  bool at(Tok k) const { return peek().kind == k; }
+  bool atIdent(std::string_view text) const {
+    return at(Tok::Ident) && peek().text == text;
+  }
+  bool accept(Tok k) {
+    if (!at(k)) return false;
+    advance();
+    return true;
+  }
+  bool expect(Tok k, const char* context) {
+    if (accept(k)) return true;
+    diags_.error(peek().loc, formatStr("expected %s %s, found %s", tokName(k),
+                                       context, tokName(peek().kind)));
+    return false;
+  }
+  std::string expectIdent(const char* context) {
+    if (at(Tok::Ident)) return advance().text;
+    diags_.error(peek().loc, formatStr("expected identifier %s, found %s",
+                                       context, tokName(peek().kind)));
+    return {};
+  }
+  std::optional<uint64_t> expectInt(const char* context) {
+    if (at(Tok::Int)) return advance().intValue;
+    diags_.error(peek().loc, formatStr("expected integer %s, found %s",
+                                       context, tokName(peek().kind)));
+    return std::nullopt;
+  }
+  /// Skip to the next ';' or '}' for error recovery.
+  void synchronize() {
+    while (!at(Tok::End) && !at(Tok::RBrace)) {
+      if (accept(Tok::Semi)) return;
+      advance();
+    }
+  }
+
+  void parseItem(ast::ArchDecl& arch);
+  void parseReg(ast::ArchDecl& arch);
+  void parseRegFile(ast::ArchDecl& arch);
+  void parseFlag(ast::ArchDecl& arch);
+  void parseMem(ast::ArchDecl& arch);
+  void parseEncoding(ast::ArchDecl& arch);
+  void parseInsn(ast::ArchDecl& arch);
+
+  std::vector<StmtPtr> parseBlock();
+  StmtPtr parseStmt();
+  ExprPtr parseExpr() { return parseLogicalOr(); }
+  ExprPtr parseLogicalOr();
+  ExprPtr parseLogicalAnd();
+  ExprPtr parseBitOr();
+  ExprPtr parseBitXor();
+  ExprPtr parseBitAnd();
+  ExprPtr parseEquality();
+  ExprPtr parseRelational();
+  ExprPtr parseShift();
+  ExprPtr parseAdditive();
+  ExprPtr parseMultiplicative();
+  ExprPtr parseUnary();
+  ExprPtr parsePrimary();
+
+  std::vector<Token> toks_;
+  DiagEngine& diags_;
+  size_t pos_ = 0;
+};
+
+std::unique_ptr<ast::ArchDecl> Parser::parseArch() {
+  auto arch = std::make_unique<ast::ArchDecl>();
+  arch->loc = peek().loc;
+  if (!atIdent("arch")) {
+    diags_.error(peek().loc, "ADL file must start with 'arch <name> { ... }'");
+    return nullptr;
+  }
+  advance();
+  arch->name = expectIdent("after 'arch'");
+  if (!expect(Tok::LBrace, "to open architecture body")) return nullptr;
+  while (!at(Tok::RBrace) && !at(Tok::End)) parseItem(*arch);
+  expect(Tok::RBrace, "to close architecture body");
+  if (diags_.hasErrors()) return nullptr;
+  return arch;
+}
+
+void Parser::parseItem(ast::ArchDecl& arch) {
+  if (!at(Tok::Ident)) {
+    diags_.error(peek().loc, formatStr("expected declaration, found %s",
+                                       tokName(peek().kind)));
+    synchronize();
+    return;
+  }
+  const std::string kw = peek().text;
+  if (kw == "endian") {
+    advance();
+    const std::string which = expectIdent("after 'endian'");
+    if (which == "little") arch.endianLittle = true;
+    else if (which == "big") arch.endianLittle = false;
+    else diags_.error(peek().loc, "endianness must be 'little' or 'big'");
+    arch.endianSeen = true;
+    expect(Tok::Semi, "after endian declaration");
+  } else if (kw == "wordsize") {
+    advance();
+    if (auto v = expectInt("after 'wordsize'")) arch.wordSize = static_cast<unsigned>(*v);
+    expect(Tok::Semi, "after wordsize declaration");
+  } else if (kw == "const") {
+    advance();
+    ast::ConstDecl d;
+    d.loc = peek().loc;
+    d.name = expectIdent("for constant name");
+    expect(Tok::Assign, "after constant name");
+    if (auto v = expectInt("for constant value")) d.value = *v;
+    expect(Tok::Semi, "after constant declaration");
+    arch.consts.push_back(std::move(d));
+  } else if (kw == "reg") {
+    parseReg(arch);
+  } else if (kw == "regfile") {
+    parseRegFile(arch);
+  } else if (kw == "flag") {
+    parseFlag(arch);
+  } else if (kw == "mem") {
+    parseMem(arch);
+  } else if (kw == "enc") {
+    parseEncoding(arch);
+  } else if (kw == "insn") {
+    parseInsn(arch);
+  } else {
+    diags_.error(peek().loc, "unknown declaration '" + kw + "'");
+    synchronize();
+  }
+}
+
+void Parser::parseReg(ast::ArchDecl& arch) {
+  ast::RegDecl d;
+  d.loc = peek().loc;
+  advance();  // 'reg'
+  d.name = expectIdent("for register name");
+  expect(Tok::Colon, "after register name");
+  if (auto w = expectInt("for register width")) d.width = static_cast<unsigned>(*w);
+  expect(Tok::Semi, "after register declaration");
+  arch.regs.push_back(std::move(d));
+}
+
+void Parser::parseRegFile(ast::ArchDecl& arch) {
+  ast::RegFileDecl d;
+  d.loc = peek().loc;
+  advance();  // 'regfile'
+  d.name = expectIdent("for register file name");
+  expect(Tok::LBracket, "after register file name");
+  if (auto n = expectInt("for register count")) d.count = static_cast<unsigned>(*n);
+  expect(Tok::RBracket, "after register count");
+  expect(Tok::Colon, "after register file size");
+  if (auto w = expectInt("for register width")) d.width = static_cast<unsigned>(*w);
+  if (accept(Tok::LBrace)) {
+    // Attribute block: currently only `zero = <index>;`
+    while (!at(Tok::RBrace) && !at(Tok::End)) {
+      const std::string attr = expectIdent("for register file attribute");
+      expect(Tok::Assign, "after attribute name");
+      auto v = expectInt("for attribute value");
+      if (attr == "zero" && v) {
+        d.zeroReg = static_cast<unsigned>(*v);
+      } else if (attr != "zero") {
+        diags_.error(peek().loc, "unknown register file attribute '" + attr + "'");
+      }
+      accept(Tok::Semi);
+    }
+    expect(Tok::RBrace, "to close attribute block");
+  }
+  expect(Tok::Semi, "after register file declaration");
+  arch.regfiles.push_back(std::move(d));
+}
+
+void Parser::parseFlag(ast::ArchDecl& arch) {
+  ast::FlagDecl d;
+  d.loc = peek().loc;
+  advance();  // 'flag'
+  d.name = expectIdent("for flag name");
+  expect(Tok::Semi, "after flag declaration");
+  arch.flags.push_back(std::move(d));
+}
+
+void Parser::parseMem(ast::ArchDecl& arch) {
+  ast::MemDecl d;
+  d.loc = peek().loc;
+  advance();  // 'mem'
+  d.name = expectIdent("for memory name");
+  expect(Tok::Colon, "after memory name");
+  const std::string unit = expectIdent("for memory unit");
+  if (unit != "byte") diags_.error(d.loc, "only byte-addressed memory is supported");
+  expect(Tok::LBracket, "after 'byte'");
+  if (auto w = expectInt("for address width")) d.addrWidth = static_cast<unsigned>(*w);
+  expect(Tok::RBracket, "after address width");
+  expect(Tok::Semi, "after memory declaration");
+  arch.mems.push_back(std::move(d));
+}
+
+void Parser::parseEncoding(ast::ArchDecl& arch) {
+  ast::EncodingDecl d;
+  d.loc = peek().loc;
+  advance();  // 'enc'
+  d.name = expectIdent("for encoding name");
+  expect(Tok::Assign, "after encoding name");
+  while (at(Tok::LBracket)) {
+    advance();
+    ast::EncFieldDecl f;
+    f.loc = peek().loc;
+    f.name = expectIdent("for encoding field name");
+    expect(Tok::Colon, "after field name");
+    if (auto w = expectInt("for field width")) f.width = static_cast<unsigned>(*w);
+    expect(Tok::RBracket, "after field width");
+    d.fields.push_back(std::move(f));
+  }
+  if (d.fields.empty()) diags_.error(d.loc, "encoding has no fields");
+  expect(Tok::Semi, "after encoding declaration");
+  arch.encodings.push_back(std::move(d));
+}
+
+void Parser::parseInsn(ast::ArchDecl& arch) {
+  ast::InsnDecl d;
+  d.loc = peek().loc;
+  advance();  // 'insn'
+  d.name = expectIdent("for instruction name");
+  if (at(Tok::String)) {
+    d.syntax = advance().text;
+  } else {
+    diags_.error(peek().loc, "expected assembly syntax string after instruction name");
+  }
+  expect(Tok::Colon, "after syntax string");
+  d.encodingName = expectIdent("for encoding name");
+  expect(Tok::LParen, "after encoding name");
+  while (!at(Tok::RParen) && !at(Tok::End)) {
+    ast::FieldFix fix;
+    fix.loc = peek().loc;
+    fix.field = expectIdent("for fixed field name");
+    expect(Tok::Assign, "after fixed field name");
+    if (at(Tok::Ident)) {
+      fix.ref = advance().text;  // named constant, resolved in sema
+    } else if (auto v = expectInt("for fixed field value")) {
+      fix.value = *v;
+    }
+    d.fixes.push_back(std::move(fix));
+    if (!accept(Tok::Comma)) break;
+  }
+  expect(Tok::RParen, "to close fixed field list");
+  if (!expect(Tok::LBrace, "to open instruction semantics")) {
+    synchronize();
+    return;
+  }
+  d.body = parseBlock();
+  arch.insns.push_back(std::move(d));
+}
+
+std::vector<StmtPtr> Parser::parseBlock() {
+  // Caller consumed '{'.
+  std::vector<StmtPtr> body;
+  while (!at(Tok::RBrace) && !at(Tok::End)) {
+    if (StmtPtr s = parseStmt()) body.push_back(std::move(s));
+  }
+  expect(Tok::RBrace, "to close block");
+  return body;
+}
+
+StmtPtr Parser::parseStmt() {
+  auto s = std::make_unique<Stmt>();
+  s->loc = peek().loc;
+
+  if (atIdent("let")) {
+    advance();
+    s->kind = Stmt::Kind::Let;
+    s->name = expectIdent("for let binding");
+    expect(Tok::Assign, "after let name");
+    s->value = parseExpr();
+    expect(Tok::Semi, "after let binding");
+    return s;
+  }
+  if (atIdent("if")) {
+    advance();
+    s->kind = Stmt::Kind::If;
+    expect(Tok::LParen, "after 'if'");
+    s->value = parseExpr();
+    expect(Tok::RParen, "after if condition");
+    if (expect(Tok::LBrace, "to open if body")) s->thenBody = parseBlock();
+    if (atIdent("else")) {
+      advance();
+      if (atIdent("if")) {
+        // else-if chains nest as a single-statement else body.
+        s->elseBody.push_back(parseStmt());
+      } else if (expect(Tok::LBrace, "to open else body")) {
+        s->elseBody = parseBlock();
+      }
+    }
+    return s;
+  }
+
+  if (!at(Tok::Ident)) {
+    diags_.error(peek().loc, formatStr("expected statement, found %s",
+                                       tokName(peek().kind)));
+    synchronize();
+    return nullptr;
+  }
+
+  const std::string name = advance().text;
+  if (at(Tok::LParen)) {
+    // Intrinsic call statement.
+    advance();
+    s->kind = Stmt::Kind::CallStmt;
+    s->name = name;
+    while (!at(Tok::RParen) && !at(Tok::End)) {
+      s->args.push_back(parseExpr());
+      if (!accept(Tok::Comma)) break;
+    }
+    expect(Tok::RParen, "to close call arguments");
+    expect(Tok::Semi, "after call statement");
+    return s;
+  }
+  if (at(Tok::LBracket)) {
+    advance();
+    s->kind = Stmt::Kind::AssignIndexed;
+    s->name = name;
+    s->index = parseExpr();
+    expect(Tok::RBracket, "after subscript");
+    expect(Tok::Assign, "in indexed assignment");
+    s->value = parseExpr();
+    expect(Tok::Semi, "after assignment");
+    return s;
+  }
+  s->kind = Stmt::Kind::AssignReg;
+  s->name = name;
+  expect(Tok::Assign, "in assignment");
+  s->value = parseExpr();
+  expect(Tok::Semi, "after assignment");
+  return s;
+}
+
+// --------------------------------------------------------- expressions --
+
+ExprPtr Parser::parseLogicalOr() {
+  ExprPtr lhs = parseLogicalAnd();
+  while (at(Tok::PipePipe)) {
+    const SourceLoc loc = advance().loc;
+    lhs = Expr::makeBinary(loc, BinOp::LogicalOr, std::move(lhs), parseLogicalAnd());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseLogicalAnd() {
+  ExprPtr lhs = parseBitOr();
+  while (at(Tok::AmpAmp)) {
+    const SourceLoc loc = advance().loc;
+    lhs = Expr::makeBinary(loc, BinOp::LogicalAnd, std::move(lhs), parseBitOr());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseBitOr() {
+  ExprPtr lhs = parseBitXor();
+  while (at(Tok::Pipe)) {
+    const SourceLoc loc = advance().loc;
+    lhs = Expr::makeBinary(loc, BinOp::Or, std::move(lhs), parseBitXor());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseBitXor() {
+  ExprPtr lhs = parseBitAnd();
+  while (at(Tok::Caret)) {
+    const SourceLoc loc = advance().loc;
+    lhs = Expr::makeBinary(loc, BinOp::Xor, std::move(lhs), parseBitAnd());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseBitAnd() {
+  ExprPtr lhs = parseEquality();
+  while (at(Tok::Amp)) {
+    const SourceLoc loc = advance().loc;
+    lhs = Expr::makeBinary(loc, BinOp::And, std::move(lhs), parseEquality());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseEquality() {
+  ExprPtr lhs = parseRelational();
+  while (at(Tok::EqEq) || at(Tok::BangEq)) {
+    const Tok op = peek().kind;
+    const SourceLoc loc = advance().loc;
+    lhs = Expr::makeBinary(loc, op == Tok::EqEq ? BinOp::Eq : BinOp::Ne,
+                           std::move(lhs), parseRelational());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseRelational() {
+  ExprPtr lhs = parseShift();
+  while (true) {
+    BinOp op;
+    switch (peek().kind) {
+      case Tok::Lt: op = BinOp::Ult; break;
+      case Tok::LtEq: op = BinOp::Ule; break;
+      case Tok::Gt: op = BinOp::Ugt; break;
+      case Tok::GtEq: op = BinOp::Uge; break;
+      case Tok::LtS: op = BinOp::Slt; break;
+      case Tok::LtEqS: op = BinOp::Sle; break;
+      case Tok::GtS: op = BinOp::Sgt; break;
+      case Tok::GtEqS: op = BinOp::Sge; break;
+      default: return lhs;
+    }
+    const SourceLoc loc = advance().loc;
+    lhs = Expr::makeBinary(loc, op, std::move(lhs), parseShift());
+  }
+}
+
+ExprPtr Parser::parseShift() {
+  ExprPtr lhs = parseAdditive();
+  while (at(Tok::Shl) || at(Tok::Shr) || at(Tok::ShrA)) {
+    const Tok tk = peek().kind;
+    const SourceLoc loc = advance().loc;
+    const BinOp op = tk == Tok::Shl ? BinOp::Shl
+                   : tk == Tok::Shr ? BinOp::LShr
+                                    : BinOp::AShr;
+    lhs = Expr::makeBinary(loc, op, std::move(lhs), parseAdditive());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseAdditive() {
+  ExprPtr lhs = parseMultiplicative();
+  while (at(Tok::Plus) || at(Tok::Minus)) {
+    const Tok tk = peek().kind;
+    const SourceLoc loc = advance().loc;
+    lhs = Expr::makeBinary(loc, tk == Tok::Plus ? BinOp::Add : BinOp::Sub,
+                           std::move(lhs), parseMultiplicative());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseMultiplicative() {
+  ExprPtr lhs = parseUnary();
+  while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+    const Tok tk = peek().kind;
+    const SourceLoc loc = advance().loc;
+    const BinOp op = tk == Tok::Star ? BinOp::Mul
+                   : tk == Tok::Slash ? BinOp::UDiv
+                                      : BinOp::URem;
+    lhs = Expr::makeBinary(loc, op, std::move(lhs), parseUnary());
+  }
+  return lhs;
+}
+
+ExprPtr Parser::parseUnary() {
+  const SourceLoc loc = peek().loc;
+  if (accept(Tok::Tilde)) return Expr::makeUnary(loc, UnOp::Not, parseUnary());
+  if (accept(Tok::Minus)) return Expr::makeUnary(loc, UnOp::Neg, parseUnary());
+  if (accept(Tok::Bang)) return Expr::makeUnary(loc, UnOp::LogicalNot, parseUnary());
+  return parsePrimary();
+}
+
+ExprPtr Parser::parsePrimary() {
+  const SourceLoc loc = peek().loc;
+  if (at(Tok::Int)) return Expr::makeInt(loc, advance().intValue);
+  if (accept(Tok::LParen)) {
+    ExprPtr e = parseExpr();
+    expect(Tok::RParen, "to close parenthesized expression");
+    return e;
+  }
+  if (at(Tok::Ident)) {
+    const std::string name = advance().text;
+    if (accept(Tok::LParen)) {
+      std::vector<ExprPtr> args;
+      while (!at(Tok::RParen) && !at(Tok::End)) {
+        args.push_back(parseExpr());
+        if (!accept(Tok::Comma)) break;
+      }
+      expect(Tok::RParen, "to close call arguments");
+      return Expr::makeCall(loc, name, std::move(args));
+    }
+    if (accept(Tok::LBracket)) {
+      ExprPtr idx = parseExpr();
+      expect(Tok::RBracket, "to close subscript");
+      return Expr::makeIndex(loc, name, std::move(idx));
+    }
+    return Expr::makeName(loc, name);
+  }
+  diags_.error(loc, formatStr("expected expression, found %s", tokName(peek().kind)));
+  advance();
+  return Expr::makeInt(loc, 0);
+}
+
+}  // namespace
+
+std::unique_ptr<ast::ArchDecl> parseArch(std::string_view source,
+                                         DiagEngine& diags) {
+  Lexer lexer(source, diags);
+  Parser parser(lexer.lexAll(), diags);
+  auto arch = parser.parseArch();
+  if (diags.hasErrors()) return nullptr;
+  return arch;
+}
+
+}  // namespace adlsym::adl

@@ -1,0 +1,17 @@
+// Semantic analysis: resolves names, checks widths, verifies encodings and
+// assembly templates, and lowers instruction semantics to the rtl:: IR.
+#pragma once
+
+#include <memory>
+
+#include "adl/ast.h"
+#include "adl/model.h"
+
+namespace adlsym::adl {
+
+/// Analyze a parsed architecture declaration. Returns nullptr on semantic
+/// errors (reported through `diags`).
+std::unique_ptr<ArchModel> analyzeArch(const ast::ArchDecl& arch,
+                                       DiagEngine& diags);
+
+}  // namespace adlsym::adl

@@ -1,0 +1,36 @@
+// Token definitions for the architecture description language.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "support/diag.h"
+
+namespace adlsym::adl {
+
+enum class Tok : uint8_t {
+  End,
+  Ident,      // identifiers and keywords (keyword check by text)
+  Int,        // integer literal (value in Token::intValue)
+  String,     // "..." (un-escaped text in Token::text)
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Semi, Colon, Comma, Assign,          // ; : , =
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  EqEq, BangEq,
+  Lt, LtEq, Gt, GtEq,                  // unsigned comparisons
+  LtS, LtEqS, GtS, GtEqS,              // <s <=s >s >=s signed comparisons
+  Shl, Shr, ShrA,                      // << >> >>a
+};
+
+const char* tokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::End;
+  SourceLoc loc;
+  std::string text;        // Ident / String
+  uint64_t intValue = 0;   // Int
+};
+
+}  // namespace adlsym::adl

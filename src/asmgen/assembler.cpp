@@ -1,0 +1,440 @@
+#include "asmgen/assembler.h"
+
+#include <cctype>
+#include <map>
+
+#include "support/bits.h"
+#include "support/strings.h"
+
+namespace adlsym::asmgen {
+
+namespace {
+
+struct Line {
+  unsigned number = 0;
+  std::string label;   // label defined on this line (without ':')
+  std::string op;      // directive (with '.') or mnemonic; empty if none
+  std::string rest;    // operand text
+};
+
+std::string stripComment(std::string_view raw) {
+  for (size_t i = 0; i < raw.size(); ++i) {
+    const char c = raw[i];
+    if (c == ';' || c == '#') return std::string(raw.substr(0, i));
+    if (c == '/' && i + 1 < raw.size() && raw[i + 1] == '/')
+      return std::string(raw.substr(0, i));
+  }
+  return std::string(raw);
+}
+
+std::vector<Line> splitLines(std::string_view source, DiagEngine& diags) {
+  std::vector<Line> out;
+  unsigned lineNo = 0;
+  for (std::string& rawLine : splitString(source, '\n')) {
+    ++lineNo;
+    std::string text = stripComment(rawLine);
+    std::string_view t = trim(text);
+    if (t.empty()) continue;
+    Line line;
+    line.number = lineNo;
+    // Optional leading "label:".
+    size_t i = 0;
+    while (i < t.size() &&
+           (std::isalnum(static_cast<unsigned char>(t[i])) || t[i] == '_' ||
+            t[i] == '.'))
+      ++i;
+    if (i > 0 && i < t.size() && t[i] == ':' && t[0] != '.') {
+      line.label = std::string(t.substr(0, i));
+      t = trim(t.substr(i + 1));
+    }
+    if (!t.empty()) {
+      size_t j = 0;
+      while (j < t.size() && !std::isspace(static_cast<unsigned char>(t[j]))) ++j;
+      line.op = std::string(t.substr(0, j));
+      line.rest = std::string(trim(t.substr(j)));
+    }
+    if (line.label.empty() && line.op.empty()) {
+      diags.error({line.number, 1}, "malformed line");
+      continue;
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+struct PendingSection {
+  loader::Section section;
+  uint64_t cursor = 0;  // == section.base + section.bytes.size()
+};
+
+class AsmPass {
+ public:
+  AsmPass(const adl::ArchModel& model, DiagEngine& diags)
+      : model_(model), diags_(diags) {}
+
+  std::optional<loader::Image> run(std::string_view source) {
+    std::vector<Line> lines = splitLines(source, diags_);
+    if (diags_.hasErrors()) return std::nullopt;
+    // Pass 1: sizes and labels.
+    pass2_ = false;
+    runPass(lines);
+    if (diags_.hasErrors()) return std::nullopt;
+    // Pass 2: encoding.
+    pass2_ = true;
+    sections_.clear();
+    current_ = nullptr;
+    entry_.reset();
+    runPass(lines);
+    if (diags_.hasErrors()) return std::nullopt;
+
+    loader::Image image;
+    for (auto& [name, ps] : sections_) {
+      if (!ps.section.bytes.empty()) image.addSection(std::move(ps.section));
+    }
+    for (const auto& [name, addr] : labels_) image.addSymbol(name, addr);
+    if (entry_) {
+      image.setEntry(*entry_);
+    } else if (auto start = image.symbol("_start")) {
+      image.setEntry(*start);
+    } else if (!image.sections().empty()) {
+      image.setEntry(image.sections().front().base);
+    }
+    return image;
+  }
+
+ private:
+  void error(unsigned lineNo, std::string msg) {
+    diags_.error({lineNo, 1}, std::move(msg));
+  }
+
+  PendingSection& currentSection(unsigned lineNo) {
+    if (current_ == nullptr) {
+      // Implicit default section.
+      auto [it, inserted] = sections_.try_emplace("text");
+      if (inserted) {
+        it->second.section.name = "text";
+        it->second.section.base = 0;
+        it->second.cursor = 0;
+      }
+      current_ = &it->second;
+      (void)lineNo;
+    }
+    return *current_;
+  }
+
+  void emitByte(unsigned lineNo, uint8_t b) {
+    PendingSection& ps = currentSection(lineNo);
+    ps.section.bytes.push_back(b);
+    ++ps.cursor;
+  }
+
+  uint64_t here(unsigned lineNo) { return currentSection(lineNo).cursor; }
+
+  std::optional<uint64_t> evalValue(unsigned lineNo, std::string_view text) {
+    text = trim(text);
+    if (auto v = parseInt(text)) return v;
+    // Label reference.
+    const std::string name(text);
+    if (auto it = labels_.find(name); it != labels_.end()) return it->second;
+    if (pass2_) {
+      error(lineNo, "undefined symbol '" + name + "'");
+    }
+    return pass2_ ? std::nullopt : std::optional<uint64_t>(0);
+  }
+
+  void runPass(const std::vector<Line>& lines);
+  void doDirective(const Line& line);
+  void doInsn(const Line& line, const adl::InsnInfo& insn);
+  std::optional<uint64_t> parseOperand(const Line& line,
+                                       const adl::OperandInfo& op,
+                                       const adl::EncFieldInfo& field,
+                                       std::string_view text, uint64_t insnAddr);
+
+  const adl::ArchModel& model_;
+  DiagEngine& diags_;
+  bool pass2_ = false;
+  std::map<std::string, PendingSection> sections_;
+  PendingSection* current_ = nullptr;
+  std::map<std::string, uint64_t> labels_;
+  std::optional<uint64_t> entry_;
+};
+
+void AsmPass::runPass(const std::vector<Line>& lines) {
+  for (const Line& line : lines) {
+    if (!line.label.empty()) {
+      const uint64_t addr = here(line.number);
+      if (!pass2_) {
+        if (labels_.count(line.label)) {
+          error(line.number, "duplicate label '" + line.label + "'");
+        }
+        labels_[line.label] = addr;
+      } else if (labels_.at(line.label) != addr) {
+        error(line.number, "internal: label address drift between passes");
+      }
+    }
+    if (line.op.empty()) continue;
+    if (line.op[0] == '.') {
+      doDirective(line);
+      continue;
+    }
+    const adl::InsnInfo* insn = model_.findInsn(line.op);
+    if (insn == nullptr) {
+      error(line.number, "unknown mnemonic '" + line.op + "' for " + model_.name);
+      continue;
+    }
+    doInsn(line, *insn);
+  }
+}
+
+void AsmPass::doDirective(const Line& line) {
+  const std::string& d = line.op;
+  if (d == ".section") {
+    // .section NAME BASE [rw|ro]
+    std::vector<std::string> parts;
+    for (auto& p : splitString(line.rest, ' ')) {
+      if (!trim(p).empty()) parts.emplace_back(trim(p));
+    }
+    if (parts.size() < 2) {
+      error(line.number, ".section requires a name and base address");
+      return;
+    }
+    const auto base = parseInt(parts[1]);
+    if (!base) {
+      error(line.number, "bad section base '" + parts[1] + "'");
+      return;
+    }
+    const bool writable = parts.size() > 2 && parts[2] == "rw";
+    auto [it, inserted] = sections_.try_emplace(parts[0]);
+    if (inserted) {
+      it->second.section.name = parts[0];
+      it->second.section.base = *base;
+      it->second.section.writable = writable;
+      it->second.cursor = *base;
+    } else if (it->second.section.base != *base) {
+      error(line.number, "section '" + parts[0] + "' redeclared at a different base");
+      return;
+    }
+    current_ = &it->second;
+    return;
+  }
+  if (d == ".entry") {
+    const auto v = evalValue(line.number, line.rest);
+    if (pass2_ && v) entry_ = *v;
+    return;
+  }
+  if (d == ".byte" || d == ".word") {
+    const unsigned size = d == ".byte" ? 1 : model_.wordSize / 8;
+    for (const std::string& part : splitString(line.rest, ',')) {
+      const auto v = evalValue(line.number, part);
+      if (!v) continue;
+      uint64_t value = *v;
+      if (!fitsUnsigned(value, size * 8) &&
+          !fitsSigned(static_cast<int64_t>(value), size * 8)) {
+        error(line.number, formatStr("value does not fit in %u byte(s)", size));
+      }
+      value = truncTo(value, size * 8);
+      for (unsigned i = 0; i < size; ++i) {
+        const unsigned shift = model_.endianLittle ? 8 * i : 8 * (size - 1 - i);
+        emitByte(line.number, static_cast<uint8_t>((value >> shift) & 0xff));
+      }
+    }
+    return;
+  }
+  if (d == ".space") {
+    std::vector<std::string> parts = splitString(line.rest, ',');
+    const auto n = evalValue(line.number, parts[0]);
+    uint64_t fill = 0;
+    if (parts.size() > 1) {
+      if (const auto f = evalValue(line.number, parts[1])) fill = *f;
+    }
+    if (!n) return;
+    for (uint64_t i = 0; i < *n; ++i)
+      emitByte(line.number, static_cast<uint8_t>(fill));
+    return;
+  }
+  error(line.number, "unknown directive '" + d + "'");
+}
+
+std::optional<uint64_t> AsmPass::parseOperand(const Line& line,
+                                              const adl::OperandInfo& op,
+                                              const adl::EncFieldInfo& field,
+                                              std::string_view text,
+                                              uint64_t insnAddr) {
+  text = trim(text);
+  if (text.empty()) {
+    error(line.number, "missing operand for field '" + field.name + "'");
+    return std::nullopt;
+  }
+  switch (op.kind) {
+    case adl::OperandKind::Reg: {
+      const std::string& prefix = model_.regfile->name;
+      if (!startsWith(text, prefix)) {
+        error(line.number, formatStr("expected register operand ('%s<N>'), got '%.*s'",
+                                     prefix.c_str(), static_cast<int>(text.size()),
+                                     text.data()));
+        return std::nullopt;
+      }
+      const auto num = parseInt(text.substr(prefix.size()));
+      if (!num || *num >= model_.regfile->count) {
+        error(line.number, formatStr("bad register '%.*s'",
+                                     static_cast<int>(text.size()), text.data()));
+        return std::nullopt;
+      }
+      if (!fitsUnsigned(*num, field.width)) {
+        error(line.number, formatStr("register number %llu does not fit field '%s'",
+                                     static_cast<unsigned long long>(*num),
+                                     field.name.c_str()));
+        return std::nullopt;
+      }
+      return *num;
+    }
+    case adl::OperandKind::Imm: {
+      // Integers or label references (e.g. materializing a data address).
+      const auto v = evalValue(line.number, text);
+      if (!v) {
+        error(line.number, formatStr("bad immediate '%.*s'",
+                                     static_cast<int>(text.size()), text.data()));
+        return std::nullopt;
+      }
+      if (!fitsUnsigned(*v, field.width) &&
+          !fitsSigned(static_cast<int64_t>(*v), field.width)) {
+        error(line.number, formatStr("immediate does not fit %u-bit field '%s'",
+                                     field.width, field.name.c_str()));
+        return std::nullopt;
+      }
+      return truncTo(*v, field.width);
+    }
+    case adl::OperandKind::Rel: {
+      const auto target = evalValue(line.number, text);
+      if (!target) return std::nullopt;
+      // Integers are relative offsets already; labels become target - insn.
+      int64_t offset;
+      if (parseInt(text)) {
+        offset = static_cast<int64_t>(*target);
+      } else {
+        offset = static_cast<int64_t>(*target) - static_cast<int64_t>(insnAddr);
+      }
+      if (op.relScale > 1) {
+        if (offset % static_cast<int64_t>(op.relScale) != 0) {
+          error(line.number,
+                formatStr("branch offset %lld is not a multiple of %u",
+                          static_cast<long long>(offset), op.relScale));
+          return std::nullopt;
+        }
+        offset /= static_cast<int64_t>(op.relScale);
+      }
+      if (pass2_ && !fitsSigned(offset, field.width)) {
+        error(line.number,
+              formatStr("branch target out of range: offset %lld does not fit "
+                        "%u-bit field '%s'",
+                        static_cast<long long>(offset), field.width,
+                        field.name.c_str()));
+        return std::nullopt;
+      }
+      return truncTo(static_cast<uint64_t>(offset), field.width);
+    }
+    case adl::OperandKind::Abs: {
+      const auto v = evalValue(line.number, text);
+      if (!v) return std::nullopt;
+      if (pass2_ && !fitsUnsigned(*v, field.width)) {
+        error(line.number, formatStr("address 0x%llx does not fit %u-bit field '%s'",
+                                     static_cast<unsigned long long>(*v),
+                                     field.width, field.name.c_str()));
+        return std::nullopt;
+      }
+      return truncTo(*v, field.width);
+    }
+  }
+  return std::nullopt;
+}
+
+void AsmPass::doInsn(const Line& line, const adl::InsnInfo& insn) {
+  const uint64_t insnAddr = here(line.number);
+
+  // Match operand text against the instruction's syntax template.
+  const std::string& text = line.rest;
+  size_t cursor = 0;
+  auto skipSpace = [&]() {
+    while (cursor < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[cursor])))
+      ++cursor;
+  };
+  uint64_t word = insn.fixedMatch;
+  bool failed = false;
+
+  const auto& pieces = insn.syntaxPieces;
+  for (size_t pi = 0; pi < pieces.size() && !failed; ++pi) {
+    const adl::SyntaxPiece& piece = pieces[pi];
+    if (!piece.isOperand) {
+      for (const char c : piece.literal) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        skipSpace();
+        if (cursor >= text.size() || text[cursor] != c) {
+          error(line.number, formatStr("expected '%c' in operands of '%s'", c,
+                                       insn.name.c_str()));
+          failed = true;
+          break;
+        }
+        ++cursor;
+      }
+      continue;
+    }
+    // Operand: consume until the next literal's first significant char.
+    char stop = '\0';
+    for (size_t pj = pi + 1; pj < pieces.size() && stop == '\0'; ++pj) {
+      if (pieces[pj].isOperand) break;  // adjacent operands unsupported
+      for (const char c : pieces[pj].literal) {
+        if (!std::isspace(static_cast<unsigned char>(c))) {
+          stop = c;
+          break;
+        }
+      }
+    }
+    skipSpace();
+    const size_t start = cursor;
+    while (cursor < text.size()) {
+      if (stop != '\0' && text[cursor] == stop) break;
+      // Operand tokens never contain whitespace; stopping here lets the
+      // trailing-characters check catch junk after the last operand.
+      if (stop == '\0' &&
+          std::isspace(static_cast<unsigned char>(text[cursor]))) {
+        break;
+      }
+      ++cursor;
+    }
+    const std::string_view opText =
+        trim(std::string_view(text).substr(start, cursor - start));
+    const adl::OperandInfo& op = insn.operands[piece.operandIdx];
+    const adl::EncFieldInfo& field = *insn.operandFields[op.fieldIndex];
+    const auto value = parseOperand(line, op, field, opText, insnAddr);
+    if (!value) {
+      failed = true;
+      break;
+    }
+    word |= *value << field.lo;
+  }
+  skipSpace();
+  if (!failed && cursor < text.size()) {
+    error(line.number, "trailing characters after operands: '" +
+                           text.substr(cursor) + "'");
+    failed = true;
+  }
+  // Emit length bytes even on failure so pass-1 addresses stay aligned.
+  for (unsigned i = 0; i < insn.lengthBytes; ++i) {
+    const unsigned shift =
+        model_.endianLittle ? 8 * i : 8 * (insn.lengthBytes - 1 - i);
+    emitByte(line.number, static_cast<uint8_t>((word >> shift) & 0xff));
+  }
+}
+
+}  // namespace
+
+std::optional<loader::Image> Assembler::assemble(std::string_view source,
+                                                 DiagEngine& diags) const {
+  AsmPass pass(model_, diags);
+  auto image = pass.run(source);
+  if (diags.hasErrors()) return std::nullopt;
+  return image;
+}
+
+}  // namespace adlsym::asmgen

@@ -1,0 +1,39 @@
+// Retargetable two-pass assembler (DESIGN.md S5). The mnemonic table,
+// operand syntax and encodings all come from the ArchModel, so the same
+// assembler serves every ISA described in the ADL. This is what lets one
+// workload corpus target rv32e, m16 and acc8 alike (experiment E6).
+//
+// Assembly dialect:
+//   ; # //           comments
+//   .section NAME BASE [rw|ro]   start a new output section (default ro)
+//   .entry LABEL|ADDR            program entry point
+//   .byte v, v, ...              literal bytes
+//   .word v, ...                 wordsize-wide values, arch endianness
+//   .space N [fill]              N filler bytes
+//   label:                       label at current address
+//   <mnemonic> <operands>        per the instruction's ADL syntax template
+#pragma once
+
+#include <optional>
+#include <string_view>
+
+#include "adl/model.h"
+#include "loader/image.h"
+#include "support/diag.h"
+
+namespace adlsym::asmgen {
+
+class Assembler {
+ public:
+  explicit Assembler(const adl::ArchModel& model) : model_(model) {}
+
+  /// Assemble a full translation unit into an image. Returns nullopt on
+  /// errors (reported via `diags`).
+  std::optional<loader::Image> assemble(std::string_view source,
+                                        DiagEngine& diags) const;
+
+ private:
+  const adl::ArchModel& model_;
+};
+
+}  // namespace adlsym::asmgen

@@ -1,0 +1,81 @@
+#include "asmgen/disasm.h"
+
+#include <sstream>
+
+#include "support/bits.h"
+#include "support/strings.h"
+
+namespace adlsym::asmgen {
+
+std::string disassemble(const adl::ArchModel& model,
+                        const decode::DecodedInsn& d, uint64_t addr) {
+  const adl::InsnInfo& insn = *d.insn;
+  std::ostringstream os;
+  std::ostringstream targetHint;
+  os << insn.name;
+  if (!insn.syntaxPieces.empty()) os << ' ';
+  for (const adl::SyntaxPiece& piece : insn.syntaxPieces) {
+    if (!piece.isOperand) {
+      os << piece.literal;
+      continue;
+    }
+    const adl::OperandInfo& op = insn.operands[piece.operandIdx];
+    const adl::EncFieldInfo& field = *insn.operandFields[op.fieldIndex];
+    const uint64_t value = d.operandValues[op.fieldIndex];
+    switch (op.kind) {
+      case adl::OperandKind::Reg:
+        os << model.regfile->name << value;
+        break;
+      case adl::OperandKind::Imm:
+        // Immediates print signed when their sign bit is set: `-1`, not 255.
+        os << asSigned(value, field.width);
+        break;
+      case adl::OperandKind::Rel: {
+        // Print the byte offset — the assembler's integer form for %rel
+        // operands, so disassembly re-assembles byte-identically. The
+        // absolute target goes into a trailing comment (stripped on
+        // re-assembly).
+        const int64_t offset =
+            asSigned(value, field.width) * static_cast<int64_t>(op.relScale);
+        os << offset;
+        const uint64_t target =
+            truncTo(addr + static_cast<uint64_t>(offset), model.mem.addrWidth);
+        targetHint << formatStr("  ; -> 0x%llx",
+                                static_cast<unsigned long long>(target));
+        break;
+      }
+      case adl::OperandKind::Abs:
+        os << formatStr("0x%llx", static_cast<unsigned long long>(value));
+        break;
+    }
+  }
+  os << targetHint.str();
+  return os.str();
+}
+
+std::string disassembleSection(const adl::ArchModel& model,
+                               const loader::Image& image,
+                               const std::string& sectionName) {
+  std::ostringstream os;
+  decode::Decoder decoder(model);
+  for (const loader::Section& s : image.sections()) {
+    if (s.name != sectionName) continue;
+    uint64_t addr = s.base;
+    while (addr < s.end()) {
+      const decode::DecodedInsn* d = decoder.decodeAt(image, addr);
+      if (d == nullptr) {
+        os << formatStr("%08llx:  .byte 0x%02x\n",
+                        static_cast<unsigned long long>(addr),
+                        *image.byteAt(addr));
+        ++addr;
+        continue;
+      }
+      os << formatStr("%08llx:  ", static_cast<unsigned long long>(addr))
+         << disassemble(model, *d, addr) << '\n';
+      addr += d->lengthBytes;
+    }
+  }
+  return os.str();
+}
+
+}  // namespace adlsym::asmgen

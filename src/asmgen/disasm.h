@@ -1,0 +1,24 @@
+// Model-driven disassembler: renders a decoded instruction back through its
+// ADL syntax template. Round-trips with the assembler (tested in
+// tests/asm_test.cpp).
+#pragma once
+
+#include <string>
+
+#include "adl/model.h"
+#include "decode/decoder.h"
+#include "loader/image.h"
+
+namespace adlsym::asmgen {
+
+/// Render one decoded instruction. `addr` is the instruction's address
+/// (needed to print pc-relative operands as absolute targets).
+std::string disassemble(const adl::ArchModel& model,
+                        const decode::DecodedInsn& insn, uint64_t addr);
+
+/// Disassemble a whole image section into "addr: text" lines.
+std::string disassembleSection(const adl::ArchModel& model,
+                               const loader::Image& image,
+                               const std::string& sectionName);
+
+}  // namespace adlsym::asmgen

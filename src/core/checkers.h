@@ -1,0 +1,53 @@
+// Engine-internal defect checkers and checked memory access (DESIGN.md S7).
+// These are shared by the ADL evaluator and the hand-written baseline so
+// that E2 measures semantics interpretation only.
+//
+// Symbolic addresses are handled without forking: reads become ite-chains
+// over the bytes of each feasible section, writes update every feasible
+// byte conditionally (DESIGN.md §6.3). Out-of-bounds accessibility is a
+// separate solver query that produces a Defect successor with a witness.
+#pragma once
+
+#include <string>
+
+#include "core/executor.h"
+#include "core/state.h"
+
+namespace adlsym::core {
+
+/// Context of the instruction being checked (for defect reports).
+struct CheckSite {
+  uint64_t pc = 0;
+  std::string mnemonic;
+};
+
+/// Report a defect on a copy of `st` and append it to `out`.
+void emitDefect(EngineServices& svc, const MachineState& st, StepOut& out,
+                DefectKind kind, const CheckSite& site, std::string message,
+                smt::TermRef extraCond = {}, uint64_t trapClass = 0);
+
+/// Checked division guard: reports DivByZero if the divisor can be zero,
+/// then constrains it nonzero on `st`. Returns false if the path dies
+/// (divisor is definitely zero or the nonzero case is infeasible).
+bool guardDivisor(EngineServices& svc, MachineState& st, StepOut& out,
+                  smt::TermRef divisor, const CheckSite& site);
+
+/// Checked `size`-byte load at a possibly-symbolic address. On success
+/// returns the value (width = 8*size, assembled per `bigEndian`); on path
+/// death returns an invalid TermRef. OOB reachability produces a Defect
+/// successor; the continuing path is constrained in-bounds.
+smt::TermRef checkedLoad(EngineServices& svc, MachineState& st, StepOut& out,
+                         smt::TermRef addr, unsigned size, bool bigEndian,
+                         const CheckSite& site);
+
+/// Checked store; returns false if the path dies.
+bool checkedStore(EngineServices& svc, MachineState& st, StepOut& out,
+                  smt::TermRef addr, smt::TermRef value, unsigned size,
+                  bool bigEndian, const CheckSite& site);
+
+/// asserteq handling: reports AssertFail if a != b is reachable, then
+/// constrains a == b. Returns false if the path dies.
+bool guardAssertEq(EngineServices& svc, MachineState& st, StepOut& out,
+                   smt::TermRef a, smt::TermRef b, const CheckSite& site);
+
+}  // namespace adlsym::core

@@ -1,0 +1,49 @@
+// Concrete replayer: executes a program on concrete inputs using the same
+// ArchModel semantics, with the same defect checks. Used to validate the
+// symbolic engine — every generated test case, replayed concretely, must
+// reproduce the predicted outputs/exit code/defect (differential testing,
+// tests/replay_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "adl/model.h"
+#include "core/state.h"
+#include "decode/decoder.h"
+#include "loader/image.h"
+
+namespace adlsym::core {
+
+struct ConcreteResult {
+  PathStatus status = PathStatus::Running;
+  uint64_t exitCode = 0;
+  std::optional<DefectKind> defect;
+  uint64_t defectPc = 0;
+  std::vector<uint64_t> outputs;
+  uint64_t steps = 0;
+  uint64_t finalPc = 0;
+};
+
+class ConcreteRunner {
+ public:
+  ConcreteRunner(const adl::ArchModel& model, const loader::Image& image);
+
+  /// Run from the image entry with the given input stream (values consumed
+  /// in order; exhausted inputs read as 0).
+  ConcreteResult run(const std::vector<uint64_t>& inputs,
+                     uint64_t maxSteps = 100000);
+
+  /// Convenience: run with a TestCase witness from the symbolic engine.
+  ConcreteResult run(const TestCase& tc, uint64_t maxSteps = 100000);
+
+  struct Ctx;  // interpreter state (definition in concrete.cpp)
+
+ private:
+  const adl::ArchModel& model_;
+  const loader::Image& image_;
+  decode::Decoder decoder_;
+};
+
+}  // namespace adlsym::core

@@ -1,0 +1,415 @@
+#include "core/evaluator.h"
+
+#include "core/checkers.h"
+#include "support/bits.h"
+#include "support/strings.h"
+
+namespace adlsym::core {
+
+using adl::rtl::Expr;
+using adl::rtl::ExprOp;
+using adl::rtl::Stmt;
+using adl::rtl::StmtOp;
+
+AdlExecutor::AdlExecutor(const adl::ArchModel& model, EngineServices& services)
+    : model_(model), svc_(services), decoder_(model) {}
+
+MachineState AdlExecutor::initialState() {
+  MachineState st;
+  st.memory = SymMemory(&svc_.image);
+  st.pc = svc_.image.entry();
+  st.regs.reserve(model_.regs.size());
+  for (const adl::RegInfo& r : model_.regs) {
+    st.regs.push_back(svc_.tm.mkConst(r.width, 0));
+  }
+  if (model_.regfile) {
+    st.regfile.assign(model_.regfile->count,
+                      svc_.tm.mkConst(model_.regfile->width, 0));
+  }
+  return st;
+}
+
+smt::TermRef AdlExecutor::readRegFile(MachineState& st, uint64_t index) {
+  check(index < st.regfile.size(), "register file index out of range");
+  const auto& rf = *model_.regfile;
+  if (rf.zeroReg && index == *rf.zeroReg) return svc_.tm.mkConst(rf.width, 0);
+  return st.regfile[index];
+}
+
+void AdlExecutor::writeRegFile(MachineState& st, uint64_t index, smt::TermRef v) {
+  check(index < st.regfile.size(), "register file index out of range");
+  const auto& rf = *model_.regfile;
+  if (rf.zeroReg && index == *rf.zeroReg) return;  // hardwired zero
+  st.regfile[index] = v;
+}
+
+namespace {
+/// Evaluate a decode-concrete RTL expression (sema-verified) to a value.
+uint64_t evalConcrete(const Expr& e, const decode::DecodedInsn& d) {
+  using smt::Kind;
+  auto bin = [&](Kind k) {
+    return smt::TermManager::evalOp(k, e.width, evalConcrete(*e.args[0], d),
+                                    evalConcrete(*e.args[1], d));
+  };
+  switch (e.op) {
+    case ExprOp::Const: return e.aux;
+    case ExprOp::Field: return d.operandValues[e.aux];
+    case ExprOp::Not: return truncTo(~evalConcrete(*e.args[0], d), e.width);
+    case ExprOp::Neg: return truncTo(0 - evalConcrete(*e.args[0], d), e.width);
+    case ExprOp::LogicalNot: return evalConcrete(*e.args[0], d) ? 0 : 1;
+    case ExprOp::Add: return bin(Kind::Add);
+    case ExprOp::Sub: return bin(Kind::Sub);
+    case ExprOp::Mul: return bin(Kind::Mul);
+    case ExprOp::UDiv: return bin(Kind::UDiv);
+    case ExprOp::URem: return bin(Kind::URem);
+    case ExprOp::SDiv: return bin(Kind::SDiv);
+    case ExprOp::SRem: return bin(Kind::SRem);
+    case ExprOp::And: return bin(Kind::And);
+    case ExprOp::Or: return bin(Kind::Or);
+    case ExprOp::Xor: return bin(Kind::Xor);
+    case ExprOp::Shl: return bin(Kind::Shl);
+    case ExprOp::LShr: return bin(Kind::LShr);
+    case ExprOp::AShr: return bin(Kind::AShr);
+    case ExprOp::ZExt: return evalConcrete(*e.args[0], d);
+    case ExprOp::SExt:
+      return truncTo(signExtend(evalConcrete(*e.args[0], d), e.args[0]->width),
+                     e.width);
+    case ExprOp::Trunc: return truncTo(evalConcrete(*e.args[0], d), e.width);
+    case ExprOp::Concat:
+      return truncTo((evalConcrete(*e.args[0], d) << e.args[1]->width) |
+                         evalConcrete(*e.args[1], d),
+                     e.width);
+    case ExprOp::Extract:
+      return bitSlice(evalConcrete(*e.args[0], d),
+                      static_cast<unsigned>(e.aux >> 8),
+                      static_cast<unsigned>(e.aux & 0xff));
+    default:
+      throw Error("evalConcrete: expression is not decode-concrete");
+  }
+}
+}  // namespace
+
+smt::TermRef AdlExecutor::evalExpr(const Expr& e, MachineState& st, Frame& f,
+                                   StepOut& out, bool& dead) {
+  smt::TermManager& tm = svc_.tm;
+  auto sub = [&](unsigned i) { return evalExpr(*e.args[i], st, f, out, dead); };
+  auto binary = [&](auto method) -> smt::TermRef {
+    const smt::TermRef a = sub(0);
+    if (dead) return {};
+    const smt::TermRef b = sub(1);
+    if (dead) return {};
+    return (tm.*method)(a, b);
+  };
+
+  switch (e.op) {
+    case ExprOp::Const: return tm.mkConst(e.width, e.aux);
+    case ExprOp::Field:
+      return tm.mkConst(e.width, f.d->operandValues[e.aux]);
+    case ExprOp::LetRef: {
+      const smt::TermRef v = f.lets[e.aux];
+      check(v.valid(), "let slot read before assignment");
+      return v;
+    }
+    case ExprOp::RegRead: {
+      // pc reads always yield the current instruction's address.
+      if (e.aux == model_.pcIndex) {
+        return tm.mkConst(e.width, truncTo(f.insnAddr, e.width));
+      }
+      return st.regs[e.aux];
+    }
+    case ExprOp::RegFileRead: {
+      const uint64_t idx = evalConcrete(*e.args[0], *f.d);
+      if (idx >= st.regfile.size()) {
+        // Encodable-but-invalid register number (e.g. a 5-bit field on a
+        // 16-register file): an illegal instruction, not an engine bug.
+        emitDefect(svc_, st, out, DefectKind::IllegalInsn, f.site,
+                   formatStr("register index %llu out of range",
+                             static_cast<unsigned long long>(idx)));
+        dead = true;
+        return {};
+      }
+      return readRegFile(st, idx);
+    }
+    case ExprOp::Load: {
+      const smt::TermRef addr = sub(0);
+      if (dead) return {};
+      const smt::TermRef v =
+          checkedLoad(svc_, st, out, addr, static_cast<unsigned>(e.aux),
+                      !model_.endianLittle, f.site);
+      if (!v.valid()) dead = true;
+      return v;
+    }
+    case ExprOp::Input: {
+      const std::string name =
+          formatStr("in%u_w%u", st.inputCounter++, e.width);
+      const smt::TermRef v = tm.mkVar(e.width, name);
+      st.inputs.push_back(InputRecord{name, e.width, v});
+      return v;
+    }
+    case ExprOp::Not: {
+      const smt::TermRef a = sub(0);
+      return dead ? smt::TermRef() : tm.mkNot(a);
+    }
+    case ExprOp::Neg: {
+      const smt::TermRef a = sub(0);
+      return dead ? smt::TermRef() : tm.mkNeg(a);
+    }
+    case ExprOp::LogicalNot: {
+      const smt::TermRef a = sub(0);
+      return dead ? smt::TermRef() : tm.mkNot(a);
+    }
+    case ExprOp::Add: return binary(&smt::TermManager::mkAdd);
+    case ExprOp::Sub: return binary(&smt::TermManager::mkSub);
+    case ExprOp::Mul: return binary(&smt::TermManager::mkMul);
+    case ExprOp::And: return binary(&smt::TermManager::mkAnd);
+    case ExprOp::Or: return binary(&smt::TermManager::mkOr);
+    case ExprOp::Xor: return binary(&smt::TermManager::mkXor);
+    case ExprOp::Shl: return binary(&smt::TermManager::mkShl);
+    case ExprOp::LShr: return binary(&smt::TermManager::mkLShr);
+    case ExprOp::AShr: return binary(&smt::TermManager::mkAShr);
+    case ExprOp::Eq: return binary(&smt::TermManager::mkEq);
+    case ExprOp::Ne: return binary(&smt::TermManager::mkNe);
+    case ExprOp::Ult: return binary(&smt::TermManager::mkUlt);
+    case ExprOp::Ule: return binary(&smt::TermManager::mkUle);
+    case ExprOp::Ugt: return binary(&smt::TermManager::mkUgt);
+    case ExprOp::Uge: return binary(&smt::TermManager::mkUge);
+    case ExprOp::Slt: return binary(&smt::TermManager::mkSlt);
+    case ExprOp::Sle: return binary(&smt::TermManager::mkSle);
+    case ExprOp::Sgt: return binary(&smt::TermManager::mkSgt);
+    case ExprOp::Sge: return binary(&smt::TermManager::mkSge);
+    case ExprOp::LogicalAnd: return binary(&smt::TermManager::mkAnd);
+    case ExprOp::LogicalOr: return binary(&smt::TermManager::mkOr);
+    case ExprOp::UDiv:
+    case ExprOp::URem:
+    case ExprOp::SDiv:
+    case ExprOp::SRem: {
+      const smt::TermRef a = sub(0);
+      if (dead) return {};
+      const smt::TermRef b = sub(1);
+      if (dead) return {};
+      if (!guardDivisor(svc_, st, out, b, f.site)) {
+        dead = true;
+        return {};
+      }
+      switch (e.op) {
+        case ExprOp::UDiv: return tm.mkUDiv(a, b);
+        case ExprOp::URem: return tm.mkURem(a, b);
+        case ExprOp::SDiv: return tm.mkSDiv(a, b);
+        default: return tm.mkSRem(a, b);
+      }
+    }
+    case ExprOp::ZExt: {
+      const smt::TermRef a = sub(0);
+      return dead ? smt::TermRef() : tm.mkZExt(a, e.width);
+    }
+    case ExprOp::SExt: {
+      const smt::TermRef a = sub(0);
+      return dead ? smt::TermRef() : tm.mkSExt(a, e.width);
+    }
+    case ExprOp::Trunc: {
+      const smt::TermRef a = sub(0);
+      return dead ? smt::TermRef() : tm.mkExtract(a, e.width - 1, 0);
+    }
+    case ExprOp::Concat: return binary(&smt::TermManager::mkConcat);
+    case ExprOp::Extract: {
+      const smt::TermRef a = sub(0);
+      if (dead) return {};
+      return tm.mkExtract(a, static_cast<unsigned>(e.aux >> 8),
+                          static_cast<unsigned>(e.aux & 0xff));
+    }
+  }
+  throw Error("unreachable rtl expr op");
+}
+
+void AdlExecutor::execStmts(MachineState st, Frame frame,
+                            std::vector<const Stmt*> work, StepOut& out) {
+  smt::TermManager& tm = svc_.tm;
+  while (!work.empty()) {
+    const Stmt* s = work.front();
+    work.erase(work.begin());
+    bool dead = false;
+
+    switch (s->op) {
+      case StmtOp::AssignReg: {
+        const smt::TermRef v = evalExpr(*s->args[0], st, frame, out, dead);
+        if (dead) return;
+        if (s->aux == model_.pcIndex) {
+          frame.newPc = v;
+        } else {
+          st.regs[s->aux] = v;
+        }
+        break;
+      }
+      case StmtOp::AssignRegFile: {
+        const uint64_t idx = evalConcrete(*s->args[0], *frame.d);
+        // Evaluate the RHS before validating the destination index: its
+        // own checks (loads, divisions) fire first, matching the concrete
+        // interpreter's evaluation order.
+        const smt::TermRef v = evalExpr(*s->args[1], st, frame, out, dead);
+        if (dead) return;
+        if (idx >= st.regfile.size()) {
+          emitDefect(svc_, st, out, DefectKind::IllegalInsn, frame.site,
+                     formatStr("register index %llu out of range",
+                               static_cast<unsigned long long>(idx)));
+          return;
+        }
+        writeRegFile(st, idx, v);
+        break;
+      }
+      case StmtOp::Let: {
+        const smt::TermRef v = evalExpr(*s->args[0], st, frame, out, dead);
+        if (dead) return;
+        frame.lets[s->aux] = v;
+        break;
+      }
+      case StmtOp::Store: {
+        const smt::TermRef addr = evalExpr(*s->args[0], st, frame, out, dead);
+        if (dead) return;
+        const smt::TermRef v = evalExpr(*s->args[1], st, frame, out, dead);
+        if (dead) return;
+        if (!checkedStore(svc_, st, out, addr, v, static_cast<unsigned>(s->aux),
+                          !model_.endianLittle, frame.site)) {
+          return;
+        }
+        break;
+      }
+      case StmtOp::Output: {
+        const smt::TermRef v = evalExpr(*s->args[0], st, frame, out, dead);
+        if (dead) return;
+        st.outputs.push_back(OutputRecord{v, frame.insnAddr});
+        break;
+      }
+      case StmtOp::Halt: {
+        const smt::TermRef code = evalExpr(*s->args[0], st, frame, out, dead);
+        if (dead) return;
+        st.status = PathStatus::Exited;
+        st.exitCode = code;
+        ++st.steps;
+        out.successors.push_back(std::move(st));
+        return;
+      }
+      case StmtOp::AssertEq: {
+        const smt::TermRef a = evalExpr(*s->args[0], st, frame, out, dead);
+        if (dead) return;
+        const smt::TermRef b = evalExpr(*s->args[1], st, frame, out, dead);
+        if (dead) return;
+        if (!guardAssertEq(svc_, st, out, a, b, frame.site)) return;
+        break;
+      }
+      case StmtOp::Trap: {
+        emitDefect(svc_, st, out, DefectKind::Trap, frame.site,
+                   formatStr("trap(%llu) reached",
+                             static_cast<unsigned long long>(s->aux)),
+                   smt::TermRef(), s->aux);
+        return;
+      }
+      case StmtOp::If: {
+        const smt::TermRef cond = evalExpr(*s->args[0], st, frame, out, dead);
+        if (dead) return;
+        auto enqueueArm = [&](const std::vector<adl::rtl::StmtPtr>& body,
+                              std::vector<const Stmt*> rest) {
+          std::vector<const Stmt*> next;
+          next.reserve(body.size() + rest.size());
+          for (const auto& b : body) next.push_back(b.get());
+          next.insert(next.end(), rest.begin(), rest.end());
+          return next;
+        };
+        if (cond.isConst()) {
+          const auto& body = cond.constValue() ? s->thenBody : s->elseBody;
+          work = enqueueArm(body, std::move(work));
+          break;
+        }
+        // Symbolic branch: fork.
+        const smt::TermRef notCond = tm.mkNot(cond);
+        const bool thenFeasible =
+            !svc_.config.eagerFeasibility || svc_.feasible(st, cond);
+        const bool elseFeasible =
+            !svc_.config.eagerFeasibility || svc_.feasible(st, notCond);
+        if (thenFeasible && elseFeasible) {
+          MachineState other = st;
+          other.addConstraint(notCond);
+          ++other.forks;
+          execStmts(std::move(other), frame, enqueueArm(s->elseBody, work), out);
+          st.addConstraint(cond);
+          ++st.forks;
+          work = enqueueArm(s->thenBody, std::move(work));
+          break;
+        }
+        if (thenFeasible) {
+          st.addConstraint(cond);
+          work = enqueueArm(s->thenBody, std::move(work));
+          break;
+        }
+        if (elseFeasible) {
+          st.addConstraint(notCond);
+          work = enqueueArm(s->elseBody, std::move(work));
+          break;
+        }
+        return;  // both sides infeasible: path dies silently
+      }
+    }
+  }
+  finishInsn(std::move(st), frame, out);
+}
+
+void AdlExecutor::finishInsn(MachineState st, Frame& frame, StepOut& out) {
+  ++st.steps;
+  const unsigned addrW = model_.regs[model_.pcIndex].width;
+  if (!frame.newPc.valid()) {
+    st.pc = truncTo(frame.insnAddr + frame.d->lengthBytes, addrW);
+    out.successors.push_back(std::move(st));
+    return;
+  }
+  if (frame.newPc.isConst()) {
+    st.pc = frame.newPc.constValue();
+    out.successors.push_back(std::move(st));
+    return;
+  }
+  // Symbolic jump target: enumerate feasible concrete targets (bounded).
+  smt::TermManager& tm = svc_.tm;
+  std::vector<smt::TermRef> blocking = st.pathCond;
+  for (unsigned i = 0; i < svc_.config.maxIndirectTargets; ++i) {
+    if (svc_.solver.check(blocking) != smt::CheckResult::Sat) return;
+    const uint64_t target = svc_.solver.modelValue(frame.newPc);
+    MachineState succ = st;
+    succ.addConstraint(tm.mkEq(frame.newPc, tm.mkConst(addrW, target)));
+    succ.pc = target;
+    ++succ.forks;
+    out.successors.push_back(std::move(succ));
+    blocking.push_back(tm.mkNe(frame.newPc, tm.mkConst(addrW, target)));
+  }
+  // Remaining targets beyond the bound are dropped; record as budget state.
+  if (svc_.solver.check(blocking) == smt::CheckResult::Sat) {
+    MachineState trunc = std::move(st);
+    trunc.status = PathStatus::Budget;
+    out.successors.push_back(std::move(trunc));
+  }
+}
+
+void AdlExecutor::step(const MachineState& in, StepOut& out) {
+  const decode::DecodedInsn* d = decoder_.decodeAt(svc_.image, in.pc);
+  if (d == nullptr) {
+    MachineState bad = in;
+    bad.status = PathStatus::Illegal;
+    Defect def;
+    def.kind = DefectKind::IllegalInsn;
+    def.pc = in.pc;
+    def.message = "undecodable or unmapped instruction";
+    def.witness = svc_.solveWitness(in);
+    bad.defect = std::move(def);
+    out.successors.push_back(std::move(bad));
+    return;
+  }
+  Frame frame;
+  frame.d = d;
+  frame.insnAddr = in.pc;
+  frame.lets.assign(d->insn->numLetSlots, smt::TermRef());
+  frame.site = CheckSite{in.pc, d->insn->name};
+
+  std::vector<const Stmt*> work;
+  work.reserve(d->insn->semantics.size());
+  for (const auto& s : d->insn->semantics) work.push_back(s.get());
+  execStmts(in, frame, std::move(work), out);
+}
+
+}  // namespace adlsym::core

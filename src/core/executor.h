@@ -1,0 +1,72 @@
+// Executor interface + shared engine services. The explorer drives any
+// Executor; two implementations exist: the ADL-driven evaluator
+// (core/evaluator.h, the paper's contribution) and the hand-written rv32e
+// baseline (baseline/rv32_engine.h, the E2 comparison).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/state.h"
+#include "loader/image.h"
+#include "smt/solver.h"
+
+namespace adlsym::core {
+
+struct EngineConfig {
+  /// Check both sides of a symbolic branch for feasibility at fork time
+  /// (eager). When false, infeasible paths die later at their next check.
+  bool eagerFeasibility = true;
+  /// Case-split bound for symbolic jump targets (indirect branches).
+  unsigned maxIndirectTargets = 16;
+  /// Enable the engine-internal checkers.
+  bool checkOob = true;
+  bool checkDivZero = true;
+  /// Generate witness test cases for completed paths and defects.
+  bool generateTests = true;
+};
+
+/// Everything an executor needs from its environment. One instance is
+/// shared across all states of an exploration run.
+class EngineServices {
+ public:
+  EngineServices(smt::TermManager& tm, smt::SmtSolver& solver,
+                 const loader::Image& image, const EngineConfig& config)
+      : tm(tm), solver(solver), image(image), config(config) {}
+
+  smt::TermManager& tm;
+  smt::SmtSolver& solver;
+  const loader::Image& image;
+  const EngineConfig& config;
+
+  /// Is pathCond(state) /\ extra satisfiable? Unknown counts as
+  /// infeasible (documented limitation; counted in solver stats).
+  bool feasible(const MachineState& st, smt::TermRef extra = {});
+
+  /// Solve pathCond(state) /\ extra and extract a witness for the state's
+  /// inputs. Callers must know the query is satisfiable (e.g. via a
+  /// preceding feasible() call with the same arguments).
+  TestCase solveWitness(const MachineState& st, smt::TermRef extra = {});
+
+  /// Concrete model value of `t` under the last solved query.
+  uint64_t modelOf(smt::TermRef t) { return solver.modelValue(t); }
+};
+
+/// One instruction executed on one state produces 0..N successor states
+/// (0 = path infeasible; >1 = symbolic branch / defect fork).
+struct StepOut {
+  std::vector<MachineState> successors;
+};
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+  virtual std::string name() const = 0;
+  /// Fresh state at the image entry point: registers zeroed, memory backed
+  /// by the image.
+  virtual MachineState initialState() = 0;
+  /// Execute the instruction at in.pc.
+  virtual void step(const MachineState& in, StepOut& out) = 0;
+};
+
+}  // namespace adlsym::core

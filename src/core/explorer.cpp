@@ -1,0 +1,224 @@
+#include "core/explorer.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace adlsym::core {
+
+const char* strategyName(SearchStrategy s) {
+  switch (s) {
+    case SearchStrategy::DFS: return "dfs";
+    case SearchStrategy::BFS: return "bfs";
+    case SearchStrategy::Random: return "random";
+    case SearchStrategy::Coverage: return "coverage";
+  }
+  return "?";
+}
+
+size_t Explorer::pickNext(const std::vector<Frontier>& frontier, Rng& rng) const {
+  switch (config_.strategy) {
+    case SearchStrategy::DFS:
+      return frontier.size() - 1;
+    case SearchStrategy::BFS:
+      return 0;
+    case SearchStrategy::Random:
+      return static_cast<size_t>(rng.below(frontier.size()));
+    case SearchStrategy::Coverage: {
+      // Highest new-coverage count wins; newest state breaks ties (keeps a
+      // DFS flavor so progress is still made when nothing is novel).
+      size_t best = 0;
+      for (size_t i = 1; i < frontier.size(); ++i) {
+        const Frontier& a = frontier[i];
+        const Frontier& b = frontier[best];
+        if (a.newCovered > b.newCovered ||
+            (a.newCovered == b.newCovered && a.order > b.order)) {
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return frontier.size() - 1;
+}
+
+namespace {
+/// Conjunction of pathCond[from..].
+smt::TermRef conjFrom(smt::TermManager& tm,
+                      const std::vector<smt::TermRef>& pc, size_t from) {
+  smt::TermRef acc = tm.mkTrue();
+  for (size_t i = from; i < pc.size(); ++i) acc = tm.mkAnd(acc, pc[i]);
+  return acc;
+}
+}  // namespace
+
+bool Explorer::tryMerge(MachineState& host, const MachineState& incoming) {
+  // Compatibility: identical storage shape and identical observable
+  // traces so far (inputs must be the very same stream positions; output
+  // *counts* must match — values are merged with ites).
+  if (host.pc != incoming.pc) return false;
+  if (host.status != PathStatus::Running ||
+      incoming.status != PathStatus::Running) {
+    return false;
+  }
+  if (host.regs.size() != incoming.regs.size() ||
+      host.regfile.size() != incoming.regfile.size() ||
+      host.inputCounter != incoming.inputCounter ||
+      host.inputs.size() != incoming.inputs.size() ||
+      host.outputs.size() != incoming.outputs.size()) {
+    return false;
+  }
+  for (size_t i = 0; i < host.inputs.size(); ++i) {
+    if (host.inputs[i].term != incoming.inputs[i].term) return false;
+  }
+
+  smt::TermManager& tm = svc_.tm;
+  // Split the path conditions at their common prefix.
+  size_t k = 0;
+  const size_t maxK = std::min(host.pathCond.size(), incoming.pathCond.size());
+  while (k < maxK && host.pathCond[k] == incoming.pathCond[k]) ++k;
+  const smt::TermRef condHost = conjFrom(tm, host.pathCond, k);
+  const smt::TermRef condIn = conjFrom(tm, incoming.pathCond, k);
+
+  auto merge = [&](smt::TermRef a, smt::TermRef b) {
+    return a == b ? a : tm.mkIte(condHost, a, b);
+  };
+  for (size_t i = 0; i < host.regs.size(); ++i) {
+    host.regs[i] = merge(host.regs[i], incoming.regs[i]);
+  }
+  for (size_t i = 0; i < host.regfile.size(); ++i) {
+    host.regfile[i] = merge(host.regfile[i], incoming.regfile[i]);
+  }
+  for (size_t i = 0; i < host.outputs.size(); ++i) {
+    host.outputs[i].term = merge(host.outputs[i].term, incoming.outputs[i].term);
+  }
+  // Memory: ite-merge every byte either side has written.
+  std::vector<uint64_t> addrs = host.memory.overlayAddresses();
+  const std::vector<uint64_t> other = incoming.memory.overlayAddresses();
+  addrs.insert(addrs.end(), other.begin(), other.end());
+  std::sort(addrs.begin(), addrs.end());
+  addrs.erase(std::unique(addrs.begin(), addrs.end()), addrs.end());
+  for (const uint64_t addr : addrs) {
+    const smt::TermRef a = host.memory.readByte(tm, addr);
+    const smt::TermRef b = incoming.memory.readByte(tm, addr);
+    check(a.valid() && b.valid(), "merge: overlay byte unreadable");
+    if (a != b) host.memory.writeByte(addr, tm.mkIte(condHost, a, b));
+  }
+
+  host.pathCond.resize(k);
+  host.addConstraint(tm.mkOr(condHost, condIn));
+  host.steps = std::max(host.steps, incoming.steps);
+  host.forks = std::max(host.forks, incoming.forks);
+  return true;
+}
+
+PathResult Explorer::finishPath(MachineState&& st) {
+  PathResult r;
+  r.status = st.status;
+  r.finalPc = st.pc;
+  r.steps = st.steps;
+  r.forks = st.forks;
+  if (st.defect) {
+    r.defect = std::move(st.defect);
+    r.test = r.defect->witness;
+    return r;
+  }
+  // Solve the path condition once for the witness, the concrete exit code
+  // and the concrete output trace.
+  if (svc_.config.generateTests &&
+      svc_.solver.check(st.pathCond) == smt::CheckResult::Sat) {
+    for (const InputRecord& in : st.inputs) {
+      r.test.inputs.push_back({in.name, in.width, svc_.solver.modelValue(in.term)});
+    }
+    if (st.status == PathStatus::Exited && st.exitCode.valid()) {
+      r.exitCode = svc_.solver.modelValue(st.exitCode);
+    }
+    for (const OutputRecord& o : st.outputs) {
+      r.outputs.push_back(svc_.solver.modelValue(o.term));
+    }
+  }
+  return r;
+}
+
+ExploreSummary Explorer::run() {
+  const auto startTime = std::chrono::steady_clock::now();
+  ExploreSummary summary;
+  Rng rng(config_.rngSeed);
+  covered_.clear();
+
+  std::vector<Frontier> frontier;
+  uint64_t orderCounter = 0;
+  frontier.push_back(Frontier{exec_.initialState(), orderCounter++, 0});
+
+  while (!frontier.empty()) {
+    if (summary.paths.size() >= config_.maxPaths) break;
+    if (summary.totalSteps >= config_.maxTotalSteps) break;
+    if (config_.maxWallSeconds > 0.0 &&
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      startTime)
+                .count() > config_.maxWallSeconds) {
+      break;
+    }
+
+    const size_t idx = pickNext(frontier, rng);
+    Frontier cur = std::move(frontier[idx]);
+    frontier.erase(frontier.begin() + static_cast<long>(idx));
+
+    if (cur.state.steps >= config_.maxStepsPerPath) {
+      cur.state.status = PathStatus::Budget;
+      summary.paths.push_back(finishPath(std::move(cur.state)));
+      continue;
+    }
+
+    StepOut out;
+    exec_.step(cur.state, out);
+    ++summary.totalSteps;
+    const bool newPcHere = covered_.insert(cur.state.pc).second;
+
+    if (out.successors.size() > 1) {
+      summary.totalForks += out.successors.size() - 1;
+    }
+    if (out.successors.empty()) ++summary.statesDropped;
+
+    bool sawDefect = false;
+    for (MachineState& succ : out.successors) {
+      if (succ.status == PathStatus::Running) {
+        if (config_.mergeStates) {
+          bool merged = false;
+          for (Frontier& f : frontier) {
+            if (f.state.pc == succ.pc && tryMerge(f.state, succ)) {
+              merged = true;
+              ++summary.statesMerged;
+              break;
+            }
+          }
+          if (merged) continue;
+        }
+        Frontier f;
+        f.newCovered = cur.newCovered / 2 + (newPcHere ? 1 : 0);
+        f.order = orderCounter++;
+        f.state = std::move(succ);
+        frontier.push_back(std::move(f));
+      } else {
+        sawDefect = sawDefect || succ.defect.has_value();
+        summary.paths.push_back(finishPath(std::move(succ)));
+      }
+    }
+    if (sawDefect && config_.stopAtFirstDefect) break;
+  }
+
+  // Budget exhausted: close out remaining frontier states for accounting.
+  for (Frontier& f : frontier) {
+    if (summary.paths.size() >= config_.maxPaths) break;
+    f.state.status = PathStatus::Budget;
+    summary.paths.push_back(finishPath(std::move(f.state)));
+  }
+
+  summary.coveredPcs = covered_.size();
+  summary.coveredSet = covered_;
+  summary.wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - startTime)
+          .count();
+  return summary;
+}
+
+}  // namespace adlsym::core

@@ -1,0 +1,96 @@
+// Path exploration driver (DESIGN.md S7): maintains the frontier of
+// running states, applies a search strategy, enforces budgets, and collects
+// PathResults (with generated test inputs) for every completed path.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/state.h"
+#include "support/rng.h"
+
+namespace adlsym::core {
+
+enum class SearchStrategy : uint8_t {
+  DFS,       // LIFO: plunge to path completion first
+  BFS,       // FIFO: breadth over depth
+  Random,    // uniform random pick (deterministic seed)
+  Coverage,  // prefer states that most recently covered a new pc
+};
+
+const char* strategyName(SearchStrategy s);
+
+struct ExplorerConfig {
+  SearchStrategy strategy = SearchStrategy::DFS;
+  uint64_t maxPaths = 100000;        // completed paths
+  uint64_t maxTotalSteps = 1000000;  // instructions across all paths
+  uint64_t maxStepsPerPath = 100000;
+  /// Wall-clock budget in seconds; 0 = unlimited. Checked between steps,
+  /// so one slow solver query can overshoot it.
+  double maxWallSeconds = 0.0;
+  uint64_t rngSeed = 1;
+  /// Stop as soon as the first defect is reported (for E7 time-to-defect).
+  bool stopAtFirstDefect = false;
+  /// Veritesting-style state merging: frontier states that reconverge at
+  /// the same pc with compatible traces are merged into one state with
+  /// ite-selected registers/memory and a disjunctive path condition.
+  /// Collapses diamond control flow (e.g. bitcount: 2^k paths -> k+1) at
+  /// the cost of larger terms. Off by default (DESIGN.md §6 ablation).
+  bool mergeStates = false;
+};
+
+struct ExploreSummary {
+  std::vector<PathResult> paths;
+  uint64_t totalSteps = 0;   // instructions symbolically executed
+  uint64_t totalForks = 0;
+  uint64_t statesDropped = 0;  // infeasible/overflowed frontier entries
+  uint64_t statesMerged = 0;   // frontier merges (mergeStates only)
+  size_t coveredPcs = 0;
+  /// Every instruction address executed at least once (coverage report).
+  std::set<uint64_t> coveredSet;
+  double wallSeconds = 0.0;
+
+  unsigned numDefects() const {
+    unsigned n = 0;
+    for (const auto& p : paths) n += p.defect.has_value() ? 1 : 0;
+    return n;
+  }
+  unsigned numExited() const {
+    unsigned n = 0;
+    for (const auto& p : paths) n += p.status == PathStatus::Exited ? 1 : 0;
+    return n;
+  }
+};
+
+class Explorer {
+ public:
+  Explorer(Executor& exec, EngineServices& services, ExplorerConfig config)
+      : exec_(exec), svc_(services), config_(config) {}
+
+  /// Run exploration from the executor's initial state to exhaustion or
+  /// budget. Deterministic for a fixed config.
+  ExploreSummary run();
+
+ private:
+  struct Frontier {
+    MachineState state;
+    uint64_t order = 0;     // creation sequence number (tie-break)
+    uint64_t newCovered = 0;  // pcs first covered by this state's last step
+  };
+
+  size_t pickNext(const std::vector<Frontier>& frontier, Rng& rng) const;
+  PathResult finishPath(MachineState&& st);
+  /// Try to merge `incoming` into `host` (both Running, same pc).
+  /// Returns false (leaving both untouched) when the states' traces are
+  /// incompatible.
+  bool tryMerge(MachineState& host, const MachineState& incoming);
+
+  Executor& exec_;
+  EngineServices& svc_;
+  ExplorerConfig config_;
+  std::set<uint64_t> covered_;
+};
+
+}  // namespace adlsym::core

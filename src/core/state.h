@@ -1,0 +1,109 @@
+// Symbolic machine state and path-level result types (DESIGN.md S7).
+// MachineState is architecture-agnostic: a vector of scalar registers, an
+// optional register file, layered symbolic memory, the (always concrete)
+// program counter, the path condition, and the input/output traces. Both
+// the ADL-driven evaluator and the hand-written baseline engine operate on
+// this same representation, so experiment E2 compares only the semantics
+// interpretation, not the state machinery.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/memory.h"
+#include "smt/term.h"
+
+namespace adlsym::core {
+
+/// One symbolic input created by input8/16/32, in stream order.
+struct InputRecord {
+  std::string name;
+  unsigned width = 0;
+  smt::TermRef term;
+};
+
+/// One output(v) event, in emission order.
+struct OutputRecord {
+  smt::TermRef term;
+  uint64_t pc = 0;  // instruction that emitted it
+};
+
+enum class PathStatus : uint8_t {
+  Running,   // still on the frontier
+  Exited,    // halt(code) executed
+  Defect,    // terminated by a checker (see Defect)
+  Budget,    // instruction/depth budget exhausted
+  Illegal,   // undecodable instruction or unmapped fetch
+  Infeasible // dropped: path condition unsatisfiable
+};
+
+enum class DefectKind : uint8_t {
+  DivByZero,
+  OobRead,
+  OobWrite,
+  AssertFail,
+  Trap,         // trap(n) in semantics (e.g. checked signed overflow)
+  IllegalInsn,
+};
+
+const char* defectKindName(DefectKind k);
+
+/// A concrete witness assignment for the inputs of a path.
+struct TestCase {
+  struct Value {
+    std::string name;
+    unsigned width = 0;
+    uint64_t value = 0;
+  };
+  std::vector<Value> inputs;
+};
+
+struct Defect {
+  DefectKind kind = DefectKind::Trap;
+  uint64_t pc = 0;
+  std::string mnemonic;
+  std::string message;
+  uint64_t trapClass = 0;     // for DefectKind::Trap
+  TestCase witness;           // inputs reaching the defect
+};
+
+class MachineState {
+ public:
+  // ---- storage -------------------------------------------------------
+  std::vector<smt::TermRef> regs;     // scalar regs, flags (pc excluded)
+  std::vector<smt::TermRef> regfile;  // empty if the arch has none
+  SymMemory memory;
+  uint64_t pc = 0;                    // always concrete (see DESIGN.md §6)
+
+  // ---- path metadata --------------------------------------------------
+  std::vector<smt::TermRef> pathCond;
+  std::vector<InputRecord> inputs;
+  std::vector<OutputRecord> outputs;
+  unsigned inputCounter = 0;
+  uint64_t steps = 0;
+  unsigned forks = 0;  // symbolic branches taken on this path
+
+  PathStatus status = PathStatus::Running;
+  smt::TermRef exitCode;              // valid when status == Exited
+  std::optional<Defect> defect;       // valid when status == Defect
+
+  void addConstraint(smt::TermRef c) {
+    if (!c.isTrue()) pathCond.push_back(c);
+  }
+};
+
+/// Final record of one completed path (explorer output).
+struct PathResult {
+  PathStatus status = PathStatus::Running;
+  uint64_t finalPc = 0;
+  uint64_t steps = 0;
+  unsigned forks = 0;
+  std::optional<uint64_t> exitCode;       // concrete (from model) if Exited
+  std::vector<uint64_t> outputs;          // concrete output values (model)
+  std::optional<Defect> defect;
+  TestCase test;                          // generated inputs for this path
+};
+
+}  // namespace adlsym::core

@@ -1,0 +1,98 @@
+#include "core/testgen.h"
+
+#include <sstream>
+
+#include "asmgen/disasm.h"
+#include "decode/decoder.h"
+#include "support/strings.h"
+
+namespace adlsym::core {
+
+const char* pathStatusName(PathStatus s) {
+  switch (s) {
+    case PathStatus::Running: return "running";
+    case PathStatus::Exited: return "exited";
+    case PathStatus::Defect: return "defect";
+    case PathStatus::Budget: return "budget";
+    case PathStatus::Illegal: return "illegal";
+    case PathStatus::Infeasible: return "infeasible";
+  }
+  return "?";
+}
+
+std::string formatTestCase(const TestCase& tc) {
+  std::ostringstream os;
+  for (size_t i = 0; i < tc.inputs.size(); ++i) {
+    const auto& v = tc.inputs[i];
+    if (i != 0) os << ' ';
+    os << v.name << "=0x" << std::hex << v.value << std::dec;
+  }
+  return os.str();
+}
+
+std::string formatPath(const PathResult& p) {
+  std::ostringstream os;
+  os << pathStatusName(p.status) << " steps=" << p.steps
+     << " forks=" << p.forks;
+  if (p.exitCode) os << " exit=" << *p.exitCode;
+  if (p.defect) {
+    os << " defect=" << defectKindName(p.defect->kind)
+       << formatStr(" pc=0x%llx", static_cast<unsigned long long>(p.defect->pc))
+       << " insn=" << p.defect->mnemonic;
+  }
+  if (!p.outputs.empty()) {
+    os << " out=[";
+    for (size_t i = 0; i < p.outputs.size(); ++i) {
+      if (i != 0) os << ',';
+      os << p.outputs[i];
+    }
+    os << ']';
+  }
+  if (!p.test.inputs.empty()) os << "  " << formatTestCase(p.test);
+  return os.str();
+}
+
+std::string formatSummary(const ExploreSummary& s) {
+  std::ostringstream os;
+  os << "paths=" << s.paths.size() << " exited=" << s.numExited()
+     << " defects=" << s.numDefects() << " steps=" << s.totalSteps
+     << " forks=" << s.totalForks << " coveredPcs=" << s.coveredPcs
+     << formatStr(" wall=%.3fs", s.wallSeconds) << '\n';
+  for (const PathResult& p : s.paths) {
+    os << "  " << formatPath(p) << '\n';
+  }
+  return os.str();
+}
+
+std::string formatCoverage(const adl::ArchModel& model,
+                           const loader::Image& image,
+                           const std::string& sectionName,
+                           const ExploreSummary& summary) {
+  std::ostringstream os;
+  decode::Decoder decoder(model);
+  unsigned total = 0;
+  unsigned hit = 0;
+  for (const loader::Section& s : image.sections()) {
+    if (s.name != sectionName) continue;
+    uint64_t addr = s.base;
+    while (addr < s.end()) {
+      const decode::DecodedInsn* d = decoder.decodeAt(image, addr);
+      if (d == nullptr) {
+        ++addr;
+        continue;
+      }
+      ++total;
+      const bool covered = summary.coveredSet.count(addr) != 0;
+      hit += covered ? 1 : 0;
+      os << (covered ? " * " : "   ")
+         << formatStr("%08llx:  ", static_cast<unsigned long long>(addr))
+         << asmgen::disassemble(model, *d, addr) << '\n';
+      addr += d->lengthBytes;
+    }
+  }
+  os << formatStr("covered %u/%u (%.0f%%)\n", hit, total,
+                  total == 0 ? 0.0 : 100.0 * hit / total);
+  return os.str();
+}
+
+}  // namespace adlsym::core

@@ -1,0 +1,43 @@
+// Test-case and report formatting helpers (DESIGN.md S7): renders the
+// witnesses the engine generates and the exploration summaries the benches
+// print.
+#pragma once
+
+#include <string>
+
+#include "core/explorer.h"
+#include "core/state.h"
+
+namespace adlsym::core {
+
+const char* pathStatusName(PathStatus s);
+
+/// "in0_w8=0x41 in1_w8=0x00" style one-liner.
+std::string formatTestCase(const TestCase& tc);
+
+/// One line per path: status, steps, exit/defect, witness.
+std::string formatPath(const PathResult& p);
+
+/// Multi-line human-readable exploration report.
+std::string formatSummary(const ExploreSummary& s);
+
+}  // namespace adlsym::core
+
+namespace adlsym::adl {
+class ArchModel;
+}
+namespace adlsym::loader {
+class Image;
+}
+
+namespace adlsym::core {
+
+/// Annotated disassembly coverage report: one line per decodable
+/// instruction in the named section, marked '*' when the exploration
+/// executed it, plus a trailing "covered N/M (P%)" line.
+std::string formatCoverage(const adl::ArchModel& model,
+                           const loader::Image& image,
+                           const std::string& sectionName,
+                           const ExploreSummary& summary);
+
+}  // namespace adlsym::core

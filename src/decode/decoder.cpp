@@ -1,0 +1,77 @@
+#include "decode/decoder.h"
+
+#include <algorithm>
+
+#include "support/bits.h"
+
+namespace adlsym::decode {
+
+Decoder::Decoder(const adl::ArchModel& model) : model_(model) {
+  std::vector<unsigned> lengths;
+  for (const auto& insn : model_.insns) {
+    if (std::find(lengths.begin(), lengths.end(), insn.lengthBytes) == lengths.end())
+      lengths.push_back(insn.lengthBytes);
+  }
+  std::sort(lengths.rbegin(), lengths.rend());  // longest first
+  for (const unsigned len : lengths) {
+    std::vector<const adl::InsnInfo*> group;
+    for (const auto& insn : model_.insns) {
+      if (insn.lengthBytes == len) group.push_back(&insn);
+    }
+    byLength_.emplace_back(len, std::move(group));
+  }
+}
+
+uint64_t Decoder::bytesToWord(const uint8_t* bytes, unsigned len) const {
+  uint64_t w = 0;
+  if (model_.endianLittle) {
+    for (unsigned i = 0; i < len; ++i) w |= static_cast<uint64_t>(bytes[i]) << (8 * i);
+  } else {
+    for (unsigned i = 0; i < len; ++i) w = (w << 8) | bytes[i];
+  }
+  return w;
+}
+
+std::optional<DecodedInsn> Decoder::decodeBytes(const uint8_t* bytes,
+                                                size_t len) const {
+  ++stats_.decodes;
+  for (const auto& [groupLen, group] : byLength_) {
+    if (groupLen > len) continue;
+    const uint64_t word = bytesToWord(bytes, groupLen);
+    for (const adl::InsnInfo* insn : group) {
+      if ((word & insn->fixedMask) != insn->fixedMatch) continue;
+      DecodedInsn d;
+      d.insn = insn;
+      d.lengthBytes = groupLen;
+      d.raw = word;
+      d.operandValues.reserve(insn->operandFields.size());
+      for (const adl::EncFieldInfo* f : insn->operandFields) {
+        d.operandValues.push_back(bitSlice(word, f->lo + f->width - 1, f->lo));
+      }
+      return d;
+    }
+  }
+  return std::nullopt;
+}
+
+const DecodedInsn* Decoder::decodeAt(const loader::Image& image, uint64_t addr) {
+  if (auto it = cache_.find(addr); it != cache_.end()) {
+    ++stats_.cacheHits;
+    return it->second.insn != nullptr ? &it->second : nullptr;
+  }
+  // Gather up to maxInsnBytes contiguous mapped bytes.
+  uint8_t buf[8] = {};
+  size_t avail = 0;
+  for (; avail < model_.maxInsnBytes && avail < sizeof(buf); ++avail) {
+    const auto b = image.byteAt(addr + avail);
+    if (!b) break;
+    buf[avail] = *b;
+  }
+  auto decoded = decodeBytes(buf, avail);
+  auto [it, inserted] =
+      cache_.emplace(addr, decoded ? std::move(*decoded) : DecodedInsn{});
+  (void)inserted;
+  return it->second.insn != nullptr ? &it->second : nullptr;
+}
+
+}  // namespace adlsym::decode

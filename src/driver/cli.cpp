@@ -1,0 +1,251 @@
+#include "driver/cli.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "asmgen/assembler.h"
+#include "asmgen/disasm.h"
+#include "core/testgen.h"
+#include "driver/session.h"
+#include "isa/registry.h"
+#include "support/strings.h"
+
+namespace adlsym::driver::cli {
+
+namespace {
+
+CommandResult fail(std::string msg) {
+  return CommandResult{1, std::move(msg) + "\n"};
+}
+
+loader::Image parseImageArg(const std::string& imageText) {
+  return loader::Image::deserialize(imageText);
+}
+
+std::string readFileOrThrow(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw Error("cannot open file '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "adlsym — ADL-based retargetable symbolic execution\n"
+      "\n"
+      "usage:\n"
+      "  adlsym isas                                list shipped ISAs\n"
+      "  adlsym model <isa>                         dump the ISA model\n"
+      "  adlsym asm <isa> <file.s>                  assemble to image text\n"
+      "  adlsym disasm <isa> <file.img>             disassemble an image\n"
+      "  adlsym run <isa> <file.img> [in...]        concrete execution\n"
+      "  adlsym explore <isa> <file.img> [options]  symbolic exploration\n"
+      "\n"
+      "explore options:\n"
+      "  --strategy dfs|bfs|random|coverage   search order (default dfs)\n"
+      "  --max-paths N                        completed-path budget\n"
+      "  --max-steps N                        total instruction budget\n"
+      "  --first-defect                       stop at the first defect\n"
+      "  --merge                              veritesting state merging\n"
+      "  --coverage                           per-insn coverage report\n";
+}
+
+CommandResult cmdIsas() {
+  std::ostringstream os;
+  for (const std::string& name : isa::allIsaNames()) {
+    auto model = isa::loadIsa(name);
+    const auto st = model->stats();
+    os << formatStr("%-8s %2u-bit %-6s  %2u insns  %u encodings  %u regs\n",
+                    name.c_str(), model->wordSize,
+                    model->endianLittle ? "little" : "big", st.numInsns,
+                    st.numEncodings, st.numRegs);
+  }
+  return {0, os.str()};
+}
+
+CommandResult cmdModel(const std::string& isaName) {
+  auto model = isa::loadIsa(isaName);
+  std::ostringstream os;
+  os << "arch " << model->name << ": wordsize " << model->wordSize << ", "
+     << (model->endianLittle ? "little" : "big") << " endian\n\nstorage:\n";
+  for (const auto& r : model->regs) {
+    os << formatStr("  %-8s : %2u bits%s%s\n", r.name.c_str(), r.width,
+                    r.isPC ? "  (pc)" : "", r.isFlag ? "  (flag)" : "");
+  }
+  if (model->regfile) {
+    os << formatStr("  %s[%u]   : %2u bits", model->regfile->name.c_str(),
+                    model->regfile->count, model->regfile->width);
+    if (model->regfile->zeroReg) {
+      os << formatStr("  (%s%u = 0)", model->regfile->name.c_str(),
+                      *model->regfile->zeroReg);
+    }
+    os << '\n';
+  }
+  os << formatStr("  %-8s : byte[%u]\n", model->mem.name.c_str(),
+                  model->mem.addrWidth);
+  os << "\nencodings:\n";
+  for (const auto& e : model->encodings) {
+    os << formatStr("  %-8s %u bits:", e.name.c_str(), e.totalWidth);
+    for (const auto& f : e.fields) {
+      os << formatStr(" [%s:%u@%u]", f.name.c_str(), f.width, f.lo);
+    }
+    os << '\n';
+  }
+  os << "\ninstructions:\n";
+  for (const auto& i : model->insns) {
+    os << formatStr("  %-6s %u bytes  mask=%010llx match=%010llx  \"%s\"\n",
+                    i.name.c_str(), i.lengthBytes,
+                    static_cast<unsigned long long>(i.fixedMask),
+                    static_cast<unsigned long long>(i.fixedMatch),
+                    i.syntax.c_str());
+  }
+  return {0, os.str()};
+}
+
+CommandResult cmdAsm(const std::string& isaName, const std::string& source) {
+  auto model = isa::loadIsa(isaName);
+  DiagEngine diags("<asm>");
+  asmgen::Assembler assembler(*model);
+  auto image = assembler.assemble(source, diags);
+  if (!image) return fail(diags.str());
+  return {0, image->serialize()};
+}
+
+CommandResult cmdDisasm(const std::string& isaName,
+                        const std::string& imageText) {
+  auto model = isa::loadIsa(isaName);
+  const loader::Image image = parseImageArg(imageText);
+  std::ostringstream os;
+  for (const loader::Section& s : image.sections()) {
+    os << "section " << s.name << ":\n";
+    os << asmgen::disassembleSection(*model, image, s.name);
+  }
+  return {0, os.str()};
+}
+
+CommandResult cmdRun(const std::string& isaName, const std::string& imageText,
+                     const std::vector<uint64_t>& inputs) {
+  auto model = isa::loadIsa(isaName);
+  const loader::Image image = parseImageArg(imageText);
+  core::ConcreteRunner runner(*model, image);
+  const auto r = runner.run(inputs);
+  std::ostringstream os;
+  os << "status: " << core::pathStatusName(r.status);
+  if (r.status == core::PathStatus::Exited) os << " (code " << r.exitCode << ")";
+  if (r.defect) {
+    os << formatStr(" %s at pc=0x%llx", core::defectKindName(*r.defect),
+                    static_cast<unsigned long long>(r.defectPc));
+  }
+  os << "\nsteps: " << r.steps << "\noutputs:";
+  for (const uint64_t v : r.outputs) os << ' ' << v;
+  os << '\n';
+  return {r.status == core::PathStatus::Exited ? 0 : 1, os.str()};
+}
+
+CommandResult cmdExplore(const std::string& isaName,
+                         const std::string& imageText,
+                         const ExploreOptions& opt) {
+  SessionOptions sopt;
+  if (opt.strategy == "dfs") sopt.explorer.strategy = core::SearchStrategy::DFS;
+  else if (opt.strategy == "bfs") sopt.explorer.strategy = core::SearchStrategy::BFS;
+  else if (opt.strategy == "random") sopt.explorer.strategy = core::SearchStrategy::Random;
+  else if (opt.strategy == "coverage") sopt.explorer.strategy = core::SearchStrategy::Coverage;
+  else return fail("unknown strategy '" + opt.strategy + "'");
+  sopt.explorer.maxPaths = opt.maxPaths;
+  sopt.explorer.maxTotalSteps = opt.maxTotalSteps;
+  sopt.explorer.stopAtFirstDefect = opt.stopAtFirstDefect;
+  sopt.explorer.mergeStates = opt.mergeStates;
+
+  // Session assembles from source; for a prebuilt image we drive the
+  // layers directly, exactly like examples/newisa.cpp.
+  auto model = isa::loadIsa(isaName);
+  const loader::Image image = parseImageArg(imageText);
+  smt::TermManager tm;
+  smt::SmtSolver solver(tm);
+  solver.setConflictBudget(sopt.solverConflictBudget);
+  core::EngineServices services(tm, solver, image, sopt.engine);
+  core::AdlExecutor executor(*model, services);
+  core::Explorer explorer(executor, services, sopt.explorer);
+  const auto summary = explorer.run();
+
+  std::ostringstream os;
+  os << core::formatSummary(summary);
+  if (opt.coverageReport) {
+    for (const loader::Section& sec : image.sections()) {
+      if (sec.writable) continue;
+      os << "\ncoverage of section " << sec.name << ":\n"
+         << core::formatCoverage(*model, image, sec.name, summary);
+    }
+  }
+  const auto& st = solver.stats();
+  os << formatStr("solver: %llu queries (%llu sat, %llu unsat, %llu unknown), "
+                  "%.1f ms\n",
+                  static_cast<unsigned long long>(st.queries),
+                  static_cast<unsigned long long>(st.sat),
+                  static_cast<unsigned long long>(st.unsat),
+                  static_cast<unsigned long long>(st.unknown),
+                  st.totalMicros / 1e3);
+  return {0, os.str()};
+}
+
+CommandResult dispatch(const std::vector<std::string>& args) {
+  try {
+    if (args.empty() || args[0] == "help" || args[0] == "--help") {
+      return {args.empty() ? 1 : 0, usage()};
+    }
+    const std::string& cmd = args[0];
+    if (cmd == "isas") return cmdIsas();
+    if (cmd == "model") {
+      if (args.size() != 2) return fail("usage: adlsym model <isa>");
+      return cmdModel(args[1]);
+    }
+    if (cmd == "asm") {
+      if (args.size() != 3) return fail("usage: adlsym asm <isa> <file.s>");
+      return cmdAsm(args[1], readFileOrThrow(args[2]));
+    }
+    if (cmd == "disasm") {
+      if (args.size() != 3) return fail("usage: adlsym disasm <isa> <file.img>");
+      return cmdDisasm(args[1], readFileOrThrow(args[2]));
+    }
+    if (cmd == "run") {
+      if (args.size() < 3) return fail("usage: adlsym run <isa> <file.img> [inputs...]");
+      std::vector<uint64_t> inputs;
+      for (size_t i = 3; i < args.size(); ++i) {
+        const auto v = parseInt(args[i]);
+        if (!v) return fail("bad input value '" + args[i] + "'");
+        inputs.push_back(*v);
+      }
+      return cmdRun(args[1], readFileOrThrow(args[2]), inputs);
+    }
+    if (cmd == "explore") {
+      if (args.size() < 3) return fail("usage: adlsym explore <isa> <file.img> [options]");
+      ExploreOptions opt;
+      for (size_t i = 3; i < args.size(); ++i) {
+        if (args[i] == "--strategy" && i + 1 < args.size()) {
+          opt.strategy = args[++i];
+        } else if (args[i] == "--max-paths" && i + 1 < args.size()) {
+          opt.maxPaths = parseInt(args[++i]).value_or(opt.maxPaths);
+        } else if (args[i] == "--max-steps" && i + 1 < args.size()) {
+          opt.maxTotalSteps = parseInt(args[++i]).value_or(opt.maxTotalSteps);
+        } else if (args[i] == "--first-defect") {
+          opt.stopAtFirstDefect = true;
+        } else if (args[i] == "--merge") {
+          opt.mergeStates = true;
+        } else if (args[i] == "--coverage") {
+          opt.coverageReport = true;
+        } else {
+          return fail("unknown explore option '" + args[i] + "'");
+        }
+      }
+      return cmdExplore(args[1], readFileOrThrow(args[2]), opt);
+    }
+    return fail("unknown command '" + cmd + "'\n" + usage());
+  } catch (const std::exception& e) {
+    return fail(std::string("error: ") + e.what());
+  }
+}
+
+}  // namespace adlsym::driver::cli

@@ -1,0 +1,58 @@
+// Implementation of the `adlsym` command-line tool's subcommands, kept in
+// the library so they are unit-testable (tests/cli_test.cpp). The tool
+// binary (tools/adlsym.cpp) only parses argv and dispatches here.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adlsym::driver::cli {
+
+struct CommandResult {
+  int exitCode = 0;
+  std::string output;  // printed to stdout by the tool
+};
+
+/// `adlsym isas` — list shipped ISAs with their model statistics.
+CommandResult cmdIsas();
+
+/// `adlsym model <isa>` — dump an ISA's storage, encodings and
+/// instruction table (mask/match, operands, syntax).
+CommandResult cmdModel(const std::string& isa);
+
+/// `adlsym asm <isa> <source-text>` — assemble to the textual image
+/// format (docs/image-format.md).
+CommandResult cmdAsm(const std::string& isa, const std::string& source);
+
+/// `adlsym disasm <isa> <image-text>` — disassemble every section that
+/// decodes as code.
+CommandResult cmdDisasm(const std::string& isa, const std::string& imageText);
+
+/// `adlsym run <isa> <image-text> [inputs...]` — concrete execution with
+/// the given input stream; prints outputs and exit status.
+CommandResult cmdRun(const std::string& isa, const std::string& imageText,
+                     const std::vector<uint64_t>& inputs);
+
+struct ExploreOptions {
+  std::string strategy = "dfs";  // dfs|bfs|random|coverage
+  uint64_t maxPaths = 10000;
+  uint64_t maxTotalSteps = 1000000;
+  bool stopAtFirstDefect = false;
+  bool mergeStates = false;
+  /// Append an annotated instruction-coverage report per code section.
+  bool coverageReport = false;
+};
+
+/// `adlsym explore <isa> <image-text>` — symbolic exploration; prints the
+/// path table with witnesses and the engine statistics.
+CommandResult cmdExplore(const std::string& isa, const std::string& imageText,
+                         const ExploreOptions& opt);
+
+/// Top-level dispatcher used by the tool binary: args exclude argv[0].
+/// File arguments are read from disk here.
+CommandResult dispatch(const std::vector<std::string>& args);
+
+/// Usage text.
+std::string usage();
+
+}  // namespace adlsym::driver::cli

@@ -1,0 +1,5 @@
+#include "generated/acc8_adl.h"
+
+namespace adlsym::isa {
+const char* acc8Source() { return embedded::k_acc8; }
+}  // namespace adlsym::isa

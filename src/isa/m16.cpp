@@ -1,0 +1,5 @@
+#include "generated/m16_adl.h"
+
+namespace adlsym::isa {
+const char* m16Source() { return embedded::k_m16; }
+}  // namespace adlsym::isa

@@ -1,0 +1,33 @@
+#include "isa/registry.h"
+
+#include "support/error.h"
+
+namespace adlsym::isa {
+
+// Defined in rv32e.cpp / m16.cpp / acc8.cpp (each includes its generated
+// embedding header).
+const char* rv32eSource();
+const char* m16Source();
+const char* acc8Source();
+const char* stk16Source();
+
+const char* isaSource(const std::string& name) {
+  if (name == "rv32e") return rv32eSource();
+  if (name == "m16") return m16Source();
+  if (name == "acc8") return acc8Source();
+  if (name == "stk16") return stk16Source();
+  throw Error("unknown ISA '" + name + "' (shipped: rv32e, m16, acc8, stk16)");
+}
+
+std::vector<std::string> allIsaNames() { return {"rv32e", "m16", "acc8", "stk16"}; }
+
+std::unique_ptr<adl::ArchModel> loadIsa(const std::string& name) {
+  DiagEngine diags(name + ".adl");
+  auto model = adl::loadArchModel(isaSource(name), diags);
+  if (!model) {
+    throw Error("embedded ISA '" + name + "' failed to load:\n" + diags.str());
+  }
+  return model;
+}
+
+}  // namespace adlsym::isa

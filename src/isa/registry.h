@@ -1,0 +1,27 @@
+// ISA registry (DESIGN.md S8): the shipped architecture descriptions,
+// embedded at build time from share/isa/*.adl, plus load helpers. Adding a
+// fourth ISA means adding one .adl file here — nothing in the engine
+// changes (that is the paper's point).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adl/model.h"
+
+namespace adlsym::isa {
+
+/// ADL source text of a shipped ISA ("rv32e", "m16", "acc8", "stk16").
+/// Throws adlsym::Error for unknown names.
+const char* isaSource(const std::string& name);
+
+/// Names of all shipped ISAs, in canonical order.
+std::vector<std::string> allIsaNames();
+
+/// Parse + analyze a shipped ISA. Throws adlsym::Error if the embedded
+/// description fails to load (that would be a build defect; covered by
+/// tests/isa_test.cpp).
+std::unique_ptr<adl::ArchModel> loadIsa(const std::string& name);
+
+}  // namespace adlsym::isa

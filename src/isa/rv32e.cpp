@@ -1,0 +1,5 @@
+#include "generated/rv32e_adl.h"
+
+namespace adlsym::isa {
+const char* rv32eSource() { return embedded::k_rv32e; }
+}  // namespace adlsym::isa

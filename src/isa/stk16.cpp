@@ -1,0 +1,5 @@
+#include "generated/stk16_adl.h"
+
+namespace adlsym::isa {
+const char* stk16Source() { return embedded::k_stk16; }
+}  // namespace adlsym::isa

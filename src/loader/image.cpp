@@ -1,0 +1,120 @@
+#include "loader/image.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace adlsym::loader {
+
+void Image::addSection(Section s) {
+  for (const Section& existing : sections_) {
+    const uint64_t lo = std::max(existing.base, s.base);
+    const uint64_t hi = std::min(existing.end(), s.end());
+    if (lo < hi) {
+      throw Error("section '" + s.name + "' overlaps section '" +
+                  existing.name + "'");
+    }
+  }
+  sections_.push_back(std::move(s));
+  std::sort(sections_.begin(), sections_.end(),
+            [](const Section& a, const Section& b) { return a.base < b.base; });
+}
+
+std::optional<uint64_t> Image::symbol(const std::string& name) const {
+  auto it = symbols_.find(name);
+  if (it == symbols_.end()) return std::nullopt;
+  return it->second;
+}
+
+const Section* Image::sectionAt(uint64_t addr) const {
+  for (const Section& s : sections_) {
+    if (s.contains(addr)) return &s;
+  }
+  return nullptr;
+}
+
+std::optional<uint8_t> Image::byteAt(uint64_t addr) const {
+  const Section* s = sectionAt(addr);
+  if (s == nullptr) return std::nullopt;
+  return s->bytes[addr - s->base];
+}
+
+size_t Image::mappedBytes() const {
+  size_t n = 0;
+  for (const Section& s : sections_) n += s.bytes.size();
+  return n;
+}
+
+std::string Image::serialize() const {
+  std::ostringstream os;
+  os << "image v1\n";
+  os << "entry 0x" << std::hex << entry_ << std::dec << '\n';
+  for (const auto& [name, addr] : symbols_) {
+    os << "symbol " << name << " 0x" << std::hex << addr << std::dec << '\n';
+  }
+  for (const Section& s : sections_) {
+    os << "section " << s.name << " 0x" << std::hex << s.base << std::dec
+       << ' ' << (s.writable ? "rw" : "ro") << ' ' << s.bytes.size() << '\n';
+    for (size_t i = 0; i < s.bytes.size(); ++i) {
+      os << formatStr("%02x", s.bytes[i]);
+      os << ((i % 32 == 31 || i + 1 == s.bytes.size()) ? '\n' : ' ');
+    }
+  }
+  return os.str();
+}
+
+Image Image::deserialize(const std::string& text) {
+  Image img;
+  std::istringstream is(text);
+  std::string line;
+  if (!std::getline(is, line) || trim(line) != "image v1") {
+    throw Error("image: bad header");
+  }
+  while (std::getline(is, line)) {
+    const std::string_view t = trim(line);
+    if (t.empty()) continue;
+    std::istringstream ls{std::string(t)};
+    std::string kw;
+    ls >> kw;
+    if (kw == "entry") {
+      std::string v;
+      ls >> v;
+      const auto addr = parseInt(v);
+      if (!addr) throw Error("image: bad entry address");
+      img.setEntry(*addr);
+    } else if (kw == "symbol") {
+      std::string name, v;
+      ls >> name >> v;
+      const auto addr = parseInt(v);
+      if (!addr) throw Error("image: bad symbol address");
+      img.addSymbol(name, *addr);
+    } else if (kw == "section") {
+      Section s;
+      std::string baseStr, perm;
+      size_t size = 0;
+      ls >> s.name >> baseStr >> perm >> size;
+      const auto base = parseInt(baseStr);
+      if (!base || (perm != "ro" && perm != "rw")) {
+        throw Error("image: bad section header");
+      }
+      s.base = *base;
+      s.writable = perm == "rw";
+      s.bytes.reserve(size);
+      while (s.bytes.size() < size) {
+        std::string hex;
+        if (!(is >> hex)) throw Error("image: truncated section data");
+        const auto byte = parseInt("0x" + hex);
+        if (!byte || *byte > 0xff) throw Error("image: bad byte '" + hex + "'");
+        s.bytes.push_back(static_cast<uint8_t>(*byte));
+      }
+      img.addSection(std::move(s));
+    } else {
+      throw Error("image: unknown directive '" + kw + "'");
+    }
+  }
+  return img;
+}
+
+}  // namespace adlsym::loader

@@ -1,0 +1,61 @@
+// Program image: the loaded binary form the engine executes. Sections carry
+// concrete bytes at fixed base addresses plus a writability attribute used
+// by the out-of-bounds checker (DESIGN.md S6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adlsym::loader {
+
+struct Section {
+  std::string name;
+  uint64_t base = 0;
+  std::vector<uint8_t> bytes;
+  bool writable = false;
+
+  uint64_t end() const { return base + bytes.size(); }  // exclusive
+  bool contains(uint64_t addr) const { return addr >= base && addr < end(); }
+};
+
+class Image {
+ public:
+  /// Add a section; overlapping sections are an error (throws).
+  void addSection(Section s);
+
+  void setEntry(uint64_t addr) { entry_ = addr; }
+  uint64_t entry() const { return entry_; }
+
+  void addSymbol(const std::string& name, uint64_t addr) { symbols_[name] = addr; }
+  std::optional<uint64_t> symbol(const std::string& name) const;
+  const std::map<std::string, uint64_t>& symbols() const { return symbols_; }
+
+  const std::vector<Section>& sections() const { return sections_; }
+
+  /// Concrete byte at an address, if mapped.
+  std::optional<uint8_t> byteAt(uint64_t addr) const;
+  bool isMapped(uint64_t addr) const { return sectionAt(addr) != nullptr; }
+  bool isWritable(uint64_t addr) const {
+    const Section* s = sectionAt(addr);
+    return s != nullptr && s->writable;
+  }
+  const Section* sectionAt(uint64_t addr) const;
+
+  /// Total mapped bytes (for reporting).
+  size_t mappedBytes() const;
+
+  /// Textual serialization (deterministic) and parsing, for storing test
+  /// programs on disk. Format documented in docs/image-format.md.
+  std::string serialize() const;
+  static Image deserialize(const std::string& text);
+
+ private:
+  std::vector<Section> sections_;
+  std::map<std::string, uint64_t> symbols_;
+  uint64_t entry_ = 0;
+};
+
+}  // namespace adlsym::loader

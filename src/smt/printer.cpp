@@ -1,0 +1,105 @@
+#include "smt/printer.h"
+
+#include <set>
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace adlsym::smt {
+
+namespace {
+
+void hexConst(std::ostringstream& os, uint64_t v, unsigned w) {
+  if (w % 4 == 0) {
+    os << "#x";
+    for (int nib = static_cast<int>(w) / 4 - 1; nib >= 0; --nib)
+      os << "0123456789abcdef"[(v >> (nib * 4)) & 0xf];
+  } else {
+    os << "#b";
+    for (int bit = static_cast<int>(w) - 1; bit >= 0; --bit)
+      os << (((v >> bit) & 1) ? '1' : '0');
+  }
+}
+
+void render(std::ostringstream& os, const TermManager& tm, TermId id,
+            unsigned depth, unsigned maxDepth) {
+  const TermNode& n = tm.node(id);
+  if (depth > maxDepth) {
+    os << "...";
+    return;
+  }
+  switch (n.kind) {
+    case Kind::Const:
+      hexConst(os, n.aux, n.width);
+      return;
+    case Kind::Var:
+      os << tm.varName(id);
+      return;
+    case Kind::Extract: {
+      os << "((_ extract " << (n.aux >> 8) << ' ' << (n.aux & 0xff) << ") ";
+      render(os, tm, n.a, depth + 1, maxDepth);
+      os << ')';
+      return;
+    }
+    default: {
+      os << '(' << kindName(n.kind);
+      for (const TermId op : {n.a, n.b, n.c}) {
+        if (op == kInvalidTerm) break;
+        os << ' ';
+        render(os, tm, op, depth + 1, maxDepth);
+      }
+      os << ')';
+      return;
+    }
+  }
+}
+
+void collectVars(const TermManager& tm, TermId id, std::set<TermId>& vars,
+                 std::set<TermId>& visited) {
+  if (!visited.insert(id).second) return;
+  const TermNode& n = tm.node(id);
+  if (n.kind == Kind::Var) {
+    vars.insert(id);
+    return;
+  }
+  for (const TermId op : {n.a, n.b, n.c}) {
+    if (op != kInvalidTerm) collectVars(tm, op, vars, visited);
+  }
+}
+
+}  // namespace
+
+std::string toString(TermRef t, unsigned maxDepth) {
+  if (!t.valid()) return "<invalid>";
+  std::ostringstream os;
+  render(os, *t.manager(), t.id(), 0, maxDepth);
+  return os.str();
+}
+
+std::string toSmtLib(const std::vector<TermRef>& asserts) {
+  std::ostringstream os;
+  os << "(set-logic QF_BV)\n";
+  std::set<TermId> vars;
+  std::set<TermId> visited;
+  const TermManager* tm = nullptr;
+  for (const TermRef t : asserts) {
+    if (!t.valid()) continue;
+    tm = t.manager();
+    collectVars(*tm, t.id(), vars, visited);
+  }
+  if (tm != nullptr) {
+    for (const TermId v : vars) {
+      os << "(declare-const " << tm->varName(v) << " (_ BitVec "
+         << static_cast<unsigned>(tm->node(v).width) << "))\n";
+    }
+  }
+  for (const TermRef t : asserts) {
+    if (!t.valid()) continue;
+    // Width-1 terms are bitvectors here; compare against #b1 to get a Bool.
+    os << "(assert (= " << toString(t, 10000) << " #b1))\n";
+  }
+  os << "(check-sat)\n";
+  return os.str();
+}
+
+}  // namespace adlsym::smt

@@ -1,0 +1,20 @@
+// Debug/printing utilities for the term DAG: s-expression rendering and a
+// full SMT-LIB 2 dump that external solvers can replay.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "smt/term.h"
+
+namespace adlsym::smt {
+
+/// Render one term as a (possibly shared-subterm-duplicating) s-expression,
+/// e.g. "(bvadd x #x00000004)". Depth-capped to stay readable.
+std::string toString(TermRef t, unsigned maxDepth = 32);
+
+/// Produce a complete SMT-LIB 2 script asserting the conjunction of the
+/// given width-1 terms, with declare-const lines for every variable used.
+std::string toSmtLib(const std::vector<TermRef>& asserts);
+
+}  // namespace adlsym::smt

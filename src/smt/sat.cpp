@@ -1,0 +1,382 @@
+#include "smt/sat.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adlsym::smt {
+
+namespace {
+/// Luby sequence for restart scheduling (Knuth's formulation).
+uint64_t luby(uint64_t i) {
+  uint64_t k = 1;
+  while ((uint64_t{1} << k) - 1 < i + 1) ++k;
+  while ((uint64_t{1} << k) - 1 != i + 1) {
+    i -= (uint64_t{1} << (k - 1)) - 1;
+    k = 1;
+    while ((uint64_t{1} << k) - 1 < i + 1) ++k;
+  }
+  return uint64_t{1} << (k - 1);
+}
+}  // namespace
+
+SatSolver::SatSolver() = default;
+
+uint32_t SatSolver::newVar() {
+  const uint32_t v = static_cast<uint32_t>(assigns_.size());
+  assigns_.push_back(kUndef);
+  savedPhase_.push_back(kFalse);
+  reason_.push_back(-1);
+  level_.push_back(0);
+  activity_.push_back(0.0);
+  seen_.push_back(0);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heapPush(v);
+  return v;
+}
+
+void SatSolver::heapPush(uint32_t v) {
+  heap_.emplace_back(activity_[v], v);
+  std::push_heap(heap_.begin(), heap_.end());
+}
+
+bool SatSolver::addClause(std::vector<Lit> lits) {
+  if (unsatisfiable_) return false;
+  // After a Sat result the trail still holds the model; new clauses (e.g.
+  // from incremental bit-blasting) first unwind to the root level.
+  backtrack(0);
+  // Normalize: drop duplicate and false literals; detect tautologies and
+  // already-satisfied clauses at level 0.
+  std::sort(lits.begin(), lits.end(),
+            [](Lit a, Lit b) { return a.x < b.x; });
+  std::vector<Lit> out;
+  out.reserve(lits.size());
+  for (size_t i = 0; i < lits.size(); ++i) {
+    const Lit l = lits[i];
+    if (i + 1 < lits.size() && lits[i + 1] == ~l) return true;  // tautology
+    if (!out.empty() && out.back() == l) continue;
+    check(l.var() < numVars(), "clause literal references unknown variable");
+    const LBool v = litValue(l);
+    if (v == kTrue) return true;  // satisfied at level 0
+    if (v == kFalse) continue;    // falsified at level 0: drop
+    out.push_back(l);
+  }
+  if (out.empty()) {
+    unsatisfiable_ = true;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], -1);
+    if (propagate() != -1) {
+      unsatisfiable_ = true;
+      return false;
+    }
+    return true;
+  }
+  const uint32_t idx = static_cast<uint32_t>(clauses_.size());
+  clauses_.push_back(Clause{std::move(out), 0.0, false, false});
+  attachClause(idx);
+  return true;
+}
+
+void SatSolver::attachClause(uint32_t idx) {
+  const Clause& c = clauses_[idx];
+  watches_[(~c.lits[0]).x].push_back({idx, c.lits[1]});
+  watches_[(~c.lits[1]).x].push_back({idx, c.lits[0]});
+}
+
+void SatSolver::enqueue(Lit l, int32_t reasonClause) {
+  assigns_[l.var()] = l.sign() ? kFalse : kTrue;
+  savedPhase_[l.var()] = assigns_[l.var()];
+  reason_[l.var()] = reasonClause;
+  level_[l.var()] = static_cast<uint32_t>(trailLims_.size());
+  trail_.push_back(l);
+}
+
+int32_t SatSolver::propagate() {
+  while (qhead_ < trail_.size()) {
+    const Lit p = trail_[qhead_++];
+    ++stats_.propagations;
+    std::vector<Watcher>& ws = watches_[p.x];
+    size_t keep = 0;
+    for (size_t i = 0; i < ws.size(); ++i) {
+      const Watcher w = ws[i];
+      if (litValue(w.blocker) == kTrue) {
+        ws[keep++] = w;
+        continue;
+      }
+      Clause& c = clauses_[w.clauseIdx];
+      if (c.removed) continue;  // lazily detach deleted clauses
+      // Ensure the false literal ~p is at position 1.
+      if (c.lits[0] == ~p) std::swap(c.lits[0], c.lits[1]);
+      if (litValue(c.lits[0]) == kTrue) {
+        ws[keep++] = {w.clauseIdx, c.lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool moved = false;
+      for (size_t k = 2; k < c.lits.size(); ++k) {
+        if (litValue(c.lits[k]) != kFalse) {
+          std::swap(c.lits[1], c.lits[k]);
+          watches_[(~c.lits[1]).x].push_back({w.clauseIdx, c.lits[0]});
+          moved = true;
+          break;
+        }
+      }
+      if (moved) continue;
+      // Clause is unit or conflicting.
+      ws[keep++] = w;
+      if (litValue(c.lits[0]) == kFalse) {
+        // Conflict: keep remaining watchers, then report.
+        for (size_t k = i + 1; k < ws.size(); ++k) ws[keep++] = ws[k];
+        ws.resize(keep);
+        qhead_ = trail_.size();
+        return static_cast<int32_t>(w.clauseIdx);
+      }
+      enqueue(c.lits[0], static_cast<int32_t>(w.clauseIdx));
+    }
+    ws.resize(keep);
+  }
+  return -1;
+}
+
+void SatSolver::bumpVar(uint32_t v) {
+  activity_[v] += varInc_;
+  if (activity_[v] > 1e100) rescaleVarActivity();
+  heapPush(v);  // lazy: stale smaller entries remain and are skipped
+}
+
+void SatSolver::rescaleVarActivity() {
+  for (double& a : activity_) a *= 1e-100;
+  varInc_ *= 1e-100;
+  // Heap entries are stale after rescale; rebuild.
+  heap_.clear();
+  for (uint32_t v = 0; v < numVars(); ++v) heapPush(v);
+}
+
+void SatSolver::bumpClause(Clause& c) {
+  c.activity += clauseInc_;
+  if (c.activity > 1e20) {
+    for (Clause& cl : clauses_) cl.activity *= 1e-20;
+    clauseInc_ *= 1e-20;
+  }
+}
+
+void SatSolver::analyze(int32_t conflictIdx, std::vector<Lit>& learnt,
+                        unsigned& btLevel) {
+  learnt.clear();
+  learnt.push_back(Lit());  // slot for the asserting literal
+  const unsigned curLevel = static_cast<unsigned>(trailLims_.size());
+  unsigned counter = 0;
+  Lit p;
+  int32_t confl = conflictIdx;
+  size_t trailIdx = trail_.size();
+
+  do {
+    check(confl != -1, "analyze: missing reason clause");
+    Clause& c = clauses_[static_cast<uint32_t>(confl)];
+    if (c.learned) bumpClause(c);
+    const size_t start = p.valid() ? 1 : 0;  // skip asserting lit of reason
+    for (size_t i = start; i < c.lits.size(); ++i) {
+      const Lit q = c.lits[i];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      seen_[q.var()] = 1;
+      bumpVar(q.var());
+      if (level_[q.var()] >= curLevel) {
+        ++counter;
+      } else {
+        learnt.push_back(q);
+      }
+    }
+    // Pick the next seen literal from the trail.
+    while (trailIdx > 0 && !seen_[trail_[trailIdx - 1].var()]) --trailIdx;
+    check(trailIdx > 0, "analyze: trail exhausted");
+    p = trail_[--trailIdx];
+    seen_[p.var()] = 0;
+    confl = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Clause minimization (cheap local form): drop literals implied by the
+  // rest of the clause through their reason clauses.
+  std::vector<Lit> minimized;
+  minimized.push_back(learnt[0]);
+  for (size_t i = 1; i < learnt.size(); ++i) {
+    const Lit q = learnt[i];
+    const int32_t r = reason_[q.var()];
+    bool redundant = false;
+    if (r != -1) {
+      redundant = true;
+      for (const Lit x : clauses_[static_cast<uint32_t>(r)].lits) {
+        if (x == ~q) continue;
+        if (level_[x.var()] == 0) continue;
+        if (!seen_[x.var()]) {
+          redundant = false;
+          break;
+        }
+      }
+    }
+    if (!redundant) minimized.push_back(q);
+  }
+  for (size_t i = 1; i < learnt.size(); ++i) seen_[learnt[i].var()] = 0;
+  learnt = std::move(minimized);
+
+  // Backtrack level = max level among learnt[1..].
+  btLevel = 0;
+  size_t maxIdx = 1;
+  for (size_t i = 1; i < learnt.size(); ++i) {
+    if (level_[learnt[i].var()] > btLevel) {
+      btLevel = level_[learnt[i].var()];
+      maxIdx = i;
+    }
+  }
+  if (learnt.size() > 1) std::swap(learnt[1], learnt[maxIdx]);
+}
+
+void SatSolver::backtrack(unsigned targetLevel) {
+  if (trailLims_.size() <= targetLevel) return;
+  const uint32_t lim = trailLims_[targetLevel];
+  for (size_t i = trail_.size(); i > lim; --i) {
+    const uint32_t v = trail_[i - 1].var();
+    assigns_[v] = kUndef;
+    reason_[v] = -1;
+    heapPush(v);
+  }
+  trail_.resize(lim);
+  trailLims_.resize(targetLevel);
+  qhead_ = std::min(qhead_, trail_.size());
+}
+
+uint32_t SatSolver::pickBranchVar() {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end());
+    const auto [act, v] = heap_.back();
+    heap_.pop_back();
+    if (assigns_[v] == kUndef && act == activity_[v]) return v;
+  }
+  // Heap drained (all stale): linear fallback.
+  for (uint32_t v = 0; v < numVars(); ++v) {
+    if (assigns_[v] == kUndef) return v;
+  }
+  return 0xffffffff;
+}
+
+void SatSolver::reduceDB() {
+  // Keep the most active half of the learned clauses.
+  std::vector<uint32_t> learned;
+  for (uint32_t i = 0; i < clauses_.size(); ++i) {
+    if (clauses_[i].learned && !clauses_[i].removed && clauses_[i].lits.size() > 2)
+      learned.push_back(i);
+  }
+  if (learned.size() < learnedLimit_) return;
+  std::sort(learned.begin(), learned.end(), [this](uint32_t a, uint32_t b) {
+    return clauses_[a].activity < clauses_[b].activity;
+  });
+  // A clause that is the reason for a current assignment must stay.
+  std::vector<uint8_t> locked(clauses_.size(), 0);
+  for (const Lit l : trail_) {
+    const int32_t r = reason_[l.var()];
+    if (r != -1) locked[static_cast<uint32_t>(r)] = 1;
+  }
+  const size_t toRemove = learned.size() / 2;
+  for (size_t i = 0; i < toRemove; ++i) {
+    if (locked[learned[i]]) continue;
+    clauses_[learned[i]].removed = true;
+    clauses_[learned[i]].lits.clear();
+    clauses_[learned[i]].lits.shrink_to_fit();
+    ++stats_.deletedClauses;
+  }
+  learnedLimit_ = learnedLimit_ + learnedLimit_ / 2;
+}
+
+SatResult SatSolver::solve(const std::vector<Lit>& assumptions) {
+  if (unsatisfiable_) return SatResult::Unsat;
+  backtrack(0);
+  if (propagate() != -1) {
+    unsatisfiable_ = true;
+    return SatResult::Unsat;
+  }
+
+  uint64_t conflictsThisSolve = 0;
+  uint64_t restartBase = 64;
+  uint64_t restartCeiling = restartBase * luby(stats_.restarts);
+  uint64_t conflictsSinceRestart = 0;
+
+  while (true) {
+    const int32_t confl = propagate();
+    if (confl != -1) {
+      ++stats_.conflicts;
+      ++conflictsThisSolve;
+      ++conflictsSinceRestart;
+      if (trailLims_.size() <= assumptions.size()) {
+        // Conflict under assumptions only: formula is Unsat under them.
+        backtrack(0);
+        return SatResult::Unsat;
+      }
+      std::vector<Lit> learnt;
+      unsigned btLevel = 0;
+      analyze(confl, learnt, btLevel);
+      // Never backtrack past the assumption levels.
+      btLevel = std::max<unsigned>(btLevel, 0);
+      backtrack(btLevel);
+      if (learnt.size() == 1) {
+        if (trailLims_.empty()) {
+          enqueue(learnt[0], -1);
+        } else {
+          // Can't add a unit above level 0 safely; restart to level 0 first.
+          backtrack(0);
+          enqueue(learnt[0], -1);
+        }
+      } else {
+        const uint32_t idx = static_cast<uint32_t>(clauses_.size());
+        clauses_.push_back(Clause{std::move(learnt), 0.0, true, false});
+        bumpClause(clauses_[idx]);
+        attachClause(idx);
+        enqueue(clauses_[idx].lits[0], static_cast<int32_t>(idx));
+        ++stats_.learned;
+      }
+      decayVarActivity();
+      clauseInc_ *= 1.001;
+      if (conflictBudget_ != 0 && conflictsThisSolve > conflictBudget_) {
+        backtrack(0);
+        return SatResult::Unknown;
+      }
+      if (conflictsSinceRestart > restartCeiling) {
+        ++stats_.restarts;
+        conflictsSinceRestart = 0;
+        restartCeiling = restartBase * luby(stats_.restarts);
+        backtrack(0);
+        reduceDB();
+      }
+      continue;
+    }
+
+    // Re-establish assumptions that a backtrack may have popped, one
+    // decision level per assumption.
+    if (trailLims_.size() < assumptions.size()) {
+      const Lit a = assumptions[trailLims_.size()];
+      const LBool v = litValue(a);
+      if (v == kFalse) {
+        backtrack(0);
+        return SatResult::Unsat;
+      }
+      trailLims_.push_back(static_cast<uint32_t>(trail_.size()));
+      if (v == kUndef) enqueue(a, -1);
+      continue;
+    }
+
+    const uint32_t v = pickBranchVar();
+    if (v == 0xffffffff) return SatResult::Sat;  // all assigned
+    ++stats_.decisions;
+    trailLims_.push_back(static_cast<uint32_t>(trail_.size()));
+    enqueue(Lit(v, savedPhase_[v] == kFalse), -1);
+  }
+}
+
+bool SatSolver::modelValue(uint32_t var) const {
+  check(var < numVars(), "modelValue: unknown variable");
+  return assigns_[var] == kTrue;
+}
+
+}  // namespace adlsym::smt

@@ -1,0 +1,131 @@
+// CDCL SAT solver: two-watched-literal propagation, first-UIP clause
+// learning, EVSIDS branching, Luby restarts, activity-based learned-clause
+// deletion, and incremental solving under assumptions. This is the decision
+// procedure underneath the bit-blaster (DESIGN.md S2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.h"
+
+namespace adlsym::smt {
+
+/// A literal encodes variable v with sign: 2*v (positive) or 2*v+1 (negated).
+struct Lit {
+  uint32_t x = 0xffffffff;
+
+  Lit() = default;
+  Lit(uint32_t var, bool negated) : x(var * 2 + (negated ? 1 : 0)) {}
+
+  uint32_t var() const { return x >> 1; }
+  bool sign() const { return (x & 1) != 0; }  // true = negated
+  Lit operator~() const { Lit l; l.x = x ^ 1; return l; }
+  bool valid() const { return x != 0xffffffff; }
+  friend bool operator==(Lit a, Lit b) { return a.x == b.x; }
+  friend bool operator!=(Lit a, Lit b) { return a.x != b.x; }
+};
+
+enum class SatResult { Sat, Unsat, Unknown };
+
+class SatSolver {
+ public:
+  SatSolver();
+
+  /// Allocate a fresh variable; returns its index.
+  uint32_t newVar();
+  uint32_t numVars() const { return static_cast<uint32_t>(assigns_.size()); }
+
+  /// Add a clause over existing variables. Returns false if the clause set
+  /// is already known unsatisfiable (empty clause derived).
+  bool addClause(std::vector<Lit> lits);
+  bool addUnit(Lit l) { return addClause({l}); }
+  bool addBinary(Lit a, Lit b) { return addClause({a, b}); }
+  bool addTernary(Lit a, Lit b, Lit c) { return addClause({a, b, c}); }
+
+  /// Solve under the given assumption literals. The solver state persists:
+  /// learned clauses carry over to later calls.
+  SatResult solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model access after Sat: value of a variable.
+  bool modelValue(uint32_t var) const;
+  bool modelValue(Lit l) const { return modelValue(l.var()) != l.sign(); }
+
+  // ---- statistics ----------------------------------------------------
+  struct Stats {
+    uint64_t conflicts = 0;
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t restarts = 0;
+    uint64_t learned = 0;
+    uint64_t deletedClauses = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  size_t numClauses() const { return clauses_.size(); }
+
+  /// Hard budget: give up (Unknown) after this many conflicts per solve
+  /// call. 0 = unlimited.
+  void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
+
+ private:
+  enum LBool : int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    bool learned = false;
+    bool removed = false;
+  };
+
+  struct Watcher {
+    uint32_t clauseIdx;
+    Lit blocker;  // fast skip if blocker already true
+  };
+
+  LBool litValue(Lit l) const {
+    const LBool v = static_cast<LBool>(assigns_[l.var()]);
+    if (v == kUndef) return kUndef;
+    return (v == kTrue) != l.sign() ? kTrue : kFalse;
+  }
+
+  void enqueue(Lit l, int32_t reasonClause);
+  /// Returns conflicting clause index or -1.
+  int32_t propagate();
+  void analyze(int32_t conflictIdx, std::vector<Lit>& learnt, unsigned& btLevel);
+  void backtrack(unsigned level);
+  void attachClause(uint32_t idx);
+  void bumpVar(uint32_t v);
+  void decayVarActivity() { varInc_ /= 0.95; }
+  void bumpClause(Clause& c);
+  uint32_t pickBranchVar();
+  void reduceDB();
+  void rescaleVarActivity();
+
+  // Heap of variables ordered by activity (lazy deletion: stale entries are
+  // skipped on pop).
+  void heapPush(uint32_t v);
+
+  std::vector<Clause> clauses_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by literal
+  std::vector<int8_t> assigns_;                // LBool per var
+  std::vector<int8_t> savedPhase_;             // phase saving
+  std::vector<int32_t> reason_;                // clause idx or -1 per var
+  std::vector<uint32_t> level_;                // decision level per var
+  std::vector<Lit> trail_;
+  std::vector<uint32_t> trailLims_;            // trail size at each level
+  size_t qhead_ = 0;
+
+  std::vector<double> activity_;
+  double varInc_ = 1.0;
+  double clauseInc_ = 1.0;
+  std::vector<std::pair<double, uint32_t>> heap_;  // max-heap by activity
+
+  std::vector<uint8_t> seen_;  // scratch for analyze()
+
+  bool unsatisfiable_ = false;  // empty clause added at level 0
+  Stats stats_;
+  uint64_t conflictBudget_ = 0;
+  uint64_t learnedLimit_ = 4096;
+};
+
+}  // namespace adlsym::smt

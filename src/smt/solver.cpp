@@ -1,0 +1,141 @@
+#include "smt/solver.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "smt/printer.h"
+
+namespace adlsym::smt {
+
+void SmtSolver::assertAlways(TermRef t) {
+  adlsym::check(t.width() == 1, "assertAlways requires a width-1 term");
+  if (t.isTrue()) return;
+  permanentAsserts_.push_back(t);
+  // Cached verdicts were computed without this assertion.
+  queryCache_.clear();
+  if (t.isFalse()) {
+    permanentlyUnsat_ = true;
+    return;
+  }
+  if (!sat_.addUnit(bb_.litFor(t))) permanentlyUnsat_ = true;
+}
+
+CheckResult SmtSolver::checkFresh(const std::vector<TermRef>& assumptions) {
+  SatSolver freshSat;
+  BitBlaster freshBb(tm_, freshSat);
+  bool bad = false;
+  for (const TermRef t : permanentAsserts_) {
+    if (t.isFalse() || !freshSat.addUnit(freshBb.litFor(t))) bad = true;
+  }
+  std::vector<Lit> lits;
+  for (const TermRef t : assumptions) {
+    if (t.isTrue()) continue;
+    if (t.isFalse()) return CheckResult::Unsat;
+    lits.push_back(freshBb.litFor(t));
+  }
+  if (bad) return CheckResult::Unsat;
+  switch (freshSat.solve(lits)) {
+    case SatResult::Sat: return CheckResult::Sat;
+    case SatResult::Unsat: return CheckResult::Unsat;
+    case SatResult::Unknown: return CheckResult::Unknown;
+  }
+  return CheckResult::Unknown;
+}
+
+CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
+  ++stats_.queries;
+  const auto start = std::chrono::steady_clock::now();
+  auto finish = [&](CheckResult r) {
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+    stats_.totalMicros += static_cast<uint64_t>(us);
+    stats_.maxMicros = std::max<uint64_t>(stats_.maxMicros, static_cast<uint64_t>(us));
+    switch (r) {
+      case CheckResult::Sat: ++stats_.sat; break;
+      case CheckResult::Unsat: ++stats_.unsat; break;
+      case CheckResult::Unknown: ++stats_.unknown; break;
+    }
+    return r;
+  };
+
+  if (permanentlyUnsat_) return finish(CheckResult::Unsat);
+
+  // Cache lookup. The key is the *sorted set* of assumption term ids:
+  // hash-consing makes structurally equal assumptions share ids, and
+  // order/duplicates don't affect satisfiability.
+  std::string cacheKey;
+  if (cacheEnabled_) {
+    std::vector<TermId> ids;
+    ids.reserve(assumptions.size());
+    for (const TermRef t : assumptions) ids.push_back(t.id());
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    cacheKey.resize(ids.size() * sizeof(TermId));
+    std::memcpy(cacheKey.data(), ids.data(), cacheKey.size());
+    if (auto it = queryCache_.find(cacheKey); it != queryCache_.end()) {
+      ++cacheHits_;
+      if (it->second.result == CheckResult::Sat) model_ = it->second.model;
+      return finish(it->second.result);
+    }
+  }
+  auto remember = [&](CheckResult r) {
+    if (cacheEnabled_ && r != CheckResult::Unknown) {
+      CacheEntry entry;
+      entry.result = r;
+      if (r == CheckResult::Sat) entry.model = model_;
+      queryCache_.emplace(std::move(cacheKey), std::move(entry));
+    }
+    return finish(r);
+  };
+
+  std::vector<Lit> lits;
+  lits.reserve(assumptions.size());
+  for (const TermRef t : assumptions) {
+    adlsym::check(t.width() == 1, "assumption must be width 1");
+    if (t.isTrue()) continue;
+    if (t.isFalse()) return remember(CheckResult::Unsat);
+    lits.push_back(bb_.litFor(t));
+  }
+  const SatResult raw = sat_.solve(lits);
+  if (paranoid_ && raw != SatResult::Unknown) {
+    const CheckResult fresh = checkFresh(assumptions);
+    const CheckResult incr =
+        raw == SatResult::Sat ? CheckResult::Sat : CheckResult::Unsat;
+    if (fresh != CheckResult::Unknown && fresh != incr) {
+      std::vector<TermRef> all = permanentAsserts_;
+      all.insert(all.end(), assumptions.begin(), assumptions.end());
+      throw Error(std::string("paranoid check: incremental=") +
+                  (incr == CheckResult::Sat ? "sat" : "unsat") +
+                  " fresh=" + (fresh == CheckResult::Sat ? "sat" : "unsat") +
+                  "\n" + toSmtLib(all));
+    }
+  }
+  switch (raw) {
+    case SatResult::Sat: {
+      // Snapshot variable values immediately: any later incremental blast
+      // (even for model reads) unwinds the assignment trail.
+      model_.clear();
+      for (const auto& [termId, bits] : bb_.varTerms()) {
+        uint64_t v = 0;
+        for (size_t i = 0; i < bits.size(); ++i) {
+          if (sat_.modelValue(bits[i])) v |= uint64_t{1} << i;
+        }
+        model_[tm_.varIndex(termId)] = v;
+      }
+      return remember(CheckResult::Sat);
+    }
+    case SatResult::Unsat: return remember(CheckResult::Unsat);
+    case SatResult::Unknown: return finish(CheckResult::Unknown);
+  }
+  return finish(CheckResult::Unknown);
+}
+
+uint64_t SmtSolver::modelValue(TermRef t) {
+  return tm_.evalWith(t, [this](uint32_t idx) {
+    auto it = model_.find(idx);
+    return it == model_.end() ? uint64_t{0} : it->second;
+  });
+}
+
+}  // namespace adlsym::smt

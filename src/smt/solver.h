@@ -1,0 +1,95 @@
+// Incremental SMT(QF_BV) facade: simplify (at build time) -> bit-blast ->
+// CDCL. One SmtSolver instance serves every path-feasibility query of an
+// exploration run; path conditions are passed as assumptions so learned
+// clauses are shared across paths. This is the repo's Z3 substitute
+// (DESIGN.md, substitutions).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "smt/bitblast.h"
+#include "smt/sat.h"
+#include "smt/term.h"
+
+namespace adlsym::smt {
+
+enum class CheckResult { Sat, Unsat, Unknown };
+
+class SmtSolver {
+ public:
+  explicit SmtSolver(TermManager& tm) : tm_(tm), bb_(tm, sat_) {}
+
+  TermManager& termManager() { return tm_; }
+
+  /// Permanently assert a width-1 term (conjoined with every later check).
+  void assertAlways(TermRef t);
+
+  /// Check satisfiability of the permanent assertions plus the given
+  /// width-1 assumption terms.
+  CheckResult check(const std::vector<TermRef>& assumptions);
+
+  /// Model value of a term after a Sat result. The model is snapshotted at
+  /// Sat time, so this works for any term (unconstrained variables read 0)
+  /// and survives later incremental blasting.
+  uint64_t modelValue(TermRef t);
+
+  /// Raw variable values of the last Sat model, by Var index.
+  const std::unordered_map<uint32_t, uint64_t>& lastModel() const {
+    return model_;
+  }
+
+  /// Abandon a query after this many SAT conflicts (0 = unlimited);
+  /// exploration treats Unknown paths as not-taken and reports them.
+  void setConflictBudget(uint64_t budget) { sat_.setConflictBudget(budget); }
+
+  /// Debug cross-check: re-solve every query on a fresh single-shot solver
+  /// and throw (with an SMT-LIB dump) if the incremental result diverges.
+  /// Extremely slow; for tests and bug reports only.
+  void setParanoid(bool on) { paranoid_ = on; }
+
+  /// Query cache: exploration re-issues many identical feasibility checks
+  /// (eager branch checks share prefixes with later full-path solves).
+  /// Keyed on the assumption set; Sat entries replay their model. On by
+  /// default; switchable for the E4 ablation.
+  void setQueryCacheEnabled(bool on) { cacheEnabled_ = on; }
+  uint64_t cacheHits() const { return cacheHits_; }
+
+  struct Stats {
+    uint64_t queries = 0;
+    uint64_t sat = 0;
+    uint64_t unsat = 0;
+    uint64_t unknown = 0;
+    uint64_t totalMicros = 0;
+    uint64_t maxMicros = 0;
+  };
+  const Stats& stats() const { return stats_; }
+  const SatSolver::Stats& satStats() const { return sat_.stats(); }
+  const BitBlaster::Stats& blastStats() const { return bb_.stats(); }
+
+  /// Solve assumptions /\ permanent asserts on a throwaway solver (no state
+  /// shared with this instance). Used by paranoid mode and tests.
+  CheckResult checkFresh(const std::vector<TermRef>& assumptions);
+
+ private:
+  TermManager& tm_;
+  SatSolver sat_;
+  BitBlaster bb_;
+  std::vector<TermRef> permanentAsserts_;
+  bool paranoid_ = false;
+  bool permanentlyUnsat_ = false;
+  std::unordered_map<uint32_t, uint64_t> model_;  // Var index -> value
+
+  struct CacheEntry {
+    CheckResult result = CheckResult::Unknown;
+    std::unordered_map<uint32_t, uint64_t> model;  // for Sat entries
+  };
+  bool cacheEnabled_ = true;
+  std::unordered_map<std::string, CacheEntry> queryCache_;
+  uint64_t cacheHits_ = 0;
+
+  Stats stats_;
+};
+
+}  // namespace adlsym::smt

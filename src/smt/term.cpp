@@ -1,0 +1,221 @@
+#include "smt/term.h"
+
+#include "support/bits.h"
+
+namespace adlsym::smt {
+
+const char* kindName(Kind k) {
+  switch (k) {
+    case Kind::Const: return "const";
+    case Kind::Var: return "var";
+    case Kind::Not: return "bvnot";
+    case Kind::Neg: return "bvneg";
+    case Kind::And: return "bvand";
+    case Kind::Or: return "bvor";
+    case Kind::Xor: return "bvxor";
+    case Kind::Add: return "bvadd";
+    case Kind::Sub: return "bvsub";
+    case Kind::Mul: return "bvmul";
+    case Kind::UDiv: return "bvudiv";
+    case Kind::URem: return "bvurem";
+    case Kind::SDiv: return "bvsdiv";
+    case Kind::SRem: return "bvsrem";
+    case Kind::Shl: return "bvshl";
+    case Kind::LShr: return "bvlshr";
+    case Kind::AShr: return "bvashr";
+    case Kind::Concat: return "concat";
+    case Kind::Extract: return "extract";
+    case Kind::Eq: return "=";
+    case Kind::Ult: return "bvult";
+    case Kind::Ule: return "bvule";
+    case Kind::Slt: return "bvslt";
+    case Kind::Sle: return "bvsle";
+    case Kind::Ite: return "ite";
+  }
+  return "?";
+}
+
+bool isCommutative(Kind k) {
+  switch (k) {
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Xor:
+    case Kind::Add:
+    case Kind::Mul:
+    case Kind::Eq:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const std::string& TermManager::varName(TermId id) const {
+  const TermNode& n = nodes_[id];
+  check(n.kind == Kind::Var, "varName on non-variable");
+  return varNames_[static_cast<size_t>(n.aux)];
+}
+
+uint32_t TermManager::varIndex(TermId id) const {
+  const TermNode& n = nodes_[id];
+  check(n.kind == Kind::Var, "varIndex on non-variable");
+  return static_cast<uint32_t>(n.aux);
+}
+
+TermRef TermManager::intern(Kind kind, unsigned width, TermId a, TermId b,
+                            TermId c, uint64_t aux) {
+  check(width >= 1 && width <= 64, "term width out of range");
+  const NodeKey key{kind, static_cast<uint8_t>(width), a, b, c, aux};
+  auto [it, inserted] = internMap_.try_emplace(key, 0);
+  if (!inserted) return TermRef(this, it->second);
+  const TermId id = static_cast<TermId>(nodes_.size());
+  nodes_.push_back(TermNode{kind, static_cast<uint8_t>(width), a, b, c, aux});
+  it->second = id;
+  return TermRef(this, id);
+}
+
+TermRef TermManager::mkConst(unsigned width, uint64_t value) {
+  return intern(Kind::Const, width, kInvalidTerm, kInvalidTerm, kInvalidTerm,
+                truncTo(value, width));
+}
+
+TermRef TermManager::mkVar(unsigned width, const std::string& name) {
+  auto it = varMap_.find(name);
+  if (it != varMap_.end()) {
+    TermRef existing(this, it->second);
+    check(existing.width() == width, "variable redeclared at different width");
+    return existing;
+  }
+  const uint64_t idx = varNames_.size();
+  varNames_.push_back(name);
+  TermRef t = intern(Kind::Var, width, kInvalidTerm, kInvalidTerm, kInvalidTerm, idx);
+  varMap_.emplace(name, t.id());
+  return t;
+}
+
+uint64_t TermManager::evalOp(Kind k, unsigned width, uint64_t a, uint64_t b,
+                             uint64_t aux) {
+  const uint64_t mask = lowMask(width);
+  a &= mask;
+  // Operand b is masked per-op: shifts interpret the full value.
+  switch (k) {
+    case Kind::Const: return a;
+    case Kind::Not: return ~a & mask;
+    case Kind::Neg: return (0 - a) & mask;
+    case Kind::And: return a & b & mask;
+    case Kind::Or: return (a | b) & mask;
+    case Kind::Xor: return (a ^ b) & mask;
+    case Kind::Add: return (a + b) & mask;
+    case Kind::Sub: return (a - b) & mask;
+    case Kind::Mul: return (a * (b & mask)) & mask;
+    case Kind::UDiv: {
+      b &= mask;
+      return b == 0 ? mask : (a / b);
+    }
+    case Kind::URem: {
+      b &= mask;
+      return b == 0 ? a : (a % b);
+    }
+    case Kind::SDiv: {
+      b &= mask;
+      const int64_t sa = asSigned(a, width);
+      const int64_t sb = asSigned(b, width);
+      if (sb == 0) return sa >= 0 ? mask : 1;  // SMT-LIB by-translation
+      // INT_MIN / -1 overflows in C++; in modular BV arithmetic the result
+      // is INT_MIN again.
+      if (sb == -1) return (0 - a) & mask;
+      return static_cast<uint64_t>(sa / sb) & mask;
+    }
+    case Kind::SRem: {
+      b &= mask;
+      const int64_t sa = asSigned(a, width);
+      const int64_t sb = asSigned(b, width);
+      if (sb == 0) return a;
+      if (sb == -1) return 0;
+      return static_cast<uint64_t>(sa % sb) & mask;
+    }
+    case Kind::Shl: {
+      b &= mask;
+      return b >= width ? 0 : (a << b) & mask;
+    }
+    case Kind::LShr: {
+      b &= mask;
+      return b >= width ? 0 : (a >> b);
+    }
+    case Kind::AShr: {
+      b &= mask;
+      const int64_t sa = asSigned(a, width);
+      if (b >= width) return sa < 0 ? mask : 0;
+      return static_cast<uint64_t>(sa >> b) & mask;
+    }
+    case Kind::Eq: return a == (b & mask) ? 1 : 0;
+    case Kind::Ult: return a < (b & mask) ? 1 : 0;
+    case Kind::Ule: return a <= (b & mask) ? 1 : 0;
+    case Kind::Slt: return asSigned(a, width) < asSigned(b, width) ? 1 : 0;
+    case Kind::Sle: return asSigned(a, width) <= asSigned(b, width) ? 1 : 0;
+    case Kind::Extract: {
+      const unsigned hi = static_cast<unsigned>(aux >> 8);
+      const unsigned lo = static_cast<unsigned>(aux & 0xff);
+      return bitSlice(a, hi, lo);
+    }
+    default:
+      throw Error("evalOp: unsupported kind");
+  }
+}
+
+uint64_t TermManager::evalWith(
+    TermRef t, const std::function<uint64_t(uint32_t)>& varValue) const {
+  check(t.manager() == this, "evalWith: foreign term");
+  std::unordered_map<TermId, uint64_t> memo;
+  // Iterative post-order to survive deep path-condition chains.
+  std::vector<std::pair<TermId, bool>> stack;
+  stack.emplace_back(t.id(), false);
+  while (!stack.empty()) {
+    auto [id, expanded] = stack.back();
+    stack.pop_back();
+    if (memo.count(id)) continue;
+    const TermNode& n = nodes_[id];
+    if (!expanded) {
+      stack.emplace_back(id, true);
+      if (n.a != kInvalidTerm) stack.emplace_back(n.a, false);
+      if (n.b != kInvalidTerm) stack.emplace_back(n.b, false);
+      if (n.c != kInvalidTerm) stack.emplace_back(n.c, false);
+      continue;
+    }
+    uint64_t value = 0;
+    switch (n.kind) {
+      case Kind::Const: value = n.aux; break;
+      case Kind::Var:
+        value = truncTo(varValue(static_cast<uint32_t>(n.aux)), n.width);
+        break;
+      case Kind::Concat: {
+        const uint64_t hi = memo[n.a];
+        const uint64_t lo = memo[n.b];
+        const unsigned loW = nodes_[n.b].width;
+        value = truncTo((hi << loW) | lo, n.width);
+        break;
+      }
+      case Kind::Ite:
+        value = memo[n.a] ? memo[n.b] : memo[n.c];
+        break;
+      default: {
+        const uint64_t a = n.a != kInvalidTerm ? memo[n.a] : 0;
+        const uint64_t b = n.b != kInvalidTerm ? memo[n.b] : 0;
+        // Width for Extract/comparisons is the operand width.
+        unsigned w = n.width;
+        switch (n.kind) {
+          case Kind::Eq: case Kind::Ult: case Kind::Ule:
+          case Kind::Slt: case Kind::Sle: case Kind::Extract:
+            w = nodes_[n.a].width;
+            break;
+          default: break;
+        }
+        value = evalOp(n.kind, w, a, b, n.aux);
+        break;
+      }
+    }
+    memo[id] = value;
+  }
+  return memo[t.id()];
+}
+
+}  // namespace adlsym::smt

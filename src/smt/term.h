@@ -1,0 +1,237 @@
+// Hash-consed bitvector term DAG — the expression layer of the SMT
+// substrate (DESIGN.md S2). Everything is a bitvector of width 1..64;
+// booleans are width-1 bitvectors, which keeps the bit-blaster uniform.
+//
+// Terms are immutable and deduplicated: building the same term twice yields
+// the same TermId, so structural equality is pointer equality and the
+// symbolic-execution core can share subterms freely across forked states.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/error.h"
+
+namespace adlsym::smt {
+
+enum class Kind : uint8_t {
+  Const,    // aux = value (truncated to width)
+  Var,      // aux = index into variable side table
+  Not,      // bitwise complement
+  Neg,      // two's-complement negation
+  And, Or, Xor,
+  Add, Sub, Mul,
+  UDiv, URem,        // SMT-LIB semantics: udiv(x,0)=all-ones, urem(x,0)=x
+  SDiv, SRem,        // round toward zero; by-zero per SMT-LIB translation
+  Shl, LShr, AShr,   // shift amount is operand b (same width); >=w shifts
+                     // give 0 (Shl/LShr) or sign replication (AShr)
+  Concat,            // a is the HIGH part, b the LOW part
+  Extract,           // aux = (hi << 8) | lo, inclusive bit range of operand a
+  Eq, Ult, Ule, Slt, Sle,  // comparisons; result width 1
+  Ite,               // a = condition (width 1), b = then, c = else
+};
+
+const char* kindName(Kind k);
+
+/// True for operators whose operand order does not matter.
+bool isCommutative(Kind k);
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = 0xffffffff;
+
+struct TermNode {
+  Kind kind;
+  uint8_t width;       // result width, 1..64
+  TermId a = kInvalidTerm;
+  TermId b = kInvalidTerm;
+  TermId c = kInvalidTerm;
+  uint64_t aux = 0;    // Const value / Var index / Extract range
+};
+
+class TermManager;
+
+/// Value-type handle to a term; cheap to copy, compares by identity.
+class TermRef {
+ public:
+  TermRef() = default;
+  TermRef(TermManager* mgr, TermId id) : mgr_(mgr), id_(id) {}
+
+  bool valid() const { return mgr_ != nullptr && id_ != kInvalidTerm; }
+  TermId id() const { return id_; }
+  TermManager* manager() const { return mgr_; }
+
+  Kind kind() const;
+  unsigned width() const;
+  bool isConst() const { return valid() && kind() == Kind::Const; }
+  bool isVar() const { return valid() && kind() == Kind::Var; }
+  /// Value of a Const term (already truncated to width).
+  uint64_t constValue() const;
+  /// True if this is the width-1 constant 1 / 0.
+  bool isTrue() const;
+  bool isFalse() const;
+  TermRef operand(unsigned i) const;
+
+  friend bool operator==(const TermRef& x, const TermRef& y) {
+    return x.mgr_ == y.mgr_ && x.id_ == y.id_;
+  }
+  friend bool operator!=(const TermRef& x, const TermRef& y) { return !(x == y); }
+
+ private:
+  TermManager* mgr_ = nullptr;
+  TermId id_ = kInvalidTerm;
+};
+
+/// Owns all terms. Builder methods simplify aggressively (constant folding,
+/// algebraic identities, normalization) before hash-consing — see
+/// builder.cpp. The rewriter can be disabled for the E4 ablation.
+class TermManager {
+ public:
+  TermManager() = default;
+  TermManager(const TermManager&) = delete;
+  TermManager& operator=(const TermManager&) = delete;
+
+  // ---- introspection -------------------------------------------------
+  const TermNode& node(TermId id) const { return nodes_[id]; }
+  const TermNode& node(TermRef t) const { return nodes_[t.id()]; }
+  size_t numTerms() const { return nodes_.size(); }
+  size_t numVars() const { return varNames_.size(); }
+  const std::string& varName(TermId id) const;
+  /// Variable index (dense, creation order) of a Var term.
+  uint32_t varIndex(TermId id) const;
+
+  /// When false, builder methods only fold constants and skip all other
+  /// rewrites. Used by the E4 simplifier ablation.
+  void setRewritingEnabled(bool on) { rewriting_ = on; }
+  bool rewritingEnabled() const { return rewriting_; }
+  uint64_t rewriteHits() const { return rewriteHits_; }
+
+  // ---- leaf builders -------------------------------------------------
+  TermRef mkConst(unsigned width, uint64_t value);
+  TermRef mkTrue() { return mkConst(1, 1); }
+  TermRef mkFalse() { return mkConst(1, 0); }
+  TermRef mkBool(bool b) { return mkConst(1, b ? 1 : 0); }
+  /// Variables are hash-consed by (name, width): the same name always
+  /// denotes the same variable. Width conflicts are an internal error.
+  TermRef mkVar(unsigned width, const std::string& name);
+
+  // ---- unary ---------------------------------------------------------
+  TermRef mkNot(TermRef a);
+  TermRef mkNeg(TermRef a);
+
+  // ---- binary (equal widths) ------------------------------------------
+  TermRef mkAnd(TermRef a, TermRef b);
+  TermRef mkOr(TermRef a, TermRef b);
+  TermRef mkXor(TermRef a, TermRef b);
+  TermRef mkAdd(TermRef a, TermRef b);
+  TermRef mkSub(TermRef a, TermRef b);
+  TermRef mkMul(TermRef a, TermRef b);
+  TermRef mkUDiv(TermRef a, TermRef b);
+  TermRef mkURem(TermRef a, TermRef b);
+  TermRef mkSDiv(TermRef a, TermRef b);
+  TermRef mkSRem(TermRef a, TermRef b);
+  TermRef mkShl(TermRef a, TermRef b);
+  TermRef mkLShr(TermRef a, TermRef b);
+  TermRef mkAShr(TermRef a, TermRef b);
+
+  // ---- structure -------------------------------------------------------
+  TermRef mkConcat(TermRef high, TermRef low);
+  TermRef mkExtract(TermRef a, unsigned hi, unsigned lo);
+  /// Zero/sign extend to `newWidth` (>= current); same term if equal.
+  TermRef mkZExt(TermRef a, unsigned newWidth);
+  TermRef mkSExt(TermRef a, unsigned newWidth);
+  /// Truncate or zero-extend to exactly `newWidth`.
+  TermRef mkResize(TermRef a, unsigned newWidth);
+
+  // ---- predicates (width-1 results) ------------------------------------
+  TermRef mkEq(TermRef a, TermRef b);
+  TermRef mkNe(TermRef a, TermRef b) { return mkNot(mkEq(a, b)); }
+  TermRef mkUlt(TermRef a, TermRef b);
+  TermRef mkUle(TermRef a, TermRef b);
+  TermRef mkUgt(TermRef a, TermRef b) { return mkUlt(b, a); }
+  TermRef mkUge(TermRef a, TermRef b) { return mkUle(b, a); }
+  TermRef mkSlt(TermRef a, TermRef b);
+  TermRef mkSle(TermRef a, TermRef b);
+  TermRef mkSgt(TermRef a, TermRef b) { return mkSlt(b, a); }
+  TermRef mkSge(TermRef a, TermRef b) { return mkSle(b, a); }
+  TermRef mkImplies(TermRef a, TermRef b) { return mkOr(mkNot(a), b); }
+
+  TermRef mkIte(TermRef cond, TermRef thenT, TermRef elseT);
+
+  // ---- concrete evaluation --------------------------------------------
+  /// Fold one operator application on concrete values (SMT-LIB semantics,
+  /// results truncated to `width`). `b`/`aux` as appropriate per kind.
+  static uint64_t evalOp(Kind k, unsigned width, uint64_t a, uint64_t b,
+                         uint64_t aux = 0);
+
+  /// Evaluate a term under a variable assignment (by Var index). Missing
+  /// variables evaluate to 0. Memoized across one call.
+  uint64_t evalWith(TermRef t,
+                    const std::function<uint64_t(uint32_t)>& varValue) const;
+
+ private:
+  friend class TermRef;
+
+  struct NodeKey {
+    Kind kind;
+    uint8_t width;
+    TermId a, b, c;
+    uint64_t aux;
+    bool operator==(const NodeKey& o) const {
+      return kind == o.kind && width == o.width && a == o.a && b == o.b &&
+             c == o.c && aux == o.aux;
+    }
+  };
+  struct NodeKeyHash {
+    size_t operator()(const NodeKey& k) const {
+      uint64_t h = static_cast<uint64_t>(k.kind) * 0x9e3779b97f4a7c15ull;
+      h ^= (h >> 29) ^ (static_cast<uint64_t>(k.width) << 56);
+      h = h * 31 + k.a;
+      h = h * 31 + k.b;
+      h = h * 31 + k.c;
+      h = h * 31 + k.aux;
+      return static_cast<size_t>(h ^ (h >> 32));
+    }
+  };
+
+  /// Hash-cons a node (no simplification).
+  TermRef intern(Kind kind, unsigned width, TermId a = kInvalidTerm,
+                 TermId b = kInvalidTerm, TermId c = kInvalidTerm,
+                 uint64_t aux = 0);
+
+  // Simplification helpers (builder.cpp).
+  TermRef foldBinary(Kind k, TermRef a, TermRef b);
+  bool rewriteOn() const { return rewriting_; }
+  TermRef noteRewrite(TermRef t) { ++rewriteHits_; return t; }
+
+  std::vector<TermNode> nodes_;
+  std::unordered_map<NodeKey, TermId, NodeKeyHash> internMap_;
+  std::vector<std::string> varNames_;
+  std::unordered_map<std::string, TermId> varMap_;
+  bool rewriting_ = true;
+  uint64_t rewriteHits_ = 0;
+};
+
+// ---- TermRef inline definitions that need TermManager ----------------
+inline Kind TermRef::kind() const { return mgr_->node(id_).kind; }
+inline unsigned TermRef::width() const { return mgr_->node(id_).width; }
+inline uint64_t TermRef::constValue() const {
+  check(isConst(), "constValue on non-constant term");
+  return mgr_->node(id_).aux;
+}
+inline bool TermRef::isTrue() const {
+  return isConst() && width() == 1 && constValue() == 1;
+}
+inline bool TermRef::isFalse() const {
+  return isConst() && width() == 1 && constValue() == 0;
+}
+inline TermRef TermRef::operand(unsigned i) const {
+  const TermNode& n = mgr_->node(id_);
+  const TermId ids[3] = {n.a, n.b, n.c};
+  check(i < 3 && ids[i] != kInvalidTerm, "operand index out of range");
+  return TermRef(mgr_, ids[i]);
+}
+
+}  // namespace adlsym::smt

@@ -1,0 +1,51 @@
+// Small bit-manipulation helpers shared by the SMT layer, the decoder
+// generator and the assembler. All widths are in [1, 64].
+#pragma once
+
+#include <cstdint>
+
+#include "support/error.h"
+
+namespace adlsym {
+
+/// Mask with the low `width` bits set. width must be in [1,64].
+inline uint64_t lowMask(unsigned width) {
+  check(width >= 1 && width <= 64, "lowMask width out of range");
+  return width == 64 ? ~uint64_t{0} : ((uint64_t{1} << width) - 1);
+}
+
+/// Truncate `v` to `width` bits.
+inline uint64_t truncTo(uint64_t v, unsigned width) { return v & lowMask(width); }
+
+/// Sign-extend the low `width` bits of `v` to 64 bits.
+inline uint64_t signExtend(uint64_t v, unsigned width) {
+  const uint64_t m = uint64_t{1} << (width - 1);
+  v = truncTo(v, width);
+  return (v ^ m) - m;
+}
+
+/// Interpret the low `width` bits of `v` as a signed value.
+inline int64_t asSigned(uint64_t v, unsigned width) {
+  return static_cast<int64_t>(signExtend(v, width));
+}
+
+/// True if the signed value `v` fits in `width` bits (two's complement).
+inline bool fitsSigned(int64_t v, unsigned width) {
+  if (width >= 64) return true;
+  const int64_t lo = -(int64_t{1} << (width - 1));
+  const int64_t hi = (int64_t{1} << (width - 1)) - 1;
+  return v >= lo && v <= hi;
+}
+
+/// True if the unsigned value `v` fits in `width` bits.
+inline bool fitsUnsigned(uint64_t v, unsigned width) {
+  return width >= 64 || v <= lowMask(width);
+}
+
+/// Extract bits [hi:lo] of v (inclusive).
+inline uint64_t bitSlice(uint64_t v, unsigned hi, unsigned lo) {
+  check(hi >= lo && hi < 64, "bitSlice range");
+  return (v >> lo) & lowMask(hi - lo + 1);
+}
+
+}  // namespace adlsym

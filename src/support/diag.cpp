@@ -1,0 +1,36 @@
+#include "support/diag.h"
+
+#include <sstream>
+
+namespace adlsym {
+
+void DiagEngine::error(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Error, loc, std::move(msg)});
+  ++errorCount_;
+}
+
+void DiagEngine::warning(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Warning, loc, std::move(msg)});
+}
+
+void DiagEngine::note(SourceLoc loc, std::string msg) {
+  diags_.push_back({Severity::Note, loc, std::move(msg)});
+}
+
+std::string DiagEngine::str() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << bufferName_;
+    if (d.loc.valid()) os << ':' << d.loc.line << ':' << d.loc.col;
+    os << ": ";
+    switch (d.severity) {
+      case Severity::Note: os << "note: "; break;
+      case Severity::Warning: os << "warning: "; break;
+      case Severity::Error: os << "error: "; break;
+    }
+    os << d.message << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace adlsym

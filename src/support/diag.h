@@ -1,0 +1,51 @@
+// Diagnostic engine for the ADL front end and the assembler. Collects
+// errors/warnings with source locations instead of throwing, so that a whole
+// file's problems can be reported in one pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace adlsym {
+
+/// A half-open position inside one source buffer. Lines and columns are
+/// 1-based; (0,0) means "no location" (engine-internal diagnostics).
+struct SourceLoc {
+  unsigned line = 0;
+  unsigned col = 0;
+  bool valid() const { return line != 0; }
+};
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+};
+
+/// Accumulates diagnostics for one compilation (ADL parse or assembly run).
+class DiagEngine {
+ public:
+  explicit DiagEngine(std::string bufferName = "<input>")
+      : bufferName_(std::move(bufferName)) {}
+
+  void error(SourceLoc loc, std::string msg);
+  void warning(SourceLoc loc, std::string msg);
+  void note(SourceLoc loc, std::string msg);
+
+  bool hasErrors() const { return errorCount_ > 0; }
+  unsigned errorCount() const { return errorCount_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+  const std::string& bufferName() const { return bufferName_; }
+
+  /// Render every diagnostic as "name:line:col: severity: message" lines.
+  std::string str() const;
+
+ private:
+  std::string bufferName_;
+  std::vector<Diagnostic> diags_;
+  unsigned errorCount_ = 0;
+};
+
+}  // namespace adlsym

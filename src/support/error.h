@@ -1,0 +1,25 @@
+// Error type used across the library for unrecoverable API misuse and
+// malformed inputs that cannot be reported through a DiagEngine.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace adlsym {
+
+/// Thrown for invariant violations and malformed inputs (e.g. assembling an
+/// unknown mnemonic, evaluating RTL with a width mismatch that sema should
+/// have rejected). Front-end user errors in ADL source are reported through
+/// adl::DiagEngine instead and do not throw.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Internal consistency check that survives NDEBUG builds. Use for
+/// conditions that indicate a bug in this library rather than bad user input.
+inline void check(bool cond, const char* msg) {
+  if (!cond) throw Error(std::string("internal error: ") + msg);
+}
+
+}  // namespace adlsym

@@ -1,0 +1,47 @@
+// Deterministic PRNG (xorshift128+) used by random search and workload
+// generation. std::mt19937 is avoided so that sequences are identical across
+// standard library implementations — exploration results must be
+// reproducible bit-for-bit (DESIGN.md §6.5).
+#pragma once
+
+#include <cstdint>
+
+namespace adlsym {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding to avoid correlated low-entropy states.
+    auto next = [&seed]() {
+      seed += 0x9e3779b97f4a7c15ull;
+      uint64_t z = seed;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      return z ^ (z >> 31);
+    };
+    s0_ = next();
+    s1_ = next();
+    if (s0_ == 0 && s1_ == 0) s1_ = 1;
+  }
+
+  uint64_t next() {
+    uint64_t x = s0_;
+    const uint64_t y = s1_;
+    s0_ = y;
+    x ^= x << 23;
+    s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s1_ + y;
+  }
+
+  /// Uniform value in [0, bound). bound must be nonzero.
+  uint64_t below(uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0); }
+
+ private:
+  uint64_t s0_ = 1;
+  uint64_t s1_ = 2;
+};
+
+}  // namespace adlsym

@@ -1,0 +1,84 @@
+#include "support/strings.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace adlsym {
+
+std::vector<std::string> splitString(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::optional<uint64_t> parseInt(std::string_view s) {
+  s = trim(s);
+  if (s.empty()) return std::nullopt;
+  bool neg = false;
+  if (s[0] == '-') {
+    neg = true;
+    s.remove_prefix(1);
+    if (s.empty()) return std::nullopt;
+  }
+  unsigned base = 10;
+  if (s.size() > 2 && s[0] == '0') {
+    const char k = static_cast<char>(std::tolower(static_cast<unsigned char>(s[1])));
+    if (k == 'x') { base = 16; s.remove_prefix(2); }
+    else if (k == 'b') { base = 2; s.remove_prefix(2); }
+    else if (k == 'o') { base = 8; s.remove_prefix(2); }
+  }
+  if (s.empty()) return std::nullopt;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c == '_') continue;  // digit separators allowed, e.g. 0b1010_0001
+    unsigned digit;
+    if (c >= '0' && c <= '9') digit = static_cast<unsigned>(c - '0');
+    else if (c >= 'a' && c <= 'f') digit = static_cast<unsigned>(c - 'a') + 10;
+    else if (c >= 'A' && c <= 'F') digit = static_cast<unsigned>(c - 'A') + 10;
+    else return std::nullopt;
+    if (digit >= base) return std::nullopt;
+    const uint64_t next = v * base + digit;
+    if (next / base != v) return std::nullopt;  // overflow
+    v = next;
+  }
+  return neg ? uint64_t(0) - v : v;
+}
+
+std::string formatStr(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args2;
+  va_copy(args2, args);
+  const int n = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args2);
+  }
+  va_end(args2);
+  return out;
+}
+
+bool startsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+}  // namespace adlsym

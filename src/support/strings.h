@@ -1,0 +1,29 @@
+// String helpers used by the lexers, the assembler and table printers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adlsym {
+
+/// Split on a single delimiter; keeps empty fields.
+std::vector<std::string> splitString(std::string_view s, char delim);
+
+/// Strip ASCII whitespace from both ends.
+std::string_view trim(std::string_view s);
+
+/// Parse an integer literal with optional 0x/0b/0o prefix and optional
+/// leading '-'. Returns nullopt on malformed input or overflow of uint64.
+/// Negative values are returned two's-complement in 64 bits.
+std::optional<uint64_t> parseInt(std::string_view s);
+
+/// printf-style formatting into a std::string.
+std::string formatStr(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// True if `s` starts with `prefix`.
+bool startsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace adlsym

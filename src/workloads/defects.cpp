@@ -1,0 +1,220 @@
+#include "workloads/defects.h"
+
+namespace adlsym::workloads {
+
+namespace {
+
+// CWE-369: division by zero, divisor straight from input.
+PProgram divBad() {
+  PProgram p;
+  p.in(0);
+  p.li(1, 100);
+  p.divu(2, 1, 0);  // 100 / input
+  p.out(2);
+  p.halt(0);
+  return p;
+}
+
+// Guarded twin: divide only when the divisor is nonzero.
+PProgram divGood() {
+  PProgram p;
+  p.in(0);
+  p.li(4, 0);
+  p.beq(0, 4, "zero");
+  p.li(1, 100);
+  p.divu(2, 1, 0);
+  p.out(2);
+  p.halt(0);
+  p.label("zero");
+  p.li(2, 255);
+  p.out(2);
+  p.halt(1);
+  return p;
+}
+
+// CWE-125: out-of-bounds read, index straight from input (table is 8
+// bytes; any index >= 8 escapes).
+PProgram oobReadBad() {
+  PProgram p;
+  p.array("tab", {1, 2, 3, 4, 5, 6, 7, 8});
+  p.in(0);
+  p.loadArr(1, "tab", 0);
+  p.out(1);
+  p.halt(0);
+  return p;
+}
+
+// Guarded twin: mask the index into range.
+PProgram oobReadGood() {
+  PProgram p;
+  p.array("tab", {1, 2, 3, 4, 5, 6, 7, 8});
+  p.in(0);
+  p.li(2, 7);
+  p.andr(0, 0, 2);
+  p.loadArr(1, "tab", 0);
+  p.out(1);
+  p.halt(0);
+  return p;
+}
+
+// CWE-787: out-of-bounds write.
+PProgram oobWriteBad() {
+  PProgram p;
+  p.array("buf", std::vector<uint8_t>(8, 0));
+  p.in(0);   // index
+  p.in(1);   // value
+  p.storeArr("buf", 0, 1);
+  p.halt(0);
+  return p;
+}
+
+// Guarded twin: bounds test before the store.
+PProgram oobWriteGood() {
+  PProgram p;
+  p.array("buf", std::vector<uint8_t>(8, 0));
+  p.in(0);
+  p.in(1);
+  p.li(2, 8);
+  p.bltu(0, 2, "store");
+  p.halt(1);
+  p.label("store");
+  p.storeArr("buf", 0, 1);
+  p.halt(0);
+  return p;
+}
+
+// CWE-190: signed overflow in a checked add (trap class 1).
+PProgram overflowBad() {
+  PProgram p;
+  p.in(0);
+  p.in(1);
+  p.addv(2, 0, 1);
+  p.out(2);
+  p.halt(0);
+  return p;
+}
+
+// Guarded twin: clamp both operands to [0, 63]; the signed 8-bit sum then
+// stays below 128 and can never overflow.
+PProgram overflowGood() {
+  PProgram p;
+  p.in(0);
+  p.in(1);
+  p.li(2, 63);
+  p.andr(0, 0, 2);
+  p.andr(1, 1, 2);
+  p.addv(2, 0, 1);
+  p.out(2);
+  p.halt(0);
+  return p;
+}
+
+// CWE-617: reachable assertion — fails exactly when the input is 42.
+PProgram assertBad() {
+  PProgram p;
+  p.in(0);
+  p.li(1, 42);
+  p.bne(0, 1, "fine");
+  p.li(2, 0);
+  p.li(3, 1);
+  p.assertEq(2, 3);  // 0 == 1: fires when input == 42
+  p.label("fine");
+  p.out(0);
+  p.halt(0);
+  return p;
+}
+
+// Twin with a valid invariant: x ^ x == 0 always holds.
+PProgram assertGood() {
+  PProgram p;
+  p.in(0);
+  p.xorr(1, 0, 0);
+  p.li(2, 0);
+  p.assertEq(1, 2);
+  p.out(0);
+  p.halt(0);
+  return p;
+}
+
+// CWE-193: off-by-one — a concrete loop writes buf[0..8] *inclusive* into
+// an 8-byte buffer. No symbolic input needed; the defect is definite.
+PProgram offByOneBad() {
+  PProgram p;
+  p.array("buf", std::vector<uint8_t>(8, 0));
+  p.in(1);     // value to fill with (keeps the program input-driven)
+  p.li(0, 0);  // i
+  p.li(2, 8);  // bound (should be 7 for an inclusive loop)
+  p.label("loop");
+  p.storeArr("buf", 0, 1);
+  p.li(3, 1);
+  p.add(0, 0, 3);
+  p.bgeu(2, 0, "loop");  // runs while 8 >= i: one write too many
+  p.halt(0);
+  return p;
+}
+
+// Corrected twin: exclusive bound.
+PProgram offByOneGood() {
+  PProgram p;
+  p.array("buf", std::vector<uint8_t>(8, 0));
+  p.in(1);
+  p.li(0, 0);
+  p.li(2, 8);
+  p.label("loop");
+  p.storeArr("buf", 0, 1);
+  p.li(3, 1);
+  p.add(0, 0, 3);
+  p.bltu(0, 2, "loop");  // runs while i < 8
+  p.halt(0);
+  return p;
+}
+
+// CWE-369 (masked form): division by a masked input that can be zero.
+PProgram maskedDivBad() {
+  PProgram p;
+  p.in(0);
+  p.in(1);
+  p.li(2, 16);
+  p.andr(1, 1, 2);  // sometimes zero
+  p.divu(3, 0, 1);  // divisor is 0 or 16
+  p.out(3);
+  p.halt(0);
+  return p;
+}
+
+// Guarded twin: force the divisor odd (never zero).
+PProgram maskedDivGood() {
+  PProgram p;
+  p.in(0);
+  p.in(1);
+  p.li(2, 1);
+  p.orr(1, 1, 2);
+  p.divu(3, 0, 1);
+  p.out(3);
+  p.halt(0);
+  return p;
+}
+
+}  // namespace
+
+std::vector<DefectCase> defectSuite() {
+  using core::DefectKind;
+  std::vector<DefectCase> suite;
+  suite.push_back({"div-by-zero-bad", divBad(), DefectKind::DivByZero, "CWE-369"});
+  suite.push_back({"div-by-zero-good", divGood(), std::nullopt, "CWE-369"});
+  suite.push_back({"oob-read-bad", oobReadBad(), DefectKind::OobRead, "CWE-125"});
+  suite.push_back({"oob-read-good", oobReadGood(), std::nullopt, "CWE-125"});
+  suite.push_back({"oob-write-bad", oobWriteBad(), DefectKind::OobWrite, "CWE-787"});
+  suite.push_back({"oob-write-good", oobWriteGood(), std::nullopt, "CWE-787"});
+  suite.push_back({"signed-overflow-bad", overflowBad(), DefectKind::Trap, "CWE-190"});
+  suite.push_back({"signed-overflow-good", overflowGood(), std::nullopt, "CWE-190"});
+  suite.push_back({"assert-reach-bad", assertBad(), DefectKind::AssertFail, "CWE-617"});
+  suite.push_back({"assert-reach-good", assertGood(), std::nullopt, "CWE-617"});
+  suite.push_back({"off-by-one-bad", offByOneBad(), DefectKind::OobWrite, "CWE-193"});
+  suite.push_back({"off-by-one-good", offByOneGood(), std::nullopt, "CWE-193"});
+  suite.push_back({"masked-div-zero-bad", maskedDivBad(), DefectKind::DivByZero, "CWE-369"});
+  suite.push_back({"masked-div-zero-good", maskedDivGood(), std::nullopt, "CWE-369"});
+  return suite;
+}
+
+}  // namespace adlsym::workloads

@@ -1,0 +1,26 @@
+// Defect-detection suite (DESIGN.md S10, experiment E5): small portable
+// programs in the style of Juliet CWE test cases. Each "bad" case seeds
+// exactly one reachable defect; each "good" twin guards the same operation
+// and must produce zero reports (false-positive control).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/state.h"
+#include "workloads/pgen.h"
+
+namespace adlsym::workloads {
+
+struct DefectCase {
+  std::string name;
+  PProgram program;
+  /// Expected defect kind; nullopt for the guarded "good" twins.
+  std::optional<core::DefectKind> expected;
+  const char* cwe;  // closest CWE label, for the report
+};
+
+/// The full suite (bad + good twins), in deterministic order.
+std::vector<DefectCase> defectSuite();
+
+}  // namespace adlsym::workloads

@@ -1,0 +1,105 @@
+// Portable program generator (DESIGN.md S10): a tiny three-address IR with
+// strict 8-bit data semantics, lowered to assembly for every shipped ISA.
+// One workload definition therefore produces byte-equivalent *behavior* on
+// rv32e, m16 and acc8 — the invariance that experiment E6 measures.
+//
+// Semantics contract (what every lowering must preserve):
+//  * virtual registers v0..v4 hold values in [0, 255]
+//  * all arithmetic is mod 256; DivU is unsigned; AddV is a checked add
+//    that traps (class 1) when the *8-bit signed* addition overflows
+//  * comparisons are unsigned on the 8-bit values
+//  * arrays are byte arrays; indices are NOT bounds-checked (that is the
+//    point of the defect suite)
+//  * In reads one 8-bit input; Out emits the 8-bit value; Halt exits with
+//    the given 8-bit code
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adlsym::workloads {
+
+enum class POp : uint8_t {
+  Li,        // a <- imm
+  Mov,       // a <- b
+  Add, Sub, And, Or, Xor, Mul, DivU,  // a <- b op c
+  AddV,      // a <- b + c, trap(1) on signed 8-bit overflow
+  ShlI, ShrI,  // a <- b shifted by imm (0..7)
+  LoadArr,   // a <- array[b]
+  StoreArr,  // array[a] <- b
+  In,        // a <- input8()
+  Out,       // output(a)
+  Halt,      // halt(imm)
+  AssertEqR, // asserteq(a, b)
+  Label,     // label:
+  Jmp,       // goto label
+  Beq, Bne, Bltu, Bgeu,  // if (a cmp b) goto label
+};
+
+struct PInst {
+  POp op{};
+  int a = -1;
+  int b = -1;
+  int c = -1;
+  uint64_t imm = 0;
+  std::string label;
+  std::string array;
+};
+
+struct PArray {
+  std::string name;
+  std::vector<uint8_t> init;
+};
+
+class PProgram {
+ public:
+  /// Portable virtual register count (v0..v4).
+  static constexpr int kMaxVRegs = 5;
+
+  std::vector<PInst> insts;
+  std::vector<PArray> arrays;
+
+  // ---- builders (fluent, for readable workload definitions) ----------
+  void li(int d, uint8_t v) { push({POp::Li, d, -1, -1, v, "", ""}); }
+  void mov(int d, int s) { push({POp::Mov, d, s, -1, 0, "", ""}); }
+  void add(int d, int x, int y) { push({POp::Add, d, x, y, 0, "", ""}); }
+  void sub(int d, int x, int y) { push({POp::Sub, d, x, y, 0, "", ""}); }
+  void andr(int d, int x, int y) { push({POp::And, d, x, y, 0, "", ""}); }
+  void orr(int d, int x, int y) { push({POp::Or, d, x, y, 0, "", ""}); }
+  void xorr(int d, int x, int y) { push({POp::Xor, d, x, y, 0, "", ""}); }
+  void mul(int d, int x, int y) { push({POp::Mul, d, x, y, 0, "", ""}); }
+  void divu(int d, int x, int y) { push({POp::DivU, d, x, y, 0, "", ""}); }
+  void addv(int d, int x, int y) { push({POp::AddV, d, x, y, 0, "", ""}); }
+  void shli(int d, int s, unsigned k) { push({POp::ShlI, d, s, -1, k, "", ""}); }
+  void shri(int d, int s, unsigned k) { push({POp::ShrI, d, s, -1, k, "", ""}); }
+  void loadArr(int d, const std::string& arr, int idx) {
+    push({POp::LoadArr, d, idx, -1, 0, "", arr});
+  }
+  void storeArr(const std::string& arr, int idx, int src) {
+    push({POp::StoreArr, idx, src, -1, 0, "", arr});
+  }
+  void in(int d) { push({POp::In, d, -1, -1, 0, "", ""}); }
+  void out(int s) { push({POp::Out, s, -1, -1, 0, "", ""}); }
+  void halt(uint8_t code) { push({POp::Halt, -1, -1, -1, code, "", ""}); }
+  void assertEq(int x, int y) { push({POp::AssertEqR, x, y, -1, 0, "", ""}); }
+  void label(const std::string& l) { push({POp::Label, -1, -1, -1, 0, l, ""}); }
+  void jmp(const std::string& l) { push({POp::Jmp, -1, -1, -1, 0, l, ""}); }
+  void beq(int x, int y, const std::string& l) { push({POp::Beq, x, y, -1, 0, l, ""}); }
+  void bne(int x, int y, const std::string& l) { push({POp::Bne, x, y, -1, 0, l, ""}); }
+  void bltu(int x, int y, const std::string& l) { push({POp::Bltu, x, y, -1, 0, l, ""}); }
+  void bgeu(int x, int y, const std::string& l) { push({POp::Bgeu, x, y, -1, 0, l, ""}); }
+  void array(const std::string& name, std::vector<uint8_t> init) {
+    arrays.push_back(PArray{name, std::move(init)});
+  }
+
+ private:
+  void push(PInst i);
+};
+
+/// Lower a portable program to assembly for the named shipped ISA
+/// ("rv32e", "m16" or "acc8"). Throws adlsym::Error for unknown ISAs or
+/// malformed programs (bad vreg / unknown array).
+std::string emitAssembly(const PProgram& p, const std::string& isa);
+
+}  // namespace adlsym::workloads

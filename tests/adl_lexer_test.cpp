@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "adl/lexer.h"
+
+namespace adlsym::adl {
+namespace {
+
+std::vector<Token> lex(std::string_view src, DiagEngine* diagsOut = nullptr) {
+  DiagEngine diags;
+  Lexer lexer(src, diags);
+  auto toks = lexer.lexAll();
+  if (diagsOut != nullptr) *diagsOut = diags;
+  EXPECT_FALSE(diags.hasErrors()) << diags.str();
+  return toks;
+}
+
+TEST(Lexer, EmptyInput) {
+  const auto toks = lex("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_EQ(toks[0].kind, Tok::End);
+}
+
+TEST(Lexer, IdentifiersAndInts) {
+  const auto toks = lex("arch r2d2 _x 42 0x2a 0b1010 0o17");
+  ASSERT_EQ(toks.size(), 8u);
+  EXPECT_EQ(toks[0].text, "arch");
+  EXPECT_EQ(toks[1].text, "r2d2");
+  EXPECT_EQ(toks[2].text, "_x");
+  EXPECT_EQ(toks[3].intValue, 42u);
+  EXPECT_EQ(toks[4].intValue, 42u);
+  EXPECT_EQ(toks[5].intValue, 10u);
+  EXPECT_EQ(toks[6].intValue, 15u);
+}
+
+TEST(Lexer, Strings) {
+  const auto toks = lex(R"q("add %r(rd)" "a\nb")q");
+  EXPECT_EQ(toks[0].kind, Tok::String);
+  EXPECT_EQ(toks[0].text, "add %r(rd)");
+  EXPECT_EQ(toks[1].text, "a\nb");
+}
+
+TEST(Lexer, Operators) {
+  const auto toks =
+      lex("+ - * / % & | ^ ~ ! && || == != < <= > >= << >> >>a = ; : ,");
+  const Tok expected[] = {
+      Tok::Plus, Tok::Minus, Tok::Star, Tok::Slash, Tok::Percent,
+      Tok::Amp, Tok::Pipe, Tok::Caret, Tok::Tilde, Tok::Bang,
+      Tok::AmpAmp, Tok::PipePipe, Tok::EqEq, Tok::BangEq,
+      Tok::Lt, Tok::LtEq, Tok::Gt, Tok::GtEq,
+      Tok::Shl, Tok::Shr, Tok::ShrA, Tok::Assign,
+      Tok::Semi, Tok::Colon, Tok::Comma};
+  for (size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(Lexer, SignedComparisonSuffix) {
+  const auto toks = lex("a <s b <=s c >s d >=s e");
+  EXPECT_EQ(toks[1].kind, Tok::LtS);
+  EXPECT_EQ(toks[3].kind, Tok::LtEqS);
+  EXPECT_EQ(toks[5].kind, Tok::GtS);
+  EXPECT_EQ(toks[7].kind, Tok::GtEqS);
+}
+
+TEST(Lexer, SuffixDoesNotEatIdentifiers) {
+  // `x < sum` must lex as Lt + Ident("sum"), not LtS + Ident("um").
+  const auto toks = lex("x < sum");
+  EXPECT_EQ(toks[1].kind, Tok::Lt);
+  EXPECT_EQ(toks[2].text, "sum");
+  const auto toks2 = lex("x >> all");
+  EXPECT_EQ(toks2[1].kind, Tok::Shr);
+  EXPECT_EQ(toks2[2].text, "all");
+}
+
+TEST(Lexer, Comments) {
+  const auto toks = lex("a // line comment\n b /* block\n comment */ c");
+  ASSERT_EQ(toks.size(), 4u);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[2].text, "c");
+}
+
+TEST(Lexer, LineAndColumnTracking) {
+  const auto toks = lex("ab\n  cd");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.col, 3u);
+}
+
+TEST(Lexer, ErrorsReported) {
+  DiagEngine diags;
+  Lexer lexer("a $ b", diags);
+  (void)lexer.lexAll();
+  EXPECT_TRUE(diags.hasErrors());
+
+  DiagEngine diags2;
+  Lexer lexer2("\"unterminated", diags2);
+  (void)lexer2.lexAll();
+  EXPECT_TRUE(diags2.hasErrors());
+
+  DiagEngine diags3;
+  Lexer lexer3("/* never closed", diags3);
+  (void)lexer3.lexAll();
+  EXPECT_TRUE(diags3.hasErrors());
+
+  DiagEngine diags4;
+  Lexer lexer4("0xqq", diags4);
+  (void)lexer4.lexAll();
+  EXPECT_TRUE(diags4.hasErrors());
+}
+
+}  // namespace
+}  // namespace adlsym::adl

@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "adl/model.h"
+
+namespace adlsym::adl {
+namespace {
+
+std::unique_ptr<ArchModel> loadOk(std::string_view src) {
+  DiagEngine diags;
+  auto m = loadArchModel(src, diags);
+  EXPECT_TRUE(m != nullptr) << diags.str();
+  return m;
+}
+
+void loadFail(std::string_view src, const char* needle) {
+  DiagEngine diags;
+  auto m = loadArchModel(src, diags);
+  EXPECT_EQ(m, nullptr);
+  EXPECT_NE(diags.str().find(needle), std::string::npos)
+      << "wanted '" << needle << "' in:\n" << diags.str();
+}
+
+// A well-formed scaffold to splice test bodies into.
+std::string arch(const std::string& items) {
+  return "arch t { endian little; wordsize 16; reg pc : 16;\n"
+         "regfile r[4] : 16 { zero = 0 }; flag Z; mem M : byte[16];\n"
+         "enc E = [op:8][rd:2][ra:2][imm4:4];\n" + items + "\n}";
+}
+
+TEST(Sema, ResolvesStorage) {
+  auto m = loadOk(arch(R"q(insn n "n %r(rd), %r(ra), %i(imm4)" : E(op=1) {
+    r[rd] = r[ra] + zext(imm4, 16);
+  })q"));
+  EXPECT_EQ(m->name, "t");
+  EXPECT_EQ(m->wordSize, 16u);
+  ASSERT_EQ(m->regs.size(), 2u);  // pc + flag Z
+  EXPECT_TRUE(m->regs[m->pcIndex].isPC);
+  EXPECT_TRUE(m->regs[1].isFlag);
+  EXPECT_EQ(m->regs[1].width, 1u);
+  ASSERT_TRUE(m->regfile.has_value());
+  EXPECT_EQ(m->regfile->zeroReg, 0u);
+  EXPECT_EQ(m->mem.addrWidth, 16u);
+}
+
+TEST(Sema, EncodingLayoutMsbFirst) {
+  auto m = loadOk(arch(R"q(insn n "n %r(rd), %r(ra), %i(imm4)" : E(op=1) {
+    r[rd] = r[ra];
+  })q"));
+  const EncodingInfo& e = m->encodings[0];
+  EXPECT_EQ(e.totalWidth, 16u);
+  // [op:8][rd:2][ra:2][imm4:4]: op occupies bits 15..8, imm4 bits 3..0.
+  EXPECT_EQ(e.findField("op")->lo, 8u);
+  EXPECT_EQ(e.findField("rd")->lo, 6u);
+  EXPECT_EQ(e.findField("ra")->lo, 4u);
+  EXPECT_EQ(e.findField("imm4")->lo, 0u);
+}
+
+TEST(Sema, MaskAndMatch) {
+  auto m = loadOk(arch(R"q(insn n "n %r(rd), %r(ra), %i(imm4)" : E(op=0x7f) {
+    r[rd] = r[ra];
+  })q"));
+  const InsnInfo& i = m->insns[0];
+  EXPECT_EQ(i.fixedMask, 0xff00u);
+  EXPECT_EQ(i.fixedMatch, 0x7f00u);
+  EXPECT_EQ(i.lengthBytes, 2u);
+  ASSERT_EQ(i.operandFields.size(), 3u);
+  EXPECT_EQ(i.operands.size(), 3u);
+  EXPECT_EQ(i.operands[0].kind, OperandKind::Reg);
+  EXPECT_EQ(i.operands[2].kind, OperandKind::Imm);
+}
+
+TEST(Sema, WidthInferenceForLiterals) {
+  // Literal adapts to the other operand / assignment target.
+  loadOk(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    r[rd] = r[rd] + 1;
+    Z = r[rd] == 0;
+    if (Z) { r[rd] = 65535; }
+  })q"));
+}
+
+TEST(Sema, LiteralTooWideRejected) {
+  loadFail(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    r[rd] = 65536;
+  })q"), "does not fit");
+}
+
+TEST(Sema, WidthMismatchRejected) {
+  loadFail(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    r[rd] = Z;
+  })q"), "width mismatch");
+  loadFail(arch(R"q(insn n "n %r(rd), %i(imm4)" : E(op=1, ra=0) {
+    r[rd] = r[rd] + imm4;
+  })q"), "width mismatch");
+}
+
+TEST(Sema, RelScaleParsed) {
+  auto m = loadOk(arch(R"q(insn b "b %rel2(imm4)" : E(op=1, rd=0, ra=0) {
+    pc = pc + (sext(imm4, 16) << 1);
+  })q"));
+  EXPECT_EQ(m->insns[0].operands[0].kind, OperandKind::Rel);
+  EXPECT_EQ(m->insns[0].operands[0].relScale, 2u);
+}
+
+TEST(Sema, LetScopingAndShadowing) {
+  loadOk(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    let t = r[rd];
+    if (t == 0) {
+      let u = t + 1;
+      r[rd] = u;
+    }
+    r[rd] = t;
+  })q"));
+  // `u` is not visible after its block.
+  loadFail(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    if (r[rd] == 0) { let u = 1; r[rd] = u; }
+    r[rd] = u;
+  })q"), "unknown name 'u'");
+}
+
+TEST(Sema, RegfileIndexMustBeDecodeConcrete) {
+  loadFail(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    r[r[rd]] = 0;
+  })q"), "decode time");
+  loadFail(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    r[rd] = r[r[rd]];
+  })q"), "decode time");
+  // Arithmetic over fields is fine.
+  loadOk(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    r[(rd + 1) & 3] = 0;
+  })q"));
+}
+
+TEST(Sema, IntrinsicChecks) {
+  loadFail(arch(R"q(insn n "n" : E(op=1, rd=0, ra=0, imm4=0) {
+    frobnicate(1);
+  })q"), "unknown intrinsic");
+  loadFail(arch(R"q(insn n "n" : E(op=1, rd=0, ra=0, imm4=0) {
+    output(1, 2);
+  })q"), "expects 1 argument");
+  loadFail(arch(R"q(insn n "n" : E(op=1, rd=0, ra=0, imm4=0) {
+    pc = frob(1);
+  })q"), "unknown function");
+  loadFail(arch(R"q(insn n "n" : E(op=1, rd=0, ra=0, imm4=0) {
+    pc = zext(pc, 8);
+  })q"), "extension target width below");
+  loadFail(arch(R"q(insn n "n" : E(op=1, rd=0, ra=0, imm4=0) {
+    pc = bits(pc, 16, 0);
+  })q"), "out of bounds");
+}
+
+TEST(Sema, SyntaxTemplateValidation) {
+  loadFail(arch(R"q(insn n "m %r(rd)" : E(op=1, ra=0, imm4=0) { pc = pc; })q"),
+           "must start with mnemonic");
+  loadFail(arch(R"q(insn n "n %q(rd)" : E(op=1, ra=0, imm4=0) { pc = pc; })q"),
+           "unknown operand kind");
+  loadFail(arch(R"q(insn n "n %r(nope)" : E(op=1, ra=0, imm4=0) { pc = pc; })q"),
+           "unknown field");
+  loadFail(arch(R"q(insn n "n %r(op)" : E(op=1, rd=0, ra=0, imm4=0) { pc = pc; })q"),
+           "fixed field");
+  loadFail(arch(R"q(insn n "n %r(rd), %r(rd)" : E(op=1, ra=0, imm4=0) { pc = pc; })q"),
+           "appears twice");
+  loadFail(arch(R"q(insn n "n %r(rd)" : E(op=1) { pc = pc; })q"),
+           "missing from syntax");
+}
+
+TEST(Sema, DecodeAmbiguityDetected) {
+  loadFail(arch(R"q(
+    insn a "a %r(rd), %r(ra), %i(imm4)" : E(op=1) { pc = pc; }
+    insn b "b %r(rd), %r(ra), %i(imm4)" : E(op=1) { pc = pc; }
+  )q"), "overlapping encodings");
+  // Same fixed value on different fields also collides when compatible.
+  loadOk(arch(R"q(
+    insn a "a %r(rd), %r(ra), %i(imm4)" : E(op=1) { pc = pc; }
+    insn b "b %r(rd), %r(ra), %i(imm4)" : E(op=2) { pc = pc; }
+  )q"));
+}
+
+TEST(Sema, StructuralRequirements) {
+  loadFail("arch t { wordsize 16; mem M : byte[16]; enc E=[a:8]; "
+           "insn n \"n\" : E(a=1) { } }",
+           "program counter");
+  loadFail("arch t { wordsize 16; reg pc : 16; enc E=[a:8]; "
+           "insn n \"n\" : E(a=1) { } }",
+           "exactly one memory");
+  loadFail("arch t { wordsize 13; reg pc : 16; mem M : byte[16]; enc E=[a:8];"
+           "insn n \"n\" : E(a=1) { } }",
+           "wordsize");
+  loadFail("arch t { wordsize 16; reg pc : 16; mem M : byte[16]; }",
+           "no instructions");
+  loadFail("arch t { wordsize 16; reg pc : 16; reg pc : 8; mem M : byte[16];"
+           "enc E=[a:8]; insn n \"n\" : E(a=1) { } }",
+           "duplicate");
+  loadFail("arch t { wordsize 16; reg pc : 16; mem M : byte[16]; "
+           "enc E=[a:4]; insn n \"n\" : E(a=1) { } }",
+           "multiple of 8");
+  loadFail(arch(R"q(insn n "n %r(rd), %r(ra), %i(imm4)" : E() { pc = pc; })q"),
+           "fixes no encoding bits");
+}
+
+TEST(Sema, NamedConstants) {
+  // Constants work in fixed-field lists and in semantics (adapting to the
+  // width their context requires, like integer literals).
+  auto m = loadOk(R"q(
+    arch t { wordsize 16; reg pc : 16; mem M : byte[16];
+      const OPC = 0x7;
+      const MASK = 0xff;
+      enc E = [op:8][imm8:8];
+      insn n "n %i(imm8)" : E(op=OPC) {
+        pc = pc + zext(imm8 & MASK, 16);
+      }
+    })q");
+  ASSERT_NE(m, nullptr);
+  EXPECT_EQ(m->insns[0].fixedMatch, 0x0700u);
+
+  loadFail(R"q(
+    arch t { wordsize 16; reg pc : 16; mem M : byte[16];
+      enc E = [op:8][imm8:8];
+      insn n "n %i(imm8)" : E(op=NOPE) { pc = pc; }
+    })q", "unknown constant");
+
+  loadFail(R"q(
+    arch t { wordsize 16; reg pc : 16; mem M : byte[16];
+      const BIG = 0x10000;
+      enc E = [op:8][imm8:8];
+      insn n "n %i(imm8)" : E(op=1) { pc = BIG; }
+    })q", "does not fit");
+
+  loadFail(R"q(
+    arch t { wordsize 16; reg pc : 16; mem M : byte[16];
+      const pc = 1;
+      enc E = [op:8][imm8:8];
+      insn n "n %i(imm8)" : E(op=1) { pc = pc; }
+    })q", "duplicate");
+}
+
+TEST(Sema, ConstantsAreDecodeConcrete) {
+  loadOk(R"q(
+    arch t { wordsize 16; reg pc : 16; regfile r[4] : 16; mem M : byte[16];
+      const TWO = 2;
+      enc E = [op:8][rd:2][pad:6];
+      insn n "n %r(rd)" : E(op=1, pad=0) {
+        r[(rd + TWO) & 3] = 0;
+      }
+    })q");
+}
+
+TEST(Sema, StatsCountRtl) {
+  auto m = loadOk(arch(R"q(insn n "n %r(rd)" : E(op=1, ra=0, imm4=0) {
+    let a = r[rd];
+    if (a == 0) { r[rd] = 1; } else { r[rd] = 2; }
+  })q"));
+  const auto st = m->stats();
+  EXPECT_EQ(st.numInsns, 1u);
+  EXPECT_EQ(st.numEncodings, 1u);
+  EXPECT_EQ(st.rtlStmts, 4u);  // let, if, 2 assigns
+  EXPECT_EQ(st.numRegs, 2u + 4u);
+}
+
+}  // namespace
+}  // namespace adlsym::adl

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "asmgen/assembler.h"
+#include "asmgen/disasm.h"
+#include "decode/decoder.h"
+#include "isa/registry.h"
+#include "support/strings.h"
+#include "workloads/pgen.h"
+
+namespace adlsym::asmgen {
+namespace {
+
+class AsmRv32 : public ::testing::Test {
+ protected:
+  std::unique_ptr<adl::ArchModel> model = isa::loadIsa("rv32e");
+
+  loader::Image assembleOk(std::string_view src) {
+    DiagEngine diags;
+    Assembler assembler(*model);
+    auto img = assembler.assemble(src, diags);
+    EXPECT_TRUE(img.has_value()) << diags.str();
+    return img ? std::move(*img) : loader::Image{};
+  }
+
+  void assembleFail(std::string_view src, const char* needle) {
+    DiagEngine diags;
+    Assembler assembler(*model);
+    auto img = assembler.assemble(src, diags);
+    EXPECT_FALSE(img.has_value());
+    EXPECT_NE(diags.str().find(needle), std::string::npos)
+        << "wanted '" << needle << "' in:\n" << diags.str();
+  }
+};
+
+TEST_F(AsmRv32, EncodesRType) {
+  const auto img = assembleOk("add x1, x2, x3\n");
+  ASSERT_EQ(img.sections().size(), 1u);
+  const auto& bytes = img.sections()[0].bytes;
+  ASSERT_EQ(bytes.size(), 4u);
+  uint32_t w = 0;
+  for (int i = 0; i < 4; ++i) w |= static_cast<uint32_t>(bytes[i]) << (8 * i);
+  EXPECT_EQ(w & 0x7fu, 0b0110011u);       // opcode
+  EXPECT_EQ((w >> 7) & 0x1f, 1u);         // rd
+  EXPECT_EQ((w >> 15) & 0x1f, 2u);        // rs1
+  EXPECT_EQ((w >> 20) & 0x1f, 3u);        // rs2
+}
+
+TEST_F(AsmRv32, NegativeImmediates) {
+  const auto img = assembleOk("addi x1, x2, -1\n");
+  uint32_t w = 0;
+  for (int i = 0; i < 4; ++i)
+    w |= static_cast<uint32_t>(img.sections()[0].bytes[i]) << (8 * i);
+  EXPECT_EQ(w >> 20, 0xfffu);  // -1 in 12 bits
+}
+
+TEST_F(AsmRv32, LabelsAndBranches) {
+  const auto img = assembleOk(R"(
+_start:
+    addi x1, x0, 0
+loop:
+    addi x1, x1, 1
+    bne x1, x2, loop
+    halti 0
+)");
+  EXPECT_EQ(img.symbol("loop"), 4u);
+  EXPECT_EQ(img.entry(), 0u);  // _start
+  // bne at address 8 targets 4: off12 = -4.
+  uint32_t w = 0;
+  for (int i = 0; i < 4; ++i)
+    w |= static_cast<uint32_t>(img.sections()[0].bytes[8 + i]) << (8 * i);
+  EXPECT_EQ(w >> 20, 0xffcu);  // -4
+}
+
+TEST_F(AsmRv32, MemOperandSyntax) {
+  const auto img = assembleOk("lw x1, 8(x2)\nsw x3, -4(x4)\n");
+  EXPECT_EQ(img.sections()[0].bytes.size(), 8u);
+}
+
+TEST_F(AsmRv32, SectionsDirectivesAndData) {
+  const auto img = assembleOk(R"(
+.section text 0x0
+.entry main
+main:
+    addi x1, x0, buf    ; label as immediate
+    halti 0
+.section data 0x400 rw
+buf:
+    .byte 1, 2, 0xff
+    .word 0x12345678
+    .space 3, 0xee
+)");
+  ASSERT_EQ(img.sections().size(), 2u);
+  const loader::Section* data = img.sectionAt(0x400);
+  ASSERT_NE(data, nullptr);
+  EXPECT_TRUE(data->writable);
+  ASSERT_EQ(data->bytes.size(), 3u + 4u + 3u);
+  EXPECT_EQ(data->bytes[2], 0xff);
+  EXPECT_EQ(data->bytes[3], 0x78);  // little endian .word
+  EXPECT_EQ(data->bytes[6], 0x12);
+  EXPECT_EQ(data->bytes[8], 0xee);
+  EXPECT_EQ(img.symbol("buf"), 0x400u);
+  // The label landed in the addi immediate.
+  uint32_t w = 0;
+  for (int i = 0; i < 4; ++i)
+    w |= static_cast<uint32_t>(img.sectionAt(0)->bytes[i]) << (8 * i);
+  EXPECT_EQ(w >> 20, 0x400u);
+}
+
+TEST_F(AsmRv32, Errors) {
+  assembleFail("frob x1\n", "unknown mnemonic");
+  assembleFail("add x1, x2\n", "expected ','");
+  assembleFail("add x1, x2, x99\n", "bad register");
+  assembleFail("addi x1, x0, 5000\n", "does not fit");
+  assembleFail("jal x1, missing\n", "undefined symbol");
+  assembleFail("add x1, x2, x3 extra\n", "trailing characters");
+  assembleFail("l: halti 0\nl: halti 0\n", "duplicate label");
+  assembleFail(".bogus 1\n", "unknown directive");
+  assembleFail(".section d\n", "requires a name and base");
+}
+
+TEST_F(AsmRv32, BranchRangeChecked) {
+  std::string src = "beq x1, x2, far\n";
+  for (int i = 0; i < 600; ++i) src += "addi x1, x1, 0\n";
+  src += "far: halti 0\n";
+  assembleFail(src, "out of range");
+}
+
+TEST_F(AsmRv32, DisassemblyRoundTrips) {
+  const char* src =
+      "add x1, x2, x3\n"
+      "addi x4, x5, -12\n"
+      "lw x6, 8(x7)\n"
+      "sb x1, 0(x2)\n"
+      "lui x3, 0x12345\n"
+      "halti 42\n";
+  const auto img = assembleOk(src);
+  const std::string dis = disassembleSection(*model, img, "text");
+  // Re-assemble the disassembly (strip the address column).
+  std::string again;
+  for (const std::string& line : splitString(dis, '\n')) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    again += line.substr(colon + 1) + "\n";
+  }
+  const auto img2 = assembleOk(again);
+  EXPECT_EQ(img.sections()[0].bytes, img2.sections()[0].bytes);
+}
+
+// Round-trip assemble -> disassemble -> re-assemble for EVERY shipped ISA
+// over a program that uses most of each ISA's instruction inventory (the
+// pgen torture program exercises loads/stores/ALU/branches/environment).
+class RoundTripAllIsas : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RoundTripAllIsas, DisasmReassemblesByteIdentical) {
+  const std::string isaName = GetParam();
+  auto model = isa::loadIsa(isaName);
+  workloads::PProgram prog;
+  prog.array("a", {1, 2, 3, 4});
+  prog.in(0);
+  prog.li(1, 3);
+  prog.andr(0, 0, 1);
+  prog.loadArr(2, "a", 0);
+  prog.addv(3, 2, 1);
+  prog.shli(3, 3, 1);
+  prog.divu(3, 3, 1);
+  prog.storeArr("a", 0, 3);
+  prog.out(3);
+  prog.bne(3, 1, "end");
+  prog.mov(4, 3);
+  prog.label("end");
+  prog.assertEq(3, 3);
+  prog.halt(4);
+
+  DiagEngine diags;
+  Assembler assembler(*model);
+  auto img = assembler.assemble(workloads::emitAssembly(prog, isaName), diags);
+  ASSERT_TRUE(img.has_value()) << isaName << "\n" << diags.str();
+
+  // Disassemble the text section, then re-assemble at the same base with
+  // the original writable sections appended verbatim.
+  std::string again = ".section text 0x0\n";
+  const std::string dis = disassembleSection(*model, *img, "text");
+  for (const std::string& line : splitString(dis, '\n')) {
+    const size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    again += line.substr(colon + 1) + "\n";
+  }
+  for (const loader::Section& s : img->sections()) {
+    if (!s.writable) continue;
+    again += formatStr(".section %s 0x%llx rw\n", s.name.c_str(),
+                       static_cast<unsigned long long>(s.base));
+    for (const uint8_t b : s.bytes) again += formatStr(".byte %u\n", b);
+  }
+  DiagEngine diags2;
+  auto img2 = assembler.assemble(again, diags2);
+  ASSERT_TRUE(img2.has_value()) << isaName << "\n" << diags2.str();
+  const loader::Section* t1 = img->sectionAt(0);
+  const loader::Section* t2 = img2->sectionAt(0);
+  ASSERT_NE(t1, nullptr);
+  ASSERT_NE(t2, nullptr);
+  EXPECT_EQ(t1->bytes, t2->bytes) << isaName;
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RoundTripAllIsas,
+                         ::testing::ValuesIn(isa::allIsaNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(AsmM16, BigEndianEncodingAndRel2) {
+  auto model = isa::loadIsa("m16");
+  Assembler assembler(*model);
+  DiagEngine diags;
+  auto img = assembler.assemble(R"(
+start:
+    movi r1, 5
+    beq r1, r2, start
+)", diags);
+  ASSERT_TRUE(img.has_value()) << diags.str();
+  const auto& b = img->sections()[0].bytes;
+  ASSERT_EQ(b.size(), 4u);
+  // movi r1, 5: op=3 rd=1 imm9=5 -> 0x3205, big endian on the wire.
+  EXPECT_EQ(b[0], 0x32);
+  EXPECT_EQ(b[1], 0x05);
+  // beq at addr 2 -> start (0): byte offset -2, scaled -> field value -1.
+  const uint16_t w = static_cast<uint16_t>((b[2] << 8) | b[3]);
+  EXPECT_EQ(w & 0x3f, 0x3fu);  // off6 == -1
+}
+
+TEST(AsmM16, OddBranchOffsetRejected) {
+  auto model = isa::loadIsa("m16");
+  Assembler assembler(*model);
+  DiagEngine diags;
+  // Raw integer offset 3 is not a multiple of the 2-byte scale.
+  auto img = assembler.assemble("beq r1, r2, 3\n", diags);
+  EXPECT_FALSE(img.has_value());
+  EXPECT_NE(diags.str().find("not a multiple"), std::string::npos);
+}
+
+TEST(AsmAcc8, VariableLengthLayout) {
+  auto model = isa::loadIsa("acc8");
+  Assembler assembler(*model);
+  DiagEngine diags;
+  auto img = assembler.assemble(R"(
+    in          ; 1 byte
+    add_i 7     ; 2 bytes
+    sta_a 0x1234; 3 bytes
+    hlt 0
+)", diags);
+  ASSERT_TRUE(img.has_value()) << diags.str();
+  const auto& b = img->sections()[0].bytes;
+  ASSERT_EQ(b.size(), 1u + 2u + 3u + 2u);
+  EXPECT_EQ(b[0], 0x40);              // in
+  EXPECT_EQ(b[1], 0x10);              // add_i opcode
+  EXPECT_EQ(b[2], 7);                 // imm8
+  EXPECT_EQ(b[3], 0x04);              // sta_a opcode
+  EXPECT_EQ(b[4], 0x34);              // addr low
+  EXPECT_EQ(b[5], 0x12);              // addr high
+}
+
+TEST(AsmAcc8, DisasmRelShowsTarget) {
+  auto model = isa::loadIsa("acc8");
+  Assembler assembler(*model);
+  DiagEngine diags;
+  auto img = assembler.assemble("l: beq l\n", diags);
+  ASSERT_TRUE(img.has_value()) << diags.str();
+  decode::Decoder dec(*model);
+  const auto* d = dec.decodeAt(*img, 0);
+  ASSERT_NE(d, nullptr);
+  // Offset form (re-assemblable) with the absolute target as a comment.
+  EXPECT_EQ(disassemble(*model, *d, 0), "beq 0  ; -> 0x0");
+}
+
+}  // namespace
+}  // namespace adlsym::asmgen

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "driver/cli.h"
+
+namespace adlsym::driver::cli {
+namespace {
+
+TEST(Cli, UsageAndUnknown) {
+  EXPECT_EQ(dispatch({}).exitCode, 1);
+  EXPECT_NE(dispatch({}).output.find("usage:"), std::string::npos);
+  EXPECT_EQ(dispatch({"help"}).exitCode, 0);
+  const auto r = dispatch({"frobnicate"});
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, Isas) {
+  const auto r = cmdIsas();
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("rv32e"), std::string::npos);
+  EXPECT_NE(r.output.find("m16"), std::string::npos);
+  EXPECT_NE(r.output.find("acc8"), std::string::npos);
+  EXPECT_NE(r.output.find("big"), std::string::npos);  // m16 endianness
+}
+
+TEST(Cli, ModelDump) {
+  const auto r = cmdModel("acc8");
+  EXPECT_EQ(r.exitCode, 0);
+  EXPECT_NE(r.output.find("arch acc8"), std::string::npos);
+  EXPECT_NE(r.output.find("(pc)"), std::string::npos);
+  EXPECT_NE(r.output.find("(flag)"), std::string::npos);
+  EXPECT_NE(r.output.find("lda_i"), std::string::npos);
+  EXPECT_NE(r.output.find("mask="), std::string::npos);
+  EXPECT_EQ(dispatch({"model", "z80"}).exitCode, 1);
+}
+
+constexpr char kProgram[] = R"(
+_start:
+  in8 x5
+  beq x5, x0, zero
+  out x5
+  halti 1
+zero:
+  halti 2
+)";
+
+TEST(Cli, AsmRunExploreRoundTrip) {
+  const auto asmResult = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(asmResult.exitCode, 0) << asmResult.output;
+  EXPECT_NE(asmResult.output.find("image v1"), std::string::npos);
+
+  // Disassemble the produced image.
+  const auto dis = cmdDisasm("rv32e", asmResult.output);
+  ASSERT_EQ(dis.exitCode, 0);
+  EXPECT_NE(dis.output.find("in8 x5"), std::string::npos);
+  EXPECT_NE(dis.output.find("halti 2"), std::string::npos);
+
+  // Concrete run with a nonzero input.
+  const auto run = cmdRun("rv32e", asmResult.output, {7});
+  EXPECT_EQ(run.exitCode, 0);
+  EXPECT_NE(run.output.find("exited (code 1)"), std::string::npos);
+  EXPECT_NE(run.output.find("outputs: 7"), std::string::npos);
+
+  // Concrete run hitting the zero branch.
+  const auto run0 = cmdRun("rv32e", asmResult.output, {0});
+  EXPECT_NE(run0.output.find("exited (code 2)"), std::string::npos);
+
+  // Symbolic exploration finds both paths.
+  ExploreOptions opt;
+  const auto exp = cmdExplore("rv32e", asmResult.output, opt);
+  EXPECT_EQ(exp.exitCode, 0) << exp.output;
+  EXPECT_NE(exp.output.find("paths=2"), std::string::npos);
+  EXPECT_NE(exp.output.find("solver:"), std::string::npos);
+}
+
+TEST(Cli, ExploreStrategiesAndErrors) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  for (const char* strat : {"dfs", "bfs", "random", "coverage"}) {
+    ExploreOptions opt;
+    opt.strategy = strat;
+    const auto r = cmdExplore("rv32e", img.output, opt);
+    EXPECT_EQ(r.exitCode, 0) << strat;
+    EXPECT_NE(r.output.find("paths=2"), std::string::npos) << strat;
+  }
+  ExploreOptions bad;
+  bad.strategy = "dancing-links";
+  EXPECT_EQ(cmdExplore("rv32e", img.output, bad).exitCode, 1);
+}
+
+TEST(Cli, ExploreCoverageAndMerge) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  ExploreOptions opt;
+  opt.coverageReport = true;
+  opt.mergeStates = true;
+  opt.strategy = "bfs";
+  const auto r = cmdExplore("rv32e", img.output, opt);
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("coverage of section text"), std::string::npos);
+  EXPECT_NE(r.output.find("covered"), std::string::npos);
+  EXPECT_NE(r.output.find(" * "), std::string::npos);
+}
+
+TEST(Cli, AsmErrorsReported) {
+  const auto r = cmdAsm("rv32e", "frob x1\n");
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(Cli, DispatchFileErrors) {
+  const auto r = dispatch({"asm", "rv32e", "/nonexistent/file.s"});
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+TEST(Cli, RunDefectExitCode) {
+  const auto img = cmdAsm("rv32e", R"(
+    in8 x1
+    addi x2, x0, 9
+    divu x3, x2, x1
+    halti 0
+  )");
+  ASSERT_EQ(img.exitCode, 0);
+  const auto r = cmdRun("rv32e", img.output, {0});
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("division-by-zero"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adlsym::driver::cli

@@ -1,0 +1,184 @@
+// Concrete replayer semantics (same ArchModel, concrete values).
+#include <gtest/gtest.h>
+
+#include "asmgen/assembler.h"
+#include "core/concrete.h"
+#include "isa/registry.h"
+
+namespace adlsym::core {
+namespace {
+
+loader::Image assembleFor(const adl::ArchModel& model, const std::string& src) {
+  DiagEngine diags;
+  asmgen::Assembler assembler(model);
+  auto img = assembler.assemble(src, diags);
+  EXPECT_TRUE(img.has_value()) << diags.str();
+  return std::move(*img);
+}
+
+TEST(Concrete, ArithmeticAndOutput) {
+  auto model = isa::loadIsa("rv32e");
+  const auto img = assembleFor(*model, R"(
+    addi x1, x0, 6
+    addi x2, x0, 7
+    mul x3, x1, x2
+    out x3
+    halti 5
+  )");
+  ConcreteRunner runner(*model, img);
+  const auto r = runner.run(std::vector<uint64_t>{});
+  EXPECT_EQ(r.status, PathStatus::Exited);
+  EXPECT_EQ(r.exitCode, 5u);
+  ASSERT_EQ(r.outputs.size(), 1u);
+  EXPECT_EQ(r.outputs[0], 42u);
+  EXPECT_EQ(r.steps, 5u);
+}
+
+TEST(Concrete, InputStreamConsumedInOrder) {
+  auto model = isa::loadIsa("rv32e");
+  const auto img = assembleFor(*model, R"(
+    in8 x1
+    in8 x2
+    sub x3, x1, x2
+    out x3
+    halti 0
+  )");
+  ConcreteRunner runner(*model, img);
+  const auto r = runner.run(std::vector<uint64_t>{10, 3});
+  EXPECT_EQ(r.outputs[0], 7u);
+  // Exhausted inputs read as zero.
+  const auto r2 = runner.run(std::vector<uint64_t>{10});
+  EXPECT_EQ(r2.outputs[0], 10u);
+}
+
+TEST(Concrete, BranchesAndLoops) {
+  auto model = isa::loadIsa("rv32e");
+  const auto img = assembleFor(*model, R"(
+    in8 x1
+    addi x2, x0, 0
+  loop:
+    beq x1, x0, done
+    addi x1, x1, -1
+    addi x2, x2, 2
+    jal x0, loop
+  done:
+    out x2
+    halti 0
+  )");
+  ConcreteRunner runner(*model, img);
+  EXPECT_EQ(runner.run(std::vector<uint64_t>{5}).outputs[0], 10u);
+  EXPECT_EQ(runner.run(std::vector<uint64_t>{0}).outputs[0], 0u);
+}
+
+TEST(Concrete, DefectsDetected) {
+  auto model = isa::loadIsa("rv32e");
+  // ConcreteRunner keeps a reference to the image: images must outlive it.
+  const auto divImg = assembleFor(*model, R"(
+    in8 x1
+    addi x2, x0, 9
+    divu x3, x2, x1
+    halti 0
+  )");
+  ConcreteRunner div(*model, divImg);
+  const auto r = div.run(std::vector<uint64_t>{0});
+  EXPECT_EQ(r.status, PathStatus::Defect);
+  EXPECT_EQ(r.defect, DefectKind::DivByZero);
+  EXPECT_EQ(div.run(std::vector<uint64_t>{3}).status, PathStatus::Exited);
+
+  const auto oobImg = assembleFor(*model, R"(
+    lui x1, 0x7        ; 0x7000: unmapped
+    lw x2, 0(x1)
+    halti 0
+  )");
+  ConcreteRunner oob(*model, oobImg);
+  EXPECT_EQ(oob.run(std::vector<uint64_t>{}).defect, DefectKind::OobRead);
+
+  const auto wrImg = assembleFor(*model, R"(
+    sw x0, 0(x0)
+    halti 0
+  )");
+  ConcreteRunner wr(*model, wrImg);
+  EXPECT_EQ(wr.run(std::vector<uint64_t>{}).defect, DefectKind::OobWrite);
+
+  const auto asrtImg = assembleFor(*model, R"(
+    in8 x1
+    addi x2, x0, 4
+    asrt x1, x2
+    halti 0
+  )");
+  ConcreteRunner asrt(*model, asrtImg);
+  EXPECT_EQ(asrt.run(std::vector<uint64_t>{5}).defect, DefectKind::AssertFail);
+  EXPECT_EQ(asrt.run(std::vector<uint64_t>{4}).status, PathStatus::Exited);
+
+  const auto ovfImg = assembleFor(*model, R"(
+    lui x1, 0x7ffff
+    lui x2, 0x7ffff
+    addv x3, x1, x2
+    halti 0
+  )");
+  ConcreteRunner ovf(*model, ovfImg);
+  EXPECT_EQ(ovf.run(std::vector<uint64_t>{}).defect, DefectKind::Trap);
+}
+
+TEST(Concrete, MemoryWritesPersist) {
+  auto model = isa::loadIsa("rv32e");
+  const auto img = assembleFor(*model, R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    addi x1, x0, buf
+    addi x2, x0, 0x77
+    sw x2, 0(x1)
+    lw x3, 0(x1)
+    out x3
+    halti 0
+    .section data 0x400 rw
+  buf: .space 4
+  )");
+  ConcreteRunner runner(*model, img);
+  EXPECT_EQ(runner.run(std::vector<uint64_t>{}).outputs[0], 0x77u);
+}
+
+TEST(Concrete, IllegalAndBudget) {
+  auto model = isa::loadIsa("rv32e");
+  const auto badImg = assembleFor(*model, ".word 0xffffffff\n");
+  ConcreteRunner bad(*model, badImg);
+  EXPECT_EQ(bad.run(std::vector<uint64_t>{}).status, PathStatus::Illegal);
+
+  const auto loopImg = assembleFor(*model, "l: jal x0, l\n");
+  ConcreteRunner loop(*model, loopImg);
+  const auto r = loop.run(std::vector<uint64_t>{}, 100);
+  EXPECT_EQ(r.status, PathStatus::Budget);
+  EXPECT_EQ(r.steps, 100u);
+}
+
+TEST(Concrete, Acc8FlagsAndIndexing) {
+  auto model = isa::loadIsa("acc8");
+  DiagEngine diags;
+  asmgen::Assembler assembler(*model);
+  auto img = assembler.assemble(R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    ldx_i tab
+    adx_i 2
+    lda_x        ; tab[2] == 30
+    out
+    cmp_i 30
+    beq good
+    hlt 1
+  good:
+    hlt 0
+    .section data 0x300 rw
+  tab: .byte 10, 20, 30, 40
+  )", diags);
+  ASSERT_TRUE(img.has_value()) << diags.str();
+  ConcreteRunner runner(*model, *img);
+  const auto r = runner.run(std::vector<uint64_t>{});
+  EXPECT_EQ(r.status, PathStatus::Exited);
+  EXPECT_EQ(r.exitCode, 0u);
+  EXPECT_EQ(r.outputs[0], 30u);
+}
+
+}  // namespace
+}  // namespace adlsym::core

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "decode/decoder.h"
+#include "isa/registry.h"
+
+namespace adlsym::decode {
+namespace {
+
+class DecodeRv32 : public ::testing::Test {
+ protected:
+  std::unique_ptr<adl::ArchModel> model = isa::loadIsa("rv32e");
+};
+
+uint32_t encodeR(unsigned opcode, unsigned rd, unsigned f3, unsigned rs1,
+                 unsigned rs2, unsigned f7) {
+  return opcode | (rd << 7) | (f3 << 12) | (rs1 << 15) | (rs2 << 20) |
+         (f7 << 25);
+}
+
+TEST_F(DecodeRv32, DecodesAdd) {
+  Decoder d(*model);
+  // add x1, x2, x3
+  const uint32_t w = encodeR(0b0110011, 1, 0, 2, 3, 0);
+  uint8_t bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<uint8_t>(w >> (8 * i));
+  const auto dec = d.decodeBytes(bytes, 4);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->insn->name, "add");
+  EXPECT_EQ(dec->lengthBytes, 4u);
+  // Operand order follows the encoding: [funct7][rs2][rs1][funct3][rd][op]
+  // with funct7/funct3/op fixed -> operands are rs2, rs1, rd.
+  const int rdIdx = dec->insn->operandFieldIndex("rd");
+  const int rs1Idx = dec->insn->operandFieldIndex("rs1");
+  const int rs2Idx = dec->insn->operandFieldIndex("rs2");
+  ASSERT_GE(rdIdx, 0);
+  EXPECT_EQ(dec->operandValues[static_cast<size_t>(rdIdx)], 1u);
+  EXPECT_EQ(dec->operandValues[static_cast<size_t>(rs1Idx)], 2u);
+  EXPECT_EQ(dec->operandValues[static_cast<size_t>(rs2Idx)], 3u);
+}
+
+TEST_F(DecodeRv32, DistinguishesFunct7) {
+  Decoder d(*model);
+  uint8_t bytes[4];
+  const uint32_t sub = encodeR(0b0110011, 1, 0, 2, 3, 0b0100000);
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<uint8_t>(sub >> (8 * i));
+  EXPECT_EQ(d.decodeBytes(bytes, 4)->insn->name, "sub");
+  const uint32_t mul = encodeR(0b0110011, 1, 0, 2, 3, 1);
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<uint8_t>(mul >> (8 * i));
+  EXPECT_EQ(d.decodeBytes(bytes, 4)->insn->name, "mul");
+}
+
+TEST_F(DecodeRv32, RejectsUnknownOpcode) {
+  Decoder d(*model);
+  const uint8_t bytes[4] = {0x7f, 0, 0, 0};  // opcode 0x7f undefined
+  EXPECT_FALSE(d.decodeBytes(bytes, 4).has_value());
+}
+
+TEST_F(DecodeRv32, RejectsShortBuffer) {
+  Decoder d(*model);
+  const uint8_t bytes[2] = {0x33, 0x00};
+  EXPECT_FALSE(d.decodeBytes(bytes, 2).has_value());
+}
+
+TEST_F(DecodeRv32, CachesByAddress) {
+  Decoder d(*model);
+  loader::Image img;
+  loader::Section s;
+  s.name = "text";
+  s.base = 0x100;
+  const uint32_t w = encodeR(0b0110011, 1, 0, 2, 3, 0);
+  for (int i = 0; i < 4; ++i) s.bytes.push_back(static_cast<uint8_t>(w >> (8 * i)));
+  img.addSection(std::move(s));
+  const DecodedInsn* first = d.decodeAt(img, 0x100);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(d.stats().cacheHits, 0u);
+  const DecodedInsn* second = d.decodeAt(img, 0x100);
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(d.stats().cacheHits, 1u);
+  // Negative results are cached too.
+  EXPECT_EQ(d.decodeAt(img, 0x999), nullptr);
+  EXPECT_EQ(d.decodeAt(img, 0x999), nullptr);
+  EXPECT_EQ(d.stats().cacheHits, 2u);
+}
+
+class DecodeAcc8 : public ::testing::Test {
+ protected:
+  std::unique_ptr<adl::ArchModel> model = isa::loadIsa("acc8");
+};
+
+TEST_F(DecodeAcc8, VariableLengthLongestFirst) {
+  Decoder d(*model);
+  // 3-byte lda_a 0x1234: opcode 0x02, then addr little-endian.
+  const uint8_t lda[3] = {0x02, 0x34, 0x12};
+  const auto dec3 = d.decodeBytes(lda, 3);
+  ASSERT_TRUE(dec3.has_value());
+  EXPECT_EQ(dec3->insn->name, "lda_a");
+  EXPECT_EQ(dec3->lengthBytes, 3u);
+  EXPECT_EQ(dec3->operandValues[0], 0x1234u);
+  // 1-byte out (0x41) followed by junk must decode as the 1-byte insn.
+  const uint8_t outb[3] = {0x41, 0xde, 0xad};
+  const auto dec1 = d.decodeBytes(outb, 3);
+  ASSERT_TRUE(dec1.has_value());
+  EXPECT_EQ(dec1->insn->name, "out");
+  EXPECT_EQ(dec1->lengthBytes, 1u);
+  // 2-byte hlt 7.
+  const uint8_t hlt[2] = {0x42, 0x07};
+  const auto dec2 = d.decodeBytes(hlt, 2);
+  ASSERT_TRUE(dec2.has_value());
+  EXPECT_EQ(dec2->insn->name, "hlt");
+  EXPECT_EQ(dec2->operandValues[0], 7u);
+}
+
+TEST_F(DecodeAcc8, TruncatedTailStillDecodesShort) {
+  // A 1-byte instruction at the very end of a section (only 1 byte
+  // available) must decode even though longer candidates cannot be read.
+  Decoder d(*model);
+  loader::Image img;
+  loader::Section s;
+  s.name = "text";
+  s.base = 0;
+  s.bytes = {0x41};  // out
+  img.addSection(std::move(s));
+  const DecodedInsn* dec = d.decodeAt(img, 0);
+  ASSERT_NE(dec, nullptr);
+  EXPECT_EQ(dec->insn->name, "out");
+}
+
+TEST(DecodeM16, BigEndianWordAssembly) {
+  auto model = isa::loadIsa("m16");
+  Decoder d(*model);
+  // m16 is big endian: first byte = high bits. movi r1, 5:
+  // I9 = [op:4][rd:3][imm9:9], op=3, rd=1 -> 0011 001 000000101
+  const uint16_t w = (3u << 12) | (1u << 9) | 5u;
+  const uint8_t bytes[2] = {static_cast<uint8_t>(w >> 8),
+                            static_cast<uint8_t>(w & 0xff)};
+  const auto dec = d.decodeBytes(bytes, 2);
+  ASSERT_TRUE(dec.has_value());
+  EXPECT_EQ(dec->insn->name, "movi");
+  const int rdIdx = dec->insn->operandFieldIndex("rd");
+  const int immIdx = dec->insn->operandFieldIndex("imm9");
+  EXPECT_EQ(dec->operandValues[static_cast<size_t>(rdIdx)], 1u);
+  EXPECT_EQ(dec->operandValues[static_cast<size_t>(immIdx)], 5u);
+}
+
+}  // namespace
+}  // namespace adlsym::decode

@@ -1,0 +1,335 @@
+// Instruction-level semantics tests of the ADL-driven symbolic engine,
+// written against small rv32e/acc8 programs through the Session facade.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/testgen.h"
+#include "driver/session.h"
+
+namespace adlsym::core {
+namespace {
+
+using driver::Session;
+
+ExploreSummary explore(const std::string& isa, const std::string& src,
+                       driver::SessionOptions opt = {}) {
+  Session s(isa, src, opt);
+  return s.explore();
+}
+
+const PathResult* exitedPath(const ExploreSummary& s, uint64_t code) {
+  for (const auto& p : s.paths) {
+    if (p.status == PathStatus::Exited && p.exitCode == code) return &p;
+  }
+  return nullptr;
+}
+
+TEST(Evaluator, StraightLineArithmetic) {
+  // (7 + 5) * 3 - 1 = 35
+  const auto s = explore("rv32e", R"(
+    addi x1, x0, 7
+    addi x2, x0, 5
+    add x3, x1, x2
+    addi x4, x0, 3
+    mul x3, x3, x4
+    addi x3, x3, -1
+    out x3
+    halti 0
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  ASSERT_EQ(s.paths[0].outputs.size(), 1u);
+  EXPECT_EQ(s.paths[0].outputs[0], 35u);
+  EXPECT_EQ(s.paths[0].steps, 8u);
+}
+
+TEST(Evaluator, ZeroRegisterIsHardwired) {
+  const auto s = explore("rv32e", R"(
+    addi x0, x0, 99   ; write to x0 is dropped
+    out x0
+    halti 0
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].outputs[0], 0u);
+}
+
+TEST(Evaluator, SymbolicBranchForksBothWays) {
+  const auto s = explore("rv32e", R"(
+    in8 x1
+    addi x2, x0, 10
+    bltu x1, x2, low
+    halti 1
+  low:
+    halti 2
+  )");
+  ASSERT_EQ(s.paths.size(), 2u);
+  const PathResult* hi = exitedPath(s, 1);
+  const PathResult* lo = exitedPath(s, 2);
+  ASSERT_NE(hi, nullptr);
+  ASSERT_NE(lo, nullptr);
+  EXPECT_GE(hi->test.inputs[0].value, 10u);
+  EXPECT_LT(lo->test.inputs[0].value, 10u);
+}
+
+TEST(Evaluator, InfeasibleBranchNotExplored) {
+  // x1 is constrained < 5 before a later check vs 10: only one path.
+  const auto s = explore("rv32e", R"(
+    in8 x1
+    addi x2, x0, 5
+    bgeu x1, x2, big
+    addi x3, x0, 10
+    bltu x1, x3, small   ; always true given x1 < 5
+    halti 9              ; unreachable
+  small:
+    halti 2
+  big:
+    halti 1
+  )");
+  ASSERT_EQ(s.paths.size(), 2u);
+  EXPECT_EQ(exitedPath(s, 9), nullptr);
+  EXPECT_NE(exitedPath(s, 1), nullptr);
+  EXPECT_NE(exitedPath(s, 2), nullptr);
+}
+
+TEST(Evaluator, ConcreteLoopTerminates) {
+  const auto s = explore("rv32e", R"(
+    addi x1, x0, 0
+    addi x2, x0, 10
+  loop:
+    addi x1, x1, 1
+    bne x1, x2, loop
+    out x1
+    halti 0
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].outputs[0], 10u);
+}
+
+TEST(Evaluator, MemoryRoundTrip) {
+  const auto s = explore("rv32e", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    in8 x1
+    addi x2, x0, buf
+    sw x1, 0(x2)
+    lw x3, 0(x2)
+    asrt x1, x3          ; must always hold
+    lbu x4, 0(x2)        ; low byte of little-endian word == x1
+    asrt x1, x4
+    halti 0
+    .section data 0x400 rw
+  buf: .space 4
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].status, PathStatus::Exited);
+}
+
+TEST(Evaluator, EndiannessMattersForMultiByte) {
+  // Store 0x1234 on big-endian m16: first byte is the HIGH byte.
+  const auto s = explore("m16", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    lih r1, 8            ; r1 = 0x400
+    movi r2, 0x12
+    movi r3, 8
+    sll r2, r2, r3       ; r2 = 0x1200
+    sw r2, 0(r1)
+    lb r4, 0(r1)         ; big endian: first byte = 0x12
+    movi r5, 0x12
+    asrt r4, r5
+    movi r6, 0
+    halt r6
+    .section data 0x400 rw
+  buf: .space 2
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].status, PathStatus::Exited) << formatSummary(s);
+}
+
+TEST(Evaluator, FlagsAndConditionalBranchAcc8) {
+  const auto s = explore("acc8", R"(
+    in
+    cmp_i 42
+    beq equal
+    hlt 1
+  equal:
+    hlt 2
+  )");
+  ASSERT_EQ(s.paths.size(), 2u);
+  const PathResult* eq = exitedPath(s, 2);
+  ASSERT_NE(eq, nullptr);
+  EXPECT_EQ(eq->test.inputs[0].value, 42u);
+}
+
+TEST(Evaluator, CarryChainAcc8) {
+  // 200 + 100 = 300: A = 44, C = 1.
+  const auto s = explore("acc8", R"(
+    lda_i 200
+    add_i 100
+    out               ; 44
+    bcs carry
+    hlt 1
+  carry:
+    hlt 0
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].outputs[0], 44u);
+  EXPECT_EQ(s.paths[0].exitCode, 0u);
+}
+
+TEST(Evaluator, StackMachineDiscipline) {
+  // stk16: dup/swap/drop and ALU stack effects.
+  const auto s = explore("stk16", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    spinit 0x6040
+    push_i 7
+    push_i 5
+    swap            ; [5, 7]
+    sub             ; 5 - 7 = 0xfffe (16-bit wrap)
+    dup
+    outp            ; 65534; stack: [0xfffe]
+    push_i 2
+    add
+    outp            ; 0
+    hlt 0
+    .section stack 0x6000 rw
+    .space 64
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].status, PathStatus::Exited) << formatSummary(s);
+  ASSERT_EQ(s.paths[0].outputs.size(), 2u);
+  EXPECT_EQ(s.paths[0].outputs[0], 0xfffeu);
+  EXPECT_EQ(s.paths[0].outputs[1], 0u);
+}
+
+TEST(Evaluator, StackMachineSymbolicBranch) {
+  const auto s = explore("stk16", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    spinit 0x6040
+    inp
+    push_i 10
+    bltu_r small
+    hlt 1
+  small:
+    hlt 2
+    .section stack 0x6000 rw
+    .space 64
+  )");
+  ASSERT_EQ(s.paths.size(), 2u);
+  for (const auto& p : s.paths) {
+    if (*p.exitCode == 2) {
+      EXPECT_LT(p.test.inputs[0].value, 10u);
+    } else {
+      EXPECT_GE(p.test.inputs[0].value, 10u);
+    }
+  }
+}
+
+TEST(Evaluator, StackUnderflowIsOob) {
+  // Popping from an uninitialized sp (= 0) reads unmapped memory: the
+  // engine reports it rather than inventing values.
+  const auto s = explore("stk16", R"(
+    add
+    hlt 0
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  ASSERT_TRUE(s.paths[0].defect.has_value());
+  EXPECT_EQ(s.paths[0].defect->kind, DefectKind::OobRead);
+}
+
+TEST(Evaluator, JalAndJalrRoundTrip) {
+  const auto s = explore("rv32e", R"(
+    jal x1, func
+    out x2
+    halti 0
+  func:
+    addi x2, x0, 77
+    jalr x0, x1, 0
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].outputs[0], 77u);
+}
+
+TEST(Evaluator, SymbolicIndirectTargetEnumerated) {
+  // jalr on a symbolic-but-constrained register: two feasible targets.
+  const auto s = explore("rv32e", R"(
+    in8 x1
+    andi x1, x1, 4     ; x1 in {0, 4}
+    addi x2, x0, t0
+    add x2, x2, x1
+    jalr x0, x2, 0
+  t0:
+    halti 10
+  t4:
+    halti 11
+  )");
+  ASSERT_EQ(s.paths.size(), 2u);
+  EXPECT_NE(exitedPath(s, 10), nullptr);
+  EXPECT_NE(exitedPath(s, 11), nullptr);
+}
+
+TEST(Evaluator, IllegalInstructionReported) {
+  const auto s = explore("rv32e", R"(
+    .word 0xffffffff
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].status, PathStatus::Illegal);
+  ASSERT_TRUE(s.paths[0].defect.has_value());
+  EXPECT_EQ(s.paths[0].defect->kind, DefectKind::IllegalInsn);
+}
+
+TEST(Evaluator, RunOffEndOfCode) {
+  const auto s = explore("rv32e", "addi x1, x0, 1\n");
+  ASSERT_EQ(s.paths.size(), 1u);
+  EXPECT_EQ(s.paths[0].status, PathStatus::Illegal);
+}
+
+TEST(Evaluator, InputsAreStreamOrdered) {
+  const auto s = explore("rv32e", R"(
+    in8 x1
+    in8 x2
+    in32 x3
+    sub x4, x1, x2
+    out x4
+    halti 0
+  )");
+  ASSERT_EQ(s.paths.size(), 1u);
+  const auto& ins = s.paths[0].test.inputs;
+  ASSERT_EQ(ins.size(), 3u);
+  EXPECT_EQ(ins[0].name, "in0_w8");
+  EXPECT_EQ(ins[1].name, "in1_w8");
+  EXPECT_EQ(ins[2].name, "in2_w32");
+  EXPECT_EQ(ins[2].width, 32u);
+}
+
+TEST(Evaluator, RewriterAblationGivesSameResults) {
+  const char* src = R"(
+    in8 x1
+    addi x2, x0, 100
+    bltu x1, x2, low
+    halti 1
+  low:
+    halti 2
+  )";
+  driver::SessionOptions plain;
+  driver::SessionOptions noRewrite;
+  noRewrite.rewriting = false;
+  const auto a = explore("rv32e", src, plain);
+  const auto b = explore("rv32e", src, noRewrite);
+  ASSERT_EQ(a.paths.size(), b.paths.size());
+  std::vector<uint64_t> ea, eb;
+  for (const auto& p : a.paths) ea.push_back(*p.exitCode);
+  for (const auto& p : b.paths) eb.push_back(*p.exitCode);
+  std::sort(ea.begin(), ea.end());
+  std::sort(eb.begin(), eb.end());
+  EXPECT_EQ(ea, eb);
+}
+
+}  // namespace
+}  // namespace adlsym::core

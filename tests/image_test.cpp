@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "loader/image.h"
+#include "support/error.h"
+
+namespace adlsym::loader {
+namespace {
+
+Image twoSectionImage() {
+  Image img;
+  Section text;
+  text.name = "text";
+  text.base = 0;
+  text.bytes = {1, 2, 3, 4};
+  img.addSection(std::move(text));
+  Section data;
+  data.name = "data";
+  data.base = 0x100;
+  data.bytes = {0xaa, 0xbb};
+  data.writable = true;
+  img.addSection(std::move(data));
+  img.setEntry(0);
+  img.addSymbol("start", 0);
+  img.addSymbol("buf", 0x100);
+  return img;
+}
+
+TEST(Image, ByteLookup) {
+  const Image img = twoSectionImage();
+  EXPECT_EQ(img.byteAt(0), 1);
+  EXPECT_EQ(img.byteAt(3), 4);
+  EXPECT_FALSE(img.byteAt(4).has_value());
+  EXPECT_EQ(img.byteAt(0x101), 0xbb);
+  EXPECT_FALSE(img.byteAt(0xff).has_value());
+}
+
+TEST(Image, Permissions) {
+  const Image img = twoSectionImage();
+  EXPECT_TRUE(img.isMapped(0));
+  EXPECT_FALSE(img.isWritable(0));
+  EXPECT_TRUE(img.isWritable(0x100));
+  EXPECT_FALSE(img.isWritable(0x102));  // just past the section
+}
+
+TEST(Image, Symbols) {
+  const Image img = twoSectionImage();
+  EXPECT_EQ(img.symbol("buf"), 0x100u);
+  EXPECT_FALSE(img.symbol("nope").has_value());
+  EXPECT_EQ(img.mappedBytes(), 6u);
+}
+
+TEST(Image, OverlapRejected) {
+  Image img;
+  Section a;
+  a.name = "a";
+  a.base = 0x10;
+  a.bytes.assign(16, 0);
+  img.addSection(std::move(a));
+  Section b;
+  b.name = "b";
+  b.base = 0x1f;  // overlaps last byte of a
+  b.bytes.assign(4, 0);
+  EXPECT_THROW(img.addSection(std::move(b)), Error);
+  Section c;
+  c.name = "c";
+  c.base = 0x20;  // adjacent is fine
+  c.bytes.assign(4, 0);
+  EXPECT_NO_THROW(img.addSection(std::move(c)));
+}
+
+TEST(Image, SerializationRoundTrip) {
+  const Image img = twoSectionImage();
+  const std::string text = img.serialize();
+  const Image back = Image::deserialize(text);
+  EXPECT_EQ(back.entry(), img.entry());
+  EXPECT_EQ(back.symbols(), img.symbols());
+  ASSERT_EQ(back.sections().size(), 2u);
+  EXPECT_EQ(back.sections()[0].bytes, img.sections()[0].bytes);
+  EXPECT_EQ(back.sections()[1].writable, true);
+  // Determinism: serializing again yields the same text.
+  EXPECT_EQ(back.serialize(), text);
+}
+
+TEST(Image, DeserializeRejectsGarbage) {
+  EXPECT_THROW(Image::deserialize("nope"), Error);
+  EXPECT_THROW(Image::deserialize("image v1\nfrob x\n"), Error);
+  EXPECT_THROW(Image::deserialize("image v1\nsection s 0x0 xx 1\n00\n"), Error);
+  EXPECT_THROW(Image::deserialize("image v1\nsection s 0x0 ro 4\n00\n"), Error);
+}
+
+}  // namespace
+}  // namespace adlsym::loader

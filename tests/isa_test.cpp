@@ -1,0 +1,100 @@
+// Validity checks on the three shipped architecture descriptions.
+#include <gtest/gtest.h>
+
+#include "isa/registry.h"
+
+namespace adlsym::isa {
+namespace {
+
+class ShippedIsa : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ShippedIsa, LoadsCleanly) {
+  auto model = loadIsa(GetParam());
+  ASSERT_NE(model, nullptr);
+  EXPECT_EQ(model->name, GetParam());
+  EXPECT_GE(model->insns.size(), 20u);
+  EXPECT_TRUE(model->regs[model->pcIndex].isPC);
+}
+
+TEST_P(ShippedIsa, HasEnvironmentInterface) {
+  auto model = loadIsa(GetParam());
+  // Every ISA must expose input, output and halt so the portable workload
+  // generator can target it.
+  bool hasInput = false;
+  bool hasOutput = false;
+  bool hasHalt = false;
+  for (const auto& insn : model->insns) {
+    for (const auto& stmt : insn.semantics) {
+      if (stmt->op == adl::rtl::StmtOp::Output) hasOutput = true;
+      if (stmt->op == adl::rtl::StmtOp::Halt) hasHalt = true;
+    }
+    if (insn.name == "in8" || insn.name == "in" || insn.name == "inp")
+      hasInput = true;
+  }
+  EXPECT_TRUE(hasInput);
+  EXPECT_TRUE(hasOutput);
+  EXPECT_TRUE(hasHalt);
+}
+
+TEST_P(ShippedIsa, HasCheckedOverflowAdd) {
+  auto model = loadIsa(GetParam());
+  bool hasTrap = false;
+  for (const auto& insn : model->insns) {
+    std::vector<const adl::rtl::Stmt*> work;
+    for (const auto& s : insn.semantics) work.push_back(s.get());
+    while (!work.empty()) {
+      const adl::rtl::Stmt* s = work.back();
+      work.pop_back();
+      if (s->op == adl::rtl::StmtOp::Trap && s->aux == 1) hasTrap = true;
+      for (const auto& b : s->thenBody) work.push_back(b.get());
+      for (const auto& b : s->elseBody) work.push_back(b.get());
+    }
+  }
+  EXPECT_TRUE(hasTrap) << GetParam() << " lacks the trap-class-1 checked add";
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ShippedIsa,
+                         ::testing::ValuesIn(allIsaNames()),
+                         [](const auto& info) { return info.param; });
+
+TEST(IsaRegistry, KnownNames) {
+  EXPECT_EQ(allIsaNames().size(), 4u);
+  EXPECT_THROW(loadIsa("z80"), Error);
+  EXPECT_NE(isaSource("rv32e"), nullptr);
+}
+
+TEST(IsaRegistry, ArchSpecificShape) {
+  auto rv = loadIsa("rv32e");
+  EXPECT_TRUE(rv->endianLittle);
+  EXPECT_EQ(rv->wordSize, 32u);
+  EXPECT_EQ(rv->regfile->count, 16u);
+  EXPECT_EQ(rv->regfile->zeroReg, 0u);
+  EXPECT_EQ(rv->minInsnBytes, 4u);
+  EXPECT_EQ(rv->maxInsnBytes, 4u);
+
+  auto m16 = loadIsa("m16");
+  EXPECT_FALSE(m16->endianLittle);
+  EXPECT_EQ(m16->wordSize, 16u);
+  EXPECT_EQ(m16->regfile->count, 8u);
+  EXPECT_FALSE(m16->regfile->zeroReg.has_value());
+  EXPECT_EQ(m16->maxInsnBytes, 2u);
+
+  auto acc = loadIsa("acc8");
+  EXPECT_EQ(acc->wordSize, 8u);
+  EXPECT_FALSE(acc->regfile.has_value());
+  EXPECT_EQ(acc->minInsnBytes, 1u);
+  EXPECT_EQ(acc->maxInsnBytes, 3u);
+  // Flags exist.
+  EXPECT_GE(acc->regIndex("Z"), 0);
+  EXPECT_GE(acc->regIndex("C"), 0);
+
+  auto stk = loadIsa("stk16");
+  EXPECT_TRUE(stk->endianLittle);
+  EXPECT_FALSE(stk->regfile.has_value());
+  EXPECT_GE(stk->regIndex("sp"), 0);
+  EXPECT_EQ(stk->minInsnBytes, 1u);
+  EXPECT_EQ(stk->maxInsnBytes, 3u);
+}
+
+}  // namespace
+}  // namespace adlsym::isa

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/memory.h"
+#include "smt/term.h"
+
+namespace adlsym::core {
+namespace {
+
+class MemoryTest : public ::testing::Test {
+ protected:
+  smt::TermManager tm;
+  loader::Image img;
+
+  void SetUp() override {
+    loader::Section s;
+    s.name = "data";
+    s.base = 0x100;
+    s.bytes = {10, 20, 30, 40};
+    s.writable = true;
+    img.addSection(std::move(s));
+  }
+};
+
+TEST_F(MemoryTest, ReadsFallThroughToImage) {
+  SymMemory mem(&img);
+  smt::TermRef b = mem.readByte(tm, 0x101);
+  ASSERT_TRUE(b.isConst());
+  EXPECT_EQ(b.constValue(), 20u);
+  EXPECT_FALSE(mem.readByte(tm, 0x200).valid());  // unmapped
+}
+
+TEST_F(MemoryTest, WritesShadowImage) {
+  SymMemory mem(&img);
+  mem.writeByte(0x101, tm.mkConst(8, 99));
+  EXPECT_EQ(mem.readByte(tm, 0x101).constValue(), 99u);
+  EXPECT_EQ(mem.readByte(tm, 0x102).constValue(), 30u);
+  // Symbolic values round-trip.
+  smt::TermRef v = tm.mkVar(8, "v");
+  mem.writeByte(0x100, v);
+  EXPECT_EQ(mem.readByte(tm, 0x100), v);
+}
+
+TEST_F(MemoryTest, ForkIsolation) {
+  SymMemory a(&img);
+  a.writeByte(0x100, tm.mkConst(8, 1));
+  SymMemory b = a;  // fork
+  b.writeByte(0x100, tm.mkConst(8, 2));
+  b.writeByte(0x101, tm.mkConst(8, 3));
+  // Parent unaffected by child writes.
+  EXPECT_EQ(a.readByte(tm, 0x100).constValue(), 1u);
+  EXPECT_EQ(a.readByte(tm, 0x101).constValue(), 20u);
+  EXPECT_EQ(b.readByte(tm, 0x100).constValue(), 2u);
+  EXPECT_EQ(b.readByte(tm, 0x101).constValue(), 3u);
+  // And the child sees pre-fork writes it didn't shadow.
+  SymMemory c = a;
+  EXPECT_EQ(c.readByte(tm, 0x100).constValue(), 1u);
+}
+
+TEST_F(MemoryTest, UniquelyOwnedHeadIsReused) {
+  SymMemory mem(&img);
+  mem.writeByte(0x100, tm.mkConst(8, 1));
+  mem.writeByte(0x101, tm.mkConst(8, 2));
+  mem.writeByte(0x102, tm.mkConst(8, 3));
+  EXPECT_EQ(mem.chainDepth(), 1u);  // no forks: single node
+  EXPECT_EQ(mem.overlayBytes(), 3u);
+}
+
+TEST_F(MemoryTest, DeepChainsFlatten) {
+  SymMemory mem(&img);
+  std::vector<SymMemory> keepAlive;
+  for (int i = 0; i < 100; ++i) {
+    keepAlive.push_back(mem);  // share head, forcing a new node per write
+    mem.writeByte(0x100 + (i % 4), tm.mkConst(8, static_cast<uint64_t>(i)));
+  }
+  EXPECT_LE(mem.chainDepth(), 33u);  // flattening kicked in
+  EXPECT_EQ(mem.readByte(tm, 0x103).constValue(), 99u);
+  EXPECT_EQ(mem.readByte(tm, 0x100).constValue(), 96u);
+  // Old snapshots still read their own view.
+  EXPECT_EQ(keepAlive[1].readByte(tm, 0x100).constValue(), 0u);
+}
+
+TEST_F(MemoryTest, NoImageMemory) {
+  SymMemory mem;  // no backing image at all
+  EXPECT_FALSE(mem.readByte(tm, 0).valid());
+  mem.writeByte(0, tm.mkConst(8, 7));
+  EXPECT_EQ(mem.readByte(tm, 0).constValue(), 7u);
+}
+
+}  // namespace
+}  // namespace adlsym::core

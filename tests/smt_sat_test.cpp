@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "smt/sat.h"
+#include "support/rng.h"
+
+namespace adlsym::smt {
+namespace {
+
+Lit pos(uint32_t v) { return Lit(v, false); }
+Lit neg(uint32_t v) { return Lit(v, true); }
+
+TEST(Sat, TrivialSat) {
+  SatSolver s;
+  const uint32_t a = s.newVar();
+  s.addUnit(pos(a));
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.modelValue(a));
+}
+
+TEST(Sat, TrivialUnsat) {
+  SatSolver s;
+  const uint32_t a = s.newVar();
+  s.addUnit(pos(a));
+  EXPECT_FALSE(s.addUnit(neg(a)));
+  EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, EmptyClauseViaSimplification) {
+  SatSolver s;
+  const uint32_t a = s.newVar();
+  s.addUnit(neg(a));
+  // Clause {a} simplifies to empty at level 0.
+  EXPECT_FALSE(s.addClause({pos(a)}));
+  EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+TEST(Sat, TautologyAndDuplicatesIgnored) {
+  SatSolver s;
+  const uint32_t a = s.newVar();
+  const uint32_t b = s.newVar();
+  EXPECT_TRUE(s.addClause({pos(a), neg(a)}));       // tautology
+  EXPECT_TRUE(s.addClause({pos(b), pos(b), pos(b)}));  // collapses to unit
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.modelValue(b));
+}
+
+TEST(Sat, PropagationChain) {
+  SatSolver s;
+  std::vector<uint32_t> v;
+  for (int i = 0; i < 10; ++i) v.push_back(s.newVar());
+  // v0 and a chain v_i -> v_{i+1}.
+  s.addUnit(pos(v[0]));
+  for (int i = 0; i + 1 < 10; ++i) s.addBinary(neg(v[i]), pos(v[i + 1]));
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(s.modelValue(v[i]));
+}
+
+TEST(Sat, PigeonholeUnsat) {
+  // 4 pigeons in 3 holes: classic small UNSAT requiring real search.
+  SatSolver s;
+  const int P = 4;
+  const int H = 3;
+  uint32_t x[4][3];
+  for (int p = 0; p < P; ++p) {
+    for (int h = 0; h < H; ++h) x[p][h] = s.newVar();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> some;
+    for (int h = 0; h < H; ++h) some.push_back(pos(x[p][h]));
+    s.addClause(some);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.addBinary(neg(x[p1][h]), neg(x[p2][h]));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), SatResult::Unsat);
+  EXPECT_GT(s.stats().conflicts, 0u);
+}
+
+TEST(Sat, AssumptionsAreTemporary) {
+  SatSolver s;
+  const uint32_t a = s.newVar();
+  const uint32_t b = s.newVar();
+  s.addBinary(neg(a), pos(b));  // a -> b
+  EXPECT_EQ(s.solve({pos(a), neg(b)}), SatResult::Unsat);
+  EXPECT_EQ(s.solve({pos(a)}), SatResult::Sat);
+  EXPECT_TRUE(s.modelValue(b));
+  EXPECT_EQ(s.solve({neg(b)}), SatResult::Sat);  // still sat without a
+  EXPECT_FALSE(s.modelValue(a));
+  EXPECT_EQ(s.solve(), SatResult::Sat);  // and with none
+}
+
+TEST(Sat, ConflictingAssumptionsDirectly) {
+  SatSolver s;
+  const uint32_t a = s.newVar();
+  EXPECT_EQ(s.solve({pos(a), neg(a)}), SatResult::Unsat);
+  EXPECT_EQ(s.solve({pos(a)}), SatResult::Sat);
+}
+
+TEST(Sat, IncrementalClausesAfterSolve) {
+  SatSolver s;
+  const uint32_t a = s.newVar();
+  const uint32_t b = s.newVar();
+  s.addBinary(pos(a), pos(b));
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+  // Add clauses after a Sat answer (the bit-blaster does this constantly).
+  const uint32_t c = s.newVar();
+  s.addBinary(neg(a), pos(c));
+  s.addBinary(neg(b), pos(c));
+  EXPECT_EQ(s.solve(), SatResult::Sat);
+  EXPECT_TRUE(s.modelValue(c));
+}
+
+TEST(Sat, ConflictBudgetReturnsUnknown) {
+  // A hard pigeonhole with a tiny budget must give up, not hang or crash.
+  SatSolver s;
+  const int P = 8;
+  const int H = 7;
+  std::vector<std::vector<uint32_t>> x(P, std::vector<uint32_t>(H));
+  for (auto& row : x) {
+    for (auto& v : row) v = s.newVar();
+  }
+  for (int p = 0; p < P; ++p) {
+    std::vector<Lit> some;
+    for (int h = 0; h < H; ++h) some.push_back(pos(x[p][h]));
+    s.addClause(some);
+  }
+  for (int h = 0; h < H; ++h) {
+    for (int p1 = 0; p1 < P; ++p1) {
+      for (int p2 = p1 + 1; p2 < P; ++p2) {
+        s.addBinary(neg(x[p1][h]), neg(x[p2][h]));
+      }
+    }
+  }
+  s.setConflictBudget(10);
+  EXPECT_EQ(s.solve(), SatResult::Unknown);
+  s.setConflictBudget(0);
+  EXPECT_EQ(s.solve(), SatResult::Unsat);
+}
+
+// Random 3-SAT instances, cross-checked against a brute-force evaluator.
+class SatRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SatRandomTest, MatchesBruteForce) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  const unsigned numVars = 10;
+  const unsigned numClauses = 35 + static_cast<unsigned>(rng.below(20));
+  std::vector<std::vector<Lit>> clauses;
+  SatSolver s;
+  for (unsigned v = 0; v < numVars; ++v) s.newVar();
+  for (unsigned i = 0; i < numClauses; ++i) {
+    std::vector<Lit> cl;
+    for (int k = 0; k < 3; ++k) {
+      cl.push_back(Lit(static_cast<uint32_t>(rng.below(numVars)),
+                       rng.below(2) == 0));
+    }
+    clauses.push_back(cl);
+    s.addClause(cl);
+  }
+  // Brute force over all 2^10 assignments.
+  bool expectSat = false;
+  for (uint32_t m = 0; m < (1u << numVars) && !expectSat; ++m) {
+    bool all = true;
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (const Lit l : cl) {
+        const bool val = ((m >> l.var()) & 1) != 0;
+        if (val != l.sign()) {
+          any = true;
+          break;
+        }
+      }
+      if (!any) {
+        all = false;
+        break;
+      }
+    }
+    expectSat = all;
+  }
+  const SatResult r = s.solve();
+  EXPECT_EQ(r, expectSat ? SatResult::Sat : SatResult::Unsat);
+  if (r == SatResult::Sat) {
+    // Verify the model actually satisfies every clause.
+    for (const auto& cl : clauses) {
+      bool any = false;
+      for (const Lit l : cl) any = any || s.modelValue(l);
+      EXPECT_TRUE(any);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random3Sat, SatRandomTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace adlsym::smt

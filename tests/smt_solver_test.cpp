@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "smt/solver.h"
+#include "support/bits.h"
+
+namespace adlsym::smt {
+namespace {
+
+class SolverTest : public ::testing::Test {
+ protected:
+  TermManager tm;
+  SmtSolver s{tm};
+  TermRef c(unsigned w, uint64_t v) { return tm.mkConst(w, v); }
+};
+
+TEST_F(SolverTest, LinearEquation) {
+  TermRef x = tm.mkVar(8, "x");
+  // 3x + 7 == 52  ->  x == 15
+  TermRef eq = tm.mkEq(tm.mkAdd(tm.mkMul(x, c(8, 3)), c(8, 7)), c(8, 52));
+  ASSERT_EQ(s.check({eq}), CheckResult::Sat);
+  const uint64_t xv = s.modelValue(x);
+  EXPECT_EQ((3 * xv + 7) % 256, 52u);
+}
+
+TEST_F(SolverTest, Factoring) {
+  TermRef x = tm.mkVar(16, "x");
+  TermRef y = tm.mkVar(16, "y");
+  TermRef eq = tm.mkEq(tm.mkMul(x, y), c(16, 7 * 13));
+  TermRef c1 = tm.mkUgt(x, c(16, 1));
+  TermRef c2 = tm.mkUgt(y, c(16, 1));
+  TermRef c3 = tm.mkUlt(x, c(16, 50));
+  TermRef c4 = tm.mkUlt(y, c(16, 50));
+  ASSERT_EQ(s.check({eq, c1, c2, c3, c4}), CheckResult::Sat);
+  EXPECT_EQ((s.modelValue(x) * s.modelValue(y)) & 0xffff, 91u);
+}
+
+TEST_F(SolverTest, UnsatContradiction) {
+  TermRef x = tm.mkVar(8, "x");
+  EXPECT_EQ(s.check({tm.mkUlt(x, c(8, 4)), tm.mkUgt(x, c(8, 4))}),
+            CheckResult::Unsat);
+  // Same solver remains usable.
+  EXPECT_EQ(s.check({tm.mkUlt(x, c(8, 4))}), CheckResult::Sat);
+  EXPECT_LT(s.modelValue(x), 4u);
+}
+
+TEST_F(SolverTest, AssertAlwaysPersists) {
+  TermRef x = tm.mkVar(8, "x");
+  s.assertAlways(tm.mkUgt(x, c(8, 250)));
+  ASSERT_EQ(s.check({}), CheckResult::Sat);
+  EXPECT_GT(s.modelValue(x), 250u);
+  EXPECT_EQ(s.check({tm.mkUlt(x, c(8, 100))}), CheckResult::Unsat);
+}
+
+TEST_F(SolverTest, AssertFalseMakesPermanentlyUnsat) {
+  s.assertAlways(tm.mkFalse());
+  EXPECT_EQ(s.check({}), CheckResult::Unsat);
+  EXPECT_EQ(s.check({tm.mkTrue()}), CheckResult::Unsat);
+}
+
+TEST_F(SolverTest, SignedComparisonModels) {
+  TermRef x = tm.mkVar(8, "x");
+  // x <s 0 and x >s -100: x in (-100, 0)
+  ASSERT_EQ(s.check({tm.mkSlt(x, c(8, 0)), tm.mkSgt(x, c(8, 0x9c))}),
+            CheckResult::Sat);
+  const int64_t v = asSigned(s.modelValue(x), 8);
+  EXPECT_LT(v, 0);
+  EXPECT_GT(v, -100);
+}
+
+TEST_F(SolverTest, ModelOfUnconstrainedVarDefaultsZero) {
+  TermRef x = tm.mkVar(8, "x");
+  ASSERT_EQ(s.check({tm.mkTrue()}), CheckResult::Sat);
+  // x was never blasted: it reads as 0 from the snapshot model.
+  EXPECT_EQ(s.modelValue(x), 0u);
+}
+
+TEST_F(SolverTest, ModelSurvivesLaterBlasting) {
+  TermRef x = tm.mkVar(8, "x");
+  ASSERT_EQ(s.check({tm.mkEq(x, c(8, 77))}), CheckResult::Sat);
+  EXPECT_EQ(s.modelValue(x), 77u);
+  // Evaluate a brand-new term under the same model: requires the snapshot,
+  // not the (now disturbed) SAT trail.
+  TermRef y = tm.mkVar(8, "y_new");
+  TermRef t = tm.mkAdd(x, y);
+  EXPECT_EQ(s.modelValue(t), 77u);  // y_new defaults to 0
+  EXPECT_EQ(s.modelValue(x), 77u);
+}
+
+TEST_F(SolverTest, DivisionConstraints) {
+  TermRef x = tm.mkVar(8, "x");
+  // x / 10 == 7 and x % 10 == 3  ->  x == 73
+  ASSERT_EQ(s.check({tm.mkEq(tm.mkUDiv(x, c(8, 10)), c(8, 7)),
+                     tm.mkEq(tm.mkURem(x, c(8, 10)), c(8, 3))}),
+            CheckResult::Sat);
+  EXPECT_EQ(s.modelValue(x), 73u);
+}
+
+TEST_F(SolverTest, ShiftConstraints) {
+  TermRef x = tm.mkVar(8, "x");
+  TermRef sh = tm.mkVar(8, "sh");
+  // (x << sh) == 0x80 with sh == 7 forces x odd.
+  ASSERT_EQ(s.check({tm.mkEq(tm.mkShl(x, sh), c(8, 0x80)),
+                     tm.mkEq(sh, c(8, 7))}),
+            CheckResult::Sat);
+  EXPECT_EQ(s.modelValue(x) & 1, 1u);
+}
+
+TEST_F(SolverTest, IteConstraints) {
+  TermRef x = tm.mkVar(8, "x");
+  TermRef sel = tm.mkUlt(x, c(8, 10));
+  TermRef v = tm.mkIte(sel, c(8, 1), c(8, 2));
+  ASSERT_EQ(s.check({tm.mkEq(v, c(8, 2))}), CheckResult::Sat);
+  EXPECT_GE(s.modelValue(x), 10u);
+}
+
+TEST_F(SolverTest, StatsAccumulate) {
+  TermRef x = tm.mkVar(8, "x");
+  (void)s.check({tm.mkEq(x, c(8, 1))});
+  (void)s.check({tm.mkEq(x, c(8, 2))});
+  (void)s.check({tm.mkAnd(tm.mkEq(x, c(8, 1)), tm.mkEq(x, c(8, 2)))});
+  EXPECT_EQ(s.stats().queries, 3u);
+  EXPECT_EQ(s.stats().sat, 2u);
+  EXPECT_EQ(s.stats().unsat, 1u);
+  EXPECT_GT(s.blastStats().termsBlasted, 0u);
+}
+
+TEST_F(SolverTest, WideWidths) {
+  TermRef x = tm.mkVar(64, "x64");
+  ASSERT_EQ(s.check({tm.mkEq(tm.mkMul(x, c(64, 3)), c(64, 0x123456789abcull))}),
+            CheckResult::Sat);
+  EXPECT_EQ(s.modelValue(x) * 3, 0x123456789abcull);
+}
+
+TEST_F(SolverTest, RejectsWrongWidthAssumption) {
+  TermRef x = tm.mkVar(8, "x");
+  EXPECT_THROW((void)s.check({x}), Error);  // width 8, not 1
+}
+
+TEST_F(SolverTest, QueryCacheHitsAndReplaysModels) {
+  TermRef x = tm.mkVar(8, "x");
+  TermRef q = tm.mkEq(x, c(8, 33));
+  ASSERT_EQ(s.check({q}), CheckResult::Sat);
+  EXPECT_EQ(s.cacheHits(), 0u);
+  // Identical query: served from the cache, including the model.
+  ASSERT_EQ(s.check({q}), CheckResult::Sat);
+  EXPECT_EQ(s.cacheHits(), 1u);
+  EXPECT_EQ(s.modelValue(x), 33u);
+  // Order and duplicates don't matter for the key.
+  TermRef p = tm.mkUlt(x, c(8, 100));
+  ASSERT_EQ(s.check({q, p}), CheckResult::Sat);
+  ASSERT_EQ(s.check({p, q, p}), CheckResult::Sat);
+  EXPECT_EQ(s.cacheHits(), 2u);
+  // Unsat results are cached too.
+  TermRef bad = tm.mkEq(x, c(8, 44));
+  EXPECT_EQ(s.check({q, bad}), CheckResult::Unsat);
+  EXPECT_EQ(s.check({q, bad}), CheckResult::Unsat);
+  EXPECT_EQ(s.cacheHits(), 3u);
+}
+
+TEST_F(SolverTest, QueryCacheInvalidatedByAssertAlways) {
+  TermRef x = tm.mkVar(8, "x");
+  TermRef q = tm.mkUlt(x, c(8, 10));
+  ASSERT_EQ(s.check({q}), CheckResult::Sat);
+  s.assertAlways(tm.mkEq(x, c(8, 200)));  // contradicts q
+  EXPECT_EQ(s.check({q}), CheckResult::Unsat);  // must NOT hit the old entry
+}
+
+TEST_F(SolverTest, QueryCacheCanBeDisabled) {
+  s.setQueryCacheEnabled(false);
+  TermRef x = tm.mkVar(8, "x");
+  TermRef q = tm.mkEq(x, c(8, 1));
+  ASSERT_EQ(s.check({q}), CheckResult::Sat);
+  ASSERT_EQ(s.check({q}), CheckResult::Sat);
+  EXPECT_EQ(s.cacheHits(), 0u);
+}
+
+}  // namespace
+}  // namespace adlsym::smt

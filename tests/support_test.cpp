@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "support/bits.h"
+#include "support/diag.h"
+#include "support/rng.h"
+#include "support/strings.h"
+
+namespace adlsym {
+namespace {
+
+TEST(Bits, LowMask) {
+  EXPECT_EQ(lowMask(1), 1u);
+  EXPECT_EQ(lowMask(8), 0xffu);
+  EXPECT_EQ(lowMask(32), 0xffffffffu);
+  EXPECT_EQ(lowMask(64), ~uint64_t{0});
+  EXPECT_THROW(lowMask(0), Error);
+  EXPECT_THROW(lowMask(65), Error);
+}
+
+TEST(Bits, SignExtend) {
+  EXPECT_EQ(signExtend(0x80, 8), 0xffffffffffffff80ull);
+  EXPECT_EQ(signExtend(0x7f, 8), 0x7full);
+  EXPECT_EQ(asSigned(0xff, 8), -1);
+  EXPECT_EQ(asSigned(0xfff, 12), -1);
+  EXPECT_EQ(asSigned(0x800, 12), -2048);
+}
+
+TEST(Bits, Fits) {
+  EXPECT_TRUE(fitsSigned(-1, 1));
+  EXPECT_FALSE(fitsSigned(1, 1));
+  EXPECT_TRUE(fitsSigned(-2048, 12));
+  EXPECT_FALSE(fitsSigned(-2049, 12));
+  EXPECT_TRUE(fitsSigned(2047, 12));
+  EXPECT_FALSE(fitsSigned(2048, 12));
+  EXPECT_TRUE(fitsUnsigned(255, 8));
+  EXPECT_FALSE(fitsUnsigned(256, 8));
+}
+
+TEST(Bits, BitSlice) {
+  EXPECT_EQ(bitSlice(0xabcd, 15, 8), 0xabu);
+  EXPECT_EQ(bitSlice(0xabcd, 7, 0), 0xcdu);
+  EXPECT_EQ(bitSlice(0x8000000000000000ull, 63, 63), 1u);
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parseInt("42"), 42u);
+  EXPECT_EQ(parseInt("0x2a"), 42u);
+  EXPECT_EQ(parseInt("0b101010"), 42u);
+  EXPECT_EQ(parseInt("0o52"), 42u);
+  EXPECT_EQ(parseInt("0b10_1010"), 42u);
+  EXPECT_EQ(parseInt("-1"), ~uint64_t{0});
+  EXPECT_EQ(parseInt(" 7 "), 7u);
+  EXPECT_FALSE(parseInt(""));
+  EXPECT_FALSE(parseInt("0x"));
+  EXPECT_FALSE(parseInt("12z"));
+  EXPECT_FALSE(parseInt("0b2"));
+  EXPECT_FALSE(parseInt("99999999999999999999999"));  // overflow
+}
+
+TEST(Strings, SplitAndTrim) {
+  const auto parts = splitString("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(trim("  x  "), "x");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t\n"), "");
+}
+
+TEST(Strings, Format) {
+  EXPECT_EQ(formatStr("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(formatStr("%04x", 0xabu), "00ab");
+}
+
+TEST(Diag, CollectsAndFormats) {
+  DiagEngine d("f.adl");
+  EXPECT_FALSE(d.hasErrors());
+  d.warning({1, 2}, "w");
+  EXPECT_FALSE(d.hasErrors());
+  d.error({3, 4}, "e");
+  EXPECT_TRUE(d.hasErrors());
+  EXPECT_EQ(d.errorCount(), 1u);
+  const std::string s = d.str();
+  EXPECT_NE(s.find("f.adl:1:2: warning: w"), std::string::npos);
+  EXPECT_NE(s.find("f.adl:3:4: error: e"), std::string::npos);
+}
+
+TEST(Rng, DeterministicAndSeedSensitive) {
+  Rng a(1);
+  Rng b(1);
+  Rng c(2);
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.next();
+    EXPECT_EQ(va, b.next());
+    (void)c.next();
+  }
+  Rng a2(1);
+  Rng c2(2);
+  EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(Rng, BelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.below(17), 17u);
+  }
+  const double u = r.unit();
+  EXPECT_GE(u, 0.0);
+  EXPECT_LT(u, 1.0);
+}
+
+}  // namespace
+}  // namespace adlsym

@@ -1,0 +1,241 @@
+// Symbolic-pointer semantics: ite-chain reads, conditional writes,
+// aliasing between symbolic accesses, and section-boundary behavior
+// (DESIGN.md §6.3). These target the trickiest part of the memory model.
+#include <gtest/gtest.h>
+
+#include "core/testgen.h"
+#include "driver/session.h"
+
+namespace adlsym::core {
+namespace {
+
+using driver::Session;
+
+ExploreSummary explore(Session& s) { return s.explore(); }
+
+TEST(SymbolicPointer, ReadAfterSymbolicWriteAliases) {
+  // buf[i] = 42 (i symbolic, masked); then read buf[j] (j symbolic,
+  // masked) and require the result to be 42 while j != i is still allowed:
+  // the only way is j == i. The witness must satisfy that.
+  Session s("rv32e", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    in8 x1
+    andi x1, x1, 3      ; i
+    in8 x2
+    andi x2, x2, 3      ; j
+    addi x3, x0, buf
+    add x4, x3, x1
+    addi x5, x0, 42
+    sb x5, 0(x4)        ; buf[i] = 42
+    add x6, x3, x2
+    lbu x7, 0(x6)       ; buf[j]
+    addi x8, x0, 42
+    beq x7, x8, hit
+    halti 1
+  hit:
+    halti 2
+    .section data 0x400 rw
+  buf: .byte 1, 2, 3, 4
+  )");
+  const auto summary = explore(s);
+  ASSERT_EQ(summary.paths.size(), 2u);
+  for (const auto& p : summary.paths) {
+    ASSERT_EQ(p.status, PathStatus::Exited);
+    const uint64_t i = p.test.inputs[0].value & 3;
+    const uint64_t j = p.test.inputs[1].value & 3;
+    const uint8_t init[] = {1, 2, 3, 4};
+    const uint64_t expect = j == i ? 42 : init[j];
+    if (*p.exitCode == 2) {
+      EXPECT_EQ(expect, 42u) << formatTestCase(p.test);
+    } else {
+      EXPECT_NE(expect, 42u) << formatTestCase(p.test);
+    }
+    // And the concrete machine agrees.
+    const auto r = s.replay(p.test);
+    EXPECT_EQ(r.exitCode, *p.exitCode);
+  }
+}
+
+TEST(SymbolicPointer, SymbolicReadSelectsCorrectCell) {
+  // The solver must be able to pick an index producing any requested
+  // table value — and no index can produce a value not in the table.
+  Session s("rv32e", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    in8 x1
+    andi x1, x1, 7
+    addi x2, x0, tab
+    add x2, x2, x1
+    lbu x3, 0(x2)
+    addi x4, x0, 50
+    beq x3, x4, found   ; tab[i] == 50 is only possible at index 5
+    halti 1
+  found:
+    halti 2
+    .section data 0x400 rw
+  tab: .byte 10, 20, 30, 40, 45, 50, 60, 70
+  )");
+  const auto summary = explore(s);
+  ASSERT_EQ(summary.paths.size(), 2u);
+  for (const auto& p : summary.paths) {
+    if (*p.exitCode == 2) {
+      EXPECT_EQ(p.test.inputs[0].value & 7, 5u);
+    } else {
+      EXPECT_NE(p.test.inputs[0].value & 7, 5u);
+    }
+  }
+}
+
+TEST(SymbolicPointer, TwoSymbolicWritesLastWins) {
+  // buf[i] = 1; buf[i] = 2; read buf[i] must always be 2.
+  Session s("rv32e", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    in8 x1
+    andi x1, x1, 3
+    addi x2, x0, buf
+    add x2, x2, x1
+    addi x3, x0, 1
+    sb x3, 0(x2)
+    addi x3, x0, 2
+    sb x3, 0(x2)
+    lbu x4, 0(x2)
+    addi x5, x0, 2
+    asrt x4, x5
+    halti 0
+    .section data 0x400 rw
+  buf: .space 4
+  )");
+  const auto summary = explore(s);
+  ASSERT_EQ(summary.paths.size(), 1u);
+  EXPECT_EQ(summary.paths[0].status, PathStatus::Exited);
+}
+
+TEST(SymbolicPointer, MultiByteAccessAtSymbolicAddress) {
+  // 16-bit load at a symbolic even offset into an 8-byte region: values
+  // assemble little-endian from the right pair of bytes.
+  Session s("rv32e", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    in8 x1
+    andi x1, x1, 6      ; even offsets 0,2,4,6
+    addi x2, x0, buf
+    add x2, x2, x1
+    lhu x3, 0(x2)
+    out x3
+    halti 0
+    .section data 0x400 rw
+  buf: .byte 0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88
+  )");
+  const auto summary = explore(s);
+  ASSERT_EQ(summary.paths.size(), 1u);
+  const auto& p = summary.paths[0];
+  const uint8_t bytes[] = {0x11, 0x22, 0x33, 0x44, 0x55, 0x66, 0x77, 0x88};
+  const uint64_t off = p.test.inputs[0].value & 6;
+  const uint64_t expect = bytes[off] | (bytes[off + 1] << 8);
+  EXPECT_EQ(p.outputs.at(0), expect);
+  const auto r = s.replay(p.test);
+  EXPECT_EQ(r.outputs, p.outputs);
+}
+
+TEST(SymbolicPointer, StraddlingMultiByteAccessIsOob) {
+  // A 2-byte load at a symbolic offset in [0,7] of an 8-byte section can
+  // straddle the end (offset 7): one defect path, one surviving path
+  // constrained to offsets 0..6.
+  Session s("rv32e", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    in8 x1
+    andi x1, x1, 7
+    addi x2, x0, buf
+    add x2, x2, x1
+    lhu x3, 0(x2)
+    halti 0
+    .section data 0x400 rw
+  buf: .space 8
+  )");
+  const auto summary = explore(s);
+  ASSERT_EQ(summary.paths.size(), 2u);
+  unsigned defects = 0;
+  for (const auto& p : summary.paths) {
+    if (p.defect) {
+      ++defects;
+      EXPECT_EQ(p.defect->kind, DefectKind::OobRead);
+      EXPECT_EQ(p.defect->witness.inputs[0].value & 7, 7u);
+    } else {
+      EXPECT_LT(p.test.inputs[0].value & 7, 7u);
+    }
+  }
+  EXPECT_EQ(defects, 1u);
+}
+
+TEST(SymbolicPointer, WritesNeverLeakIntoReadOnlySections) {
+  // A symbolic store whose range covers both a rw and the ro text section
+  // must flag the ro part and constrain the survivor to the rw section.
+  Session s("rv32e", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    in32 x1             ; full 32-bit symbolic address
+    addi x3, x0, 7
+    sb x3, 0(x1)
+    lbu x4, 0(x1)       ; read back on the surviving path
+    asrt x4, x3
+    halti 0
+    .section data 0x400 rw
+  buf: .space 8
+  )");
+  const auto summary = explore(s);
+  unsigned oob = 0;
+  for (const auto& p : summary.paths) {
+    if (p.defect && p.defect->kind == DefectKind::OobWrite) {
+      ++oob;
+    } else if (p.status == PathStatus::Exited) {
+      // Survivor address must be inside the rw section.
+      const uint64_t a = p.test.inputs[0].value;
+      EXPECT_GE(a, 0x400u);
+      EXPECT_LT(a, 0x408u);
+    }
+  }
+  EXPECT_EQ(oob, 1u);
+}
+
+TEST(SymbolicPointer, CrossSectionSymbolicReadPicksRightSection) {
+  // The address range spans two data sections; requesting the sentinel
+  // value forces the solver into the second one.
+  Session s("rv32e", R"(
+    .section text 0x0
+    .entry _start
+  _start:
+    in32 x1
+    lbu x2, 0(x1)
+    addi x3, x0, 0xEE
+    asrt x2, x3         ; only present in 'far'
+    halti 0
+    .section data 0x400 rw
+  buf: .byte 1, 2, 3, 4
+    .section far 0x500 rw
+  sentinel: .byte 0xEE
+  )");
+  const auto summary = explore(s);
+  bool survived = false;
+  for (const auto& p : summary.paths) {
+    if (p.status != PathStatus::Exited) continue;
+    survived = true;
+    // The witness address must hold the sentinel (reads may also range
+    // over the read-only text section, so check the byte, not the section).
+    const auto byte = s.image().byteAt(p.test.inputs[0].value);
+    ASSERT_TRUE(byte.has_value());
+    EXPECT_EQ(*byte, 0xEE);
+  }
+  EXPECT_TRUE(survived);
+}
+
+}  // namespace
+}  // namespace adlsym::core

@@ -1,0 +1,14 @@
+// The adlsym command-line tool. All logic lives in driver/cli.{h,cpp}
+// (unit-tested); this file is argv plumbing only.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "driver/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  const auto result = adlsym::driver::cli::dispatch(args);
+  std::fputs(result.output.c_str(), stdout);
+  return result.exitCode;
+}
