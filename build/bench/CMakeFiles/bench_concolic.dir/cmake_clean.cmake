@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concolic.dir/bench_concolic.cpp.o"
+  "CMakeFiles/bench_concolic.dir/bench_concolic.cpp.o.d"
+  "bench_concolic"
+  "bench_concolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossisa.dir/bench_crossisa.cpp.o"
+  "CMakeFiles/bench_crossisa.dir/bench_crossisa.cpp.o.d"
+  "bench_crossisa"
+  "bench_crossisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

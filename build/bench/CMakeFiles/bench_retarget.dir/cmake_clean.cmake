@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_retarget.dir/bench_retarget.cpp.o"
+  "CMakeFiles/bench_retarget.dir/bench_retarget.cpp.o.d"
+  "bench_retarget"
+  "bench_retarget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_retarget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

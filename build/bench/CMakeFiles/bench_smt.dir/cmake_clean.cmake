@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smt.dir/bench_smt.cpp.o"
+  "CMakeFiles/bench_smt.dir/bench_smt.cpp.o.d"
+  "bench_smt"
+  "bench_smt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bughunt.dir/bughunt.cpp.o"
+  "CMakeFiles/bughunt.dir/bughunt.cpp.o.d"
+  "bughunt"
+  "bughunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bughunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossisa_testgen.dir/crossisa_testgen.cpp.o"
+  "CMakeFiles/crossisa_testgen.dir/crossisa_testgen.cpp.o.d"
+  "crossisa_testgen"
+  "crossisa_testgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossisa_testgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

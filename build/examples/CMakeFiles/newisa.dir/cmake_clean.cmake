@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/newisa.dir/newisa.cpp.o"
+  "CMakeFiles/newisa.dir/newisa.cpp.o.d"
+  "newisa"
+  "newisa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/newisa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adl/lexer.cpp" "src/CMakeFiles/adlsym.dir/adl/lexer.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/adl/lexer.cpp.o.d"
+  "/root/repo/src/adl/model.cpp" "src/CMakeFiles/adlsym.dir/adl/model.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/adl/model.cpp.o.d"
+  "/root/repo/src/adl/parser.cpp" "src/CMakeFiles/adlsym.dir/adl/parser.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/adl/parser.cpp.o.d"
+  "/root/repo/src/adl/sema.cpp" "src/CMakeFiles/adlsym.dir/adl/sema.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/adl/sema.cpp.o.d"
+  "/root/repo/src/asmgen/assembler.cpp" "src/CMakeFiles/adlsym.dir/asmgen/assembler.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/asmgen/assembler.cpp.o.d"
+  "/root/repo/src/asmgen/disasm.cpp" "src/CMakeFiles/adlsym.dir/asmgen/disasm.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/asmgen/disasm.cpp.o.d"
+  "/root/repo/src/baseline/rv32_engine.cpp" "src/CMakeFiles/adlsym.dir/baseline/rv32_engine.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/baseline/rv32_engine.cpp.o.d"
+  "/root/repo/src/core/checkers.cpp" "src/CMakeFiles/adlsym.dir/core/checkers.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/core/checkers.cpp.o.d"
+  "/root/repo/src/core/concolic.cpp" "src/CMakeFiles/adlsym.dir/core/concolic.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/core/concolic.cpp.o.d"
+  "/root/repo/src/core/concrete.cpp" "src/CMakeFiles/adlsym.dir/core/concrete.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/core/concrete.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/CMakeFiles/adlsym.dir/core/evaluator.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/core/evaluator.cpp.o.d"
+  "/root/repo/src/core/explorer.cpp" "src/CMakeFiles/adlsym.dir/core/explorer.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/core/explorer.cpp.o.d"
+  "/root/repo/src/core/memory.cpp" "src/CMakeFiles/adlsym.dir/core/memory.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/core/memory.cpp.o.d"
+  "/root/repo/src/core/testgen.cpp" "src/CMakeFiles/adlsym.dir/core/testgen.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/core/testgen.cpp.o.d"
+  "/root/repo/src/decode/decoder.cpp" "src/CMakeFiles/adlsym.dir/decode/decoder.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/decode/decoder.cpp.o.d"
+  "/root/repo/src/driver/cli.cpp" "src/CMakeFiles/adlsym.dir/driver/cli.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/driver/cli.cpp.o.d"
+  "/root/repo/src/driver/session.cpp" "src/CMakeFiles/adlsym.dir/driver/session.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/driver/session.cpp.o.d"
+  "/root/repo/src/isa/acc8.cpp" "src/CMakeFiles/adlsym.dir/isa/acc8.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/isa/acc8.cpp.o.d"
+  "/root/repo/src/isa/m16.cpp" "src/CMakeFiles/adlsym.dir/isa/m16.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/isa/m16.cpp.o.d"
+  "/root/repo/src/isa/registry.cpp" "src/CMakeFiles/adlsym.dir/isa/registry.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/isa/registry.cpp.o.d"
+  "/root/repo/src/isa/rv32e.cpp" "src/CMakeFiles/adlsym.dir/isa/rv32e.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/isa/rv32e.cpp.o.d"
+  "/root/repo/src/isa/stk16.cpp" "src/CMakeFiles/adlsym.dir/isa/stk16.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/isa/stk16.cpp.o.d"
+  "/root/repo/src/loader/image.cpp" "src/CMakeFiles/adlsym.dir/loader/image.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/loader/image.cpp.o.d"
+  "/root/repo/src/smt/bitblast.cpp" "src/CMakeFiles/adlsym.dir/smt/bitblast.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/smt/bitblast.cpp.o.d"
+  "/root/repo/src/smt/builder.cpp" "src/CMakeFiles/adlsym.dir/smt/builder.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/smt/builder.cpp.o.d"
+  "/root/repo/src/smt/printer.cpp" "src/CMakeFiles/adlsym.dir/smt/printer.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/smt/printer.cpp.o.d"
+  "/root/repo/src/smt/sat.cpp" "src/CMakeFiles/adlsym.dir/smt/sat.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/smt/sat.cpp.o.d"
+  "/root/repo/src/smt/solver.cpp" "src/CMakeFiles/adlsym.dir/smt/solver.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/smt/solver.cpp.o.d"
+  "/root/repo/src/smt/term.cpp" "src/CMakeFiles/adlsym.dir/smt/term.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/smt/term.cpp.o.d"
+  "/root/repo/src/support/diag.cpp" "src/CMakeFiles/adlsym.dir/support/diag.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/support/diag.cpp.o.d"
+  "/root/repo/src/support/strings.cpp" "src/CMakeFiles/adlsym.dir/support/strings.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/support/strings.cpp.o.d"
+  "/root/repo/src/workloads/defects.cpp" "src/CMakeFiles/adlsym.dir/workloads/defects.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/workloads/defects.cpp.o.d"
+  "/root/repo/src/workloads/pgen.cpp" "src/CMakeFiles/adlsym.dir/workloads/pgen.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/workloads/pgen.cpp.o.d"
+  "/root/repo/src/workloads/programs.cpp" "src/CMakeFiles/adlsym.dir/workloads/programs.cpp.o" "gcc" "src/CMakeFiles/adlsym.dir/workloads/programs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

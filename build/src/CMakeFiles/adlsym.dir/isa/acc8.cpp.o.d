@@ -1,0 +1,2 @@
+src/CMakeFiles/adlsym.dir/isa/acc8.cpp.o: /root/repo/src/isa/acc8.cpp \
+ /usr/include/stdc-predef.h /root/repo/build/src/generated/acc8_adl.h

@@ -1,0 +1,2 @@
+src/CMakeFiles/adlsym.dir/isa/m16.cpp.o: /root/repo/src/isa/m16.cpp \
+ /usr/include/stdc-predef.h /root/repo/build/src/generated/m16_adl.h

@@ -1,0 +1,2 @@
+src/CMakeFiles/adlsym.dir/isa/rv32e.cpp.o: /root/repo/src/isa/rv32e.cpp \
+ /usr/include/stdc-predef.h /root/repo/build/src/generated/rv32e_adl.h

@@ -1,0 +1,2 @@
+src/CMakeFiles/adlsym.dir/isa/stk16.cpp.o: /root/repo/src/isa/stk16.cpp \
+ /usr/include/stdc-predef.h /root/repo/build/src/generated/stk16_adl.h

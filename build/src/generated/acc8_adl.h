@@ -1,0 +1,197 @@
+// Generated from share/isa/acc8.adl by CMake — do not edit.
+#pragma once
+
+namespace adlsym::isa::embedded {
+inline constexpr char k_acc8[] = R"__ADL__(// acc8 — an 8-bit accumulator machine in the 6502 tradition: variable
+// length encodings (1-3 bytes, opcode in the first byte), condition flags
+// (Z = zero, C = carry / no-borrow), a 16-bit index register X, and flag-
+// driven conditional branches. Exercises the decoder generator's variable-
+// length path and flag semantics in the ADL. Trap class 1 = checked
+// signed-overflow add (addv_a), as in the other ISAs.
+arch acc8 {
+  endian little;
+  wordsize 8;
+
+  reg pc : 16;
+  reg A : 8;
+  reg X : 16;
+  flag Z;
+  flag C;
+  mem M : byte[16];
+
+  enc Op1    = [opcode:8];
+  enc OpImm  = [imm8:8][opcode:8];
+  enc OpAddr = [addr16:16][opcode:8];
+  enc OpRel  = [off8:8][opcode:8];
+
+  // ---- loads / stores ---------------------------------------------------
+  insn lda_i "lda_i %i(imm8)" : OpImm(opcode=0x01) {
+    A = imm8;
+    Z = A == 0;
+  }
+  insn lda_a "lda_a %abs(addr16)" : OpAddr(opcode=0x02) {
+    A = load8(addr16);
+    Z = A == 0;
+  }
+  insn lda_x "lda_x" : Op1(opcode=0x03) {
+    A = load8(X);
+    Z = A == 0;
+  }
+  insn sta_a "sta_a %abs(addr16)" : OpAddr(opcode=0x04) {
+    store8(addr16, A);
+  }
+  insn sta_x "sta_x" : Op1(opcode=0x05) {
+    store8(X, A);
+  }
+  insn ldx_i "ldx_i %i(addr16)" : OpAddr(opcode=0x06) {
+    X = addr16;
+  }
+
+  // ---- arithmetic (C = carry out, Z = zero) --------------------------------
+  insn add_i "add_i %i(imm8)" : OpImm(opcode=0x10) {
+    let s = zext(A, 9) + zext(imm8, 9);
+    C = bit(s, 8);
+    A = trunc(s, 8);
+    Z = A == 0;
+  }
+  insn add_a "add_a %abs(addr16)" : OpAddr(opcode=0x11) {
+    let m = load8(addr16);
+    let s = zext(A, 9) + zext(m, 9);
+    C = bit(s, 8);
+    A = trunc(s, 8);
+    Z = A == 0;
+  }
+  // Checked add: traps (class 1) on signed 8-bit overflow.
+  insn addv_a "addv_a %abs(addr16)" : OpAddr(opcode=0x12) {
+    let b = load8(addr16);
+    let s = A + b;
+    if ((A >=s 0 && b >=s 0 && s <s 0) || (A <s 0 && b <s 0 && s >=s 0)) {
+      trap(1);
+    }
+    A = s;
+    Z = A == 0;
+  }
+  insn sub_i "sub_i %i(imm8)" : OpImm(opcode=0x13) {
+    C = imm8 <= A;   // no-borrow convention
+    A = A - imm8;
+    Z = A == 0;
+  }
+  insn sub_a "sub_a %abs(addr16)" : OpAddr(opcode=0x14) {
+    let m = load8(addr16);
+    C = m <= A;
+    A = A - m;
+    Z = A == 0;
+  }
+  insn and_i "and_i %i(imm8)" : OpImm(opcode=0x15) {
+    A = A & imm8;
+    Z = A == 0;
+  }
+  insn ora_i "ora_i %i(imm8)" : OpImm(opcode=0x16) {
+    A = A | imm8;
+    Z = A == 0;
+  }
+  insn eor_i "eor_i %i(imm8)" : OpImm(opcode=0x17) {
+    A = A ^ imm8;
+    Z = A == 0;
+  }
+  insn and_a "and_a %abs(addr16)" : OpAddr(opcode=0x18) {
+    A = A & load8(addr16);
+    Z = A == 0;
+  }
+  insn ora_a "ora_a %abs(addr16)" : OpAddr(opcode=0x19) {
+    A = A | load8(addr16);
+    Z = A == 0;
+  }
+  insn eor_a "eor_a %abs(addr16)" : OpAddr(opcode=0x1a) {
+    A = A ^ load8(addr16);
+    Z = A == 0;
+  }
+
+  // ---- compares -------------------------------------------------------------
+  insn cmp_i "cmp_i %i(imm8)" : OpImm(opcode=0x20) {
+    Z = A == imm8;
+    C = imm8 <= A;
+  }
+  insn cmp_a "cmp_a %abs(addr16)" : OpAddr(opcode=0x21) {
+    let m = load8(addr16);
+    Z = A == m;
+    C = m <= A;
+  }
+
+  // ---- shifts / index ---------------------------------------------------------
+  insn asl "asl" : Op1(opcode=0x28) {
+    C = bit(A, 7);
+    A = A << 1;
+    Z = A == 0;
+  }
+  insn lsr "lsr" : Op1(opcode=0x29) {
+    C = bit(A, 0);
+    A = A >> 1;
+    Z = A == 0;
+  }
+  insn inx "inx" : Op1(opcode=0x2a) {
+    X = X + 1;
+  }
+  insn dex "dex" : Op1(opcode=0x2b) {
+    X = X - 1;
+  }
+  insn div_a "div_a %abs(addr16)" : OpAddr(opcode=0x2c) {
+    A = A / load8(addr16);
+    Z = A == 0;
+  }
+  insn div_i "div_i %i(imm8)" : OpImm(opcode=0x2d) {
+    A = A / imm8;
+    Z = A == 0;
+  }
+  insn tax "tax" : Op1(opcode=0x2e) {
+    X = zext(A, 16);
+  }
+  insn txa "txa" : Op1(opcode=0x2f) {
+    A = trunc(X, 8);
+    Z = A == 0;
+  }
+  insn adx_i "adx_i %i(imm8)" : OpImm(opcode=0x45) {
+    X = X + zext(imm8, 16);
+  }
+  insn aax "aax" : Op1(opcode=0x46) {
+    X = X + zext(A, 16);
+  }
+  insn mul_a "mul_a %abs(addr16)" : OpAddr(opcode=0x47) {
+    A = A * load8(addr16);
+    Z = A == 0;
+  }
+
+  // ---- control flow -------------------------------------------------------------
+  insn beq "beq %rel(off8)" : OpRel(opcode=0x30) {
+    if (Z) { pc = pc + sext(off8, 16); }
+  }
+  insn bne "bne %rel(off8)" : OpRel(opcode=0x31) {
+    if (!Z) { pc = pc + sext(off8, 16); }
+  }
+  insn bcs "bcs %rel(off8)" : OpRel(opcode=0x32) {
+    if (C) { pc = pc + sext(off8, 16); }
+  }
+  insn bcc "bcc %rel(off8)" : OpRel(opcode=0x33) {
+    if (!C) { pc = pc + sext(off8, 16); }
+  }
+  insn jmp "jmp %abs(addr16)" : OpAddr(opcode=0x34) {
+    pc = addr16;
+  }
+
+  // ---- environment -----------------------------------------------------------------
+  insn in "in" : Op1(opcode=0x40) {
+    A = input8();
+    Z = A == 0;
+  }
+  insn out "out" : Op1(opcode=0x41) {
+    output(A);
+  }
+  insn hlt "hlt %i(imm8)" : OpImm(opcode=0x42) {
+    halt(imm8);
+  }
+  insn asrt_a "asrt_a %abs(addr16)" : OpAddr(opcode=0x43) {
+    asserteq(A, load8(addr16));
+  }
+}
+)__ADL__";
+}  // namespace adlsym::isa::embedded

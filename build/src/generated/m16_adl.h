@@ -1,0 +1,150 @@
+// Generated from share/isa/m16.adl by CMake — do not edit.
+#pragma once
+
+namespace adlsym::isa::embedded {
+inline constexpr char k_m16[] = R"__ADL__(// m16 — a 16-bit big-endian compact load/store ISA: 8 registers, fixed
+// 16-bit encodings, 2-byte-scaled branch offsets. Exercises the engine's
+// retargetability along three axes at once: different word size, different
+// endianness, and different field layouts than rv32e. Trap class 1 =
+// checked signed-overflow add (addv), as in the other ISAs.
+arch m16 {
+  endian big;
+  wordsize 16;
+
+  reg pc : 16;
+  regfile r[8] : 16;
+  mem M : byte[16];
+
+  enc R3 = [op:4][rd:3][ra:3][rb:3][fn:3];
+  enc RI = [op:4][rd:3][ra:3][imm6:6];
+  enc I9 = [op:4][rd:3][imm9:9];
+  enc B  = [op:4][ra:3][rb:3][off6:6];
+  enc E  = [op:4][rd:3][ra:3][fn6:6];
+
+  // ---- three-register ALU (op 0) ---------------------------------------
+  insn add "add %r(rd), %r(ra), %r(rb)" : R3(op=0, fn=0) {
+    r[rd] = r[ra] + r[rb];
+  }
+  insn sub "sub %r(rd), %r(ra), %r(rb)" : R3(op=0, fn=1) {
+    r[rd] = r[ra] - r[rb];
+  }
+  insn and "and %r(rd), %r(ra), %r(rb)" : R3(op=0, fn=2) {
+    r[rd] = r[ra] & r[rb];
+  }
+  insn or "or %r(rd), %r(ra), %r(rb)" : R3(op=0, fn=3) {
+    r[rd] = r[ra] | r[rb];
+  }
+  insn xor "xor %r(rd), %r(ra), %r(rb)" : R3(op=0, fn=4) {
+    r[rd] = r[ra] ^ r[rb];
+  }
+  insn sll "sll %r(rd), %r(ra), %r(rb)" : R3(op=0, fn=5) {
+    r[rd] = r[ra] << (r[rb] & 15);
+  }
+  insn srl "srl %r(rd), %r(ra), %r(rb)" : R3(op=0, fn=6) {
+    r[rd] = r[ra] >> (r[rb] & 15);
+  }
+  insn sra "sra %r(rd), %r(ra), %r(rb)" : R3(op=0, fn=7) {
+    r[rd] = r[ra] >>a (r[rb] & 15);
+  }
+
+  // ---- multiply/divide/compare (op 1) ------------------------------------
+  insn mul "mul %r(rd), %r(ra), %r(rb)" : R3(op=1, fn=0) {
+    r[rd] = r[ra] * r[rb];
+  }
+  insn divu "divu %r(rd), %r(ra), %r(rb)" : R3(op=1, fn=1) {
+    r[rd] = r[ra] / r[rb];
+  }
+  insn remu "remu %r(rd), %r(ra), %r(rb)" : R3(op=1, fn=2) {
+    r[rd] = r[ra] % r[rb];
+  }
+  insn slt "slt %r(rd), %r(ra), %r(rb)" : R3(op=1, fn=3) {
+    r[rd] = zext(r[ra] <s r[rb], 16);
+  }
+  insn sltu "sltu %r(rd), %r(ra), %r(rb)" : R3(op=1, fn=4) {
+    r[rd] = zext(r[ra] < r[rb], 16);
+  }
+  insn div "div %r(rd), %r(ra), %r(rb)" : R3(op=1, fn=5) {
+    r[rd] = sdiv(r[ra], r[rb]);
+  }
+  insn rem "rem %r(rd), %r(ra), %r(rb)" : R3(op=1, fn=6) {
+    r[rd] = srem(r[ra], r[rb]);
+  }
+  // Checked add: traps (class 1) on signed 16-bit overflow.
+  insn addv "addv %r(rd), %r(ra), %r(rb)" : R3(op=1, fn=7) {
+    let a = r[ra];
+    let b = r[rb];
+    let s = a + b;
+    if ((a >=s 0 && b >=s 0 && s <s 0) || (a <s 0 && b <s 0 && s >=s 0)) {
+      trap(1);
+    }
+    r[rd] = s;
+  }
+
+  // ---- immediates ---------------------------------------------------------
+  insn addi "addi %r(rd), %r(ra), %i(imm6)" : RI(op=2) {
+    r[rd] = r[ra] + sext(imm6, 16);
+  }
+  insn movi "movi %r(rd), %i(imm9)" : I9(op=3) {
+    r[rd] = sext(imm9, 16);
+  }
+  // Load-high: materialize 128-aligned 16-bit constants (e.g. data bases).
+  insn lih "lih %r(rd), %i(imm9)" : I9(op=15) {
+    r[rd] = zext(imm9, 16) << 7;
+  }
+
+  // ---- memory -------------------------------------------------------------
+  insn lb "lb %r(rd), %i(imm6)(%r(ra))" : RI(op=4) {
+    r[rd] = sext(load8(r[ra] + sext(imm6, 16)), 16);
+  }
+  insn lw "lw %r(rd), %i(imm6)(%r(ra))" : RI(op=5) {
+    r[rd] = load16(r[ra] + sext(imm6, 16));
+  }
+  insn sb "sb %r(rd), %i(imm6)(%r(ra))" : RI(op=6) {
+    store8(r[ra] + sext(imm6, 16), trunc(r[rd], 8));
+  }
+  insn sw "sw %r(rd), %i(imm6)(%r(ra))" : RI(op=7) {
+    store16(r[ra] + sext(imm6, 16), r[rd]);
+  }
+
+  // ---- branches (2-byte-scaled offsets) -------------------------------------
+  insn beq "beq %r(ra), %r(rb), %rel2(off6)" : B(op=8) {
+    if (r[ra] == r[rb]) { pc = pc + (sext(off6, 16) << 1); }
+  }
+  insn bne "bne %r(ra), %r(rb), %rel2(off6)" : B(op=9) {
+    if (r[ra] != r[rb]) { pc = pc + (sext(off6, 16) << 1); }
+  }
+  insn bltu "bltu %r(ra), %r(rb), %rel2(off6)" : B(op=10) {
+    if (r[ra] < r[rb]) { pc = pc + (sext(off6, 16) << 1); }
+  }
+  insn blt "blt %r(ra), %r(rb), %rel2(off6)" : B(op=11) {
+    if (r[ra] <s r[rb]) { pc = pc + (sext(off6, 16) << 1); }
+  }
+
+  // ---- jumps ---------------------------------------------------------------
+  insn jal "jal %r(rd), %rel2(imm9)" : I9(op=12) {
+    r[rd] = pc + 2;
+    pc = pc + (sext(imm9, 16) << 1);
+  }
+  insn jr "jr %r(ra)" : E(op=13, rd=0, fn6=0) {
+    pc = r[ra];
+  }
+
+  // ---- environment (op 14) ---------------------------------------------------
+  insn in8 "in8 %r(rd)" : E(op=14, ra=0, fn6=1) {
+    r[rd] = zext(input8(), 16);
+  }
+  insn in16 "in16 %r(rd)" : E(op=14, ra=0, fn6=2) {
+    r[rd] = input16();
+  }
+  insn out "out %r(ra)" : E(op=14, rd=0, fn6=3) {
+    output(r[ra]);
+  }
+  insn halt "halt %r(ra)" : E(op=14, rd=0, fn6=4) {
+    halt(r[ra]);
+  }
+  insn asrt "asrt %r(rd), %r(ra)" : E(op=14, fn6=5) {
+    asserteq(r[rd], r[ra]);
+  }
+}
+)__ADL__";
+}  // namespace adlsym::isa::embedded

@@ -1,0 +1,249 @@
+// Generated from share/isa/rv32e.adl by CMake — do not edit.
+#pragma once
+
+namespace adlsym::isa::embedded {
+inline constexpr char k_rv32e[] = R"__ADL__(// rv32e — a 32-bit little-endian load/store RISC in the style of RV32E:
+// 16 registers (x0 hardwired to zero), fixed 32-bit encodings, byte-offset
+// branches. Deviations from real RISC-V are deliberate simplifications:
+// branch/jump immediates are contiguous fields (not bit-scattered), and the
+// environment interface (in8/out/halt/asrt) uses custom opcodes instead of
+// ecall. `addv` is a checked add that traps on signed overflow (trap class
+// 1), used by the defect-detection experiments (E5).
+arch rv32e {
+  endian little;
+  wordsize 32;
+
+  reg pc : 32;
+  regfile x[16] : 32 { zero = 0 };
+  mem M : byte[32];
+
+  // Major opcode classes (named constants keep the instruction table
+  // readable and exercise the ADL `const` feature).
+  const OP_ALU    = 0b0110011;
+  const OP_ALUI   = 0b0010011;
+  const OP_LOAD   = 0b0000011;
+  const OP_STORE  = 0b0100011;
+  const OP_BRANCH = 0b1100011;
+  const OP_LUI    = 0b0110111;
+  const OP_JAL    = 0b1101111;
+  const OP_JALR   = 0b1100111;
+  const OP_ENV    = 0b1110111;
+  const OP_ASSERT = 0b1111011;
+
+  enc RType = [funct7:7][rs2:5][rs1:5][funct3:3][rd:5][opcode:7];
+  enc IType = [imm12:12][rs1:5][funct3:3][rd:5][opcode:7];
+  enc SType = [imm12:12][rs2:5][rs1:5][funct3:3][opcode:7];
+  enc BType = [off12:12][rs2:5][rs1:5][funct3:3][opcode:7];
+  enc UType = [imm20:20][rd:5][opcode:7];
+  enc JType = [off20:20][rd:5][opcode:7];
+
+  // ---- register-register ALU (opcode 0110011) -------------------------
+  insn add "add %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=0, funct7=0) {
+    x[rd] = x[rs1] + x[rs2];
+  }
+  insn sub "sub %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=0, funct7=0b0100000) {
+    x[rd] = x[rs1] - x[rs2];
+  }
+  insn sll "sll %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=1, funct7=0) {
+    x[rd] = x[rs1] << (x[rs2] & 31);
+  }
+  insn slt "slt %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=2, funct7=0) {
+    x[rd] = zext(x[rs1] <s x[rs2], 32);
+  }
+  insn sltu "sltu %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=3, funct7=0) {
+    x[rd] = zext(x[rs1] < x[rs2], 32);
+  }
+  insn xor "xor %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=4, funct7=0) {
+    x[rd] = x[rs1] ^ x[rs2];
+  }
+  insn srl "srl %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=5, funct7=0) {
+    x[rd] = x[rs1] >> (x[rs2] & 31);
+  }
+  insn sra "sra %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=5, funct7=0b0100000) {
+    x[rd] = x[rs1] >>a (x[rs2] & 31);
+  }
+  insn or "or %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=6, funct7=0) {
+    x[rd] = x[rs1] | x[rs2];
+  }
+  insn and "and %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=7, funct7=0) {
+    x[rd] = x[rs1] & x[rs2];
+  }
+
+  // ---- M extension (funct7=1) -----------------------------------------
+  insn mul "mul %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=0, funct7=1) {
+    x[rd] = x[rs1] * x[rs2];
+  }
+  insn div "div %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=4, funct7=1) {
+    x[rd] = sdiv(x[rs1], x[rs2]);
+  }
+  insn divu "divu %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=5, funct7=1) {
+    x[rd] = x[rs1] / x[rs2];
+  }
+  insn rem "rem %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=6, funct7=1) {
+    x[rd] = srem(x[rs1], x[rs2]);
+  }
+  insn remu "remu %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=7, funct7=1) {
+    x[rd] = x[rs1] % x[rs2];
+  }
+
+  // Checked add: traps (class 1) on signed 32-bit overflow.
+  insn addv "addv %r(rd), %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ALU, funct3=0, funct7=2) {
+    let a = x[rs1];
+    let b = x[rs2];
+    let s = a + b;
+    if ((a >=s 0 && b >=s 0 && s <s 0) || (a <s 0 && b <s 0 && s >=s 0)) {
+      trap(1);
+    }
+    x[rd] = s;
+  }
+
+  // ---- immediate ALU (opcode 0010011) ----------------------------------
+  insn addi "addi %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_ALUI, funct3=0) {
+    x[rd] = x[rs1] + sext(imm12, 32);
+  }
+  insn slli "slli %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_ALUI, funct3=1) {
+    x[rd] = x[rs1] << zext(bits(imm12, 4, 0), 32);
+  }
+  insn slti "slti %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_ALUI, funct3=2) {
+    x[rd] = zext(x[rs1] <s sext(imm12, 32), 32);
+  }
+  insn sltiu "sltiu %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_ALUI, funct3=3) {
+    x[rd] = zext(x[rs1] < sext(imm12, 32), 32);
+  }
+  insn xori "xori %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_ALUI, funct3=4) {
+    x[rd] = x[rs1] ^ sext(imm12, 32);
+  }
+  insn srli "srli %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_ALUI, funct3=5) {
+    x[rd] = x[rs1] >> zext(bits(imm12, 4, 0), 32);
+  }
+  insn ori "ori %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_ALUI, funct3=6) {
+    x[rd] = x[rs1] | sext(imm12, 32);
+  }
+  insn andi "andi %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_ALUI, funct3=7) {
+    x[rd] = x[rs1] & sext(imm12, 32);
+  }
+
+  // ---- loads (opcode 0000011) ------------------------------------------
+  insn lb "lb %r(rd), %i(imm12)(%r(rs1))"
+      : IType(opcode=OP_LOAD, funct3=0) {
+    x[rd] = sext(load8(x[rs1] + sext(imm12, 32)), 32);
+  }
+  insn lh "lh %r(rd), %i(imm12)(%r(rs1))"
+      : IType(opcode=OP_LOAD, funct3=1) {
+    x[rd] = sext(load16(x[rs1] + sext(imm12, 32)), 32);
+  }
+  insn lw "lw %r(rd), %i(imm12)(%r(rs1))"
+      : IType(opcode=OP_LOAD, funct3=2) {
+    x[rd] = load32(x[rs1] + sext(imm12, 32));
+  }
+  insn lbu "lbu %r(rd), %i(imm12)(%r(rs1))"
+      : IType(opcode=OP_LOAD, funct3=4) {
+    x[rd] = zext(load8(x[rs1] + sext(imm12, 32)), 32);
+  }
+  insn lhu "lhu %r(rd), %i(imm12)(%r(rs1))"
+      : IType(opcode=OP_LOAD, funct3=5) {
+    x[rd] = zext(load16(x[rs1] + sext(imm12, 32)), 32);
+  }
+
+  // ---- stores (opcode 0100011) -----------------------------------------
+  insn sb "sb %r(rs2), %i(imm12)(%r(rs1))"
+      : SType(opcode=OP_STORE, funct3=0) {
+    store8(x[rs1] + sext(imm12, 32), trunc(x[rs2], 8));
+  }
+  insn sh "sh %r(rs2), %i(imm12)(%r(rs1))"
+      : SType(opcode=OP_STORE, funct3=1) {
+    store16(x[rs1] + sext(imm12, 32), trunc(x[rs2], 16));
+  }
+  insn sw "sw %r(rs2), %i(imm12)(%r(rs1))"
+      : SType(opcode=OP_STORE, funct3=2) {
+    store32(x[rs1] + sext(imm12, 32), x[rs2]);
+  }
+
+  // ---- branches (opcode 1100011); off12 is a byte offset ----------------
+  insn beq "beq %r(rs1), %r(rs2), %rel(off12)"
+      : BType(opcode=OP_BRANCH, funct3=0) {
+    if (x[rs1] == x[rs2]) { pc = pc + sext(off12, 32); }
+  }
+  insn bne "bne %r(rs1), %r(rs2), %rel(off12)"
+      : BType(opcode=OP_BRANCH, funct3=1) {
+    if (x[rs1] != x[rs2]) { pc = pc + sext(off12, 32); }
+  }
+  insn blt "blt %r(rs1), %r(rs2), %rel(off12)"
+      : BType(opcode=OP_BRANCH, funct3=4) {
+    if (x[rs1] <s x[rs2]) { pc = pc + sext(off12, 32); }
+  }
+  insn bge "bge %r(rs1), %r(rs2), %rel(off12)"
+      : BType(opcode=OP_BRANCH, funct3=5) {
+    if (x[rs1] >=s x[rs2]) { pc = pc + sext(off12, 32); }
+  }
+  insn bltu "bltu %r(rs1), %r(rs2), %rel(off12)"
+      : BType(opcode=OP_BRANCH, funct3=6) {
+    if (x[rs1] < x[rs2]) { pc = pc + sext(off12, 32); }
+  }
+  insn bgeu "bgeu %r(rs1), %r(rs2), %rel(off12)"
+      : BType(opcode=OP_BRANCH, funct3=7) {
+    if (x[rs1] >= x[rs2]) { pc = pc + sext(off12, 32); }
+  }
+
+  // ---- upper immediate / jumps ------------------------------------------
+  insn lui "lui %r(rd), %i(imm20)" : UType(opcode=OP_LUI) {
+    x[rd] = zext(imm20, 32) << 12;
+  }
+  insn jal "jal %r(rd), %rel(off20)" : JType(opcode=OP_JAL) {
+    x[rd] = pc + 4;
+    pc = pc + sext(off20, 32);
+  }
+  insn jalr "jalr %r(rd), %r(rs1), %i(imm12)"
+      : IType(opcode=OP_JALR, funct3=0) {
+    let t = x[rs1] + sext(imm12, 32);
+    x[rd] = pc + 4;
+    pc = t;
+  }
+
+  // ---- environment (opcode 1110111) -------------------------------------
+  insn in8 "in8 %r(rd)" : IType(opcode=OP_ENV, funct3=0, rs1=0, imm12=0) {
+    x[rd] = zext(input8(), 32);
+  }
+  insn in32 "in32 %r(rd)" : IType(opcode=OP_ENV, funct3=1, rs1=0, imm12=0) {
+    x[rd] = input32();
+  }
+  insn out "out %r(rs1)" : IType(opcode=OP_ENV, funct3=2, rd=0, imm12=0) {
+    output(x[rs1]);
+  }
+  insn halt "halt %r(rs1)" : IType(opcode=OP_ENV, funct3=3, rd=0, imm12=0) {
+    halt(x[rs1]);
+  }
+  insn halti "halti %i(imm12)" : IType(opcode=OP_ENV, funct3=4, rd=0, rs1=0) {
+    halt(imm12);
+  }
+  insn asrt "asrt %r(rs1), %r(rs2)"
+      : RType(opcode=OP_ASSERT, funct3=0, funct7=0, rd=0) {
+    asserteq(x[rs1], x[rs2]);
+  }
+}
+)__ADL__";
+}  // namespace adlsym::isa::embedded

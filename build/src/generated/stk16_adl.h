@@ -1,0 +1,190 @@
+// Generated from share/isa/stk16.adl by CMake — do not edit.
+#pragma once
+
+namespace adlsym::isa::embedded {
+inline constexpr char k_stk16[] = R"__ADL__(// stk16 — a 16-bit little-endian *stack machine*: no general registers at
+// all, only pc and a stack pointer. Every ALU operation pops its operands
+// from and pushes its result to an in-memory operand stack. This is the
+// strongest retargetability exercise of the four shipped ISAs: the
+// execution model (stack vs registers vs accumulator) differs radically,
+// yet the engine, assembler and decoder are untouched — only this file is
+// new. Trap class 1 = checked signed 8-bit overflow add (addv8), matching
+// the other ISAs' defect-suite contract.
+//
+// Stack convention: grows downward; sp points at the top-of-stack cell;
+// cells are 16-bit little-endian. Programs must initialize sp (spinit)
+// before the first push.
+arch stk16 {
+  endian little;
+  wordsize 16;
+
+  reg pc : 16;
+  reg sp : 16;
+  mem M : byte[16];
+
+  enc S0    = [opcode:8];
+  enc SImm  = [imm8:8][opcode:8];
+  enc SAddr = [addr16:16][opcode:8];
+  enc SRel  = [off8:8][opcode:8];
+
+  // ---- stack management ------------------------------------------------
+  insn spinit "spinit %i(addr16)" : SAddr(opcode=0x05) {
+    sp = addr16;
+  }
+  insn push_i "push_i %i(imm8)" : SImm(opcode=0x01) {
+    sp = sp - 2;
+    store16(sp, zext(imm8, 16));
+  }
+  insn push_a "push_a %abs(addr16)" : SAddr(opcode=0x02) {
+    sp = sp - 2;
+    store16(sp, zext(load8(addr16), 16));
+  }
+  insn pop_a "pop_a %abs(addr16)" : SAddr(opcode=0x03) {
+    store8(addr16, trunc(load16(sp), 8));
+    sp = sp + 2;
+  }
+  insn dup "dup" : S0(opcode=0x20) {
+    let v = load16(sp);
+    sp = sp - 2;
+    store16(sp, v);
+  }
+  insn drop "drop" : S0(opcode=0x21) {
+    sp = sp + 2;
+  }
+  insn swap "swap" : S0(opcode=0x22) {
+    let a = load16(sp);
+    let b = load16(sp + 2);
+    store16(sp, b);
+    store16(sp + 2, a);
+  }
+
+  // ---- ALU (pop b, pop a, push a OP b) -----------------------------------
+  insn add "add" : S0(opcode=0x10) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a + b);
+  }
+  insn sub "sub" : S0(opcode=0x11) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a - b);
+  }
+  insn and "and" : S0(opcode=0x12) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a & b);
+  }
+  insn or "or" : S0(opcode=0x13) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a | b);
+  }
+  insn xor "xor" : S0(opcode=0x14) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a ^ b);
+  }
+  insn mul "mul" : S0(opcode=0x15) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a * b);
+  }
+  insn divu "divu" : S0(opcode=0x16) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a / b);
+  }
+  insn shl "shl" : S0(opcode=0x17) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a << (b & 15));
+  }
+  insn shr "shr" : S0(opcode=0x18) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 2;
+    store16(sp, a >> (b & 15));
+  }
+  // Checked 8-bit add: traps (class 1) when the low bytes of the two
+  // operands overflow as signed 8-bit values.
+  insn addv8 "addv8" : S0(opcode=0x19) {
+    let b = trunc(load16(sp), 8);
+    let a = trunc(load16(sp + 2), 8);
+    let s = a + b;
+    if ((a >=s 0 && b >=s 0 && s <s 0) || (a <s 0 && b <s 0 && s >=s 0)) {
+      trap(1);
+    }
+    sp = sp + 2;
+    store16(sp, zext(s, 16));
+  }
+
+  // ---- indexed byte access (pops index / index+value) ---------------------
+  insn ldidx "ldidx %abs(addr16)" : SAddr(opcode=0x06) {
+    let i = load16(sp);
+    store16(sp, zext(load8(addr16 + i), 16));
+  }
+  insn stidx "stidx %abs(addr16)" : SAddr(opcode=0x07) {
+    let v = load16(sp);
+    let i = load16(sp + 2);
+    sp = sp + 4;
+    store8(addr16 + i, trunc(v, 8));
+  }
+
+  // ---- control flow (relational forms pop both operands) ------------------
+  insn beq_r "beq_r %rel(off8)" : SRel(opcode=0x30) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 4;
+    if (a == b) { pc = pc + sext(off8, 16); }
+  }
+  insn bne_r "bne_r %rel(off8)" : SRel(opcode=0x31) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 4;
+    if (a != b) { pc = pc + sext(off8, 16); }
+  }
+  insn bltu_r "bltu_r %rel(off8)" : SRel(opcode=0x32) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 4;
+    if (a < b) { pc = pc + sext(off8, 16); }
+  }
+  insn bgeu_r "bgeu_r %rel(off8)" : SRel(opcode=0x33) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 4;
+    if (a >= b) { pc = pc + sext(off8, 16); }
+  }
+  insn jmp "jmp %abs(addr16)" : SAddr(opcode=0x34) {
+    pc = addr16;
+  }
+
+  // ---- environment ---------------------------------------------------------
+  insn inp "inp" : S0(opcode=0x40) {
+    sp = sp - 2;
+    store16(sp, zext(input8(), 16));
+  }
+  insn outp "outp" : S0(opcode=0x41) {
+    output(load16(sp));
+    sp = sp + 2;
+  }
+  insn hlt "hlt %i(imm8)" : SImm(opcode=0x42) {
+    halt(imm8);
+  }
+  insn asrt_r "asrt_r" : S0(opcode=0x43) {
+    let b = load16(sp);
+    let a = load16(sp + 2);
+    sp = sp + 4;
+    asserteq(a, b);
+  }
+}
+)__ADL__";
+}  // namespace adlsym::isa::embedded

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adl_lexer_test.dir/adl_lexer_test.cpp.o"
+  "CMakeFiles/adl_lexer_test.dir/adl_lexer_test.cpp.o.d"
+  "adl_lexer_test"
+  "adl_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adl_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adl_parser_test.dir/adl_parser_test.cpp.o"
+  "CMakeFiles/adl_parser_test.dir/adl_parser_test.cpp.o.d"
+  "adl_parser_test"
+  "adl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adl_sema_test.dir/adl_sema_test.cpp.o"
+  "CMakeFiles/adl_sema_test.dir/adl_sema_test.cpp.o.d"
+  "adl_sema_test"
+  "adl_sema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adl_sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concolic_test.dir/concolic_test.cpp.o"
+  "CMakeFiles/concolic_test.dir/concolic_test.cpp.o.d"
+  "concolic_test"
+  "concolic_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concolic_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

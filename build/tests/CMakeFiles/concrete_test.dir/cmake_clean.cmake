@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concrete_test.dir/concrete_test.cpp.o"
+  "CMakeFiles/concrete_test.dir/concrete_test.cpp.o.d"
+  "concrete_test"
+  "concrete_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concrete_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossisa_test.dir/crossisa_test.cpp.o"
+  "CMakeFiles/crossisa_test.dir/crossisa_test.cpp.o.d"
+  "crossisa_test"
+  "crossisa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossisa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

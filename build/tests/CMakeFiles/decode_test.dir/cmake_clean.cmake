@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/decode_test.dir/decode_test.cpp.o"
+  "CMakeFiles/decode_test.dir/decode_test.cpp.o.d"
+  "decode_test"
+  "decode_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/decode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insn_fuzz_test.dir/insn_fuzz_test.cpp.o"
+  "CMakeFiles/insn_fuzz_test.dir/insn_fuzz_test.cpp.o.d"
+  "insn_fuzz_test"
+  "insn_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insn_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

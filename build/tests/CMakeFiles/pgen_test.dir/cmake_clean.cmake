@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pgen_test.dir/pgen_test.cpp.o"
+  "CMakeFiles/pgen_test.dir/pgen_test.cpp.o.d"
+  "pgen_test"
+  "pgen_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

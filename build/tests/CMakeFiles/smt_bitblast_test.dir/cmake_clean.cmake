@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_bitblast_test.dir/smt_bitblast_test.cpp.o"
+  "CMakeFiles/smt_bitblast_test.dir/smt_bitblast_test.cpp.o.d"
+  "smt_bitblast_test"
+  "smt_bitblast_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_bitblast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

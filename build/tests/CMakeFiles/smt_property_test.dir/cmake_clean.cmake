@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_property_test.dir/smt_property_test.cpp.o"
+  "CMakeFiles/smt_property_test.dir/smt_property_test.cpp.o.d"
+  "smt_property_test"
+  "smt_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_sat_test.dir/smt_sat_test.cpp.o"
+  "CMakeFiles/smt_sat_test.dir/smt_sat_test.cpp.o.d"
+  "smt_sat_test"
+  "smt_sat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_sat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symptr_test.dir/symptr_test.cpp.o"
+  "CMakeFiles/symptr_test.dir/symptr_test.cpp.o.d"
+  "symptr_test"
+  "symptr_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symptr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adlsym_cli.dir/adlsym.cpp.o"
+  "CMakeFiles/adlsym_cli.dir/adlsym.cpp.o.d"
+  "adlsym"
+  "adlsym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adlsym_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
