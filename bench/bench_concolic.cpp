@@ -24,7 +24,8 @@ struct Case {
 int main() {
   std::printf("E8: concolic generational search vs full symbolic exploration\n\n");
   benchutil::Table table({"workload", "mode", "paths/runs", "insns",
-                          "solver-q", "coverage", "wall-ms"});
+                          "solver-q", "coverage", "wall-ms"},
+                         "concolic");
   std::vector<Case> cases;
   cases.push_back({"bitcount6", workloads::progBitcount(6)});
   cases.push_back({"max5", workloads::progMax(5)});
@@ -59,5 +60,6 @@ int main() {
   std::printf("\nshape check: identical instruction coverage; concolic\n"
               "re-executes shared path prefixes (more insns) but keeps one\n"
               "state in memory at a time.\n");
+  benchutil::writeJsonReport("concolic");
   return 0;
 }

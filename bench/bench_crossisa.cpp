@@ -41,7 +41,8 @@ int main() {
     pathHeader += (pathHeader == "paths" ? " " : "/") + isaName;
   }
   benchutil::Table table({"workload", pathHeader, "exits-equal",
-                          "x-replays", "mismatch"});
+                          "x-replays", "mismatch"},
+                         "crossisa");
   unsigned totalMismatch = 0;
   for (const Case& c : cases) {
     std::map<std::string, std::unique_ptr<driver::Session>> sessions;
@@ -90,5 +91,6 @@ int main() {
   table.print();
   std::printf("\nshape check: path counts identical, exit multisets equal,\n"
               "0 cross-replay mismatches (observed %u).\n", totalMismatch);
+  benchutil::writeJsonReport("crossisa");
   return totalMismatch == 0 ? 0 : 1;
 }

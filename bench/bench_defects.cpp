@@ -18,7 +18,7 @@ int main() {
   for (const std::string& isaName : isa::allIsaNames()) headers.push_back(isaName);
   headers.push_back("witness(rv32e)");
   headers.push_back("ms(total)");
-  benchutil::Table table(headers);
+  benchutil::Table table(headers, "defects");
 
   unsigned detected = 0;
   unsigned falseAlarms = 0;
@@ -61,5 +61,6 @@ int main() {
   std::printf("\nsummary (rv32e, identical on all ISAs): "
               "%u/%u seeded defects detected, %u/%u false alarms\n",
               detected, seeded, falseAlarms, guarded);
+  benchutil::writeJsonReport("defects");
   return detected == seeded && falseAlarms == 0 ? 0 : 1;
 }

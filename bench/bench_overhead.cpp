@@ -56,7 +56,8 @@ RunStats runOnce(const workloads::PProgram& p, bool baseline) {
 void printTable() {
   std::printf("E2: ADL-driven engine vs hand-written rv32e baseline\n\n");
   benchutil::Table table({"workload", "paths", "insns", "adl-kips",
-                          "base-kips", "overhead"});
+                          "base-kips", "overhead"},
+                         "overhead");
   double worst = 0;
   for (const Workload& w : workloadSet()) {
     const RunStats adl = runOnce(w.program, /*baseline=*/false);
@@ -99,6 +100,7 @@ BENCHMARK(BM_BaselineEngineFib)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   printTable();
+  benchutil::writeJsonReport("overhead");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -16,11 +16,13 @@ using namespace adlsym;
 
 namespace {
 
-void series(const char* title, const std::vector<unsigned>& xs,
+void series(const char* title, const char* label,
+            const std::vector<unsigned>& xs,
             workloads::PProgram (*make)(unsigned)) {
   std::printf("%s\n\n", title);
   benchutil::Table table({"param", "isa", "paths", "insns", "solver-q",
-                          "wall-ms"});
+                          "wall-ms"},
+                         label);
   for (const unsigned x : xs) {
     for (const std::string& isaName : isa::allIsaNames()) {
       auto session = driver::Session::forPortable(make(x), isaName);
@@ -42,7 +44,8 @@ void series(const char* title, const std::vector<unsigned>& xs,
 void mergingSeries() {
   std::printf("(c) state-merging ablation on the exponential series\n\n");
   benchutil::Table table({"bits", "merging", "paths", "merges", "insns",
-                          "wall-ms"});
+                          "wall-ms"},
+                         "merging");
   for (const unsigned bits : {4u, 6u, 8u}) {
     for (const bool merge : {false, true}) {
       driver::SessionOptions opt;
@@ -67,14 +70,15 @@ void mergingSeries() {
 
 int main() {
   std::printf("E3: path exploration scaling (same curve on every ISA)\n\n");
-  series("(a) linear series: early-exit loop, paths = bound + 1",
+  series("(a) linear series: early-exit loop, paths = bound + 1", "linear",
          {2, 4, 8, 16, 32}, workloads::progEarlyExit);
-  series("(b) exponential series: bitcount, paths = 2^bits",
+  series("(b) exponential series: bitcount, paths = 2^bits", "exponential",
          {2, 4, 6, 8}, workloads::progBitcount);
   mergingSeries();
   std::printf(
       "shape check: path counts are ISA-invariant; wall time grows with\n"
       "paths (linearly in (a), exponentially in (b)); state merging\n"
       "collapses the diamond chain of (b) to linearly many paths.\n");
+  benchutil::writeJsonReport("paths");
   return 0;
 }

@@ -42,7 +42,7 @@ void densityTable() {
   std::printf("\ncode density: bytes of machine code per portable workload\n\n");
   std::vector<std::string> headers = {"workload"};
   for (const std::string& n : isa::allIsaNames()) headers.push_back(n);
-  benchutil::Table table(headers);
+  benchutil::Table table(headers, "density");
   struct Case {
     const char* name;
     workloads::PProgram prog;
@@ -66,7 +66,8 @@ void densityTable() {
 int main() {
   std::printf("E1: retargeting cost per ISA (one ADL file = one engine)\n\n");
   benchutil::Table table({"isa", "adl-lines", "insns", "encodings", "regs",
-                          "rtl-stmts", "load-ms", "decoder-ms"});
+                          "rtl-stmts", "load-ms", "decoder-ms"},
+                         "retarget");
   for (const std::string& name : isa::allIsaNames()) {
     const char* src = isa::isaSource(name);
 
@@ -100,5 +101,6 @@ int main() {
       "declarative lines; the hand-written baseline engine for rv32e alone\n"
       "is ~500 lines of C++ (src/baseline/rv32_engine.cpp) and covers one\n"
       "ISA with no assembler/disassembler.\n");
+  benchutil::writeJsonReport("retarget");
   return 0;
 }

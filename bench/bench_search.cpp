@@ -53,7 +53,8 @@ workloads::PProgram gauntlet(unsigned k) {
 int main() {
   std::printf("E7: search strategy ablation (steps to first defect)\n\n");
   benchutil::Table table({"k", "strategy", "insns-to-defect", "paths-done",
-                          "solver-q", "wall-ms", "found"});
+                          "solver-q", "wall-ms", "found"},
+                         "search");
   for (const unsigned k : {3u, 5u, 7u}) {
     for (const core::SearchStrategy strat :
          {core::SearchStrategy::DFS, core::SearchStrategy::BFS,
@@ -77,5 +78,6 @@ int main() {
   std::printf("\nshape check: every strategy finds the defect; BFS and\n"
               "coverage-guided need fewer executed instructions than DFS,\n"
               "which first drains each noise detour it enters.\n");
+  benchutil::writeJsonReport("search");
   return 0;
 }

@@ -20,7 +20,8 @@ namespace {
 void depthTable() {
   std::printf("(a) solver cost vs constraint depth (progChecksum)\n\n");
   benchutil::Table table({"n", "paths", "queries", "sat", "unsat",
-                          "solve-ms", "total-ms", "solver-share"});
+                          "solve-ms", "total-ms", "solver-share"},
+                         "depth");
   for (const unsigned n : {2u, 4u, 8u, 16u, 24u, 32u}) {
     auto session =
         driver::Session::forPortable(workloads::progChecksum(n), "rv32e");
@@ -42,7 +43,8 @@ void depthTable() {
 void ablationTable() {
   std::printf("(b) term-rewriter ablation (same program, rewrites on/off)\n\n");
   benchutil::Table table({"workload", "rewriter", "terms", "rewrite-hits",
-                          "gates", "sat-conflicts", "wall-ms"});
+                          "gates", "sat-conflicts", "wall-ms"},
+                         "rewriter-ablation");
   struct Case {
     const char* name;
     workloads::PProgram prog;
@@ -76,7 +78,8 @@ void ablationTable() {
 void cacheTable() {
   std::printf("(c) query-cache ablation (identical exploration results)\n\n");
   benchutil::Table table({"workload", "cache", "queries", "cache-hits",
-                          "solve-ms", "wall-ms"});
+                          "solve-ms", "wall-ms"},
+                         "cache-ablation");
   struct Case {
     const char* name;
     workloads::PProgram prog;
@@ -139,6 +142,7 @@ int main(int argc, char** argv) {
   depthTable();
   ablationTable();
   cacheTable();
+  benchutil::writeJsonReport("smt");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,8 +1,9 @@
 #include "core/concolic.h"
 
-#include <chrono>
 #include <deque>
 #include <map>
+
+#include "core/testgen.h"
 
 namespace adlsym::core {
 
@@ -91,7 +92,19 @@ MachineState ConcolicDriver::executeSeed(const std::vector<uint64_t>& seed,
 }
 
 ConcolicResult ConcolicDriver::run() {
-  const auto startTime = std::chrono::steady_clock::now();
+  telemetry::Telemetry* tel = svc_.telemetry;
+  telemetry::Clock& clk = tel ? tel->clock() : telemetry::Clock::system();
+  telemetry::Counter* runsCtr = tel ? &tel->metrics().counter("concolic.runs") : nullptr;
+  telemetry::Counter* seedsCtr =
+      tel ? &tel->metrics().counter("concolic.seeds_generated") : nullptr;
+  telemetry::Counter* stepsCtr = tel ? &tel->metrics().counter("concolic.steps") : nullptr;
+  const uint64_t startUs = clk.nowMicros();
+  if (tel && tel->tracing()) {
+    tel->emit(telemetry::EventKind::Phase,
+              {{"name", "concolic"},
+               {"mark", "begin"},
+               {"generational", config_.generational ? 1 : 0}});
+  }
   ConcolicResult result;
   std::deque<std::vector<uint64_t>> queue;
   std::set<std::vector<uint64_t>> seen;
@@ -108,6 +121,17 @@ ConcolicResult ConcolicDriver::run() {
     uint64_t steps = 0;
     MachineState final = executeSeed(seed, branches, steps, result.coveredSet);
     result.totalSteps += steps;
+    if (runsCtr) {
+      runsCtr->add();
+      stepsCtr->add(steps);
+    }
+    if (tel && tel->tracing()) {
+      tel->emit(telemetry::EventKind::PathDone,
+                {{"status", pathStatusName(final.status)},
+                 {"final_pc", final.pc},
+                 {"steps", steps},
+                 {"branch_points", static_cast<uint64_t>(branches.size())}});
+    }
 
     // Record the executed path (witness = the seed itself, padded to the
     // inputs the run actually consumed).
@@ -163,9 +187,15 @@ ConcolicResult ConcolicDriver::run() {
     }
   }
 
-  result.wallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - startTime)
-          .count();
+  if (seedsCtr) seedsCtr->add(result.seedsGenerated);
+  result.wallSeconds = double(clk.nowMicros() - startUs) / 1e6;
+  if (tel && tel->tracing()) {
+    tel->emit(telemetry::EventKind::Phase,
+              {{"name", "concolic"},
+               {"mark", "end"},
+               {"runs", result.seedsExecuted},
+               {"seconds", result.wallSeconds}});
+  }
   return result;
 }
 

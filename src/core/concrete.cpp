@@ -1,5 +1,6 @@
 #include "core/concrete.h"
 
+#include "core/testgen.h"
 #include "smt/term.h"
 #include "support/bits.h"
 
@@ -281,8 +282,9 @@ void Interp::execBlock(const std::vector<adl::rtl::StmtPtr>& body) {
 }  // namespace
 
 ConcreteRunner::ConcreteRunner(const adl::ArchModel& model,
-                               const loader::Image& image)
-    : model_(model), image_(image), decoder_(model) {}
+                               const loader::Image& image,
+                               telemetry::Telemetry* telemetry)
+    : model_(model), image_(image), decoder_(model), tel_(telemetry) {}
 
 ConcreteResult ConcreteRunner::run(const std::vector<uint64_t>& inputs,
                                    uint64_t maxSteps) {
@@ -293,6 +295,8 @@ ConcreteResult ConcreteRunner::run(const std::vector<uint64_t>& inputs,
   if (model_.regfile) ctx.regfile.assign(model_.regfile->count, 0);
 
   Interp interp(model_, image_, ctx);
+  telemetry::Counter* stepsCtr =
+      tel_ ? &tel_->metrics().counter("run.steps") : nullptr;
   while (ctx.result.status == PathStatus::Running) {
     if (ctx.result.steps >= maxSteps) {
       ctx.result.status = PathStatus::Budget;
@@ -310,14 +314,30 @@ ConcreteResult ConcreteRunner::run(const std::vector<uint64_t>& inputs,
     ctx.lets.assign(d->insn->numLetSlots, 0);
     ctx.pcAssigned = false;
     ctx.stop = false;
+    if (tel_ && tel_->tracing()) {
+      tel_->emit(telemetry::EventKind::Step,
+                 {{"pc", ctx.pc}, {"insn", d->insn->name}});
+    }
     interp.execBlock(d->insn->semantics);
     ++ctx.result.steps;
+    if (stepsCtr) stepsCtr->add();
     if (ctx.result.status != PathStatus::Running) break;
     const unsigned addrW = model_.regs[model_.pcIndex].width;
     ctx.pc = ctx.pcAssigned ? ctx.newPc
                             : truncTo(ctx.insnAddr + d->lengthBytes, addrW);
   }
   ctx.result.finalPc = ctx.pc;
+  if (tel_ && tel_->tracing()) {
+    tel_->emit(telemetry::EventKind::PathDone,
+               {{"status", pathStatusName(ctx.result.status)},
+                {"final_pc", ctx.result.finalPc},
+                {"steps", ctx.result.steps}});
+    if (ctx.result.defect) {
+      tel_->emit(telemetry::EventKind::Defect,
+                 {{"kind", defectKindName(*ctx.result.defect)},
+                  {"pc", ctx.result.defectPc}});
+    }
+  }
   return ctx.result;
 }
 

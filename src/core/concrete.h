@@ -13,6 +13,7 @@
 #include "core/state.h"
 #include "decode/decoder.h"
 #include "loader/image.h"
+#include "support/telemetry.h"
 
 namespace adlsym::core {
 
@@ -28,7 +29,8 @@ struct ConcreteResult {
 
 class ConcreteRunner {
  public:
-  ConcreteRunner(const adl::ArchModel& model, const loader::Image& image);
+  ConcreteRunner(const adl::ArchModel& model, const loader::Image& image,
+                 telemetry::Telemetry* telemetry = nullptr);
 
   /// Run from the image entry with the given input stream (values consumed
   /// in order; exhausted inputs read as 0).
@@ -44,6 +46,7 @@ class ConcreteRunner {
   const adl::ArchModel& model_;
   const loader::Image& image_;
   decode::Decoder decoder_;
+  telemetry::Telemetry* tel_;
 };
 
 }  // namespace adlsym::core

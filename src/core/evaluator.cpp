@@ -12,7 +12,13 @@ using adl::rtl::Stmt;
 using adl::rtl::StmtOp;
 
 AdlExecutor::AdlExecutor(const adl::ArchModel& model, EngineServices& services)
-    : model_(model), svc_(services), decoder_(model) {}
+    : model_(model), svc_(services), decoder_(model) {
+  if (telemetry::Telemetry* t = svc_.telemetry) {
+    stepsCtr_ = &t->metrics().counter("engine.steps");
+    decodeHist_ = &t->metrics().histogram("engine.decode_us");
+    evalHist_ = &t->metrics().histogram("engine.eval_us");
+  }
+}
 
 MachineState AdlExecutor::initialState() {
   MachineState st;
@@ -387,7 +393,12 @@ void AdlExecutor::finishInsn(MachineState st, Frame& frame, StepOut& out) {
 }
 
 void AdlExecutor::step(const MachineState& in, StepOut& out) {
-  const decode::DecodedInsn* d = decoder_.decodeAt(svc_.image, in.pc);
+  if (stepsCtr_) stepsCtr_->add();
+  const decode::DecodedInsn* d;
+  {
+    telemetry::ScopedTimer t(svc_.telemetry, decodeHist_);
+    d = decoder_.decodeAt(svc_.image, in.pc);
+  }
   if (d == nullptr) {
     MachineState bad = in;
     bad.status = PathStatus::Illegal;
@@ -409,6 +420,7 @@ void AdlExecutor::step(const MachineState& in, StepOut& out) {
   std::vector<const Stmt*> work;
   work.reserve(d->insn->semantics.size());
   for (const auto& s : d->insn->semantics) work.push_back(s.get());
+  telemetry::ScopedTimer t(svc_.telemetry, evalHist_);
   execStmts(in, frame, std::move(work), out);
 }
 

@@ -53,6 +53,11 @@ class AdlExecutor : public Executor {
   const adl::ArchModel& model_;
   EngineServices& svc_;
   decode::Decoder decoder_;
+
+  // Telemetry handles, resolved once at construction (null when disabled).
+  telemetry::Counter* stepsCtr_ = nullptr;
+  telemetry::Histogram* decodeHist_ = nullptr;
+  telemetry::Histogram* evalHist_ = nullptr;
 };
 
 }  // namespace adlsym::core

@@ -10,6 +10,7 @@
 #include "core/state.h"
 #include "loader/image.h"
 #include "smt/solver.h"
+#include "support/telemetry.h"
 
 namespace adlsym::core {
 
@@ -31,13 +32,20 @@ struct EngineConfig {
 class EngineServices {
  public:
   EngineServices(smt::TermManager& tm, smt::SmtSolver& solver,
-                 const loader::Image& image, const EngineConfig& config)
-      : tm(tm), solver(solver), image(image), config(config) {}
+                 const loader::Image& image, const EngineConfig& config,
+                 telemetry::Telemetry* telemetry = nullptr)
+      : tm(tm), solver(solver), image(image), config(config),
+        telemetry(telemetry) {
+    solver.setTelemetry(telemetry);
+  }
 
   smt::TermManager& tm;
   smt::SmtSolver& solver;
   const loader::Image& image;
   const EngineConfig& config;
+  /// Optional observability bundle shared by every layer of this run; null
+  /// = telemetry disabled (zero cost: call sites branch on the pointer).
+  telemetry::Telemetry* telemetry = nullptr;
 
   /// Is pathCond(state) /\ extra satisfiable? Unknown counts as
   /// infeasible (documented limitation; counted in solver stats).

@@ -1,9 +1,24 @@
 #include "core/explorer.h"
 
 #include <algorithm>
-#include <chrono>
+
+#include "core/testgen.h"
 
 namespace adlsym::core {
+
+Explorer::Explorer(Executor& exec, EngineServices& services,
+                   ExplorerConfig config)
+    : exec_(exec), svc_(services), config_(config) {
+  if (telemetry::Telemetry* t = svc_.telemetry) {
+    tel_ = t;
+    stepsCtr_ = &t->metrics().counter("explore.steps");
+    forksCtr_ = &t->metrics().counter("explore.forks");
+    dropsCtr_ = &t->metrics().counter("explore.drops");
+    mergesCtr_ = &t->metrics().counter("explore.merges");
+    pathsCtr_ = &t->metrics().counter("explore.paths");
+    frontierPeak_ = &t->metrics().gauge("explore.frontier_peak");
+  }
+}
 
 const char* strategyName(SearchStrategy s) {
   switch (s) {
@@ -117,6 +132,20 @@ PathResult Explorer::finishPath(MachineState&& st) {
   r.finalPc = st.pc;
   r.steps = st.steps;
   r.forks = st.forks;
+  if (pathsCtr_) pathsCtr_->add();
+  if (tel_ && tel_->tracing()) {
+    tel_->emit(telemetry::EventKind::PathDone,
+               {{"status", pathStatusName(st.status)},
+                {"final_pc", st.pc},
+                {"steps", st.steps},
+                {"forks", st.forks}});
+    if (st.defect) {
+      tel_->emit(telemetry::EventKind::Defect,
+                 {{"kind", defectKindName(st.defect->kind)},
+                  {"pc", st.defect->pc},
+                  {"mnemonic", st.defect->mnemonic}});
+    }
+  }
   if (st.defect) {
     r.defect = std::move(st.defect);
     r.test = r.defect->witness;
@@ -140,10 +169,23 @@ PathResult Explorer::finishPath(MachineState&& st) {
 }
 
 ExploreSummary Explorer::run() {
-  const auto startTime = std::chrono::steady_clock::now();
+  // Wall time runs on the injectable telemetry clock when attached, the
+  // system steady clock otherwise (so the budget stays testable without
+  // sleeping).
+  telemetry::Clock& clk =
+      tel_ ? tel_->clock() : telemetry::Clock::system();
+  const uint64_t startUs = clk.nowMicros();
   ExploreSummary summary;
   Rng rng(config_.rngSeed);
   covered_.clear();
+
+  if (tel_ && tel_->tracing()) {
+    tel_->emit(telemetry::EventKind::Phase,
+               {{"name", "explore"},
+                {"mark", "begin"},
+                {"strategy", strategyName(config_.strategy)},
+                {"executor", exec_.name()}});
+  }
 
   std::vector<Frontier> frontier;
   uint64_t orderCounter = 0;
@@ -153,9 +195,7 @@ ExploreSummary Explorer::run() {
     if (summary.paths.size() >= config_.maxPaths) break;
     if (summary.totalSteps >= config_.maxTotalSteps) break;
     if (config_.maxWallSeconds > 0.0 &&
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      startTime)
-                .count() > config_.maxWallSeconds) {
+        double(clk.nowMicros() - startUs) / 1e6 > config_.maxWallSeconds) {
       break;
     }
 
@@ -172,12 +212,32 @@ ExploreSummary Explorer::run() {
     StepOut out;
     exec_.step(cur.state, out);
     ++summary.totalSteps;
+    if (stepsCtr_) stepsCtr_->add();
     const bool newPcHere = covered_.insert(cur.state.pc).second;
+    if (tel_ && tel_->tracing()) {
+      tel_->emit(telemetry::EventKind::Step,
+                 {{"pc", cur.state.pc},
+                  {"frontier", static_cast<uint64_t>(frontier.size())},
+                  {"succ", static_cast<uint64_t>(out.successors.size())}});
+    }
 
     if (out.successors.size() > 1) {
-      summary.totalForks += out.successors.size() - 1;
+      const uint64_t forks = out.successors.size() - 1;
+      summary.totalForks += forks;
+      if (forksCtr_) forksCtr_->add(forks);
+      if (tel_ && tel_->tracing()) {
+        tel_->emit(telemetry::EventKind::Fork,
+                   {{"pc", cur.state.pc},
+                    {"succ", static_cast<uint64_t>(out.successors.size())}});
+      }
     }
-    if (out.successors.empty()) ++summary.statesDropped;
+    if (out.successors.empty()) {
+      ++summary.statesDropped;
+      if (dropsCtr_) dropsCtr_->add();
+      if (tel_ && tel_->tracing()) {
+        tel_->emit(telemetry::EventKind::Drop, {{"pc", cur.state.pc}});
+      }
+    }
 
     bool sawDefect = false;
     for (MachineState& succ : out.successors) {
@@ -188,6 +248,10 @@ ExploreSummary Explorer::run() {
             if (f.state.pc == succ.pc && tryMerge(f.state, succ)) {
               merged = true;
               ++summary.statesMerged;
+              if (mergesCtr_) mergesCtr_->add();
+              if (tel_ && tel_->tracing()) {
+                tel_->emit(telemetry::EventKind::Merge, {{"pc", succ.pc}});
+              }
               break;
             }
           }
@@ -198,6 +262,9 @@ ExploreSummary Explorer::run() {
         f.order = orderCounter++;
         f.state = std::move(succ);
         frontier.push_back(std::move(f));
+        if (frontierPeak_) {
+          frontierPeak_->setMax(static_cast<int64_t>(frontier.size()));
+        }
       } else {
         sawDefect = sawDefect || succ.defect.has_value();
         summary.paths.push_back(finishPath(std::move(succ)));
@@ -215,9 +282,15 @@ ExploreSummary Explorer::run() {
 
   summary.coveredPcs = covered_.size();
   summary.coveredSet = covered_;
-  summary.wallSeconds =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - startTime)
-          .count();
+  summary.wallSeconds = double(clk.nowMicros() - startUs) / 1e6;
+  if (tel_ && tel_->tracing()) {
+    tel_->emit(telemetry::EventKind::Phase,
+               {{"name", "explore"},
+                {"mark", "end"},
+                {"paths", static_cast<uint64_t>(summary.paths.size())},
+                {"steps", summary.totalSteps},
+                {"seconds", summary.wallSeconds}});
+  }
   return summary;
 }
 

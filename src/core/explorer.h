@@ -28,7 +28,9 @@ struct ExplorerConfig {
   uint64_t maxTotalSteps = 1000000;  // instructions across all paths
   uint64_t maxStepsPerPath = 100000;
   /// Wall-clock budget in seconds; 0 = unlimited. Checked between steps,
-  /// so one slow solver query can overshoot it.
+  /// so one slow solver query can overshoot it. Measured on the telemetry
+  /// clock when one is attached (EngineServices::telemetry), so tests can
+  /// drive it deterministically with a ManualClock.
   double maxWallSeconds = 0.0;
   uint64_t rngSeed = 1;
   /// Stop as soon as the first defect is reported (for E7 time-to-defect).
@@ -66,8 +68,7 @@ struct ExploreSummary {
 
 class Explorer {
  public:
-  Explorer(Executor& exec, EngineServices& services, ExplorerConfig config)
-      : exec_(exec), svc_(services), config_(config) {}
+  Explorer(Executor& exec, EngineServices& services, ExplorerConfig config);
 
   /// Run exploration from the executor's initial state to exhaustion or
   /// budget. Deterministic for a fixed config.
@@ -91,6 +92,15 @@ class Explorer {
   EngineServices& svc_;
   ExplorerConfig config_;
   std::set<uint64_t> covered_;
+
+  // Telemetry handles, resolved once at construction (null when disabled).
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::Counter* stepsCtr_ = nullptr;
+  telemetry::Counter* forksCtr_ = nullptr;
+  telemetry::Counter* dropsCtr_ = nullptr;
+  telemetry::Counter* mergesCtr_ = nullptr;
+  telemetry::Counter* pathsCtr_ = nullptr;
+  telemetry::Gauge* frontierPeak_ = nullptr;
 };
 
 }  // namespace adlsym::core

@@ -4,6 +4,7 @@
 
 #include "asmgen/disasm.h"
 #include "decode/decoder.h"
+#include "support/json.h"
 #include "support/strings.h"
 
 namespace adlsym::core {
@@ -61,6 +62,37 @@ std::string formatSummary(const ExploreSummary& s) {
   for (const PathResult& p : s.paths) {
     os << "  " << formatPath(p) << '\n';
   }
+  return os.str();
+}
+
+void writeSummaryJson(json::Writer& w, const ExploreSummary& s) {
+  w.beginObject();
+  w.kv("paths", static_cast<uint64_t>(s.paths.size()));
+  w.kv("exited", s.numExited());
+  w.kv("defects", s.numDefects());
+  w.kv("total_steps", s.totalSteps);
+  w.kv("total_forks", s.totalForks);
+  w.kv("states_dropped", s.statesDropped);
+  w.kv("states_merged", s.statesMerged);
+  w.kv("covered_pcs", static_cast<uint64_t>(s.coveredPcs));
+  w.kv("wall_seconds", s.wallSeconds);
+  w.key("path_statuses").beginObject();
+  // Stable order: count by status name.
+  for (const PathStatus st :
+       {PathStatus::Exited, PathStatus::Defect, PathStatus::Budget,
+        PathStatus::Illegal, PathStatus::Infeasible}) {
+    uint64_t n = 0;
+    for (const PathResult& p : s.paths) n += p.status == st ? 1 : 0;
+    if (n) w.kv(pathStatusName(st), n);
+  }
+  w.endObject();
+  w.endObject();
+}
+
+std::string summaryJson(const ExploreSummary& s) {
+  std::ostringstream os;
+  json::Writer w(os);
+  writeSummaryJson(w, s);
   return os.str();
 }
 

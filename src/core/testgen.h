@@ -23,6 +23,20 @@ std::string formatSummary(const ExploreSummary& s);
 
 }  // namespace adlsym::core
 
+namespace adlsym::json {
+class Writer;
+}
+
+namespace adlsym::core {
+
+/// The "summary" object of the JSON stats schema
+/// (docs/observability.md): path/step/fork/drop/merge counts, coverage
+/// and wall time — the machine-readable twin of formatSummary().
+void writeSummaryJson(json::Writer& w, const ExploreSummary& s);
+std::string summaryJson(const ExploreSummary& s);
+
+}  // namespace adlsym::core
+
 namespace adlsym::adl {
 class ArchModel;
 }

@@ -1,6 +1,7 @@
 #include "driver/cli.h"
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "asmgen/assembler.h"
@@ -8,7 +9,9 @@
 #include "core/testgen.h"
 #include "driver/session.h"
 #include "isa/registry.h"
+#include "support/json.h"
 #include "support/strings.h"
+#include "support/telemetry.h"
 
 namespace adlsym::driver::cli {
 
@@ -17,6 +20,61 @@ namespace {
 CommandResult fail(std::string msg) {
   return CommandResult{1, std::move(msg) + "\n"};
 }
+
+/// Per-command telemetry plumbing for the --stats-json / --trace flags:
+/// owns the bundle, the trace file and its JSONL sink. `get()` is null
+/// when neither flag was given, so the engine stays on its zero-cost
+/// path.
+class CommandTelemetry {
+ public:
+  /// Throws adlsym::Error when the trace file cannot be opened.
+  CommandTelemetry(const std::string& statsJsonPath,
+                   const std::string& tracePath)
+      : statsJsonPath_(statsJsonPath) {
+    if (!statsJsonPath.empty() || !tracePath.empty()) {
+      tel_ = std::make_unique<telemetry::Telemetry>();
+    }
+    if (!tracePath.empty()) {
+      traceFile_.open(tracePath, std::ios::binary | std::ios::trunc);
+      if (!traceFile_) throw Error("cannot open trace file '" + tracePath + "'");
+      sink_ = std::make_unique<telemetry::JsonlTraceSink>(traceFile_);
+      tel_->setSink(sink_.get());
+    }
+  }
+
+  telemetry::Telemetry* get() { return tel_.get(); }
+  bool wantsStatsJson() const { return !statsJsonPath_.empty(); }
+
+  /// Write the aggregated stats document. `writeBody` fills the
+  /// command-specific objects of the already-open top-level object.
+  template <typename Fn>
+  void writeStatsJson(const std::string& command, const std::string& isa,
+                      Fn writeBody) {
+    if (statsJsonPath_.empty()) return;
+    std::ofstream out(statsJsonPath_, std::ios::binary | std::ios::trunc);
+    if (!out) throw Error("cannot open stats file '" + statsJsonPath_ + "'");
+    json::Writer w(out);
+    w.beginObject();
+    w.kv("schema", "adlsym-stats-v1");
+    w.kv("command", std::string_view(command));
+    w.kv("isa", std::string_view(isa));
+    writeBody(w);
+    w.key("metrics");
+    tel_->metrics().writeJson(w);
+    w.endObject();
+    out << '\n';
+  }
+
+  void finish() {
+    if (sink_) sink_->flush();
+  }
+
+ private:
+  std::string statsJsonPath_;
+  std::unique_ptr<telemetry::Telemetry> tel_;
+  std::ofstream traceFile_;
+  std::unique_ptr<telemetry::JsonlTraceSink> sink_;
+};
 
 loader::Image parseImageArg(const std::string& imageText) {
   return loader::Image::deserialize(imageText);
@@ -50,7 +108,12 @@ std::string usage() {
       "  --max-steps N                        total instruction budget\n"
       "  --first-defect                       stop at the first defect\n"
       "  --merge                              veritesting state merging\n"
-      "  --coverage                           per-insn coverage report\n";
+      "  --coverage                           per-insn coverage report\n"
+      "\n"
+      "observability (explore and run):\n"
+      "  --stats-json=<file>   aggregated JSON stats document (summary,\n"
+      "                        solver, metrics; docs/observability.md)\n"
+      "  --trace=<file>        JSONL structured trace event stream\n";
 }
 
 CommandResult cmdIsas() {
@@ -127,11 +190,26 @@ CommandResult cmdDisasm(const std::string& isaName,
 }
 
 CommandResult cmdRun(const std::string& isaName, const std::string& imageText,
-                     const std::vector<uint64_t>& inputs) {
+                     const std::vector<uint64_t>& inputs,
+                     const RunOptions& ropt) {
   auto model = isa::loadIsa(isaName);
   const loader::Image image = parseImageArg(imageText);
-  core::ConcreteRunner runner(*model, image);
+  CommandTelemetry ct(ropt.statsJsonPath, ropt.tracePath);
+  core::ConcreteRunner runner(*model, image, ct.get());
   const auto r = runner.run(inputs);
+  ct.writeStatsJson("run", isaName, [&](json::Writer& w) {
+    w.key("run").beginObject();
+    w.kv("status", core::pathStatusName(r.status));
+    w.kv("exit_code", r.exitCode);
+    w.kv("steps", r.steps);
+    w.kv("final_pc", r.finalPc);
+    if (r.defect) w.kv("defect", core::defectKindName(*r.defect));
+    w.key("outputs").beginArray();
+    for (const uint64_t v : r.outputs) w.value(v);
+    w.endArray();
+    w.endObject();
+  });
+  ct.finish();
   std::ostringstream os;
   os << "status: " << core::pathStatusName(r.status);
   if (r.status == core::PathStatus::Exited) os << " (code " << r.exitCode << ")";
@@ -163,13 +241,23 @@ CommandResult cmdExplore(const std::string& isaName,
   // layers directly, exactly like examples/newisa.cpp.
   auto model = isa::loadIsa(isaName);
   const loader::Image image = parseImageArg(imageText);
+  CommandTelemetry ct(opt.statsJsonPath, opt.tracePath);
   smt::TermManager tm;
   smt::SmtSolver solver(tm);
   solver.setConflictBudget(sopt.solverConflictBudget);
-  core::EngineServices services(tm, solver, image, sopt.engine);
+  core::EngineServices services(tm, solver, image, sopt.engine, ct.get());
   core::AdlExecutor executor(*model, services);
   core::Explorer explorer(executor, services, sopt.explorer);
   const auto summary = explorer.run();
+
+  ct.writeStatsJson("explore", isaName, [&](json::Writer& w) {
+    w.kv("strategy", std::string_view(opt.strategy));
+    w.key("summary");
+    core::writeSummaryJson(w, summary);
+    w.key("solver");
+    solver.telemetrySnapshot().writeJson(w);
+  });
+  ct.finish();
 
   std::ostringstream os;
   os << core::formatSummary(summary);
@@ -180,14 +268,7 @@ CommandResult cmdExplore(const std::string& isaName,
          << core::formatCoverage(*model, image, sec.name, summary);
     }
   }
-  const auto& st = solver.stats();
-  os << formatStr("solver: %llu queries (%llu sat, %llu unsat, %llu unknown), "
-                  "%.1f ms\n",
-                  static_cast<unsigned long long>(st.queries),
-                  static_cast<unsigned long long>(st.sat),
-                  static_cast<unsigned long long>(st.unsat),
-                  static_cast<unsigned long long>(st.unknown),
-                  st.totalMicros / 1e3);
+  os << solver.telemetrySnapshot().format();
   return {0, os.str()};
 }
 
@@ -213,12 +294,19 @@ CommandResult dispatch(const std::vector<std::string>& args) {
     if (cmd == "run") {
       if (args.size() < 3) return fail("usage: adlsym run <isa> <file.img> [inputs...]");
       std::vector<uint64_t> inputs;
+      RunOptions ropt;
       for (size_t i = 3; i < args.size(); ++i) {
-        const auto v = parseInt(args[i]);
-        if (!v) return fail("bad input value '" + args[i] + "'");
-        inputs.push_back(*v);
+        if (startsWith(args[i], "--stats-json=")) {
+          ropt.statsJsonPath = args[i].substr(13);
+        } else if (startsWith(args[i], "--trace=")) {
+          ropt.tracePath = args[i].substr(8);
+        } else {
+          const auto v = parseInt(args[i]);
+          if (!v) return fail("bad input value '" + args[i] + "'");
+          inputs.push_back(*v);
+        }
       }
-      return cmdRun(args[1], readFileOrThrow(args[2]), inputs);
+      return cmdRun(args[1], readFileOrThrow(args[2]), inputs, ropt);
     }
     if (cmd == "explore") {
       if (args.size() < 3) return fail("usage: adlsym explore <isa> <file.img> [options]");
@@ -236,6 +324,10 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.mergeStates = true;
         } else if (args[i] == "--coverage") {
           opt.coverageReport = true;
+        } else if (startsWith(args[i], "--stats-json=")) {
+          opt.statsJsonPath = args[i].substr(13);
+        } else if (startsWith(args[i], "--trace=")) {
+          opt.tracePath = args[i].substr(8);
         } else {
           return fail("unknown explore option '" + args[i] + "'");
         }

@@ -28,10 +28,18 @@ CommandResult cmdAsm(const std::string& isa, const std::string& source);
 /// decodes as code.
 CommandResult cmdDisasm(const std::string& isa, const std::string& imageText);
 
+struct RunOptions {
+  /// Write the aggregated JSON stats document here ("" = off).
+  std::string statsJsonPath;
+  /// Stream JSONL trace events here ("" = off).
+  std::string tracePath;
+};
+
 /// `adlsym run <isa> <image-text> [inputs...]` — concrete execution with
 /// the given input stream; prints outputs and exit status.
 CommandResult cmdRun(const std::string& isa, const std::string& imageText,
-                     const std::vector<uint64_t>& inputs);
+                     const std::vector<uint64_t>& inputs,
+                     const RunOptions& ropt = {});
 
 struct ExploreOptions {
   std::string strategy = "dfs";  // dfs|bfs|random|coverage
@@ -41,6 +49,11 @@ struct ExploreOptions {
   bool mergeStates = false;
   /// Append an annotated instruction-coverage report per code section.
   bool coverageReport = false;
+  /// Write the aggregated JSON stats document (summary + solver + metrics,
+  /// docs/observability.md) here ("" = off).
+  std::string statsJsonPath;
+  /// Stream JSONL trace events here ("" = off).
+  std::string tracePath;
 };
 
 /// `adlsym explore <isa> <image-text>` — symbolic exploration; prints the

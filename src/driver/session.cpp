@@ -23,7 +23,7 @@ Session::Session(const std::string& isa, const std::string& asmSource,
   solver_->setConflictBudget(opt_.solverConflictBudget);
   solver_->setQueryCacheEnabled(opt_.queryCache);
   svc_ = std::make_unique<core::EngineServices>(tm_, *solver_, image_,
-                                                opt_.engine);
+                                                opt_.engine, opt_.telemetry);
   if (opt_.useBaselineEngine) {
     check(isa == "rv32e", "baseline engine only exists for rv32e");
     exec_ = std::make_unique<baseline::Rv32Engine>(*svc_);
@@ -50,7 +50,7 @@ core::ConcolicResult Session::concolic(core::ConcolicConfig cfg) {
 
 core::ConcreteResult Session::replay(const core::TestCase& tc,
                                      uint64_t maxSteps) {
-  core::ConcreteRunner runner(*model_, image_);
+  core::ConcreteRunner runner(*model_, image_, opt_.telemetry);
   return runner.run(tc, maxSteps);
 }
 

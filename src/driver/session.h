@@ -16,6 +16,7 @@
 #include "core/explorer.h"
 #include "loader/image.h"
 #include "smt/solver.h"
+#include "support/telemetry.h"
 #include "workloads/pgen.h"
 
 namespace adlsym::driver {
@@ -32,6 +33,10 @@ struct SessionOptions {
   bool queryCache = true;
   /// SAT conflict budget per solver query (0 = unlimited).
   uint64_t solverConflictBudget = 500000;
+  /// Observability bundle (metrics registry + clock + optional trace
+  /// sink), attached to every layer of the session. Not owned; null =
+  /// telemetry disabled at zero cost (docs/observability.md).
+  telemetry::Telemetry* telemetry = nullptr;
 };
 
 class Session {
@@ -66,6 +71,8 @@ class Session {
   smt::SmtSolver& solver() { return *solver_; }
   core::Executor& executor() { return *exec_; }
   const SessionOptions& options() const { return opt_; }
+  /// The telemetry bundle this session records into (null when detached).
+  telemetry::Telemetry* telemetry() const { return opt_.telemetry; }
 
  private:
   SessionOptions opt_;

@@ -11,8 +11,14 @@ BitBlaster::BitBlaster(TermManager& tm, SatSolver& sat) : tm_(tm), sat_(sat) {
   sat_.addUnit(trueLit_);
 }
 
+void BitBlaster::setTelemetry(telemetry::Telemetry* t) {
+  gatesCtr_ = t ? &t->metrics().counter("blast.gates") : nullptr;
+  termsCtr_ = t ? &t->metrics().counter("blast.terms_blasted") : nullptr;
+}
+
 Lit BitBlaster::freshLit() {
   ++stats_.gates;
+  if (gatesCtr_) gatesCtr_->add();
   return Lit(sat_.newVar(), false);
 }
 
@@ -214,6 +220,7 @@ const BitBlaster::Bits& BitBlaster::blast(TermId id) {
       continue;
     }
     ++stats_.termsBlasted;
+    if (termsCtr_) termsCtr_->add();
     const unsigned w = n.width;
     Bits out;
     auto A = [&]() -> const Bits& { return blasted_.at(n.a); };

@@ -9,6 +9,7 @@
 
 #include "smt/sat.h"
 #include "smt/term.h"
+#include "support/telemetry.h"
 
 namespace adlsym::smt {
 
@@ -40,6 +41,10 @@ class BitBlaster {
     uint64_t termsBlasted = 0;
   };
   const Stats& stats() const { return stats_; }
+
+  /// Attach telemetry (null to detach): mirrors gate/term counts into the
+  /// blast.gates / blast.terms_blasted registry counters.
+  void setTelemetry(telemetry::Telemetry* t);
 
  private:
   Lit trueLit() const { return trueLit_; }
@@ -84,6 +89,9 @@ class BitBlaster {
   std::unordered_map<std::pair<uint32_t, uint32_t>, Lit, PairHash> andCache_;
   std::unordered_map<std::pair<uint32_t, uint32_t>, Lit, PairHash> xorCache_;
   Stats stats_;
+
+  telemetry::Counter* gatesCtr_ = nullptr;
+  telemetry::Counter* termsCtr_ = nullptr;
 };
 
 }  // namespace adlsym::smt

@@ -290,7 +290,24 @@ void SatSolver::reduceDB() {
   learnedLimit_ = learnedLimit_ + learnedLimit_ / 2;
 }
 
+void SatSolver::setTelemetry(telemetry::Telemetry* t) {
+  solvesCtr_ = t ? &t->metrics().counter("sat.solves") : nullptr;
+  conflictsHist_ = t ? &t->metrics().histogram("sat.conflicts_per_solve") : nullptr;
+  decisionsHist_ = t ? &t->metrics().histogram("sat.decisions_per_solve") : nullptr;
+}
+
 SatResult SatSolver::solve(const std::vector<Lit>& assumptions) {
+  if (!solvesCtr_) return solveImpl(assumptions);
+  solvesCtr_->add();
+  const uint64_t conflicts0 = stats_.conflicts;
+  const uint64_t decisions0 = stats_.decisions;
+  const SatResult r = solveImpl(assumptions);
+  conflictsHist_->record(stats_.conflicts - conflicts0);
+  decisionsHist_->record(stats_.decisions - decisions0);
+  return r;
+}
+
+SatResult SatSolver::solveImpl(const std::vector<Lit>& assumptions) {
   if (unsatisfiable_) return SatResult::Unsat;
   backtrack(0);
   if (propagate() != -1) {

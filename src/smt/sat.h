@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "support/error.h"
+#include "support/telemetry.h"
 
 namespace adlsym::smt {
 
@@ -67,6 +68,10 @@ class SatSolver {
   /// call. 0 = unlimited.
   void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
 
+  /// Attach telemetry (null to detach): per-solve conflict/decision deltas
+  /// go into sat.conflicts_per_solve / sat.decisions_per_solve histograms.
+  void setTelemetry(telemetry::Telemetry* t);
+
  private:
   enum LBool : int8_t { kFalse = 0, kTrue = 1, kUndef = 2 };
 
@@ -88,6 +93,7 @@ class SatSolver {
     return (v == kTrue) != l.sign() ? kTrue : kFalse;
   }
 
+  SatResult solveImpl(const std::vector<Lit>& assumptions);
   void enqueue(Lit l, int32_t reasonClause);
   /// Returns conflicting clause index or -1.
   int32_t propagate();
@@ -126,6 +132,10 @@ class SatSolver {
   Stats stats_;
   uint64_t conflictBudget_ = 0;
   uint64_t learnedLimit_ = 4096;
+
+  telemetry::Counter* solvesCtr_ = nullptr;
+  telemetry::Histogram* conflictsHist_ = nullptr;
+  telemetry::Histogram* decisionsHist_ = nullptr;
 };
 
 }  // namespace adlsym::smt

@@ -2,10 +2,103 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 #include "smt/printer.h"
+#include "support/json.h"
+#include "support/strings.h"
 
 namespace adlsym::smt {
+
+const char* checkResultName(CheckResult r) {
+  switch (r) {
+    case CheckResult::Sat: return "sat";
+    case CheckResult::Unsat: return "unsat";
+    case CheckResult::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+void SolverTelemetry::writeJson(json::Writer& w) const {
+  w.beginObject();
+  w.kv("queries", queries);
+  w.kv("sat", sat);
+  w.kv("unsat", unsat);
+  w.kv("unknown", unknown);
+  w.kv("total_micros", totalMicros);
+  w.kv("max_micros", maxMicros);
+  w.kv("cache_hits", cacheHits);
+  w.kv("cache_hit_rate", cacheHitRate());
+  w.key("sat_core").beginObject();
+  w.kv("conflicts", satCore.conflicts);
+  w.kv("decisions", satCore.decisions);
+  w.kv("propagations", satCore.propagations);
+  w.kv("restarts", satCore.restarts);
+  w.kv("learned", satCore.learned);
+  w.kv("deleted_clauses", satCore.deletedClauses);
+  w.kv("vars", satVars);
+  w.kv("clauses", satClauses);
+  w.endObject();
+  w.key("bitblast").beginObject();
+  w.kv("gates", blast.gates);
+  w.kv("gate_cache_hits", blast.cacheHits);
+  w.kv("terms_blasted", blast.termsBlasted);
+  w.endObject();
+  w.endObject();
+}
+
+std::string SolverTelemetry::toJson() const {
+  std::ostringstream os;
+  json::Writer w(os);
+  writeJson(w);
+  return os.str();
+}
+
+std::string SolverTelemetry::format() const {
+  std::string out = formatStr(
+      "solver: %llu queries (%llu sat, %llu unsat, %llu unknown), %.1f ms, "
+      "%llu cache hits (%.0f%%)\n",
+      static_cast<unsigned long long>(queries),
+      static_cast<unsigned long long>(sat),
+      static_cast<unsigned long long>(unsat),
+      static_cast<unsigned long long>(unknown), totalMicros / 1e3,
+      static_cast<unsigned long long>(cacheHits), 100.0 * cacheHitRate());
+  out += formatStr(
+      "sat: %llu conflicts, %llu decisions, %llu propagations | blast: "
+      "%llu gates, %llu terms\n",
+      static_cast<unsigned long long>(satCore.conflicts),
+      static_cast<unsigned long long>(satCore.decisions),
+      static_cast<unsigned long long>(satCore.propagations),
+      static_cast<unsigned long long>(blast.gates),
+      static_cast<unsigned long long>(blast.termsBlasted));
+  return out;
+}
+
+SolverTelemetry SmtSolver::telemetrySnapshot() const {
+  SolverTelemetry t;
+  t.queries = stats_.queries;
+  t.sat = stats_.sat;
+  t.unsat = stats_.unsat;
+  t.unknown = stats_.unknown;
+  t.totalMicros = stats_.totalMicros;
+  t.maxMicros = stats_.maxMicros;
+  t.cacheHits = cacheHits_;
+  t.satCore = sat_.stats();
+  t.blast = bb_.stats();
+  t.satVars = sat_.numVars();
+  t.satClauses = sat_.numClauses();
+  return t;
+}
+
+void SmtSolver::setTelemetry(telemetry::Telemetry* t) {
+  tel_ = t;
+  queryHist_ = t ? &t->metrics().histogram("solver.query_us") : nullptr;
+  queryCtr_ = t ? &t->metrics().counter("solver.queries") : nullptr;
+  cacheHitCtr_ = t ? &t->metrics().counter("solver.cache_hits") : nullptr;
+  cacheMissCtr_ = t ? &t->metrics().counter("solver.cache_misses") : nullptr;
+  sat_.setTelemetry(t);
+  bb_.setTelemetry(t);
+}
 
 void SmtSolver::assertAlways(TermRef t) {
   adlsym::check(t.width() == 1, "assertAlways requires a width-1 term");
@@ -44,17 +137,31 @@ CheckResult SmtSolver::checkFresh(const std::vector<TermRef>& assumptions) {
 
 CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
   ++stats_.queries;
-  const auto start = std::chrono::steady_clock::now();
+  if (queryCtr_) queryCtr_->add();
+  // One clock for both the legacy Stats and the telemetry histogram: the
+  // injected clock when telemetry is attached (deterministic tests), the
+  // system clock otherwise.
+  auto now = [&] {
+    return tel_ ? tel_->nowMicros() : telemetry::Clock::system().nowMicros();
+  };
+  const uint64_t startUs = now();
+  bool cached = false;
   auto finish = [&](CheckResult r) {
-    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
-                        std::chrono::steady_clock::now() - start)
-                        .count();
-    stats_.totalMicros += static_cast<uint64_t>(us);
-    stats_.maxMicros = std::max<uint64_t>(stats_.maxMicros, static_cast<uint64_t>(us));
+    const uint64_t us = now() - startUs;
+    stats_.totalMicros += us;
+    stats_.maxMicros = std::max(stats_.maxMicros, us);
     switch (r) {
       case CheckResult::Sat: ++stats_.sat; break;
       case CheckResult::Unsat: ++stats_.unsat; break;
       case CheckResult::Unknown: ++stats_.unknown; break;
+    }
+    if (queryHist_) queryHist_->record(us);
+    if (tel_ && tel_->tracing()) {
+      tel_->emit(telemetry::EventKind::SolverQuery,
+                 {{"result", checkResultName(r)},
+                  {"us", us},
+                  {"cached", cached ? 1 : 0},
+                  {"assumptions", static_cast<uint64_t>(assumptions.size())}});
     }
     return r;
   };
@@ -75,9 +182,12 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     std::memcpy(cacheKey.data(), ids.data(), cacheKey.size());
     if (auto it = queryCache_.find(cacheKey); it != queryCache_.end()) {
       ++cacheHits_;
+      cached = true;
+      if (cacheHitCtr_) cacheHitCtr_->add();
       if (it->second.result == CheckResult::Sat) model_ = it->second.model;
       return finish(it->second.result);
     }
+    if (cacheMissCtr_) cacheMissCtr_->add();
   }
   auto remember = [&](CheckResult r) {
     if (cacheEnabled_ && r != CheckResult::Unknown) {

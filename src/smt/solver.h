@@ -7,15 +7,49 @@
 
 #include <chrono>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "smt/bitblast.h"
 #include "smt/sat.h"
 #include "smt/term.h"
+#include "support/telemetry.h"
 
 namespace adlsym::smt {
 
 enum class CheckResult { Sat, Unsat, Unknown };
+
+const char* checkResultName(CheckResult r);
+
+/// One snapshot of the whole SMT stack's statistics: query-level stats,
+/// the SAT core, the bit-blaster and the query cache, aggregated so
+/// consumers read a single object instead of stitching stats()/satStats()/
+/// blastStats() together (the CLI stats printout and the JSON stats
+/// document are both rendered from this).
+struct SolverTelemetry {
+  uint64_t queries = 0;
+  uint64_t sat = 0;
+  uint64_t unsat = 0;
+  uint64_t unknown = 0;
+  uint64_t totalMicros = 0;
+  uint64_t maxMicros = 0;
+  uint64_t cacheHits = 0;
+  SatSolver::Stats satCore;
+  BitBlaster::Stats blast;
+  uint64_t satVars = 0;
+  uint64_t satClauses = 0;
+
+  /// Hit rate over all queries (cached and solved), in [0,1].
+  double cacheHitRate() const {
+    return queries ? double(cacheHits) / double(queries) : 0.0;
+  }
+
+  /// The "solver" object of the stats schema (docs/observability.md).
+  void writeJson(json::Writer& w) const;
+  std::string toJson() const;
+  /// Human-readable two-line form used by `adlsym explore`.
+  std::string format() const;
+};
 
 class SmtSolver {
  public:
@@ -68,6 +102,15 @@ class SmtSolver {
   const SatSolver::Stats& satStats() const { return sat_.stats(); }
   const BitBlaster::Stats& blastStats() const { return bb_.stats(); }
 
+  /// Aggregate every layer's stats into one snapshot (see SolverTelemetry).
+  SolverTelemetry telemetrySnapshot() const;
+
+  /// Attach a telemetry bundle (may be null to detach): records the
+  /// solver.query_us latency histogram, query/cache counters and
+  /// solver_query trace events; forwarded to the SAT core and the
+  /// bit-blaster for their own counters.
+  void setTelemetry(telemetry::Telemetry* t);
+
   /// Solve assumptions /\ permanent asserts on a throwaway solver (no state
   /// shared with this instance). Used by paranoid mode and tests.
   CheckResult checkFresh(const std::vector<TermRef>& assumptions);
@@ -90,6 +133,13 @@ class SmtSolver {
   uint64_t cacheHits_ = 0;
 
   Stats stats_;
+
+  // Telemetry (null when detached; hot paths branch on the pointers).
+  telemetry::Telemetry* tel_ = nullptr;
+  telemetry::Histogram* queryHist_ = nullptr;
+  telemetry::Counter* queryCtr_ = nullptr;
+  telemetry::Counter* cacheHitCtr_ = nullptr;
+  telemetry::Counter* cacheMissCtr_ = nullptr;
 };
 
 }  // namespace adlsym::smt

@@ -1,0 +1,129 @@
+#include "support/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "support/error.h"
+
+namespace adlsym::json {
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void Writer::preValue() {
+  if (pendingKey_) {
+    pendingKey_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    check(!stack_.back(), "json: value inside an object requires a key");
+    if (counts_.back() > 0) os_ << ',';
+    ++counts_.back();
+  }
+}
+
+Writer& Writer::beginObject() {
+  preValue();
+  stack_.push_back(true);
+  counts_.push_back(0);
+  os_ << '{';
+  return *this;
+}
+
+Writer& Writer::endObject() {
+  check(!stack_.empty() && stack_.back(), "json: endObject outside object");
+  stack_.pop_back();
+  counts_.pop_back();
+  os_ << '}';
+  return *this;
+}
+
+Writer& Writer::beginArray() {
+  preValue();
+  stack_.push_back(false);
+  counts_.push_back(0);
+  os_ << '[';
+  return *this;
+}
+
+Writer& Writer::endArray() {
+  check(!stack_.empty() && !stack_.back(), "json: endArray outside array");
+  stack_.pop_back();
+  counts_.pop_back();
+  os_ << ']';
+  return *this;
+}
+
+Writer& Writer::key(std::string_view k) {
+  check(!stack_.empty() && stack_.back(), "json: key outside object");
+  check(!pendingKey_, "json: consecutive keys");
+  if (counts_.back() > 0) os_ << ',';
+  ++counts_.back();
+  os_ << '"' << escape(k) << "\":";
+  pendingKey_ = true;
+  return *this;
+}
+
+Writer& Writer::value(std::string_view v) {
+  preValue();
+  os_ << '"' << escape(v) << '"';
+  return *this;
+}
+
+Writer& Writer::value(uint64_t v) {
+  preValue();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(int64_t v) {
+  preValue();
+  os_ << v;
+  return *this;
+}
+
+Writer& Writer::value(double v) {
+  preValue();
+  if (!std::isfinite(v)) {
+    os_ << "null";
+    return *this;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  os_ << buf;
+  return *this;
+}
+
+Writer& Writer::value(bool v) {
+  preValue();
+  os_ << (v ? "true" : "false");
+  return *this;
+}
+
+Writer& Writer::rawValue(std::string_view jsonText) {
+  preValue();
+  os_ << jsonText;
+  return *this;
+}
+
+}  // namespace adlsym::json

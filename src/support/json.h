@@ -1,0 +1,59 @@
+// Minimal streaming JSON writer used by the telemetry layer, the CLI's
+// --stats-json output and the bench JSON reports. Emits compact (no
+// whitespace) JSON; commas and nesting are tracked automatically so call
+// sites read like the document they produce.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adlsym::json {
+
+/// JSON string escaping (quotes, backslash, control characters).
+std::string escape(std::string_view s);
+
+class Writer {
+ public:
+  explicit Writer(std::ostream& os) : os_(os) {}
+
+  Writer& beginObject();
+  Writer& endObject();
+  Writer& beginArray();
+  Writer& endArray();
+
+  /// Key inside an object; must be followed by exactly one value or
+  /// begin{Object,Array}.
+  Writer& key(std::string_view k);
+
+  Writer& value(std::string_view v);
+  Writer& value(const char* v) { return value(std::string_view(v)); }
+  Writer& value(uint64_t v);
+  Writer& value(int64_t v);
+  Writer& value(int v) { return value(static_cast<int64_t>(v)); }
+  Writer& value(unsigned v) { return value(static_cast<uint64_t>(v)); }
+  Writer& value(double v);
+  Writer& value(bool v);
+  /// Pre-rendered JSON (e.g. a nested document from another writer).
+  Writer& rawValue(std::string_view jsonText);
+
+  // key+value in one call.
+  template <typename T>
+  Writer& kv(std::string_view k, T v) {
+    key(k);
+    return value(v);
+  }
+
+ private:
+  void preValue();  // comma / separator bookkeeping
+
+  std::ostream& os_;
+  /// One frame per open container: true = object, false = array.
+  std::vector<bool> stack_;
+  std::vector<uint32_t> counts_;
+  bool pendingKey_ = false;
+};
+
+}  // namespace adlsym::json

@@ -1,0 +1,131 @@
+#include "support/telemetry.h"
+
+#include <bit>
+#include <chrono>
+#include <sstream>
+
+#include "support/json.h"
+
+namespace adlsym::telemetry {
+
+namespace {
+
+class SystemClock final : public Clock {
+ public:
+  uint64_t nowMicros() override {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+};
+
+}  // namespace
+
+Clock& Clock::system() {
+  static SystemClock clock;
+  return clock;
+}
+
+Telemetry& Telemetry::global() {
+  static Telemetry instance;
+  return instance;
+}
+
+// ---- histogram ----------------------------------------------------------
+
+void Histogram::record(uint64_t v) {
+  ++count_;
+  sum_ += v;
+  if (v > max_) max_ = v;
+  size_t i = static_cast<size_t>(std::bit_width(v));
+  if (i >= kBuckets) i = kBuckets - 1;
+  ++buckets_[i];
+}
+
+uint64_t Histogram::bucketUpperBound(size_t i) {
+  if (i + 1 >= kBuckets) return UINT64_MAX;
+  return (uint64_t{1} << i) - 1;
+}
+
+// ---- registry -----------------------------------------------------------
+
+void MetricsRegistry::writeJson(json::Writer& w) const {
+  w.beginObject();
+  w.key("counters").beginObject();
+  for (const auto& [name, c] : counters_) w.kv(name, c.value);
+  w.endObject();
+  w.key("gauges").beginObject();
+  for (const auto& [name, g] : gauges_) w.kv(name, g.value);
+  w.endObject();
+  w.key("histograms").beginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name).beginObject();
+    w.kv("count", h.count());
+    w.kv("sum", h.sum());
+    w.kv("max", h.max());
+    w.kv("mean", h.mean());
+    w.key("buckets").beginArray();
+    for (const uint64_t b : h.buckets()) w.value(b);
+    w.endArray();
+    w.endObject();
+  }
+  w.endObject();
+  w.endObject();
+}
+
+std::string MetricsRegistry::toJson() const {
+  std::ostringstream os;
+  json::Writer w(os);
+  writeJson(w);
+  return os.str();
+}
+
+// ---- trace ---------------------------------------------------------------
+
+const char* eventKindName(EventKind k) {
+  switch (k) {
+    case EventKind::Step: return "step";
+    case EventKind::Fork: return "fork";
+    case EventKind::Drop: return "drop";
+    case EventKind::Merge: return "merge";
+    case EventKind::SolverQuery: return "solver_query";
+    case EventKind::PathDone: return "path_done";
+    case EventKind::Defect: return "defect";
+    case EventKind::Phase: return "phase";
+  }
+  return "?";
+}
+
+void JsonlTraceSink::event(EventKind kind, uint64_t tMicros,
+                           const std::vector<Field>& fields) {
+  json::Writer w(os_);
+  w.beginObject();
+  w.kv("ev", eventKindName(kind));
+  w.kv("t", tMicros);
+  for (const Field& f : fields) {
+    switch (f.type) {
+      case Field::Type::U64: w.kv(f.key, f.u); break;
+      case Field::Type::F64: w.kv(f.key, f.f); break;
+      case Field::Type::Str: w.kv(f.key, std::string_view(f.s)); break;
+    }
+  }
+  w.endObject();
+  os_ << '\n';
+  ++events_;
+}
+
+void Telemetry::emit(EventKind kind, std::initializer_list<Field> fields) {
+  if (!sink_) return;
+  sink_->event(kind, nowMicros(), std::vector<Field>(fields));
+}
+
+uint64_t ScopedTimer::stop() {
+  if (done_ || !t_ || !h_) return 0;
+  done_ = true;
+  const uint64_t elapsed = t_->nowMicros() - start_;
+  h_->record(elapsed);
+  return elapsed;
+}
+
+}  // namespace adlsym::telemetry

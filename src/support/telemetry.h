@@ -1,0 +1,234 @@
+// Unified telemetry layer (docs/observability.md): a metrics registry of
+// named counters / gauges / fixed-bucket latency histograms, RAII scoped
+// timers, and a structured trace-event sink with a JSONL implementation.
+// Every hot layer (engine, explorer, solver) takes an optional Telemetry*
+// and is zero-cost when it is null: call sites branch on the pointer and
+// no clock is read, no field is built, nothing allocates.
+//
+// The clock is injectable (ManualClock) so wall-budget paths and timer
+// assertions are deterministic in tests.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace adlsym::json {
+class Writer;
+}
+
+namespace adlsym::telemetry {
+
+// ---- clock ------------------------------------------------------------
+
+/// Monotonic microsecond clock. The process-wide default wraps
+/// std::chrono::steady_clock; tests inject a ManualClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  virtual uint64_t nowMicros() = 0;
+  static Clock& system();
+};
+
+/// Deterministic clock for tests: starts at 0 and advances only when told
+/// to — either explicitly or by `stepMicros` on every read (so code that
+/// polls elapsed time makes reproducible progress).
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(uint64_t stepMicros = 0) : step_(stepMicros) {}
+  uint64_t nowMicros() override {
+    const uint64_t t = now_;
+    now_ += step_;
+    return t;
+  }
+  void advance(uint64_t micros) { now_ += micros; }
+
+ private:
+  uint64_t now_ = 0;
+  uint64_t step_;
+};
+
+// ---- metrics ----------------------------------------------------------
+
+struct Counter {
+  uint64_t value = 0;
+  void add(uint64_t d = 1) { value += d; }
+};
+
+struct Gauge {
+  int64_t value = 0;
+  void set(int64_t v) { value = v; }
+  void setMax(int64_t v) {
+    if (v > value) value = v;
+  }
+};
+
+/// Fixed-bucket histogram for latency-like values (microseconds). Bucket i
+/// counts values v with bit_width(v) == i, i.e. v in [2^(i-1), 2^i - 1]
+/// (bucket 0 counts v == 0); the last bucket absorbs everything larger.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 24;  // last finite bound ~8.4 s
+
+  void record(uint64_t v);
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  double mean() const { return count_ ? double(sum_) / double(count_) : 0.0; }
+  const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
+  /// Inclusive upper bound of bucket i (UINT64_MAX for the overflow bucket).
+  static uint64_t bucketUpperBound(size_t i);
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+  std::array<uint64_t, kBuckets> buckets_{};
+};
+
+/// Named metrics, created on first use. References returned remain valid
+/// for the registry's lifetime (node-stable map storage), so hot paths
+/// resolve a metric once and keep the pointer.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  Histogram& histogram(const std::string& name) { return histograms_[name]; }
+
+  const std::map<std::string, Counter>& counters() const { return counters_; }
+  const std::map<std::string, Gauge>& gauges() const { return gauges_; }
+  const std::map<std::string, Histogram>& histograms() const {
+    return histograms_;
+  }
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,max,
+  /// mean,buckets:[...]}}} — the "metrics" object of the stats schema.
+  void writeJson(json::Writer& w) const;
+  std::string toJson() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+// ---- trace events ------------------------------------------------------
+
+enum class EventKind : uint8_t {
+  Step,         // one instruction symbolically executed
+  Fork,         // a step produced >1 successors
+  Drop,         // a step produced 0 successors (infeasible)
+  Merge,        // veritesting merge of two frontier states
+  SolverQuery,  // one SmtSolver::check
+  PathDone,     // a path left the frontier with a terminal status
+  Defect,       // a checker reported a defect
+  Phase,        // begin/end markers of coarse stages
+};
+
+const char* eventKindName(EventKind k);
+
+/// One key/value of an event payload. Implicit constructors let call sites
+/// write {"pc", pc}, {"status", "exited"}, {"seconds", 0.5}.
+struct Field {
+  enum class Type : uint8_t { U64, F64, Str } type;
+  const char* key;
+  uint64_t u = 0;
+  double f = 0.0;
+  std::string s;
+
+  Field(const char* k, uint64_t v) : type(Type::U64), key(k), u(v) {}
+  Field(const char* k, uint32_t v) : type(Type::U64), key(k), u(v) {}
+  Field(const char* k, int v)
+      : type(Type::U64), key(k), u(static_cast<uint64_t>(v)) {}
+  Field(const char* k, double v) : type(Type::F64), key(k), f(v) {}
+  Field(const char* k, const char* v) : type(Type::Str), key(k), s(v) {}
+  Field(const char* k, std::string v) : type(Type::Str), key(k), s(std::move(v)) {}
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void event(EventKind kind, uint64_t tMicros,
+                     const std::vector<Field>& fields) = 0;
+  virtual void flush() {}
+};
+
+/// One JSON object per line: {"ev":"fork","t":123,"pc":64,...}. `t` is
+/// microseconds from the telemetry clock. The stream is borrowed, not
+/// owned.
+class JsonlTraceSink final : public TraceSink {
+ public:
+  explicit JsonlTraceSink(std::ostream& os) : os_(os) {}
+  void event(EventKind kind, uint64_t tMicros,
+             const std::vector<Field>& fields) override;
+  void flush() override { os_.flush(); }
+  uint64_t eventsWritten() const { return events_; }
+
+ private:
+  std::ostream& os_;
+  uint64_t events_ = 0;
+};
+
+// ---- the bundle ---------------------------------------------------------
+
+/// What components hold a pointer to: registry + clock + optional sink.
+/// A process-wide instance exists (global()) but everything is injectable;
+/// Session wires one per SessionOptions::telemetry.
+class Telemetry {
+ public:
+  Telemetry() : clock_(&Clock::system()) {}
+  explicit Telemetry(Clock& clock) : clock_(&clock) {}
+
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+
+  Clock& clock() { return *clock_; }
+  void setClock(Clock& c) { clock_ = &c; }
+  uint64_t nowMicros() { return clock_->nowMicros(); }
+
+  void setSink(TraceSink* sink) { sink_ = sink; }
+  TraceSink* sink() const { return sink_; }
+  /// Guard before building Fields: `if (tel && tel->tracing()) tel->emit(...)`.
+  bool tracing() const { return sink_ != nullptr; }
+
+  /// Record an event at clock time now; no-op without a sink.
+  void emit(EventKind kind, std::initializer_list<Field> fields);
+
+  /// Process-wide default instance (injectable everywhere; nothing uses it
+  /// implicitly).
+  static Telemetry& global();
+
+ private:
+  MetricsRegistry metrics_;
+  Clock* clock_;
+  TraceSink* sink_ = nullptr;
+};
+
+/// RAII timer: records elapsed microseconds into a histogram at scope
+/// exit. Both pointers may be null — the timer is then a no-op and never
+/// reads the clock.
+class ScopedTimer {
+ public:
+  ScopedTimer(Telemetry* t, Histogram* h) : t_(t), h_(h) {
+    if (t_ && h_) start_ = t_->nowMicros();
+  }
+  ~ScopedTimer() { stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Record now instead of at scope exit; returns elapsed micros (0 when
+  /// disabled). Idempotent.
+  uint64_t stop();
+
+ private:
+  Telemetry* t_;
+  Histogram* h_;
+  uint64_t start_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace adlsym::telemetry

@@ -1,9 +1,33 @@
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <sstream>
+
 #include "driver/cli.h"
 
 namespace adlsym::driver::cli {
 namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Count JSONL trace lines of the given event kind.
+size_t countEvents(const std::string& jsonl, const std::string& kind) {
+  const std::string needle = "{\"ev\":\"" + kind + "\",";
+  size_t n = 0;
+  std::istringstream in(jsonl);
+  std::string line;
+  while (std::getline(in, line)) {
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    if (line.compare(0, needle.size(), needle) == 0) ++n;
+  }
+  return n;
+}
 
 TEST(Cli, UsageAndUnknown) {
   EXPECT_EQ(dispatch({}).exitCode, 1);
@@ -100,6 +124,62 @@ TEST(Cli, ExploreCoverageAndMerge) {
   EXPECT_NE(r.output.find("coverage of section text"), std::string::npos);
   EXPECT_NE(r.output.find("covered"), std::string::npos);
   EXPECT_NE(r.output.find(" * "), std::string::npos);
+}
+
+TEST(Cli, ExploreStatsJsonAndTrace) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  ExploreOptions opt;
+  opt.statsJsonPath = testing::TempDir() + "cli_stats.json";
+  opt.tracePath = testing::TempDir() + "cli_trace.jsonl";
+  const auto r = cmdExplore("rv32e", img.output, opt);
+  ASSERT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(r.output.find("paths=2"), std::string::npos);
+
+  const std::string stats = slurp(opt.statsJsonPath);
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v1\""), std::string::npos);
+  EXPECT_NE(stats.find("\"command\":\"explore\""), std::string::npos);
+  EXPECT_NE(stats.find("\"isa\":\"rv32e\""), std::string::npos);
+  EXPECT_NE(stats.find("\"paths\":2"), std::string::npos);
+  EXPECT_NE(stats.find("\"solver\""), std::string::npos);
+  EXPECT_NE(stats.find("\"solver.query_us\""), std::string::npos);
+  EXPECT_NE(stats.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(stats.find("\"explore.paths\":2"), std::string::npos);
+
+  // The trace's path_done count equals the printed/emitted path count.
+  const std::string trace = slurp(opt.tracePath);
+  EXPECT_EQ(countEvents(trace, "path_done"), 2u);
+  EXPECT_GT(countEvents(trace, "step"), 0u);
+  EXPECT_EQ(countEvents(trace, "phase"), 2u);  // begin + end
+}
+
+TEST(Cli, RunStatsJsonAndTrace) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  RunOptions ropt;
+  ropt.statsJsonPath = testing::TempDir() + "cli_run_stats.json";
+  ropt.tracePath = testing::TempDir() + "cli_run_trace.jsonl";
+  const auto r = cmdRun("rv32e", img.output, {7}, ropt);
+  EXPECT_EQ(r.exitCode, 0);
+  const std::string stats = slurp(ropt.statsJsonPath);
+  EXPECT_NE(stats.find("\"command\":\"run\""), std::string::npos);
+  EXPECT_NE(stats.find("\"status\":\"exited\""), std::string::npos);
+  EXPECT_NE(stats.find("\"exit_code\":1"), std::string::npos);
+  const std::string trace = slurp(ropt.tracePath);
+  EXPECT_GT(countEvents(trace, "step"), 0u);
+  EXPECT_EQ(countEvents(trace, "path_done"), 1u);
+}
+
+TEST(Cli, DispatchParsesObservabilityFlags) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  const std::string imgPath = testing::TempDir() + "cli_flags.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+  const std::string statsPath = testing::TempDir() + "cli_flags_stats.json";
+  const auto r = dispatch(
+      {"explore", "rv32e", imgPath, "--stats-json=" + statsPath});
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v1\""), std::string::npos);
 }
 
 TEST(Cli, AsmErrorsReported) {

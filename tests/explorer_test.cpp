@@ -6,6 +6,7 @@
 
 #include "core/testgen.h"
 #include "driver/session.h"
+#include "support/telemetry.h"
 #include "workloads/programs.h"
 
 namespace adlsym::core {
@@ -194,6 +195,53 @@ TEST(Explorer, StateMergingRespectsIncompatibleTraces) {
   const auto rp = sp.explore();
   EXPECT_EQ(rm.paths.size(), rp.paths.size());
   EXPECT_EQ(rm.statesMerged, 0u);
+}
+
+TEST(Explorer, TelemetryCountersMatchSummary) {
+  // The counters the explorer emits must agree exactly with the summary it
+  // returns — they are two views of the same events.
+  telemetry::ManualClock clk;
+  telemetry::Telemetry tel(clk);
+  SessionOptions opt;
+  opt.telemetry = &tel;
+  auto s = Session::forPortable(workloads::progBitcount(4), "rv32e", opt);
+  const auto summary = s->explore();
+  auto& m = tel.metrics();
+  EXPECT_EQ(m.counter("explore.steps").value, summary.totalSteps);
+  EXPECT_EQ(m.counter("explore.forks").value, summary.totalForks);
+  EXPECT_EQ(m.counter("explore.drops").value, summary.statesDropped);
+  EXPECT_EQ(m.counter("explore.merges").value, summary.statesMerged);
+  EXPECT_EQ(m.counter("explore.paths").value, summary.paths.size());
+  // The engine counts the same instruction executions.
+  EXPECT_EQ(m.counter("engine.steps").value, summary.totalSteps);
+  EXPECT_GT(m.gauge("explore.frontier_peak").value, 0);
+  EXPECT_GT(m.counter("solver.queries").value, 0u);
+}
+
+TEST(Explorer, MaxWallSecondsUsesInjectableClock) {
+  // Each clock read advances 0.1 simulated seconds, so the 0.5 s budget
+  // closes the frontier after a deterministic number of steps — no real
+  // time is involved.
+  auto run = [] {
+    telemetry::ManualClock clk(100000);
+    telemetry::Telemetry tel(clk);
+    SessionOptions opt;
+    opt.telemetry = &tel;
+    opt.explorer.maxWallSeconds = 0.5;
+    Session s("rv32e", R"(
+    loop:
+      addi x1, x1, 1
+      jal x0, loop
+    )", opt);
+    return s.explore();
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_GE(a.paths.size(), 1u);
+  EXPECT_EQ(a.paths[0].status, PathStatus::Budget);
+  EXPECT_EQ(a.totalSteps, b.totalSteps);
+  EXPECT_DOUBLE_EQ(a.wallSeconds, b.wallSeconds);
+  EXPECT_GT(a.wallSeconds, 0.5);
 }
 
 TEST(Explorer, DfsDivesBfsSweeps) {

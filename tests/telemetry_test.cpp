@@ -1,0 +1,154 @@
+#include "support/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "support/json.h"
+
+namespace adlsym::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CreateOnFirstUseAndStableRefs) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("engine.steps");
+  c.add();
+  c.add(4);
+  // Same name resolves to the same metric.
+  EXPECT_EQ(reg.counter("engine.steps").value, 5u);
+  // References stay valid while other metrics are created (map storage).
+  Counter* p = &c;
+  for (int i = 0; i < 100; ++i) reg.counter("c" + std::to_string(i));
+  EXPECT_EQ(p, &reg.counter("engine.steps"));
+  EXPECT_EQ(reg.counters().size(), 101u);
+
+  Gauge& g = reg.gauge("explore.frontier_peak");
+  g.setMax(3);
+  g.setMax(7);
+  g.setMax(5);
+  EXPECT_EQ(g.value, 7);
+  g.set(2);
+  EXPECT_EQ(g.value, 2);
+}
+
+TEST(Histogram, BucketBoundaries) {
+  Histogram h;
+  h.record(0);  // bucket 0
+  h.record(1);  // bucket 1: [1,1]
+  h.record(2);  // bucket 2: [2,3]
+  h.record(3);
+  h.record(4);  // bucket 3: [4,7]
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 10u);
+  EXPECT_EQ(h.max(), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), 2.0);
+  EXPECT_EQ(h.buckets()[0], 1u);
+  EXPECT_EQ(h.buckets()[1], 1u);
+  EXPECT_EQ(h.buckets()[2], 2u);
+  EXPECT_EQ(h.buckets()[3], 1u);
+
+  EXPECT_EQ(Histogram::bucketUpperBound(0), 0u);
+  EXPECT_EQ(Histogram::bucketUpperBound(1), 1u);
+  EXPECT_EQ(Histogram::bucketUpperBound(2), 3u);
+  EXPECT_EQ(Histogram::bucketUpperBound(3), 7u);
+  EXPECT_EQ(Histogram::bucketUpperBound(Histogram::kBuckets - 1), UINT64_MAX);
+
+  // Values beyond the last finite bound land in the overflow bucket.
+  h.record(UINT64_MAX / 2);
+  EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
+}
+
+TEST(ManualClockTest, StepsPerReadAndAdvances) {
+  ManualClock clk(10);
+  EXPECT_EQ(clk.nowMicros(), 0u);
+  EXPECT_EQ(clk.nowMicros(), 10u);
+  clk.advance(100);
+  EXPECT_EQ(clk.nowMicros(), 120u);
+}
+
+TEST(ScopedTimerTest, RecordsElapsedWithManualClock) {
+  ManualClock clk;
+  Telemetry tel(clk);
+  Histogram& h = tel.metrics().histogram("solver.query_us");
+  {
+    ScopedTimer t(&tel, &h);
+    clk.advance(250);
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.sum(), 250u);
+
+  // stop() is idempotent and returns the elapsed time.
+  ScopedTimer t(&tel, &h);
+  clk.advance(5);
+  EXPECT_EQ(t.stop(), 5u);
+  EXPECT_EQ(t.stop(), 0u);
+  EXPECT_EQ(h.count(), 2u);
+}
+
+TEST(ScopedTimerTest, NullSafe) {
+  ScopedTimer a(nullptr, nullptr);
+  EXPECT_EQ(a.stop(), 0u);
+  ManualClock clk(1000);
+  Telemetry tel(clk);
+  // Null histogram: the clock must never be read.
+  { ScopedTimer b(&tel, nullptr); }
+  EXPECT_EQ(clk.nowMicros(), 0u);
+}
+
+TEST(TelemetryTest, EmitWithoutSinkIsNoOp) {
+  ManualClock clk(7);
+  Telemetry tel(clk);
+  EXPECT_FALSE(tel.tracing());
+  tel.emit(EventKind::Fork, {{"pc", uint64_t{64}}});
+  // No sink: the clock is untouched.
+  EXPECT_EQ(clk.nowMicros(), 0u);
+}
+
+TEST(TelemetryTest, JsonlEventsAreWellFormed) {
+  ManualClock clk;
+  Telemetry tel(clk);
+  std::ostringstream os;
+  JsonlTraceSink sink(os);
+  tel.setSink(&sink);
+  ASSERT_TRUE(tel.tracing());
+
+  clk.advance(5);
+  tel.emit(EventKind::Step, {{"pc", uint64_t{0x40}}, {"succ", 2}});
+  clk.advance(5);
+  tel.emit(EventKind::PathDone,
+           {{"status", "exited"}, {"seconds", 0.5}});
+  tel.emit(EventKind::Defect, {{"note", std::string("say \"hi\"\n")}});
+  EXPECT_EQ(sink.eventsWritten(), 3u);
+
+  // Round-trip: the writer is deterministic, so well-formedness is checked
+  // by exact comparison against hand-written JSON.
+  EXPECT_EQ(os.str(),
+            "{\"ev\":\"step\",\"t\":5,\"pc\":64,\"succ\":2}\n"
+            "{\"ev\":\"path_done\",\"t\":10,\"status\":\"exited\","
+            "\"seconds\":0.5}\n"
+            "{\"ev\":\"defect\",\"t\":10,\"note\":\"say \\\"hi\\\"\\n\"}\n");
+}
+
+TEST(TelemetryTest, RegistryJsonShape) {
+  MetricsRegistry reg;
+  reg.counter("a").add(3);
+  reg.gauge("g").set(-2);
+  reg.histogram("h").record(4);
+  const std::string j = reg.toJson();
+  EXPECT_NE(j.find("\"counters\":{\"a\":3}"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"gauges\":{\"g\":-2}"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"count\":1"), std::string::npos) << j;
+  EXPECT_NE(j.find("\"sum\":4"), std::string::npos) << j;
+}
+
+TEST(EventKindTest, Names) {
+  EXPECT_STREQ(eventKindName(EventKind::Step), "step");
+  EXPECT_STREQ(eventKindName(EventKind::Fork), "fork");
+  EXPECT_STREQ(eventKindName(EventKind::Merge), "merge");
+  EXPECT_STREQ(eventKindName(EventKind::SolverQuery), "solver_query");
+  EXPECT_STREQ(eventKindName(EventKind::PathDone), "path_done");
+  EXPECT_STREQ(eventKindName(EventKind::Phase), "phase");
+}
+
+}  // namespace
+}  // namespace adlsym::telemetry

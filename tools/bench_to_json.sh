@@ -1,0 +1,48 @@
+#!/bin/sh
+# Run the bench suite and mirror every printed table into BENCH_<name>.json
+# (adlsym stats schema, docs/observability.md).
+#
+# Usage: tools/bench_to_json.sh [build-dir] [out-dir]
+#   build-dir  defaults to ./build (must already be built)
+#   out-dir    defaults to the repo root, so BENCH_*.json land next to
+#              EXPERIMENTS.md
+#
+# The google-benchmark microbenchmark suites in bench_smt / bench_overhead
+# are filtered out (--benchmark_filter=NONE): only the paper-style tables
+# feed the JSON reports, and skipping the microbenchmarks keeps a full run
+# to a few minutes.
+set -eu
+
+BUILD_DIR=${1:-build}
+OUT_DIR=${2:-.}
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found; build first:" >&2
+  echo "  cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+# writeJsonReport() reads this; an absolute path keeps it valid regardless
+# of each bench's working directory.
+ADLSYM_BENCH_JSON=$(cd "$OUT_DIR" && pwd)
+export ADLSYM_BENCH_JSON
+
+status=0
+for b in retarget overhead paths smt defects crossisa search concolic; do
+  exe="$BUILD_DIR/bench/bench_$b"
+  if [ ! -x "$exe" ]; then
+    echo "skip: $exe not built" >&2
+    continue
+  fi
+  echo "=== bench_$b ==="
+  case $b in
+    smt | overhead) "$exe" --benchmark_filter=NONE || status=1 ;;
+    *) "$exe" || status=1 ;;
+  esac
+  echo
+done
+
+echo "JSON reports in $ADLSYM_BENCH_JSON:"
+ls "$ADLSYM_BENCH_JSON"/BENCH_*.json
+exit $status
