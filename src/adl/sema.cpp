@@ -3,6 +3,7 @@
 #include <map>
 #include <set>
 
+#include "analysis/lint.h"
 #include "support/bits.h"
 #include "support/strings.h"
 
@@ -428,18 +429,15 @@ bool Analyzer::parseSyntaxTemplate(const ast::InsnDecl& insn, InsnInfo& info) {
 }
 
 void Analyzer::checkDecodeAmbiguity() {
-  for (size_t i = 0; i < model_->insns.size(); ++i) {
-    for (size_t j = i + 1; j < model_->insns.size(); ++j) {
-      const InsnInfo& a = model_->insns[i];
-      const InsnInfo& b = model_->insns[j];
-      if (a.lengthBytes != b.lengthBytes) continue;
-      const uint64_t common = a.fixedMask & b.fixedMask;
-      if ((a.fixedMatch & common) == (b.fixedMatch & common)) {
-        error({}, formatStr("instructions '%s' and '%s' have overlapping "
-                            "encodings: some bit pattern matches both",
-                            a.name.c_str(), b.name.c_str()));
-      }
-    }
+  // The exact ternary-set check lives in the analysis layer so `adlsym
+  // lint` and sema report identical findings; true ambiguity (ADL001) is
+  // a load error, everything else stays advisory.
+  std::vector<analysis::Finding> findings;
+  analysis::appendDecodeSpaceFindings(*model_, findings);
+  for (const analysis::Finding& f : findings) {
+    if (f.code != analysis::LintCode::AmbiguousEncodings) continue;
+    error(f.loc, formatStr("[%s] %s", analysis::lintCodeName(f.code),
+                           f.message.c_str()));
   }
 }
 

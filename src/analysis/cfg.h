@@ -1,0 +1,45 @@
+// Static CFG recovery over a loaded image (IMG001-IMG004): decode from the
+// entry point, follow statically-computable pc updates (fields, constants
+// and pc itself evaluate; register/memory-dependent targets are indirect)
+// and diagnose unreachable code, falls off the end of mapped code, jumps
+// that leave executable sections, and reachable bytes that do not decode.
+// Deliberately conservative: indirect control flow contributes no edges,
+// so unreachable-code findings are warnings, not errors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "adl/model.h"
+#include "analysis/lint.h"
+#include "loader/image.h"
+
+namespace adlsym::analysis {
+
+/// One reachable instruction instance.
+struct CfgInsn {
+  uint64_t addr = 0;
+  unsigned lengthBytes = 0;
+  const adl::InsnInfo* insn = nullptr;
+  bool mayFallThrough = false;  // some path neither branches nor halts
+  bool indirect = false;        // some pc write has a non-static target
+  std::vector<uint64_t> targets;  // static branch targets, deduplicated
+};
+
+/// Maximal straight-line run of reachable instructions.
+struct CfgBlock {
+  uint64_t start = 0;
+  uint64_t end = 0;  // exclusive
+  std::vector<uint64_t> succs;  // start addresses of successor blocks
+};
+
+struct Cfg {
+  std::map<uint64_t, CfgInsn> insns;  // keyed by address; reachable only
+  std::vector<CfgBlock> blocks;       // sorted by start address
+  LintReport report;
+};
+
+Cfg recoverCfg(const adl::ArchModel& model, const loader::Image& image);
+
+}  // namespace adlsym::analysis

@@ -1,0 +1,250 @@
+// Semantics dataflow lints (ADL010-ADL015): per-instruction walks over the
+// lowered RTL collecting which operand fields, let slots and scalar
+// registers are defined and used, plus structural dead-code and missing-
+// pc-update checks. Everything here is a whole-model property sema cannot
+// see while lowering one instruction at a time.
+#include <map>
+#include <set>
+
+#include "analysis/lint.h"
+#include "support/bits.h"
+#include "support/strings.h"
+
+namespace adlsym::analysis {
+
+namespace {
+
+using adl::rtl::Expr;
+using adl::rtl::ExprOp;
+using adl::rtl::Stmt;
+using adl::rtl::StmtOp;
+
+Finding mkFinding(LintCode code, std::string message, std::string insn,
+                  SourceLoc loc = {}) {
+  Finding f;
+  f.code = code;
+  f.severity = lintDefaultSeverity(code);
+  f.message = std::move(message);
+  f.insn = std::move(insn);
+  f.loc = loc;
+  return f;
+}
+
+/// Per-instruction use/def facts gathered in one RTL walk.
+struct InsnFacts {
+  /// Bits of each operand field that can influence semantics; a field
+  /// read without a narrowing wrapper counts as fully used.
+  std::vector<uint64_t> fieldBitsUsed;
+  std::set<unsigned> letDefs;   // slots with a Let statement
+  std::set<unsigned> letUses;   // slots referenced by LetRef
+  std::map<unsigned, SourceLoc> letDefLoc;
+  std::set<unsigned> regsRead;
+  std::set<unsigned> regsWritten;
+  bool pcWritten = false;
+};
+
+class InsnWalker {
+ public:
+  InsnWalker(const adl::ArchModel& model, const adl::InsnInfo& insn)
+      : model_(model), insn_(insn) {
+    facts_.fieldBitsUsed.assign(insn.operandFields.size(), 0);
+  }
+
+  InsnFacts run() {
+    walkBlock(insn_.semantics);
+    return std::move(facts_);
+  }
+
+ private:
+  void useField(unsigned idx, uint64_t bits) {
+    facts_.fieldBitsUsed[idx] |= bits;
+  }
+
+  void walkExpr(const Expr& e) {
+    // A Trunc/Extract applied directly to a field uses only the selected
+    // bits; any other appearance uses the whole field.
+    if ((e.op == ExprOp::Trunc || e.op == ExprOp::Extract) &&
+        e.args[0]->op == ExprOp::Field) {
+      const unsigned idx = static_cast<unsigned>(e.args[0]->aux);
+      uint64_t bits;
+      if (e.op == ExprOp::Trunc) {
+        bits = lowMask(e.width);
+      } else {
+        const unsigned hi = static_cast<unsigned>(e.aux >> 8);
+        const unsigned lo = static_cast<unsigned>(e.aux & 0xff);
+        bits = lowMask(hi - lo + 1) << lo;
+      }
+      useField(idx, bits);
+      return;
+    }
+    switch (e.op) {
+      case ExprOp::Field:
+        useField(static_cast<unsigned>(e.aux),
+                 lowMask(insn_.operandFields[e.aux]->width));
+        break;
+      case ExprOp::LetRef:
+        facts_.letUses.insert(static_cast<unsigned>(e.aux));
+        break;
+      case ExprOp::RegRead:
+        facts_.regsRead.insert(static_cast<unsigned>(e.aux));
+        break;
+      default:
+        break;
+    }
+    for (const auto& a : e.args) walkExpr(*a);
+  }
+
+  /// True when every execution of `s` ends the instruction (halt/trap on
+  /// all paths).
+  bool terminates(const Stmt& s) const {
+    if (s.op == StmtOp::Halt || s.op == StmtOp::Trap) return true;
+    if (s.op == StmtOp::If) {
+      return !s.thenBody.empty() && !s.elseBody.empty() &&
+             blockTerminates(s.thenBody) && blockTerminates(s.elseBody);
+    }
+    return false;
+  }
+  bool blockTerminates(const std::vector<adl::rtl::StmtPtr>& body) const {
+    for (const auto& s : body) {
+      if (terminates(*s)) return true;
+    }
+    return false;
+  }
+
+  void walkBlock(const std::vector<adl::rtl::StmtPtr>& body) {
+    bool dead = false;
+    for (const auto& s : body) {
+      if (dead) {
+        unreachable_.push_back(s->loc);
+        // Keep walking so uses inside dead code don't also fire ADL011/012.
+      }
+      walkStmt(*s);
+      if (terminates(*s)) dead = true;
+    }
+  }
+
+  void walkStmt(const Stmt& s) {
+    switch (s.op) {
+      case StmtOp::AssignReg:
+        facts_.regsWritten.insert(static_cast<unsigned>(s.aux));
+        if (s.aux == model_.pcIndex) facts_.pcWritten = true;
+        break;
+      case StmtOp::Let:
+        facts_.letDefs.insert(static_cast<unsigned>(s.aux));
+        facts_.letDefLoc[static_cast<unsigned>(s.aux)] = s.loc;
+        break;
+      default:
+        break;
+    }
+    for (const auto& a : s.args) walkExpr(*a);
+    walkBlock(s.thenBody);
+    walkBlock(s.elseBody);
+  }
+
+  const adl::ArchModel& model_;
+  const adl::InsnInfo& insn_;
+  InsnFacts facts_;
+
+ public:
+  std::vector<SourceLoc> unreachable_;
+};
+
+}  // namespace
+
+void appendDataflowFindings(const adl::ArchModel& model,
+                            std::vector<Finding>& out) {
+  // Whole-model register def/use, for ADL010.
+  std::set<unsigned> readAnywhere;
+  std::set<unsigned> writtenAnywhere;
+  std::map<unsigned, std::string> firstReader;
+
+  for (const adl::InsnInfo& insn : model.insns) {
+    InsnWalker walker(model, insn);
+    const InsnFacts facts = walker.run();
+
+    for (const SourceLoc& loc : walker.unreachable_) {
+      out.push_back(mkFinding(
+          LintCode::UnreachableStmt,
+          "statement can never execute: it follows a halt/trap that fires "
+          "on every path",
+          insn.name, loc));
+    }
+
+    for (const unsigned slot : facts.letDefs) {
+      if (facts.letUses.count(slot)) continue;
+      SourceLoc loc;
+      if (auto it = facts.letDefLoc.find(slot); it != facts.letDefLoc.end())
+        loc = it->second;
+      out.push_back(mkFinding(
+          LintCode::DeadLet,
+          formatStr("let binding (slot %u) is never used; its value is dead",
+                    slot),
+          insn.name, loc));
+    }
+
+    for (size_t fi = 0; fi < insn.operandFields.size(); ++fi) {
+      const adl::EncFieldInfo& field = *insn.operandFields[fi];
+      const uint64_t used = facts.fieldBitsUsed[fi];
+      const uint64_t full = lowMask(field.width);
+      if (used == 0) {
+        out.push_back(mkFinding(
+            LintCode::UnreadOperandField,
+            formatStr("operand field '%s' is decoded but never read by the "
+                      "semantics; its %u bits are don't-cares at execution",
+                      field.name.c_str(), field.width),
+            insn.name));
+      } else if (used != full) {
+        out.push_back(mkFinding(
+            LintCode::PartialFieldUse,
+            formatStr("only bits 0x%llx of operand field '%s' (%u bits) "
+                      "influence semantics; encodings differing in the "
+                      "ignored bits alias to the same behavior",
+                      static_cast<unsigned long long>(used),
+                      field.name.c_str(), field.width),
+            insn.name));
+      }
+    }
+
+    bool hasRel = false;
+    for (const adl::OperandInfo& op : insn.operands) {
+      hasRel = hasRel || op.kind == adl::OperandKind::Rel;
+    }
+    if (hasRel && !facts.pcWritten) {
+      out.push_back(mkFinding(
+          LintCode::RelWithoutPcWrite,
+          formatStr("'%s' has a pc-relative operand but its semantics never "
+                    "assign pc: no branch arm can take the target",
+                    insn.name.c_str()),
+          insn.name));
+    }
+
+    for (const unsigned r : facts.regsRead) {
+      if (!readAnywhere.count(r)) firstReader[r] = insn.name;
+      readAnywhere.insert(r);
+    }
+    for (const unsigned r : facts.regsWritten) writtenAnywhere.insert(r);
+  }
+
+  for (const unsigned r : readAnywhere) {
+    if (r == model.pcIndex) continue;  // the engine itself advances pc
+    if (writtenAnywhere.count(r)) continue;
+    out.push_back(mkFinding(
+        LintCode::ReadNeverWritten,
+        formatStr("%s '%s' is read (e.g. by '%s') but no instruction ever "
+                  "writes it; it is stuck at its reset value",
+                  model.regs[r].isFlag ? "flag" : "register",
+                  model.regs[r].name.c_str(), firstReader[r].c_str()),
+        firstReader[r]));
+  }
+}
+
+LintReport lintModel(const adl::ArchModel& model) {
+  LintReport report;
+  std::vector<Finding> findings;
+  appendDecodeSpaceFindings(model, findings);
+  appendDataflowFindings(model, findings);
+  for (Finding& f : findings) report.add(std::move(f));
+  return report;
+}
+
+}  // namespace adlsym::analysis

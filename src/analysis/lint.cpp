@@ -1,0 +1,171 @@
+#include "analysis/lint.h"
+
+#include <sstream>
+
+#include "support/json.h"
+#include "support/strings.h"
+
+namespace adlsym::analysis {
+
+const char* lintCodeName(LintCode code) {
+  switch (code) {
+    case LintCode::ModelError: return "ADL000";
+    case LintCode::AmbiguousEncodings: return "ADL001";
+    case LintCode::UnreachableEncoding: return "ADL002";
+    case LintCode::DecodeSpaceGap: return "ADL003";
+    case LintCode::ReadNeverWritten: return "ADL010";
+    case LintCode::DeadLet: return "ADL011";
+    case LintCode::UnreadOperandField: return "ADL012";
+    case LintCode::PartialFieldUse: return "ADL013";
+    case LintCode::UnreachableStmt: return "ADL014";
+    case LintCode::RelWithoutPcWrite: return "ADL015";
+    case LintCode::UnreachableBlock: return "IMG001";
+    case LintCode::FallThroughOffEnd: return "IMG002";
+    case LintCode::JumpOutsideCode: return "IMG003";
+    case LintCode::UndecodableReachable: return "IMG004";
+  }
+  return "ADL000";
+}
+
+std::optional<LintCode> lintCodeFromName(const std::string& name) {
+  for (const LintCode c :
+       {LintCode::ModelError, LintCode::AmbiguousEncodings,
+        LintCode::UnreachableEncoding, LintCode::DecodeSpaceGap,
+        LintCode::ReadNeverWritten, LintCode::DeadLet,
+        LintCode::UnreadOperandField, LintCode::PartialFieldUse,
+        LintCode::UnreachableStmt, LintCode::RelWithoutPcWrite,
+        LintCode::UnreachableBlock, LintCode::FallThroughOffEnd,
+        LintCode::JumpOutsideCode, LintCode::UndecodableReachable}) {
+    if (name == lintCodeName(c)) return c;
+  }
+  return std::nullopt;
+}
+
+const char* lintCodeSummary(LintCode code) {
+  switch (code) {
+    case LintCode::ModelError:
+      return "the ADL description failed to parse or analyze";
+    case LintCode::AmbiguousEncodings:
+      return "two same-length encodings match a common bit pattern";
+    case LintCode::UnreachableEncoding:
+      return "every pattern of an encoding is claimed by earlier/longer ones";
+    case LintCode::DecodeSpaceGap:
+      return "bit patterns that decode as no instruction";
+    case LintCode::ReadNeverWritten:
+      return "storage is read by semantics but written by no instruction";
+    case LintCode::DeadLet:
+      return "let binding is never referenced";
+    case LintCode::UnreadOperandField:
+      return "operand field is decoded but ignored by semantics";
+    case LintCode::PartialFieldUse:
+      return "only some bits of an operand field influence semantics";
+    case LintCode::UnreachableStmt:
+      return "statement can never execute (follows halt/trap)";
+    case LintCode::RelWithoutPcWrite:
+      return "pc-relative operand but semantics never assign pc";
+    case LintCode::UnreachableBlock:
+      return "code not reachable from the image entry point";
+    case LintCode::FallThroughOffEnd:
+      return "execution can fall through off mapped code";
+    case LintCode::JumpOutsideCode:
+      return "static branch target outside executable code";
+    case LintCode::UndecodableReachable:
+      return "reachable address does not decode as any instruction";
+  }
+  return "";
+}
+
+Severity lintDefaultSeverity(LintCode code) {
+  switch (code) {
+    case LintCode::ModelError:
+    case LintCode::AmbiguousEncodings:
+    case LintCode::RelWithoutPcWrite:
+    case LintCode::FallThroughOffEnd:
+    case LintCode::JumpOutsideCode:
+    case LintCode::UndecodableReachable:
+      return Severity::Error;
+    case LintCode::DecodeSpaceGap:
+      return Severity::Note;
+    default:
+      return Severity::Warning;
+  }
+}
+
+namespace {
+
+const char* severityName(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+}  // namespace
+
+void LintReport::append(LintReport other) {
+  for (Finding& f : other.findings_) findings_.push_back(std::move(f));
+}
+
+unsigned LintReport::count(Severity s) const {
+  unsigned n = 0;
+  for (const Finding& f : findings_) {
+    if (f.severity == s) ++n;
+  }
+  return n;
+}
+
+std::string LintReport::formatText(const std::string& subject) const {
+  std::ostringstream os;
+  for (const Finding& f : findings_) {
+    os << subject;
+    if (f.addr) {
+      os << formatStr(":0x%llx", static_cast<unsigned long long>(*f.addr));
+    } else if (f.loc.valid()) {
+      os << ':' << f.loc.line << ':' << f.loc.col;
+    }
+    os << ": " << severityName(f.severity) << ": [" << lintCodeName(f.code)
+       << "] ";
+    if (!f.insn.empty() && !f.addr) os << "insn '" << f.insn << "': ";
+    os << f.message << '\n';
+  }
+  os << formatStr("%u error(s), %u warning(s), %u note(s)\n",
+                  count(Severity::Error), count(Severity::Warning),
+                  count(Severity::Note));
+  return os.str();
+}
+
+std::string LintReport::formatJson(const std::string& subject) const {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.beginObject();
+  w.kv("schema", "adlsym-lint-v1");
+  w.kv("subject", std::string_view(subject));
+  w.key("findings").beginArray();
+  for (const Finding& f : findings_) {
+    w.beginObject();
+    w.kv("code", lintCodeName(f.code));
+    w.kv("severity", severityName(f.severity));
+    w.kv("message", std::string_view(f.message));
+    if (!f.insn.empty()) w.kv("insn", std::string_view(f.insn));
+    if (f.loc.valid()) {
+      w.kv("line", f.loc.line);
+      w.kv("col", f.loc.col);
+    }
+    if (f.addr) w.kv("addr", *f.addr);
+    w.endObject();
+  }
+  w.endArray();
+  w.key("counts").beginObject();
+  w.kv("errors", count(Severity::Error));
+  w.kv("warnings", count(Severity::Warning));
+  w.kv("notes", count(Severity::Note));
+  w.endObject();
+  w.kv("clean", findings_.empty());
+  w.endObject();
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace adlsym::analysis

@@ -1,9 +1,11 @@
 #include "driver/cli.h"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 #include <sstream>
 
+#include "analysis/lint.h"
 #include "asmgen/assembler.h"
 #include "asmgen/disasm.h"
 #include "core/testgen.h"
@@ -97,10 +99,15 @@ std::string usage() {
       "usage:\n"
       "  adlsym isas                                list shipped ISAs\n"
       "  adlsym model <isa>                         dump the ISA model\n"
+      "  adlsym lint <isa|file.adl> [file.img]      verify a specification\n"
       "  adlsym asm <isa> <file.s>                  assemble to image text\n"
       "  adlsym disasm <isa> <file.img>             disassemble an image\n"
       "  adlsym run <isa> <file.img> [in...]        concrete execution\n"
       "  adlsym explore <isa> <file.img> [options]  symbolic exploration\n"
+      "\n"
+      "lint options (docs/linting.md):\n"
+      "  --format=text|json   output rendering (default text)\n"
+      "  --werror             warning findings also fail the exit code\n"
       "\n"
       "explore options:\n"
       "  --strategy dfs|bfs|random|coverage   search order (default dfs)\n"
@@ -109,6 +116,8 @@ std::string usage() {
       "  --first-defect                       stop at the first defect\n"
       "  --merge                              veritesting state merging\n"
       "  --coverage                           per-insn coverage report\n"
+      "  --lint                               lint model+image first;\n"
+      "                                       error findings abort\n"
       "\n"
       "observability (explore and run):\n"
       "  --stats-json=<file>   aggregated JSON stats document (summary,\n"
@@ -166,6 +175,46 @@ CommandResult cmdModel(const std::string& isaName) {
                     i.syntax.c_str());
   }
   return {0, os.str()};
+}
+
+CommandResult cmdLint(const std::string& subject, const std::string& adlSource,
+                      const LintOptions& opt) {
+  DiagEngine diags(subject);
+  auto model = adl::loadArchModel(adlSource, diags);
+  analysis::LintReport report;
+  if (!model) {
+    // Load failures become findings so JSON consumers see one schema.
+    // Sema already emits "[ADL001] ..." for the defects it promotes;
+    // re-parse that prefix so the finding keeps its real code.
+    for (const Diagnostic& d : diags.all()) {
+      analysis::Finding f;
+      f.code = analysis::LintCode::ModelError;
+      f.severity = d.severity;
+      f.loc = d.loc;
+      f.message = d.message;
+      if (!d.message.empty() && d.message[0] == '[') {
+        const size_t close = d.message.find(']');
+        if (close != std::string::npos) {
+          if (const auto code = analysis::lintCodeFromName(
+                  d.message.substr(1, close - 1))) {
+            f.code = *code;
+            size_t start = close + 1;
+            while (start < d.message.size() && d.message[start] == ' ') ++start;
+            f.message = d.message.substr(start);
+          }
+        }
+      }
+      report.add(std::move(f));
+    }
+  } else {
+    report = analysis::lintModel(*model);
+    if (!opt.imageText.empty()) {
+      report.append(analysis::lintImage(*model, parseImageArg(opt.imageText)));
+    }
+  }
+  const int exitCode = report.hasErrors(opt.werror) ? 1 : 0;
+  return {exitCode,
+          opt.json ? report.formatJson(subject) : report.formatText(subject)};
 }
 
 CommandResult cmdAsm(const std::string& isaName, const std::string& source) {
@@ -241,6 +290,13 @@ CommandResult cmdExplore(const std::string& isaName,
   // layers directly, exactly like examples/newisa.cpp.
   auto model = isa::loadIsa(isaName);
   const loader::Image image = parseImageArg(imageText);
+  std::string lintText;
+  if (opt.lint) {
+    analysis::LintReport report = analysis::lintModel(*model);
+    report.append(analysis::lintImage(*model, image));
+    if (!report.findings().empty()) lintText = report.formatText(isaName);
+    if (report.hasErrors()) return {1, lintText};
+  }
   CommandTelemetry ct(opt.statsJsonPath, opt.tracePath);
   smt::TermManager tm;
   smt::SmtSolver solver(tm);
@@ -260,6 +316,7 @@ CommandResult cmdExplore(const std::string& isaName,
   ct.finish();
 
   std::ostringstream os;
+  os << lintText;
   os << core::formatSummary(summary);
   if (opt.coverageReport) {
     for (const loader::Section& sec : image.sections()) {
@@ -282,6 +339,36 @@ CommandResult dispatch(const std::vector<std::string>& args) {
     if (cmd == "model") {
       if (args.size() != 2) return fail("usage: adlsym model <isa>");
       return cmdModel(args[1]);
+    }
+    if (cmd == "lint") {
+      LintOptions opt;
+      std::vector<std::string> pos;
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--werror") {
+          opt.werror = true;
+        } else if (args[i] == "--format=json") {
+          opt.json = true;
+        } else if (args[i] == "--format=text") {
+          opt.json = false;
+        } else if (startsWith(args[i], "--")) {
+          return fail("unknown lint option '" + args[i] + "'");
+        } else {
+          pos.push_back(args[i]);
+        }
+      }
+      if (pos.empty() || pos.size() > 2) {
+        return fail(
+            "usage: adlsym lint <isa|file.adl> [file.img] "
+            "[--format=text|json] [--werror]");
+      }
+      if (pos.size() == 2) opt.imageText = readFileOrThrow(pos[1]);
+      const auto names = isa::allIsaNames();
+      const bool shipped =
+          std::find(names.begin(), names.end(), pos[0]) != names.end();
+      return cmdLint(pos[0],
+                     shipped ? std::string(isa::isaSource(pos[0]))
+                             : readFileOrThrow(pos[0]),
+                     opt);
     }
     if (cmd == "asm") {
       if (args.size() != 3) return fail("usage: adlsym asm <isa> <file.s>");
@@ -324,6 +411,8 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.mergeStates = true;
         } else if (args[i] == "--coverage") {
           opt.coverageReport = true;
+        } else if (args[i] == "--lint") {
+          opt.lint = true;
         } else if (startsWith(args[i], "--stats-json=")) {
           opt.statsJsonPath = args[i].substr(13);
         } else if (startsWith(args[i], "--trace=")) {

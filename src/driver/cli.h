@@ -41,6 +41,20 @@ CommandResult cmdRun(const std::string& isa, const std::string& imageText,
                      const std::vector<uint64_t>& inputs,
                      const RunOptions& ropt = {});
 
+struct LintOptions {
+  bool json = false;    // --format=json: the adlsym-lint-v1 document
+  bool werror = false;  // --werror: warnings also fail the exit code
+  /// Optional image text to run the IMG0xx passes over ("" = model only).
+  std::string imageText;
+};
+
+/// `adlsym lint <isa|file.adl> [file.img]` — run the specification
+/// verifier (decode-space + dataflow lints, docs/linting.md) and, when an
+/// image is given, static CFG analysis. Exit code 1 on error-severity
+/// findings (or warnings under --werror).
+CommandResult cmdLint(const std::string& subject, const std::string& adlSource,
+                      const LintOptions& opt = {});
+
 struct ExploreOptions {
   std::string strategy = "dfs";  // dfs|bfs|random|coverage
   uint64_t maxPaths = 10000;
@@ -49,6 +63,8 @@ struct ExploreOptions {
   bool mergeStates = false;
   /// Append an annotated instruction-coverage report per code section.
   bool coverageReport = false;
+  /// Run the lint passes (model + image) first; error findings abort.
+  bool lint = false;
   /// Write the aggregated JSON stats document (summary + solver + metrics,
   /// docs/observability.md) here ("" = off).
   std::string statsJsonPath;

@@ -123,7 +123,9 @@ TermRef TermManager::mkAdd(TermRef a, TermRef b) {
     const TermNode& na = node(a);
     if (b.isConst() && na.kind == Kind::Add && node(na.b).kind == Kind::Const) {
       const uint64_t c = node(na.b).aux + b.constValue();
-      return noteRewrite(mkAdd(TermRef(this, na.a), mkConst(a.width(), c)));
+      // Copy out of the node pool before mkConst can reallocate it.
+      const TermId x = na.a;
+      return noteRewrite(mkAdd(TermRef(this, x), mkConst(a.width(), c)));
     }
   }
   return intern(Kind::Add, a.width(), a.id(), b.id());
@@ -274,9 +276,12 @@ TermRef TermManager::mkExtract(TermRef a, unsigned hi, unsigned lo) {
     }
     // extract of ite pushes inside (conditions stay width-1).
     if (n.kind == Kind::Ite) {
-      return noteRewrite(mkIte(TermRef(this, n.a),
-                               mkExtract(TermRef(this, n.b), hi, lo),
-                               mkExtract(TermRef(this, n.c), hi, lo)));
+      // Copy out of the node pool: the inner mkExtract calls can
+      // reallocate it and invalidate `n`.
+      const TermId c = n.a, t = n.b, e = n.c;
+      return noteRewrite(mkIte(TermRef(this, c),
+                               mkExtract(TermRef(this, t), hi, lo),
+                               mkExtract(TermRef(this, e), hi, lo)));
     }
   }
   return intern(Kind::Extract, w, a.id(), kInvalidTerm, kInvalidTerm,

@@ -179,7 +179,9 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     std::sort(ids.begin(), ids.end());
     ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
     cacheKey.resize(ids.size() * sizeof(TermId));
-    std::memcpy(cacheKey.data(), ids.data(), cacheKey.size());
+    if (!ids.empty()) {
+      std::memcpy(cacheKey.data(), ids.data(), cacheKey.size());
+    }
     if (auto it = queryCache_.find(cacheKey); it != queryCache_.end()) {
       ++cacheHits_;
       cached = true;

@@ -194,6 +194,150 @@ TEST(Cli, DispatchFileErrors) {
   EXPECT_NE(r.output.find("cannot open"), std::string::npos);
 }
 
+// ---- lint ----------------------------------------------------------------
+
+std::string fixture(const std::string& name) {
+  return std::string(ADLSYM_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+TEST(CliLint, ShippedIsasAreClean) {
+  for (const char* isa : {"rv32e", "m16", "acc8", "stk16"}) {
+    const auto r = dispatch({"lint", isa});
+    EXPECT_EQ(r.exitCode, 0) << isa << ":\n" << r.output;
+    EXPECT_NE(r.output.find("0 error(s), 0 warning(s)"), std::string::npos)
+        << isa << ":\n" << r.output;
+  }
+}
+
+TEST(CliLint, ErrorFindingFailsExitCode) {
+  const auto r = dispatch({"lint", fixture("adl015.adl")});
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("[ADL015]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("error:"), std::string::npos);
+}
+
+TEST(CliLint, AmbiguousModelReportsAdl001) {
+  // The model fails to load (sema promotes ADL001); lint still reports
+  // the finding under its stable code, in both renderings.
+  const auto text = dispatch({"lint", fixture("adl001.adl")});
+  EXPECT_EQ(text.exitCode, 1);
+  EXPECT_NE(text.output.find("[ADL001]"), std::string::npos) << text.output;
+  EXPECT_NE(text.output.find("overlapping encodings"), std::string::npos);
+
+  const auto json = dispatch({"lint", fixture("adl001.adl"), "--format=json"});
+  EXPECT_EQ(json.exitCode, 1);
+  EXPECT_NE(json.output.find("\"code\":\"ADL001\""), std::string::npos)
+      << json.output;
+}
+
+TEST(CliLint, WarningsGateOnlyUnderWerror) {
+  const std::string path = fixture("adl013.adl");
+  EXPECT_EQ(dispatch({"lint", path}).exitCode, 0);
+  const auto r = dispatch({"lint", path, "--werror"});
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("[ADL013]"), std::string::npos) << r.output;
+}
+
+TEST(CliLint, JsonDocumentShape) {
+  const auto r = dispatch({"lint", fixture("adl013.adl"), "--format=json"});
+  EXPECT_EQ(r.exitCode, 0);  // warning + note only
+  EXPECT_NE(r.output.find("\"schema\":\"adlsym-lint-v1\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"code\":\"ADL013\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"severity\":\"warning\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"insn\":\"low2\""), std::string::npos);
+  EXPECT_NE(r.output.find("\"counts\":"), std::string::npos);
+  EXPECT_NE(r.output.find("\"clean\":false"), std::string::npos);
+}
+
+TEST(CliLint, CleanFixtureIsClean) {
+  const auto text = dispatch({"lint", fixture("clean.adl"), "--werror"});
+  EXPECT_EQ(text.exitCode, 0) << text.output;
+  const auto json = dispatch({"lint", fixture("clean.adl"), "--format=json"});
+  EXPECT_NE(json.output.find("\"clean\":true"), std::string::npos)
+      << json.output;
+  EXPECT_NE(json.output.find("\"findings\":[]"), std::string::npos);
+}
+
+TEST(CliLint, EveryDocumentedCodeHasAFiringFixture) {
+  const struct {
+    const char* file;
+    const char* code;
+  } cases[] = {
+      {"adl001.adl", "ADL001"}, {"adl002.adl", "ADL002"},
+      {"adl003.adl", "ADL003"}, {"adl010.adl", "ADL010"},
+      {"adl011.adl", "ADL011"}, {"adl012.adl", "ADL012"},
+      {"adl013.adl", "ADL013"}, {"adl014.adl", "ADL014"},
+      {"adl015.adl", "ADL015"},
+  };
+  for (const auto& c : cases) {
+    const auto text = dispatch({"lint", fixture(c.file)});
+    EXPECT_NE(text.output.find(std::string("[") + c.code + "]"),
+              std::string::npos)
+        << c.file << ":\n" << text.output;
+    const auto json = dispatch({"lint", fixture(c.file), "--format=json"});
+    EXPECT_NE(json.output.find(std::string("\"code\":\"") + c.code + "\""),
+              std::string::npos)
+        << c.file << ":\n" << json.output;
+  }
+}
+
+TEST(CliLint, ImagePassesFireOnBrokenProgram) {
+  // A program that ends in a non-halting instruction falls off the end of
+  // mapped code (IMG002).
+  const auto img = cmdAsm("acc8", "start:\n  in\n  out\n");
+  ASSERT_EQ(img.exitCode, 0) << img.output;
+  const std::string imgPath = testing::TempDir() + "cli_lint_falloff.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+
+  const auto text = dispatch({"lint", "acc8", imgPath});
+  EXPECT_EQ(text.exitCode, 1);
+  EXPECT_NE(text.output.find("[IMG002]"), std::string::npos) << text.output;
+
+  const auto json = dispatch({"lint", "acc8", imgPath, "--format=json"});
+  EXPECT_EQ(json.exitCode, 1);
+  EXPECT_NE(json.output.find("\"code\":\"IMG002\""), std::string::npos);
+  EXPECT_NE(json.output.find("\"addr\":1"), std::string::npos) << json.output;
+}
+
+TEST(CliLint, ImagePassesCleanOnGoodProgram) {
+  const auto img = cmdAsm("acc8",
+                          "start:\n  in\n  bne skip\n  hlt 3\n"
+                          "skip:\n  out\n  hlt 0\n");
+  ASSERT_EQ(img.exitCode, 0) << img.output;
+  const std::string imgPath = testing::TempDir() + "cli_lint_clean.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+  const auto r = dispatch({"lint", "acc8", imgPath});
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  EXPECT_EQ(r.output.find("[IMG"), std::string::npos) << r.output;
+}
+
+TEST(CliLint, BadUsage) {
+  EXPECT_EQ(dispatch({"lint"}).exitCode, 1);
+  EXPECT_NE(dispatch({"lint"}).output.find("usage:"), std::string::npos);
+  const auto r = dispatch({"lint", "acc8", "--format=yaml"});
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("unknown lint option"), std::string::npos);
+  EXPECT_EQ(dispatch({"lint", "/nonexistent.adl"}).exitCode, 1);
+}
+
+TEST(CliLint, ExploreLintFlagAbortsOnErrors) {
+  const auto bad = cmdAsm("acc8", "start:\n  in\n  out\n");
+  ASSERT_EQ(bad.exitCode, 0);
+  ExploreOptions opt;
+  opt.lint = true;
+  const auto r = cmdExplore("acc8", bad.output, opt);
+  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_NE(r.output.find("[IMG002]"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("paths="), std::string::npos);  // never explored
+
+  // A clean program still explores normally under --lint.
+  const auto good = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(good.exitCode, 0);
+  const auto ok = cmdExplore("rv32e", good.output, opt);
+  EXPECT_EQ(ok.exitCode, 0) << ok.output;
+  EXPECT_NE(ok.output.find("paths=2"), std::string::npos);
+}
+
 TEST(Cli, RunDefectExitCode) {
   const auto img = cmdAsm("rv32e", R"(
     in8 x1

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full local gate: formatting, the regular build + tests, and an
+# ASan+UBSan build + tests (build-san/). This is what CI runs.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== format check"
+tools/format_check.sh
+
+echo "== build (RelWithDebInfo)"
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+echo "== tests"
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo "== build (ASan+UBSan)"
+cmake -B build-san -S . -DADLSYM_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
+cmake --build build-san -j >/dev/null
+echo "== tests (ASan+UBSan)"
+(cd build-san && ctest --output-on-failure -j"$(nproc)")
+
+echo "== lint shipped ISAs"
+for isa in rv32e m16 acc8 stk16; do
+  build/tools/adlsym lint "$isa" >/dev/null
+  echo "  $isa: clean"
+done
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Check (or with --fix, apply) clang-format over the first-party C++
+# sources. Exits 0 with a notice when clang-format is not installed, so
+# check.sh stays usable on minimal containers.
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "format_check: clang-format not found, skipping"
+  exit 0
+fi
+
+mode="--dry-run -Werror"
+if [ "${1:-}" = "--fix" ]; then
+  mode="-i"
+fi
+
+# shellcheck disable=SC2046,SC2086
+clang-format $mode $(find src tests tools examples bench \
+    -name '*.cpp' -o -name '*.h' | sort)
+status=$?
+if [ $status -ne 0 ]; then
+  echo "format_check: formatting differences found (run tools/format_check.sh --fix)"
+fi
+exit $status
