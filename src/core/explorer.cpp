@@ -126,7 +126,7 @@ bool Explorer::tryMerge(MachineState& host, const MachineState& incoming) {
   return true;
 }
 
-PathResult Explorer::finishPath(MachineState&& st) {
+PathResult Explorer::finishPath(MachineState&& st, uint64_t node) {
   PathResult r;
   r.status = st.status;
   r.finalPc = st.pc;
@@ -149,6 +149,7 @@ PathResult Explorer::finishPath(MachineState&& st) {
   if (st.defect) {
     r.defect = std::move(st.defect);
     r.test = r.defect->witness;
+    if (config_.observer) config_.observer->onPathDone(node, r);
     return r;
   }
   // Solve the path condition once for the witness, the concrete exit code
@@ -165,6 +166,7 @@ PathResult Explorer::finishPath(MachineState&& st) {
       r.outputs.push_back(svc_.solver.modelValue(o.term));
     }
   }
+  if (config_.observer) config_.observer->onPathDone(node, r);
   return r;
 }
 
@@ -178,6 +180,14 @@ ExploreSummary Explorer::run() {
   ExploreSummary summary;
   Rng rng(config_.rngSeed);
   covered_.clear();
+  ExploreObserver* ob = config_.observer;
+  // Path-forest node ids: 0 is the root; forks mint fresh ids, straight-
+  // line steps keep theirs. Only meaningful (and only maintained past the
+  // counter) when an observer is attached.
+  uint64_t nodeCounter = 0;
+  // Solver-work baseline so StepInfo can report run-relative deltas even
+  // when the solver instance is shared across explorations.
+  const smt::SmtSolver::Stats solverBase = svc_.solver.stats();
 
   if (tel_ && tel_->tracing()) {
     tel_->emit(telemetry::EventKind::Phase,
@@ -189,7 +199,9 @@ ExploreSummary Explorer::run() {
 
   std::vector<Frontier> frontier;
   uint64_t orderCounter = 0;
-  frontier.push_back(Frontier{exec_.initialState(), orderCounter++, 0});
+  frontier.push_back(Frontier{exec_.initialState(), orderCounter++, 0,
+                              nodeCounter++});
+  if (ob) ob->onRoot(frontier.back().node, frontier.back().state);
 
   while (!frontier.empty()) {
     if (summary.paths.size() >= config_.maxPaths) break;
@@ -205,10 +217,16 @@ ExploreSummary Explorer::run() {
 
     if (cur.state.steps >= config_.maxStepsPerPath) {
       cur.state.status = PathStatus::Budget;
-      summary.paths.push_back(finishPath(std::move(cur.state)));
+      summary.paths.push_back(finishPath(std::move(cur.state), cur.node));
       continue;
     }
 
+    const size_t condBefore = cur.state.pathCond.size();
+    smt::SmtSolver::Stats solverBefore;
+    if (ob) {
+      solverBefore = svc_.solver.stats();
+      ob->onStepBegin(cur.node, cur.state);
+    }
     StepOut out;
     exec_.step(cur.state, out);
     ++summary.totalSteps;
@@ -237,10 +255,14 @@ ExploreSummary Explorer::run() {
       if (tel_ && tel_->tracing()) {
         tel_->emit(telemetry::EventKind::Drop, {{"pc", cur.state.pc}});
       }
+      if (ob) ob->onDrop(cur.node, cur.state.pc);
     }
 
+    const bool forked = out.successors.size() > 1;
     bool sawDefect = false;
     for (MachineState& succ : out.successors) {
+      const uint64_t childNode = forked ? nodeCounter++ : cur.node;
+      if (ob && forked) ob->onChild(cur.node, childNode, succ, condBefore);
       if (succ.status == PathStatus::Running) {
         if (config_.mergeStates) {
           bool merged = false;
@@ -252,6 +274,7 @@ ExploreSummary Explorer::run() {
               if (tel_ && tel_->tracing()) {
                 tel_->emit(telemetry::EventKind::Merge, {{"pc", succ.pc}});
               }
+              if (ob) ob->onMerge(f.node, childNode, succ.pc);
               break;
             }
           }
@@ -260,6 +283,7 @@ ExploreSummary Explorer::run() {
         Frontier f;
         f.newCovered = cur.newCovered / 2 + (newPcHere ? 1 : 0);
         f.order = orderCounter++;
+        f.node = childNode;
         f.state = std::move(succ);
         frontier.push_back(std::move(f));
         if (frontierPeak_) {
@@ -267,8 +291,24 @@ ExploreSummary Explorer::run() {
         }
       } else {
         sawDefect = sawDefect || succ.defect.has_value();
-        summary.paths.push_back(finishPath(std::move(succ)));
+        summary.paths.push_back(finishPath(std::move(succ), childNode));
       }
+    }
+    if (ob) {
+      const smt::SmtSolver::Stats after = svc_.solver.stats();
+      ExploreObserver::StepInfo si;
+      si.node = cur.node;
+      si.pc = cur.state.pc;
+      si.numSuccessors = out.successors.size();
+      si.frontierSize = frontier.size();
+      si.totalSteps = summary.totalSteps;
+      si.pathsDone = summary.paths.size();
+      si.coveredPcs = covered_.size();
+      si.stepSolverQueries = after.queries - solverBefore.queries;
+      si.stepSolverMicros = after.totalMicros - solverBefore.totalMicros;
+      si.runSolverQueries = after.queries - solverBase.queries;
+      si.runSolverMicros = after.totalMicros - solverBase.totalMicros;
+      ob->onStepEnd(si);
     }
     if (sawDefect && config_.stopAtFirstDefect) break;
   }
@@ -277,7 +317,7 @@ ExploreSummary Explorer::run() {
   for (Frontier& f : frontier) {
     if (summary.paths.size() >= config_.maxPaths) break;
     f.state.status = PathStatus::Budget;
-    summary.paths.push_back(finishPath(std::move(f.state)));
+    summary.paths.push_back(finishPath(std::move(f.state), f.node));
   }
 
   summary.coveredPcs = covered_.size();

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/executor.h"
+#include "core/observer.h"
 #include "core/state.h"
 #include "support/rng.h"
 
@@ -41,6 +42,9 @@ struct ExplorerConfig {
   /// Collapses diamond control flow (e.g. bitcount: 2^k paths -> k+1) at
   /// the cost of larger terms. Off by default (DESIGN.md §6 ablation).
   bool mergeStates = false;
+  /// Lifecycle hook for the exploration observatory (core/observer.h).
+  /// Not owned; null = no observation at zero cost.
+  ExploreObserver* observer = nullptr;
 };
 
 struct ExploreSummary {
@@ -79,10 +83,11 @@ class Explorer {
     MachineState state;
     uint64_t order = 0;     // creation sequence number (tie-break)
     uint64_t newCovered = 0;  // pcs first covered by this state's last step
+    uint64_t node = 0;        // path-forest node id (core/observer.h)
   };
 
   size_t pickNext(const std::vector<Frontier>& frontier, Rng& rng) const;
-  PathResult finishPath(MachineState&& st);
+  PathResult finishPath(MachineState&& st, uint64_t node);
   /// Try to merge `incoming` into `host` (both Running, same pc).
   /// Returns false (leaving both untouched) when the states' traces are
   /// incompatible.

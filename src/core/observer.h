@@ -1,0 +1,104 @@
+// Explorer lifecycle observer (docs/observability.md): the hook surface
+// the exploration observatory (src/obs) builds on. The explorer assigns
+// every path-forest node a dense id (0 = the root; a fork mints one fresh
+// id per successor, a straight-line step keeps its node) and reports
+// forks, drops, merges and path completions against those ids. All
+// callbacks default to no-ops and the explorer skips every hook (and the
+// solver-stats snapshots feeding StepInfo) when no observer is attached,
+// so un-observed runs pay nothing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/state.h"
+
+namespace adlsym::core {
+
+class ExploreObserver {
+ public:
+  virtual ~ExploreObserver() = default;
+
+  /// The initial state entered the frontier as node `node` (always 0).
+  virtual void onRoot(uint64_t /*node*/, const MachineState& /*st*/) {}
+
+  /// The instruction at st.pc is about to execute on `node`. Solver
+  /// queries issued until the matching onStepEnd originate here.
+  virtual void onStepBegin(uint64_t /*node*/, const MachineState& /*st*/) {}
+
+  /// One executed instruction, reported after its successors were
+  /// requeued (and any terminal ones finished). Solver fields are deltas
+  /// measured on SmtSolver::stats(): step* covers this step only, run*
+  /// accumulates since Explorer::run() began.
+  struct StepInfo {
+    uint64_t node = 0;
+    uint64_t pc = 0;            // address of the executed instruction
+    size_t numSuccessors = 0;   // 0 = infeasible, >1 = fork
+    size_t frontierSize = 0;    // after requeueing
+    uint64_t totalSteps = 0;
+    size_t pathsDone = 0;
+    size_t coveredPcs = 0;
+    uint64_t stepSolverQueries = 0;
+    uint64_t stepSolverMicros = 0;
+    uint64_t runSolverQueries = 0;
+    uint64_t runSolverMicros = 0;
+  };
+  virtual void onStepEnd(const StepInfo& /*info*/) {}
+
+  /// A fork minted `child` from `parent`; `st` is the successor state and
+  /// the constraints added by the fork are st.pathCond[condSizeBefore..].
+  virtual void onChild(uint64_t /*parent*/, uint64_t /*child*/,
+                       const MachineState& /*st*/,
+                       size_t /*condSizeBefore*/) {}
+
+  /// `node`'s step produced no successors (every side infeasible).
+  virtual void onDrop(uint64_t /*node*/, uint64_t /*pc*/) {}
+
+  /// Successor node `incoming` was veritesting-merged into frontier node
+  /// `host` at `pc` instead of being requeued.
+  virtual void onMerge(uint64_t /*host*/, uint64_t /*incoming*/,
+                       uint64_t /*pc*/) {}
+
+  /// `node` left the frontier with a terminal status; `result` carries
+  /// the final status, defect and generated witness inputs.
+  virtual void onPathDone(uint64_t /*node*/, const PathResult& /*result*/) {}
+};
+
+/// Fan-out observer: forwards every callback to each added observer in
+/// order. The CLI composes path-forest recording, query-log origin
+/// tracking and the progress heartbeat through one of these.
+class ObserverMux final : public ExploreObserver {
+ public:
+  void add(ExploreObserver* ob) {
+    if (ob != nullptr) obs_.push_back(ob);
+  }
+  bool empty() const { return obs_.empty(); }
+
+  void onRoot(uint64_t node, const MachineState& st) override {
+    for (ExploreObserver* ob : obs_) ob->onRoot(node, st);
+  }
+  void onStepBegin(uint64_t node, const MachineState& st) override {
+    for (ExploreObserver* ob : obs_) ob->onStepBegin(node, st);
+  }
+  void onStepEnd(const StepInfo& info) override {
+    for (ExploreObserver* ob : obs_) ob->onStepEnd(info);
+  }
+  void onChild(uint64_t parent, uint64_t child, const MachineState& st,
+               size_t condSizeBefore) override {
+    for (ExploreObserver* ob : obs_) ob->onChild(parent, child, st, condSizeBefore);
+  }
+  void onDrop(uint64_t node, uint64_t pc) override {
+    for (ExploreObserver* ob : obs_) ob->onDrop(node, pc);
+  }
+  void onMerge(uint64_t host, uint64_t incoming, uint64_t pc) override {
+    for (ExploreObserver* ob : obs_) ob->onMerge(host, incoming, pc);
+  }
+  void onPathDone(uint64_t node, const PathResult& result) override {
+    for (ExploreObserver* ob : obs_) ob->onPathDone(node, result);
+  }
+
+ private:
+  std::vector<ExploreObserver*> obs_;
+};
+
+}  // namespace adlsym::core

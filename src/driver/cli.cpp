@@ -1,7 +1,9 @@
 #include "driver/cli.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <memory>
 #include <sstream>
 
@@ -11,6 +13,11 @@
 #include "core/testgen.h"
 #include "driver/session.h"
 #include "isa/registry.h"
+#include "obs/pathforest.h"
+#include "obs/progress.h"
+#include "obs/querylog.h"
+#include "obs/replay.h"
+#include "obs/sitestats.h"
 #include "support/json.h"
 #include "support/strings.h"
 #include "support/telemetry.h"
@@ -57,7 +64,7 @@ class CommandTelemetry {
     if (!out) throw Error("cannot open stats file '" + statsJsonPath_ + "'");
     json::Writer w(out);
     w.beginObject();
-    w.kv("schema", "adlsym-stats-v1");
+    w.kv("schema", "adlsym-stats-v2");
     w.kv("command", std::string_view(command));
     w.kv("isa", std::string_view(isa));
     writeBody(w);
@@ -104,10 +111,13 @@ std::string usage() {
       "  adlsym disasm <isa> <file.img>             disassemble an image\n"
       "  adlsym run <isa> <file.img> [in...]        concrete execution\n"
       "  adlsym explore <isa> <file.img> [options]  symbolic exploration\n"
+      "  adlsym replay <query-dir>                  re-solve a captured\n"
+      "                                             query corpus and diff\n"
       "\n"
       "lint options (docs/linting.md):\n"
       "  --format=text|json   output rendering (default text)\n"
       "  --werror             warning findings also fail the exit code\n"
+      "  --stats-json=<file>  finding counts + per-pass timings\n"
       "\n"
       "explore options:\n"
       "  --strategy dfs|bfs|random|coverage   search order (default dfs)\n"
@@ -119,10 +129,16 @@ std::string usage() {
       "  --lint                               lint model+image first;\n"
       "                                       error findings abort\n"
       "\n"
-      "observability (explore and run):\n"
+      "observability (explore and run; docs/observability.md):\n"
       "  --stats-json=<file>   aggregated JSON stats document (summary,\n"
-      "                        solver, metrics; docs/observability.md)\n"
-      "  --trace=<file>        JSONL structured trace event stream\n";
+      "                        solver, metrics, opcode/branch-site tables)\n"
+      "  --trace=<file>        JSONL structured trace event stream\n"
+      "  --path-forest=<file>  path-forest JSON record (explore only)\n"
+      "  --path-dot=<file>     path forest as Graphviz DOT (explore only)\n"
+      "  --query-log=<dir>     capture every solver query as SMT-LIB +\n"
+      "                        metadata; replay with `adlsym replay`\n"
+      "  --progress[=N]        heartbeat to stderr every N seconds\n"
+      "                        (default 1)\n";
 }
 
 CommandResult cmdIsas() {
@@ -180,6 +196,7 @@ CommandResult cmdModel(const std::string& isaName) {
 CommandResult cmdLint(const std::string& subject, const std::string& adlSource,
                       const LintOptions& opt) {
   DiagEngine diags(subject);
+  CommandTelemetry ct(opt.statsJsonPath, "");
   auto model = adl::loadArchModel(adlSource, diags);
   analysis::LintReport report;
   if (!model) {
@@ -207,11 +224,36 @@ CommandResult cmdLint(const std::string& subject, const std::string& adlSource,
       report.add(std::move(f));
     }
   } else {
-    report = analysis::lintModel(*model);
+    // Run the passes individually so --stats-json can attribute time to
+    // each (lintModel() is exactly these two appends).
+    telemetry::Telemetry* tel = ct.get();
+    std::vector<analysis::Finding> findings;
+    {
+      telemetry::ScopedTimer t(
+          tel, tel ? &tel->metrics().histogram("lint.decode_space_us") : nullptr);
+      analysis::appendDecodeSpaceFindings(*model, findings);
+    }
+    {
+      telemetry::ScopedTimer t(
+          tel, tel ? &tel->metrics().histogram("lint.dataflow_us") : nullptr);
+      analysis::appendDataflowFindings(*model, findings);
+    }
+    for (analysis::Finding& f : findings) report.add(std::move(f));
     if (!opt.imageText.empty()) {
+      telemetry::ScopedTimer t(
+          tel, tel ? &tel->metrics().histogram("lint.cfg_us") : nullptr);
       report.append(analysis::lintImage(*model, parseImageArg(opt.imageText)));
     }
   }
+  ct.writeStatsJson("lint", subject, [&](json::Writer& w) {
+    w.key("lint").beginObject();
+    w.kv("findings", static_cast<uint64_t>(report.findings().size()));
+    w.kv("errors", report.count(Severity::Error));
+    w.kv("warnings", report.count(Severity::Warning));
+    w.kv("notes", report.count(Severity::Note));
+    w.kv("clean", report.findings().empty());
+    w.endObject();
+  });
   const int exitCode = report.hasErrors(opt.werror) ? 1 : 0;
   return {exitCode,
           opt.json ? report.formatJson(subject) : report.formatText(subject)};
@@ -301,10 +343,49 @@ CommandResult cmdExplore(const std::string& isaName,
   smt::TermManager tm;
   smt::SmtSolver solver(tm);
   solver.setConflictBudget(sopt.solverConflictBudget);
+
+  // Observatory wiring (docs/observability.md): each flag adds one
+  // observer; the mux keeps the explorer's single-pointer hook.
+  core::ObserverMux mux;
+  std::unique_ptr<obs::PathForestRecorder> forest;
+  if (!opt.pathForestPath.empty() || !opt.pathDotPath.empty()) {
+    forest = std::make_unique<obs::PathForestRecorder>();
+    mux.add(forest.get());
+  }
+  std::unique_ptr<obs::QueryLogger> qlog;
+  if (!opt.queryLogDir.empty()) {
+    qlog = std::make_unique<obs::QueryLogger>(opt.queryLogDir);
+    mux.add(qlog.get());
+    solver.setQueryListener(qlog.get());
+  }
+  std::unique_ptr<obs::ProgressMeter> progress;
+  if (opt.progressSeconds > 0.0) {
+    progress = std::make_unique<obs::ProgressMeter>(ct.get(), std::cerr,
+                                                    opt.progressSeconds);
+    mux.add(progress.get());
+  }
+  std::unique_ptr<obs::SiteStatsCollector> sites;
+  if (ct.wantsStatsJson()) {
+    sites = std::make_unique<obs::SiteStatsCollector>(*model, image);
+    mux.add(sites.get());
+  }
+  if (!mux.empty()) sopt.explorer.observer = &mux;
+
   core::EngineServices services(tm, solver, image, sopt.engine, ct.get());
   core::AdlExecutor executor(*model, services);
   core::Explorer explorer(executor, services, sopt.explorer);
   const auto summary = explorer.run();
+
+  if (!opt.pathForestPath.empty()) {
+    std::ofstream out(opt.pathForestPath, std::ios::binary | std::ios::trunc);
+    if (!out) return fail("cannot open path-forest file '" + opt.pathForestPath + "'");
+    forest->writeJson(out);
+  }
+  if (!opt.pathDotPath.empty()) {
+    std::ofstream out(opt.pathDotPath, std::ios::binary | std::ios::trunc);
+    if (!out) return fail("cannot open path-dot file '" + opt.pathDotPath + "'");
+    forest->writeDot(out);
+  }
 
   ct.writeStatsJson("explore", isaName, [&](json::Writer& w) {
     w.kv("strategy", std::string_view(opt.strategy));
@@ -312,6 +393,7 @@ CommandResult cmdExplore(const std::string& isaName,
     core::writeSummaryJson(w, summary);
     w.key("solver");
     solver.telemetrySnapshot().writeJson(w);
+    if (sites) sites->writeJson(w);
   });
   ct.finish();
 
@@ -327,6 +409,11 @@ CommandResult cmdExplore(const std::string& isaName,
   }
   os << solver.telemetrySnapshot().format();
   return {0, os.str()};
+}
+
+CommandResult cmdReplay(const std::string& dir) {
+  const obs::ReplayReport report = obs::replayCorpus(dir);
+  return {report.exitCode(), report.formatText()};
 }
 
 CommandResult dispatch(const std::vector<std::string>& args) {
@@ -350,6 +437,8 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.json = true;
         } else if (args[i] == "--format=text") {
           opt.json = false;
+        } else if (startsWith(args[i], "--stats-json=")) {
+          opt.statsJsonPath = args[i].substr(13);
         } else if (startsWith(args[i], "--")) {
           return fail("unknown lint option '" + args[i] + "'");
         } else {
@@ -417,11 +506,30 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.statsJsonPath = args[i].substr(13);
         } else if (startsWith(args[i], "--trace=")) {
           opt.tracePath = args[i].substr(8);
+        } else if (startsWith(args[i], "--path-forest=")) {
+          opt.pathForestPath = args[i].substr(14);
+        } else if (startsWith(args[i], "--path-dot=")) {
+          opt.pathDotPath = args[i].substr(11);
+        } else if (startsWith(args[i], "--query-log=")) {
+          opt.queryLogDir = args[i].substr(12);
+        } else if (args[i] == "--progress") {
+          opt.progressSeconds = 1.0;
+        } else if (startsWith(args[i], "--progress=")) {
+          const std::string v = args[i].substr(11);
+          char* end = nullptr;
+          opt.progressSeconds = std::strtod(v.c_str(), &end);
+          if (end == v.c_str() || *end != '\0' || opt.progressSeconds <= 0.0) {
+            return fail("bad --progress interval '" + v + "'");
+          }
         } else {
           return fail("unknown explore option '" + args[i] + "'");
         }
       }
       return cmdExplore(args[1], readFileOrThrow(args[2]), opt);
+    }
+    if (cmd == "replay") {
+      if (args.size() != 2) return fail("usage: adlsym replay <query-dir>");
+      return cmdReplay(args[1]);
     }
     return fail("unknown command '" + cmd + "'\n" + usage());
   } catch (const std::exception& e) {

@@ -46,6 +46,9 @@ struct LintOptions {
   bool werror = false;  // --werror: warnings also fail the exit code
   /// Optional image text to run the IMG0xx passes over ("" = model only).
   std::string imageText;
+  /// Write the aggregated JSON stats document (finding counts + per-pass
+  /// timing histograms lint.*_us) here ("" = off).
+  std::string statsJsonPath;
 };
 
 /// `adlsym lint <isa|file.adl> [file.img]` — run the specification
@@ -65,17 +68,31 @@ struct ExploreOptions {
   bool coverageReport = false;
   /// Run the lint passes (model + image) first; error findings abort.
   bool lint = false;
-  /// Write the aggregated JSON stats document (summary + solver + metrics,
-  /// docs/observability.md) here ("" = off).
+  /// Write the aggregated JSON stats document (summary + solver + metrics
+  /// + opcode/branch-site tables, docs/observability.md) here ("" = off).
   std::string statsJsonPath;
   /// Stream JSONL trace events here ("" = off).
   std::string tracePath;
+  /// Write the adlsym-pathforest-v1 JSON document here ("" = off).
+  std::string pathForestPath;
+  /// Write the path forest as Graphviz DOT here ("" = off).
+  std::string pathDotPath;
+  /// Capture every solver query as an SMT-LIB corpus into this directory
+  /// ("" = off); replay with `adlsym replay <dir>`.
+  std::string queryLogDir;
+  /// Emit a progress heartbeat to stderr every N seconds (0 = off).
+  double progressSeconds = 0.0;
 };
 
 /// `adlsym explore <isa> <image-text>` — symbolic exploration; prints the
 /// path table with witnesses and the engine statistics.
 CommandResult cmdExplore(const std::string& isa, const std::string& imageText,
                          const ExploreOptions& opt);
+
+/// `adlsym replay <query-dir>` — re-solve a captured query corpus
+/// (explore --query-log) and diff verdicts; exit 1 on any mismatch,
+/// unreadable entry or empty corpus.
+CommandResult cmdReplay(const std::string& dir);
 
 /// Top-level dispatcher used by the tool binary: args exclude argv[0].
 /// File arguments are read from disk here.

@@ -1,0 +1,219 @@
+#include "obs/pathforest.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "core/testgen.h"
+#include "smt/printer.h"
+#include "support/json.h"
+
+namespace adlsym::obs {
+
+PathNode& PathForestRecorder::at(uint64_t id) {
+  if (id >= nodes_.size()) nodes_.resize(id + 1);
+  PathNode& n = nodes_[id];
+  n.id = id;
+  return n;
+}
+
+void PathForestRecorder::onRoot(uint64_t node, const core::MachineState& st) {
+  PathNode& n = at(node);
+  n.forkPc = st.pc;
+  n.entryPc = st.pc;
+  n.verdict = "root";
+}
+
+void PathForestRecorder::onStepBegin(uint64_t /*node*/,
+                                     const core::MachineState& st) {
+  stepPc_ = st.pc;
+  stepChildren_.clear();
+}
+
+void PathForestRecorder::onChild(uint64_t parent, uint64_t child,
+                                 const core::MachineState& st,
+                                 size_t condSizeBefore) {
+  PathNode& n = at(child);
+  n.parent = parent;
+  n.forkPc = stepPc_;
+  n.entryPc = st.pc;
+  std::string cond;
+  for (size_t i = condSizeBefore; i < st.pathCond.size(); ++i) {
+    if (!cond.empty()) cond += " & ";
+    cond += smt::toString(st.pathCond[i], opt_.maxCondDepth);
+  }
+  n.cond = std::move(cond);
+  PathNode& p = at(parent);
+  p.children.push_back(child);
+  // A fork retires the parent id (every successor got a fresh one), so
+  // the parent is an interior node from here on.
+  p.status = "forked";
+  stepChildren_.push_back(child);
+}
+
+void PathForestRecorder::onStepEnd(const StepInfo& info) {
+  // Verdict + solver cost land on the children this step minted: queries
+  // during a forking step are the feasibility checks that admitted them.
+  const char* verdict = info.stepSolverQueries > 0 ? "sat" : "assumed";
+  for (const uint64_t id : stepChildren_) {
+    PathNode& n = at(id);
+    n.verdict = verdict;
+    n.solverQueries = info.stepSolverQueries;
+    n.solverMicros = info.stepSolverMicros;
+  }
+  stepChildren_.clear();
+}
+
+void PathForestRecorder::onDrop(uint64_t node, uint64_t pc) {
+  PathNode& n = at(node);
+  n.status = "dropped";
+  n.finalPc = pc;
+}
+
+void PathForestRecorder::onMerge(uint64_t host, uint64_t incoming,
+                                 uint64_t pc) {
+  PathNode& n = at(incoming);
+  n.status = "merged";
+  n.finalPc = pc;
+  n.mergedInto = host;
+}
+
+void PathForestRecorder::onPathDone(uint64_t node,
+                                    const core::PathResult& r) {
+  PathNode& n = at(node);
+  n.status = core::pathStatusName(r.status);
+  n.finalPc = r.finalPc;
+  n.steps = r.steps;
+  n.forks = r.forks;
+  n.exitCode = r.exitCode;
+  if (r.defect) {
+    n.defectKind = core::defectKindName(r.defect->kind);
+    n.defectPc = r.defect->pc;
+  }
+  n.testInputs = r.test.inputs;
+}
+
+void PathForestRecorder::writeJson(std::ostream& os) const {
+  json::Writer w(os);
+  w.beginObject();
+  w.kv("schema", "adlsym-pathforest-v1");
+  w.kv("nodes", static_cast<uint64_t>(nodes_.size()));
+  w.key("forest").beginArray();
+  for (const PathNode& n : nodes_) {
+    w.beginObject();
+    w.kv("id", n.id);
+    if (n.parent) w.kv("parent", *n.parent);
+    w.kv("fork_pc", n.forkPc);
+    w.kv("entry_pc", n.entryPc);
+    if (!n.cond.empty()) w.kv("cond", std::string_view(n.cond));
+    w.kv("verdict", std::string_view(n.verdict));
+    w.kv("solver_queries", n.solverQueries);
+    if (opt_.includeTiming) w.kv("solver_micros", n.solverMicros);
+    w.kv("status", std::string_view(n.status));
+    w.kv("final_pc", n.finalPc);
+    w.kv("steps", n.steps);
+    w.kv("forks", n.forks);
+    if (n.exitCode) w.kv("exit_code", *n.exitCode);
+    if (!n.defectKind.empty()) {
+      w.key("defect").beginObject();
+      w.kv("kind", std::string_view(n.defectKind));
+      w.kv("pc", n.defectPc);
+      w.endObject();
+    }
+    if (!n.testInputs.empty()) {
+      w.key("test").beginArray();
+      for (const core::TestCase::Value& v : n.testInputs) {
+        w.beginObject();
+        w.kv("name", std::string_view(v.name));
+        w.kv("width", v.width);
+        w.kv("value", v.value);
+        w.endObject();
+      }
+      w.endArray();
+    }
+    if (n.mergedInto) w.kv("merged_into", *n.mergedInto);
+    w.key("children").beginArray();
+    for (const uint64_t c : n.children) w.value(c);
+    w.endArray();
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << '\n';
+}
+
+std::string PathForestRecorder::toJson() const {
+  std::ostringstream os;
+  writeJson(os);
+  return os.str();
+}
+
+namespace {
+
+std::string dotEscape(const std::string& s, size_t maxLen) {
+  std::string out;
+  for (const char c : s) {
+    if (out.size() >= maxLen) {
+      out += "...";
+      break;
+    }
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+const char* statusColor(const std::string& status) {
+  if (status == "exited") return "palegreen";
+  if (status == "defect" || status == "illegal") return "lightcoral";
+  if (status == "dropped" || status == "infeasible") return "lightgrey";
+  if (status == "merged") return "lightskyblue";
+  if (status == "budget") return "khaki";
+  return "white";  // open / forked (interior)
+}
+
+}  // namespace
+
+void PathForestRecorder::writeDot(std::ostream& os) const {
+  os << "digraph pathforest {\n"
+     << "  node [shape=box fontname=\"monospace\" style=filled];\n";
+  char buf[64];
+  for (const PathNode& n : nodes_) {
+    std::snprintf(buf, sizeof buf, "0x%llx",
+                  static_cast<unsigned long long>(n.entryPc));
+    std::string label = "n" + std::to_string(n.id) + " @" + buf;
+    label += "\\n" + n.status;
+    if (n.status != "open" && n.status != "merged" && n.status != "dropped") {
+      label += " steps=" + std::to_string(n.steps);
+    }
+    if (n.exitCode) label += " exit=" + std::to_string(*n.exitCode);
+    if (!n.defectKind.empty()) label += "\\n" + n.defectKind;
+    os << "  n" << n.id << " [label=\"" << label << "\" fillcolor=\""
+       << statusColor(n.status) << "\"];\n";
+  }
+  for (const PathNode& n : nodes_) {
+    for (const uint64_t c : n.children) {
+      os << "  n" << n.id << " -> n" << c;
+      const std::string& cond = nodes_[c].cond;
+      if (!cond.empty()) {
+        os << " [label=\"" << dotEscape(cond, 48) << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+  for (const PathNode& n : nodes_) {
+    if (n.mergedInto) {
+      os << "  n" << n.id << " -> n" << *n.mergedInto
+         << " [style=dashed label=\"merge\"];\n";
+    }
+  }
+  os << "}\n";
+}
+
+std::string PathForestRecorder::toDot() const {
+  std::ostringstream os;
+  writeDot(os);
+  return os.str();
+}
+
+}  // namespace adlsym::obs

@@ -1,0 +1,94 @@
+// PathForest recorder (docs/observability.md): a KLEE-process-tree-style
+// record of one exploration run. Every node is a straight-line run of
+// instructions between forks; a fork mints child nodes carrying the
+// rendered branch condition and the solver verdict that admitted them,
+// and terminal nodes carry the final path status, defect and generated
+// witness inputs. Exported as the `adlsym-pathforest-v1` JSON document
+// (explore --path-forest) and as Graphviz DOT (--path-dot).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/observer.h"
+
+namespace adlsym::obs {
+
+struct PathNode {
+  uint64_t id = 0;
+  std::optional<uint64_t> parent;      // unset for the root
+  uint64_t forkPc = 0;   // pc of the instruction that minted this node
+  uint64_t entryPc = 0;  // first pc this node executes
+  /// Branch condition(s) added at creation, rendered with smt::toString
+  /// and joined with " & " (empty for the root and unconstrained forks).
+  std::string cond;
+  /// "sat" when the creating step issued solver queries (eager
+  /// feasibility admitted the branch), "assumed" when it was enqueued
+  /// unchecked. Set by the matching onStepEnd.
+  std::string verdict;
+  uint64_t solverQueries = 0;  // queries issued by the creating step
+  uint64_t solverMicros = 0;   // their total latency (includeTiming only)
+  /// Terminal state: a pathStatusName() value, "dropped" (every successor
+  /// infeasible), "merged" (veritesting), "forked" (interior node — the id
+  /// was retired by a fork), or "open" if the run ended with the node
+  /// still on the frontier.
+  std::string status = "open";
+  uint64_t finalPc = 0;
+  uint64_t steps = 0;
+  unsigned forks = 0;
+  std::optional<uint64_t> exitCode;
+  std::string defectKind;  // empty when the path had no defect
+  uint64_t defectPc = 0;
+  std::vector<core::TestCase::Value> testInputs;
+  std::optional<uint64_t> mergedInto;  // host node, when status == "merged"
+  std::vector<uint64_t> children;
+};
+
+class PathForestRecorder final : public core::ExploreObserver {
+ public:
+  struct Options {
+    /// Include per-node solver microseconds in the JSON document. Off by
+    /// default: --path-forest promises byte-identical output for two runs
+    /// of the same seed/config, and latency depends on the clock. Tests
+    /// turn it on under a ManualClock.
+    bool includeTiming = false;
+    /// Depth cap for rendered branch conditions (smt::toString).
+    unsigned maxCondDepth = 32;
+  };
+
+  PathForestRecorder() = default;
+  explicit PathForestRecorder(Options opt) : opt_(opt) {}
+
+  // core::ExploreObserver
+  void onRoot(uint64_t node, const core::MachineState& st) override;
+  void onStepBegin(uint64_t node, const core::MachineState& st) override;
+  void onStepEnd(const StepInfo& info) override;
+  void onChild(uint64_t parent, uint64_t child, const core::MachineState& st,
+               size_t condSizeBefore) override;
+  void onDrop(uint64_t node, uint64_t pc) override;
+  void onMerge(uint64_t host, uint64_t incoming, uint64_t pc) override;
+  void onPathDone(uint64_t node, const core::PathResult& result) override;
+
+  const std::vector<PathNode>& nodes() const { return nodes_; }
+
+  /// The adlsym-pathforest-v1 JSON document (one compact object).
+  void writeJson(std::ostream& os) const;
+  std::string toJson() const;
+  /// Graphviz digraph: solid edges = forks (labelled with the branch
+  /// condition), dashed edges = veritesting merges.
+  void writeDot(std::ostream& os) const;
+  std::string toDot() const;
+
+ private:
+  PathNode& at(uint64_t id);
+
+  Options opt_;
+  std::vector<PathNode> nodes_;        // indexed by id (ids are dense)
+  std::vector<uint64_t> stepChildren_; // minted during the current step
+  uint64_t stepPc_ = 0;                // pc of the in-flight step
+};
+
+}  // namespace adlsym::obs

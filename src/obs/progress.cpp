@@ -1,0 +1,61 @@
+#include "obs/progress.h"
+
+#include <cstdio>
+
+namespace adlsym::obs {
+
+ProgressMeter::ProgressMeter(telemetry::Telemetry* tel, std::ostream& os,
+                             double intervalSeconds)
+    : tel_(tel), os_(os) {
+  if (intervalSeconds < 0.001) intervalSeconds = 0.001;
+  intervalMicros_ = static_cast<uint64_t>(intervalSeconds * 1e6);
+}
+
+void ProgressMeter::onStepEnd(const StepInfo& info) {
+  telemetry::Clock& clock =
+      tel_ ? tel_->clock() : telemetry::Clock::system();
+  const uint64_t now = clock.nowMicros();
+  if (!started_) {
+    started_ = true;
+    startMicros_ = now;
+    lastBeatMicros_ = now;
+    return;
+  }
+  if (now - lastBeatMicros_ < intervalMicros_) return;
+
+  const uint64_t sinceBeat = now - lastBeatMicros_;
+  const uint64_t sinceStart = now - startMicros_;
+  const double stepsPerSec =
+      sinceBeat ? double(info.totalSteps - lastBeatSteps_) * 1e6 /
+                      double(sinceBeat)
+                : 0.0;
+  const double solverShare =
+      sinceStart ? double(info.runSolverMicros) / double(sinceStart) : 0.0;
+
+  char line[192];
+  std::snprintf(line, sizeof line,
+                "[progress] t=%.1fs frontier=%zu paths=%zu steps=%llu "
+                "steps/s=%.0f covered=%zu solver=%.0f%%\n",
+                double(sinceStart) / 1e6, info.frontierSize, info.pathsDone,
+                static_cast<unsigned long long>(info.totalSteps), stepsPerSec,
+                info.coveredPcs, solverShare * 100.0);
+  os_ << line;
+  os_.flush();
+
+  if (tel_ && tel_->tracing()) {
+    tel_->emit(telemetry::EventKind::Heartbeat,
+               {{"frontier", static_cast<uint64_t>(info.frontierSize)},
+                {"paths", static_cast<uint64_t>(info.pathsDone)},
+                {"steps", info.totalSteps},
+                {"steps_per_sec", stepsPerSec},
+                {"covered_pcs", static_cast<uint64_t>(info.coveredPcs)},
+                {"solver_queries", info.runSolverQueries},
+                {"solver_share", solverShare}});
+  }
+
+  ++beats_;
+  lastBeatMicros_ = now;
+  lastBeatSteps_ = info.totalSteps;
+}
+
+}  // namespace adlsym::obs

@@ -1,0 +1,41 @@
+// Live progress heartbeat (docs/observability.md): an ExploreObserver
+// that periodically reports frontier size, finished paths, step
+// throughput, covered pcs and the solver's share of wall time — one
+// "[progress] ..." line on a stream (the CLI points it at stderr) and,
+// when the telemetry bundle has a trace sink, one Heartbeat trace event.
+// Time comes from the injectable telemetry clock, so tests drive it with
+// a ManualClock and never sleep.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "core/observer.h"
+#include "support/telemetry.h"
+
+namespace adlsym::obs {
+
+class ProgressMeter final : public core::ExploreObserver {
+ public:
+  /// Emits at most one beat per `intervalSeconds` of clock time, checked
+  /// after every step. `tel` may be null (system clock, no trace events);
+  /// `os` is borrowed and must outlive the meter.
+  ProgressMeter(telemetry::Telemetry* tel, std::ostream& os,
+                double intervalSeconds = 1.0);
+
+  void onStepEnd(const StepInfo& info) override;
+
+  uint64_t beats() const { return beats_; }
+
+ private:
+  telemetry::Telemetry* tel_;
+  std::ostream& os_;
+  uint64_t intervalMicros_;
+  uint64_t startMicros_ = 0;
+  uint64_t lastBeatMicros_ = 0;
+  uint64_t lastBeatSteps_ = 0;
+  bool started_ = false;
+  uint64_t beats_ = 0;
+};
+
+}  // namespace adlsym::obs

@@ -1,0 +1,67 @@
+#include "obs/querylog.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "smt/printer.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace adlsym::obs {
+
+namespace fs = std::filesystem;
+
+QueryLogger::QueryLogger(std::string dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) {
+    throw Error("query-log: cannot create directory '" + dir_ +
+                "': " + ec.message());
+  }
+}
+
+void QueryLogger::onStepBegin(uint64_t node, const core::MachineState& st) {
+  originNode_ = node;
+  originPc_ = st.pc;
+}
+
+void QueryLogger::onCheck(const std::vector<smt::TermRef>& permanent,
+                          const std::vector<smt::TermRef>& assumptions,
+                          smt::CheckResult result, uint64_t micros,
+                          bool cached) {
+  char stem[32];
+  std::snprintf(stem, sizeof stem, "q%06llu",
+                static_cast<unsigned long long>(seq_));
+
+  std::vector<smt::TermRef> asserts = permanent;
+  asserts.insert(asserts.end(), assumptions.begin(), assumptions.end());
+
+  const std::string smtPath = dir_ + "/" + stem + ".smt2";
+  {
+    std::ofstream os(smtPath, std::ios::trunc);
+    if (!os) throw Error("query-log: cannot write '" + smtPath + "'");
+    os << smt::toSmtLib(asserts);
+  }
+
+  const std::string metaPath = dir_ + "/" + stem + ".json";
+  std::ofstream os(metaPath, std::ios::trunc);
+  if (!os) throw Error("query-log: cannot write '" + metaPath + "'");
+  json::Writer w(os);
+  w.beginObject();
+  w.kv("schema", "adlsym-query-v1");
+  w.kv("seq", seq_);
+  w.kv("file", std::string_view(std::string(stem) + ".smt2"));
+  w.kv("origin_pc", originPc_);
+  w.kv("origin_node", originNode_);
+  w.kv("verdict", smt::checkResultName(result));
+  w.kv("micros", micros);
+  w.kv("cached", cached);
+  w.kv("assumptions", static_cast<uint64_t>(assumptions.size()));
+  w.endObject();
+  os << '\n';
+
+  ++seq_;
+}
+
+}  // namespace adlsym::obs

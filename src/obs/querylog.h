@@ -1,0 +1,46 @@
+// Solver query capture (docs/observability.md): dumps every
+// SmtSolver::check of a run into a corpus directory — one SMT-LIB 2
+// script (qNNNNNN.smt2, produced by smt::toSmtLib, replayable by any
+// SMT-LIB solver) plus one adlsym-query-v1 metadata sidecar
+// (qNNNNNN.json: sequence, origin pc/node, verdict, latency). The
+// companion `adlsym replay <dir>` command (obs/replay.h) re-solves a
+// captured corpus and diffs verdicts, making any corpus a standing
+// regression suite for the whole src/smt stack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/observer.h"
+#include "smt/solver.h"
+
+namespace adlsym::obs {
+
+class QueryLogger final : public smt::QueryListener,
+                          public core::ExploreObserver {
+ public:
+  /// Creates `dir` (and parents) if needed. Throws adlsym::Error when the
+  /// directory cannot be created or a corpus file cannot be written.
+  explicit QueryLogger(std::string dir);
+
+  // smt::QueryListener — writes one script + sidecar pair per check.
+  void onCheck(const std::vector<smt::TermRef>& permanent,
+               const std::vector<smt::TermRef>& assumptions,
+               smt::CheckResult result, uint64_t micros,
+               bool cached) override;
+
+  // core::ExploreObserver — tracks the origin of subsequent queries.
+  void onStepBegin(uint64_t node, const core::MachineState& st) override;
+
+  uint64_t queriesLogged() const { return seq_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  std::string dir_;
+  uint64_t seq_ = 0;
+  uint64_t originPc_ = 0;
+  uint64_t originNode_ = 0;
+};
+
+}  // namespace adlsym::obs

@@ -1,0 +1,135 @@
+#include "obs/replay.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/smtlib.h"
+#include "smt/solver.h"
+#include "support/error.h"
+
+namespace adlsym::obs {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+std::string readFile(const fs::path& p) {
+  std::ifstream is(p, std::ios::binary);
+  if (!is) throw Error("replay: cannot read '" + p.string() + "'");
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+// The sidecars are our own compact json::Writer output, so targeted
+// field extraction is enough — no general JSON reader in the repo.
+std::string jsonStringField(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const size_t at = doc.find(needle);
+  if (at == std::string::npos)
+    throw Error("replay: sidecar missing field '" + key + "'");
+  const size_t start = at + needle.size();
+  const size_t end = doc.find('"', start);
+  if (end == std::string::npos)
+    throw Error("replay: sidecar field '" + key + "' unterminated");
+  return doc.substr(start, end - start);
+}
+
+uint64_t jsonUintField(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = doc.find(needle);
+  if (at == std::string::npos)
+    throw Error("replay: sidecar missing field '" + key + "'");
+  size_t i = at + needle.size();
+  uint64_t v = 0;
+  bool any = false;
+  while (i < doc.size() && doc[i] >= '0' && doc[i] <= '9') {
+    v = v * 10 + static_cast<uint64_t>(doc[i] - '0');
+    ++i;
+    any = true;
+  }
+  if (!any)
+    throw Error("replay: sidecar field '" + key + "' is not a number");
+  return v;
+}
+
+}  // namespace
+
+ReplayReport replayCorpus(const std::string& dir, telemetry::Telemetry* tel) {
+  ReplayReport report;
+  report.dir = dir;
+
+  std::vector<std::string> sidecars;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(dir, ec)) {
+    if (e.path().extension() == ".json")
+      sidecars.push_back(e.path().filename().string());
+  }
+  // Sequence numbers are zero-padded, so filename order is capture order.
+  std::sort(sidecars.begin(), sidecars.end());
+
+  telemetry::Clock& clock = tel ? tel->clock() : telemetry::Clock::system();
+
+  for (const std::string& name : sidecars) {
+    ReplayEntry entry;
+    entry.file = name;
+    try {
+      const std::string meta = readFile(fs::path(dir) / name);
+      const std::string schema = jsonStringField(meta, "schema");
+      if (schema != "adlsym-query-v1")
+        throw Error("replay: unsupported sidecar schema '" + schema + "'");
+      entry.script = jsonStringField(meta, "file");
+      entry.expected = jsonStringField(meta, "verdict");
+      entry.recordedMicros = jsonUintField(meta, "micros");
+
+      const std::string text = readFile(fs::path(dir) / entry.script);
+      // Fresh stack per entry: replays must not inherit capture-time
+      // incremental state (learned clauses, query cache, blasted vars).
+      smt::TermManager tm;
+      const SmtScript script = parseSmtLib(tm, text);
+      smt::SmtSolver solver(tm);
+      const uint64_t t0 = clock.nowMicros();
+      const smt::CheckResult r = solver.check(script.asserts);
+      entry.replayMicros = clock.nowMicros() - t0;
+      entry.actual = smt::checkResultName(r);
+
+      report.recordedMicros += entry.recordedMicros;
+      report.replayMicros += entry.replayMicros;
+      if (entry.actual == entry.expected) {
+        ++report.matched;
+      } else {
+        ++report.mismatched;
+      }
+    } catch (const std::exception& ex) {
+      entry.error = ex.what();
+      ++report.errors;
+    }
+    report.entries.push_back(std::move(entry));
+  }
+  return report;
+}
+
+std::string ReplayReport::formatText() const {
+  std::ostringstream os;
+  for (const ReplayEntry& e : entries) {
+    if (!e.error.empty()) {
+      os << "ERROR    " << e.file << ": " << e.error << '\n';
+    } else if (e.actual != e.expected) {
+      os << "MISMATCH " << e.script << ": recorded " << e.expected
+         << ", replayed " << e.actual << '\n';
+    }
+  }
+  if (entries.empty()) {
+    os << "replay: no adlsym-query-v1 sidecars in '" << dir << "'\n";
+    return os.str();
+  }
+  os << "replay: " << total() << " queries, " << matched << " matched, "
+     << mismatched << " mismatched, " << errors << " errors\n";
+  os << "replay: recorded " << recordedMicros << " us, replayed "
+     << replayMicros << " us\n";
+  return os.str();
+}
+
+}  // namespace adlsym::obs

@@ -1,0 +1,54 @@
+// Query-corpus replay (docs/observability.md): re-solves a directory of
+// captured solver queries (obs::QueryLogger output) on fresh solver
+// instances and diffs the verdicts against the recorded ones. A clean
+// replay proves the whole src/smt stack (parser -> builder -> bit-blaster
+// -> SAT) still decides yesterday's queries the same way; any mismatch or
+// unreadable entry is reported per file and turns the exit code non-zero.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/telemetry.h"
+
+namespace adlsym::obs {
+
+struct ReplayEntry {
+  std::string file;          // sidecar filename, e.g. "q000003.json"
+  std::string script;        // SMT-LIB filename from the sidecar
+  std::string expected;      // recorded verdict ("sat"/"unsat"/"unknown")
+  std::string actual;        // re-solved verdict (empty on error)
+  uint64_t recordedMicros = 0;
+  uint64_t replayMicros = 0;
+  std::string error;         // parse/io failure; empty when solved
+  bool ok() const { return error.empty() && actual == expected; }
+};
+
+struct ReplayReport {
+  std::string dir;
+  std::vector<ReplayEntry> entries;
+  size_t matched = 0;
+  size_t mismatched = 0;
+  size_t errors = 0;
+  uint64_t recordedMicros = 0;  // summed over replayed entries
+  uint64_t replayMicros = 0;
+
+  size_t total() const { return entries.size(); }
+  /// 0 when every entry replayed to its recorded verdict; 1 on any
+  /// mismatch or error, and for an empty/missing corpus.
+  int exitCode() const {
+    return (mismatched == 0 && errors == 0 && !entries.empty()) ? 0 : 1;
+  }
+  /// Human-readable report: one line per problem entry + a summary line.
+  std::string formatText() const;
+};
+
+/// Replay every adlsym-query-v1 sidecar in `dir` (sorted by filename).
+/// Each query is re-solved on a fresh TermManager + SmtSolver so replays
+/// are independent of capture-time solver state. `tel` supplies the clock
+/// for replay timing (system clock when null).
+ReplayReport replayCorpus(const std::string& dir,
+                          telemetry::Telemetry* tel = nullptr);
+
+}  // namespace adlsym::obs

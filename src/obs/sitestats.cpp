@@ -1,0 +1,38 @@
+#include "obs/sitestats.h"
+
+#include "support/json.h"
+
+namespace adlsym::obs {
+
+void SiteStatsCollector::onStepEnd(const StepInfo& info) {
+  const decode::DecodedInsn* d = decoder_.decodeAt(image_, info.pc);
+  ++opcodes_[d != nullptr ? d->insn->name : "<illegal>"];
+  Site& site = sites_[info.pc];
+  ++site.hits;
+  if (info.numSuccessors > 1) ++site.forks;
+  // Drops are counted in onDrop (numSuccessors == 0 also covers normal
+  // path termination, which is not an infeasibility event).
+}
+
+void SiteStatsCollector::onDrop(uint64_t /*node*/, uint64_t pc) {
+  ++sites_[pc].infeasible;
+}
+
+void SiteStatsCollector::writeJson(json::Writer& w) const {
+  w.key("opcodes").beginObject();
+  for (const auto& [name, count] : opcodes_) w.kv(name, count);
+  w.endObject();
+  w.key("branch_sites").beginArray();
+  for (const auto& [pc, site] : sites_) {
+    if (site.forks == 0 && site.infeasible == 0) continue;
+    w.beginObject();
+    w.kv("pc", pc);
+    w.kv("hits", site.hits);
+    w.kv("forks", site.forks);
+    w.kv("infeasible", site.infeasible);
+    w.endObject();
+  }
+  w.endArray();
+}
+
+}  // namespace adlsym::obs

@@ -1,0 +1,53 @@
+// Per-opcode and per-branch-site accounting for the stats document
+// (docs/observability.md, adlsym-stats-v2): an ExploreObserver that
+// decodes every executed pc through the loaded ADL model and counts
+// executions per mnemonic, plus a per-pc table of fork/infeasible events
+// — the branch sites that actually split or killed paths. The decoder
+// caches by address, so the per-step cost after warm-up is one hash
+// lookup.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/observer.h"
+#include "decode/decoder.h"
+
+namespace adlsym::json {
+class Writer;
+}
+
+namespace adlsym::obs {
+
+class SiteStatsCollector final : public core::ExploreObserver {
+ public:
+  SiteStatsCollector(const adl::ArchModel& model, const loader::Image& image)
+      : image_(image), decoder_(model) {}
+
+  void onStepEnd(const StepInfo& info) override;
+  void onDrop(uint64_t node, uint64_t pc) override;
+
+  struct Site {
+    uint64_t hits = 0;        // times the instruction executed
+    uint64_t forks = 0;       // steps yielding >1 successor
+    uint64_t infeasible = 0;  // steps yielding 0 successors (drops)
+  };
+
+  const std::map<std::string, uint64_t>& opcodeCounts() const {
+    return opcodes_;
+  }
+  const std::map<uint64_t, Site>& sites() const { return sites_; }
+
+  /// Append the "opcodes" object and "branch_sites" array to an open JSON
+  /// object (the v2 stats document).
+  void writeJson(json::Writer& w) const;
+
+ private:
+  const loader::Image& image_;
+  decode::Decoder decoder_;
+  std::map<std::string, uint64_t> opcodes_;  // mnemonic -> executions
+  std::map<uint64_t, Site> sites_;           // pc -> events
+};
+
+}  // namespace adlsym::obs

@@ -1,0 +1,247 @@
+#include "obs/smtlib.h"
+
+#include <cctype>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace adlsym::obs {
+
+namespace {
+
+using smt::TermManager;
+using smt::TermRef;
+
+// ---- tokenizer -----------------------------------------------------------
+
+struct Lexer {
+  std::string_view text;
+  size_t pos = 0;
+
+  void skipSpace() {
+    while (pos < text.size()) {
+      const char c = text[pos];
+      if (c == ';') {  // comment to end of line
+        while (pos < text.size() && text[pos] != '\n') ++pos;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return pos >= text.size();
+  }
+
+  /// Next token: "(", ")" or an atom (maximal run of non-space,
+  /// non-paren characters). Throws at end of input.
+  std::string_view next() {
+    skipSpace();
+    if (pos >= text.size()) throw Error("smtlib: unexpected end of input");
+    const char c = text[pos];
+    if (c == '(' || c == ')') {
+      ++pos;
+      return text.substr(pos - 1, 1);
+    }
+    const size_t start = pos;
+    while (pos < text.size()) {
+      const char d = text[pos];
+      if (d == '(' || d == ')' ||
+          std::isspace(static_cast<unsigned char>(d))) {
+        break;
+      }
+      ++pos;
+    }
+    return text.substr(start, pos - start);
+  }
+
+  std::string_view peek() {
+    const size_t save = pos;
+    const std::string_view t = next();
+    pos = save;
+    return t;
+  }
+
+  void expect(std::string_view tok) {
+    const std::string_view got = next();
+    if (got != tok) {
+      throw Error("smtlib: expected '" + std::string(tok) + "', got '" +
+                  std::string(got) + "'");
+    }
+  }
+};
+
+uint64_t parseUnsigned(std::string_view s) {
+  if (s.empty()) throw Error("smtlib: expected a number");
+  uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9')
+      throw Error("smtlib: bad number '" + std::string(s) + "'");
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  return v;
+}
+
+// ---- expressions ---------------------------------------------------------
+
+struct Parser {
+  TermManager& tm;
+  Lexer lex;
+  std::unordered_map<std::string, TermRef> vars;
+
+  TermRef atom(std::string_view tok) {
+    if (tok.size() > 2 && tok[0] == '#') {
+      const std::string_view digits = tok.substr(2);
+      uint64_t v = 0;
+      unsigned width = 0;
+      if (tok[1] == 'x') {
+        width = static_cast<unsigned>(digits.size()) * 4;
+        for (const char c : digits) {
+          unsigned nib;
+          if (c >= '0' && c <= '9') nib = static_cast<unsigned>(c - '0');
+          else if (c >= 'a' && c <= 'f') nib = static_cast<unsigned>(c - 'a') + 10;
+          else if (c >= 'A' && c <= 'F') nib = static_cast<unsigned>(c - 'A') + 10;
+          else throw Error("smtlib: bad hex constant '" + std::string(tok) + "'");
+          v = (v << 4) | nib;
+        }
+      } else if (tok[1] == 'b') {
+        width = static_cast<unsigned>(digits.size());
+        for (const char c : digits) {
+          if (c != '0' && c != '1')
+            throw Error("smtlib: bad binary constant '" + std::string(tok) + "'");
+          v = (v << 1) | static_cast<uint64_t>(c - '0');
+        }
+      } else {
+        throw Error("smtlib: bad constant '" + std::string(tok) + "'");
+      }
+      if (width == 0 || width > 64)
+        throw Error("smtlib: constant width out of range in '" +
+                    std::string(tok) + "'");
+      return tm.mkConst(width, v);
+    }
+    const auto it = vars.find(std::string(tok));
+    if (it == vars.end())
+      throw Error("smtlib: undeclared variable '" + std::string(tok) + "'");
+    return it->second;
+  }
+
+  TermRef expr() {
+    const std::string_view tok = lex.next();
+    if (tok != "(") return atom(tok);
+
+    // "(" — either an operator application or ((_ extract hi lo) t).
+    std::string_view head = lex.next();
+    if (head == "(") {
+      lex.expect("_");
+      lex.expect("extract");
+      const uint64_t hi = parseUnsigned(lex.next());
+      const uint64_t lo = parseUnsigned(lex.next());
+      lex.expect(")");
+      const TermRef t = expr();
+      lex.expect(")");
+      return tm.mkExtract(t, static_cast<unsigned>(hi),
+                          static_cast<unsigned>(lo));
+    }
+
+    std::vector<TermRef> ops;
+    while (lex.peek() != ")") ops.push_back(expr());
+    lex.expect(")");
+    return apply(head, ops);
+  }
+
+  TermRef apply(std::string_view op, const std::vector<TermRef>& a) {
+    const auto unary = [&](TermRef (TermManager::*fn)(TermRef)) {
+      need(op, a, 1);
+      return (tm.*fn)(a[0]);
+    };
+    const auto binary = [&](TermRef (TermManager::*fn)(TermRef, TermRef)) {
+      need(op, a, 2);
+      return (tm.*fn)(a[0], a[1]);
+    };
+
+    if (op == "bvnot") return unary(&TermManager::mkNot);
+    if (op == "bvneg") return unary(&TermManager::mkNeg);
+    if (op == "bvand") return binary(&TermManager::mkAnd);
+    if (op == "bvor") return binary(&TermManager::mkOr);
+    if (op == "bvxor") return binary(&TermManager::mkXor);
+    if (op == "bvadd") return binary(&TermManager::mkAdd);
+    if (op == "bvsub") return binary(&TermManager::mkSub);
+    if (op == "bvmul") return binary(&TermManager::mkMul);
+    if (op == "bvudiv") return binary(&TermManager::mkUDiv);
+    if (op == "bvurem") return binary(&TermManager::mkURem);
+    if (op == "bvsdiv") return binary(&TermManager::mkSDiv);
+    if (op == "bvsrem") return binary(&TermManager::mkSRem);
+    if (op == "bvshl") return binary(&TermManager::mkShl);
+    if (op == "bvlshr") return binary(&TermManager::mkLShr);
+    if (op == "bvashr") return binary(&TermManager::mkAShr);
+    if (op == "concat") return binary(&TermManager::mkConcat);
+    if (op == "=") return binary(&TermManager::mkEq);
+    if (op == "bvult") return binary(&TermManager::mkUlt);
+    if (op == "bvule") return binary(&TermManager::mkUle);
+    if (op == "bvslt") return binary(&TermManager::mkSlt);
+    if (op == "bvsle") return binary(&TermManager::mkSle);
+    if (op == "ite") {
+      need(op, a, 3);
+      return tm.mkIte(a[0], a[1], a[2]);
+    }
+    throw Error("smtlib: unknown operator '" + std::string(op) + "'");
+  }
+
+  static void need(std::string_view op, const std::vector<TermRef>& a,
+                   size_t n) {
+    if (a.size() != n) {
+      throw Error("smtlib: operator '" + std::string(op) + "' expects " +
+                  std::to_string(n) + " operands, got " +
+                  std::to_string(a.size()));
+    }
+  }
+
+  // ---- commands ----------------------------------------------------------
+
+  SmtScript script() {
+    SmtScript out;
+    while (!lex.atEnd()) {
+      lex.expect("(");
+      const std::string_view cmd = lex.next();
+      if (cmd == "set-logic") {
+        lex.next();  // logic name, ignored
+        lex.expect(")");
+      } else if (cmd == "declare-const") {
+        const std::string name(lex.next());
+        lex.expect("(");
+        lex.expect("_");
+        lex.expect("BitVec");
+        const uint64_t width = parseUnsigned(lex.next());
+        lex.expect(")");
+        lex.expect(")");
+        if (width == 0 || width > 64)
+          throw Error("smtlib: variable '" + name + "' width out of range");
+        vars.emplace(name, tm.mkVar(static_cast<unsigned>(width), name));
+      } else if (cmd == "assert") {
+        const TermRef t = expr();
+        lex.expect(")");
+        if (t.width() != 1)
+          throw Error("smtlib: assert of a term with width != 1");
+        out.asserts.push_back(t);
+      } else if (cmd == "check-sat") {
+        lex.expect(")");
+        out.sawCheckSat = true;
+      } else {
+        throw Error("smtlib: unknown command '" + std::string(cmd) + "'");
+      }
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+SmtScript parseSmtLib(smt::TermManager& tm, std::string_view text) {
+  Parser p{tm, Lexer{text, 0}, {}};
+  return p.script();
+}
+
+}  // namespace adlsym::obs

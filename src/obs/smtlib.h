@@ -1,0 +1,31 @@
+// SMT-LIB 2 reader for the replay pipeline (docs/observability.md):
+// parses the QF_BV subset that smt::toSmtLib emits — set-logic,
+// declare-const with (_ BitVec N) sorts, assert, check-sat, #x/#b
+// constants, ((_ extract hi lo) t) and the fixed operator vocabulary of
+// smt::kindName — back into terms of a TermManager. Rebuilt terms go
+// through the simplifying builders, so they need not be structurally
+// identical to the originals, but they are equisatisfiable, which is what
+// `adlsym replay` checks.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "smt/term.h"
+
+namespace adlsym::obs {
+
+struct SmtScript {
+  /// One width-1 term per (assert ...) line, in script order.
+  std::vector<smt::TermRef> asserts;
+  bool sawCheckSat = false;
+};
+
+/// Parse a script produced by smt::toSmtLib. Variables are created in
+/// `tm` with their declared widths. Throws adlsym::Error on any syntax
+/// the printer cannot have produced (unknown operator, undeclared
+/// variable, width > 64, truncated input).
+SmtScript parseSmtLib(smt::TermManager& tm, std::string_view text);
+
+}  // namespace adlsym::obs

@@ -156,6 +156,7 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
       case CheckResult::Unknown: ++stats_.unknown; break;
     }
     if (queryHist_) queryHist_->record(us);
+    if (listener_) listener_->onCheck(permanentAsserts_, assumptions, r, us, cached);
     if (tel_ && tel_->tracing()) {
       tel_->emit(telemetry::EventKind::SolverQuery,
                  {{"result", checkResultName(r)},

@@ -51,6 +51,18 @@ struct SolverTelemetry {
   std::string format() const;
 };
 
+/// Capture hook for every SmtSolver::check: receives the full query (the
+/// permanent assertions plus this check's assumptions), the verdict and
+/// the measured latency. obs::QueryLogger implements this to dump a
+/// replayable SMT-LIB corpus (docs/observability.md).
+class QueryListener {
+ public:
+  virtual ~QueryListener() = default;
+  virtual void onCheck(const std::vector<TermRef>& permanent,
+                       const std::vector<TermRef>& assumptions,
+                       CheckResult result, uint64_t micros, bool cached) = 0;
+};
+
 class SmtSolver {
  public:
   explicit SmtSolver(TermManager& tm) : tm_(tm), bb_(tm, sat_) {}
@@ -111,6 +123,10 @@ class SmtSolver {
   /// bit-blaster for their own counters.
   void setTelemetry(telemetry::Telemetry* t);
 
+  /// Attach a query-capture listener (null to detach). Every check() —
+  /// including cache hits and short-circuited unsat checks — is reported.
+  void setQueryListener(QueryListener* l) { listener_ = l; }
+
   /// Solve assumptions /\ permanent asserts on a throwaway solver (no state
   /// shared with this instance). Used by paranoid mode and tests.
   CheckResult checkFresh(const std::vector<TermRef>& assumptions);
@@ -133,6 +149,8 @@ class SmtSolver {
   uint64_t cacheHits_ = 0;
 
   Stats stats_;
+
+  QueryListener* listener_ = nullptr;
 
   // Telemetry (null when detached; hot paths branch on the pointers).
   telemetry::Telemetry* tel_ = nullptr;

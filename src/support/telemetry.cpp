@@ -93,6 +93,7 @@ const char* eventKindName(EventKind k) {
     case EventKind::PathDone: return "path_done";
     case EventKind::Defect: return "defect";
     case EventKind::Phase: return "phase";
+    case EventKind::Heartbeat: return "heartbeat";
   }
   return "?";
 }

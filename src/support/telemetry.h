@@ -127,6 +127,7 @@ enum class EventKind : uint8_t {
   PathDone,     // a path left the frontier with a terminal status
   Defect,       // a checker reported a defect
   Phase,        // begin/end markers of coarse stages
+  Heartbeat,    // periodic progress report (obs::ProgressMeter)
 };
 
 const char* eventKindName(EventKind k);

@@ -137,7 +137,7 @@ TEST(Cli, ExploreStatsJsonAndTrace) {
   EXPECT_NE(r.output.find("paths=2"), std::string::npos);
 
   const std::string stats = slurp(opt.statsJsonPath);
-  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v1\""), std::string::npos);
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v2\""), std::string::npos);
   EXPECT_NE(stats.find("\"command\":\"explore\""), std::string::npos);
   EXPECT_NE(stats.find("\"isa\":\"rv32e\""), std::string::npos);
   EXPECT_NE(stats.find("\"paths\":2"), std::string::npos);
@@ -145,6 +145,15 @@ TEST(Cli, ExploreStatsJsonAndTrace) {
   EXPECT_NE(stats.find("\"solver.query_us\""), std::string::npos);
   EXPECT_NE(stats.find("\"metrics\""), std::string::npos);
   EXPECT_NE(stats.find("\"explore.paths\":2"), std::string::npos);
+
+  // v2 additions: per-opcode execution counts and the branch-site table.
+  EXPECT_NE(stats.find("\"opcodes\":{"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"beq\":1"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"halti\":2"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"branch_sites\":[{\"pc\":4,\"hits\":1,\"forks\":1,"
+                       "\"infeasible\":0}]"),
+            std::string::npos)
+      << stats;
 
   // The trace's path_done count equals the printed/emitted path count.
   const std::string trace = slurp(opt.tracePath);
@@ -179,7 +188,90 @@ TEST(Cli, DispatchParsesObservabilityFlags) {
   const auto r = dispatch(
       {"explore", "rv32e", imgPath, "--stats-json=" + statsPath});
   EXPECT_EQ(r.exitCode, 0) << r.output;
-  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v1\""), std::string::npos);
+  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v2\""), std::string::npos);
+}
+
+TEST(Cli, PathForestFlagsAreDeterministic) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  const std::string imgPath = testing::TempDir() + "cli_forest.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+
+  const std::string j1 = testing::TempDir() + "cli_forest1.json";
+  const std::string d1 = testing::TempDir() + "cli_forest1.dot";
+  const std::string j2 = testing::TempDir() + "cli_forest2.json";
+  const std::string d2 = testing::TempDir() + "cli_forest2.dot";
+  ASSERT_EQ(dispatch({"explore", "rv32e", imgPath, "--path-forest=" + j1,
+                      "--path-dot=" + d1})
+                .exitCode,
+            0);
+  ASSERT_EQ(dispatch({"explore", "rv32e", imgPath, "--path-forest=" + j2,
+                      "--path-dot=" + d2})
+                .exitCode,
+            0);
+  const std::string forest = slurp(j1);
+  // Two identical runs produce byte-identical documents (the acceptance
+  // bar for diffable path-forest records).
+  EXPECT_EQ(forest, slurp(j2));
+  EXPECT_EQ(slurp(d1), slurp(d2));
+  EXPECT_NE(forest.find("\"schema\":\"adlsym-pathforest-v1\""),
+            std::string::npos);
+  EXPECT_NE(forest.find("\"verdict\":\"sat\""), std::string::npos) << forest;
+  EXPECT_NE(forest.find("\"status\":\"exited\""), std::string::npos);
+  // Timing stays out of the default document (nondeterministic).
+  EXPECT_EQ(forest.find("solver_micros"), std::string::npos);
+  const std::string dot = slurp(d1);
+  EXPECT_NE(dot.find("digraph pathforest"), std::string::npos);
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);  // exited nodes
+}
+
+TEST(Cli, QueryLogCaptureAndReplay) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  const std::string imgPath = testing::TempDir() + "cli_qlog.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+  const std::string dir = testing::TempDir() + "cli_qlog_corpus";
+
+  ASSERT_EQ(dispatch({"explore", "rv32e", imgPath, "--query-log=" + dir})
+                .exitCode,
+            0);
+  const auto replay = dispatch({"replay", dir});
+  EXPECT_EQ(replay.exitCode, 0) << replay.output;
+  EXPECT_NE(replay.output.find("0 mismatched, 0 errors"), std::string::npos)
+      << replay.output;
+
+  // Corrupt one recorded verdict: replay must flag it and fail.
+  const std::string sidecarPath = dir + "/q000000.json";
+  std::string sidecar = slurp(sidecarPath);
+  const size_t at = sidecar.find("\"verdict\":\"sat\"");
+  ASSERT_NE(at, std::string::npos) << sidecar;
+  sidecar.replace(at, 15, "\"verdict\":\"unsat\"");
+  std::ofstream(sidecarPath, std::ios::binary | std::ios::trunc) << sidecar;
+  const auto bad = dispatch({"replay", dir});
+  EXPECT_EQ(bad.exitCode, 1);
+  EXPECT_NE(bad.output.find("MISMATCH"), std::string::npos) << bad.output;
+
+  // Empty/missing corpus is an error, not a silent pass.
+  EXPECT_EQ(dispatch({"replay", testing::TempDir() + "no_such_corpus"})
+                .exitCode,
+            1);
+  EXPECT_EQ(dispatch({"replay"}).exitCode, 1);
+}
+
+TEST(Cli, ProgressFlagParsing) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  const std::string imgPath = testing::TempDir() + "cli_progress.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+  // A huge interval never fires on a run this short, but the flag must
+  // parse and the run succeed. Bad intervals are rejected.
+  EXPECT_EQ(dispatch({"explore", "rv32e", imgPath, "--progress"}).exitCode, 0);
+  EXPECT_EQ(
+      dispatch({"explore", "rv32e", imgPath, "--progress=3600"}).exitCode, 0);
+  EXPECT_EQ(dispatch({"explore", "rv32e", imgPath, "--progress=0"}).exitCode,
+            1);
+  EXPECT_EQ(
+      dispatch({"explore", "rv32e", imgPath, "--progress=soon"}).exitCode, 1);
 }
 
 TEST(Cli, AsmErrorsReported) {
@@ -207,6 +299,21 @@ TEST(CliLint, ShippedIsasAreClean) {
     EXPECT_NE(r.output.find("0 error(s), 0 warning(s)"), std::string::npos)
         << isa << ":\n" << r.output;
   }
+}
+
+TEST(CliLint, StatsJsonHasPassTimings) {
+  const std::string statsPath = testing::TempDir() + "cli_lint_stats.json";
+  const auto r = dispatch({"lint", "rv32e", "--stats-json=" + statsPath});
+  EXPECT_EQ(r.exitCode, 0) << r.output;
+  const std::string stats = slurp(statsPath);
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v2\""), std::string::npos)
+      << stats;
+  EXPECT_NE(stats.find("\"command\":\"lint\""), std::string::npos);
+  EXPECT_NE(stats.find("\"lint\":{\"findings\":"), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"errors\":0"), std::string::npos);
+  // Per-pass timing histograms (docs/observability.md metric names).
+  EXPECT_NE(stats.find("\"lint.decode_space_us\""), std::string::npos) << stats;
+  EXPECT_NE(stats.find("\"lint.dataflow_us\""), std::string::npos);
 }
 
 TEST(CliLint, ErrorFindingFailsExitCode) {

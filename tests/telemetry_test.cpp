@@ -58,6 +58,28 @@ TEST(Histogram, BucketBoundaries) {
   EXPECT_EQ(h.buckets()[Histogram::kBuckets - 1], 1u);
 }
 
+TEST(Histogram, OverflowBucketPinning) {
+  // Pin the overflow behavior at the top of the range: bucket 22 is the
+  // last whose upper bound is finite-and-reported (2^22-1 us), bucket 23
+  // covers [2^22, 2^23-1] AND absorbs everything larger (values past
+  // ~8.4 s of microseconds keep counting, with no 25th bucket).
+  EXPECT_EQ(Histogram::kBuckets, 24u);
+  EXPECT_EQ(Histogram::bucketUpperBound(22), 4194303u);
+  EXPECT_EQ(Histogram::bucketUpperBound(23), UINT64_MAX);
+
+  Histogram h;
+  h.record(4194303);          // bit_width 22: last value below bucket 23
+  h.record(4194304);          // bit_width 23: first natural bucket-23 value
+  h.record(8388607);          // bit_width 23: last finite bound (~8.4 s)
+  h.record(8388608);          // bit_width 24: clamped into bucket 23
+  h.record(uint64_t{1} << 40);
+  h.record(UINT64_MAX);       // bit_width 64: clamped into bucket 23
+  EXPECT_EQ(h.buckets()[22], 1u);
+  EXPECT_EQ(h.buckets()[23], 5u);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_EQ(h.max(), UINT64_MAX);
+}
+
 TEST(ManualClockTest, StepsPerReadAndAdvances) {
   ManualClock clk(10);
   EXPECT_EQ(clk.nowMicros(), 0u);
@@ -147,7 +169,10 @@ TEST(EventKindTest, Names) {
   EXPECT_STREQ(eventKindName(EventKind::Merge), "merge");
   EXPECT_STREQ(eventKindName(EventKind::SolverQuery), "solver_query");
   EXPECT_STREQ(eventKindName(EventKind::PathDone), "path_done");
+  EXPECT_STREQ(eventKindName(EventKind::Drop), "drop");
+  EXPECT_STREQ(eventKindName(EventKind::Defect), "defect");
   EXPECT_STREQ(eventKindName(EventKind::Phase), "phase");
+  EXPECT_STREQ(eventKindName(EventKind::Heartbeat), "heartbeat");
 }
 
 }  // namespace
