@@ -68,6 +68,41 @@ void mergingSeries() {
   std::printf("\n");
 }
 
+void governedSeries() {
+  std::printf(
+      "(d) resource governor on the exponential series (capped vs\n"
+      "    uncapped frontier, docs/robustness.md)\n\n");
+  benchutil::Table table({"bits", "max-frontier", "paths", "truncated",
+                          "frontier-peak", "insns", "wall-ms"},
+                         "governed");
+  for (const unsigned bits : {6u, 8u}) {
+    for (const uint64_t cap : {uint64_t{0}, uint64_t{8}}) {
+      telemetry::ManualClock clk;
+      telemetry::Telemetry tel(clk);
+      driver::SessionOptions opt;
+      opt.telemetry = &tel;
+      opt.explorer.maxFrontier = cap;
+      // BFS is the worst case for frontier growth on the diamond chain
+      // (peak 2^(bits-1) states); the cap is what makes it affordable.
+      opt.explorer.strategy = core::SearchStrategy::BFS;
+      auto session = driver::Session::forPortable(
+          workloads::progBitcount(bits), "rv32e", opt);
+      benchutil::Timer t;
+      const auto summary = session->explore();
+      table.addRow(
+          {benchutil::num(bits), cap ? benchutil::num(cap) : "off",
+           benchutil::num(summary.paths.size()),
+           benchutil::num(summary.statesTruncated),
+           benchutil::num(static_cast<uint64_t>(
+               tel.metrics().gauge("explore.frontier_peak").value)),
+           benchutil::num(summary.totalSteps),
+           benchutil::fmt("%.2f", t.millis())});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
 int main() {
   std::printf("E3: path exploration scaling (same curve on every ISA)\n\n");
   series("(a) linear series: early-exit loop, paths = bound + 1", "linear",
@@ -75,10 +110,13 @@ int main() {
   series("(b) exponential series: bitcount, paths = 2^bits", "exponential",
          {2, 4, 6, 8}, workloads::progBitcount);
   mergingSeries();
+  governedSeries();
   std::printf(
       "shape check: path counts are ISA-invariant; wall time grows with\n"
       "paths (linearly in (a), exponentially in (b)); state merging\n"
-      "collapses the diamond chain of (b) to linearly many paths.\n");
+      "collapses the diamond chain of (b) to linearly many paths; the\n"
+      "frontier cap bounds peak memory while accounting for every evicted\n"
+      "state as a truncated path.\n");
   benchutil::writeJsonReport("paths");
   return 0;
 }

@@ -3,6 +3,13 @@
 #include <algorithm>
 
 #include "core/testgen.h"
+#include "support/fault.h"
+
+namespace {
+/// Approximate resident bytes per hash-consed term (node + bucket + ref
+/// bookkeeping); the governor's charge for the shared TermManager pool.
+constexpr size_t kBytesPerTerm = 48;
+}  // namespace
 
 namespace adlsym::core {
 
@@ -54,6 +61,32 @@ size_t Explorer::pickNext(const std::vector<Frontier>& frontier, Rng& rng) const
     }
   }
   return frontier.size() - 1;
+}
+
+size_t Explorer::pickEvict(const std::vector<Frontier>& frontier,
+                           Rng& rng) const {
+  switch (config_.strategy) {
+    case SearchStrategy::DFS:
+      return 0;  // DFS schedules the back first; the front goes last
+    case SearchStrategy::BFS:
+      return frontier.size() - 1;  // BFS drains the front; the back goes last
+    case SearchStrategy::Random:
+      return static_cast<size_t>(rng.below(frontier.size()));
+    case SearchStrategy::Coverage: {
+      // Mirror of pickNext: least new coverage loses; oldest breaks ties.
+      size_t worst = 0;
+      for (size_t i = 1; i < frontier.size(); ++i) {
+        const Frontier& a = frontier[i];
+        const Frontier& b = frontier[worst];
+        if (a.newCovered < b.newCovered ||
+            (a.newCovered == b.newCovered && a.order < b.order)) {
+          worst = i;
+        }
+      }
+      return worst;
+    }
+  }
+  return 0;
 }
 
 namespace {
@@ -129,6 +162,7 @@ bool Explorer::tryMerge(MachineState& host, const MachineState& incoming) {
 PathResult Explorer::finishPath(MachineState&& st, uint64_t node) {
   PathResult r;
   r.status = st.status;
+  r.truncReason = st.truncReason;
   r.finalPc = st.pc;
   r.steps = st.steps;
   r.forks = st.forks;
@@ -153,8 +187,10 @@ PathResult Explorer::finishPath(MachineState&& st, uint64_t node) {
     return r;
   }
   // Solve the path condition once for the witness, the concrete exit code
-  // and the concrete output trace.
-  if (svc_.config.generateTests &&
+  // and the concrete output trace. Truncated paths skip this: the
+  // governor closed them precisely because a budget ran out, so no new
+  // solver work is spent on them.
+  if (st.status != PathStatus::Truncated && svc_.config.generateTests &&
       svc_.solver.check(st.pathCond) == smt::CheckResult::Sat) {
     for (const InputRecord& in : st.inputs) {
       r.test.inputs.push_back({in.name, in.width, svc_.solver.modelValue(in.term)});
@@ -177,6 +213,14 @@ ExploreSummary Explorer::run() {
   telemetry::Clock& clk =
       tel_ ? tel_->clock() : telemetry::Clock::system();
   const uint64_t startUs = clk.nowMicros();
+  // Make maxWallSeconds a real bound: hand the solver the same absolute
+  // deadline, so one slow query aborts (Unknown) at the budget instead of
+  // overshooting it (the documented flaw this replaces). Cleared before
+  // returning — the solver instance may outlive this run.
+  if (config_.maxWallSeconds > 0.0) {
+    svc_.solver.setWallDeadlineMicros(
+        startUs + static_cast<uint64_t>(config_.maxWallSeconds * 1e6));
+  }
   ExploreSummary summary;
   Rng rng(config_.rngSeed);
   covered_.clear();
@@ -199,25 +243,57 @@ ExploreSummary Explorer::run() {
 
   std::vector<Frontier> frontier;
   uint64_t orderCounter = 0;
+  size_t frontierBytes = 0;  // sum of Frontier::bytes (governor tally)
+  // Completed (non-truncated) paths; the maxPaths unit. Governor
+  // evictions do not count against the completed-path budget.
+  uint64_t completed = 0;
+  // The reason stamped on frontier states left over when the loop stops.
+  TruncReason closeReason = TruncReason::None;
+
+  // Close one frontier state as Truncated{why} (governor eviction).
+  auto evict = [&](TruncReason why) {
+    const size_t vi = pickEvict(frontier, rng);
+    Frontier ev = std::move(frontier[vi]);
+    frontier.erase(frontier.begin() + static_cast<long>(vi));
+    frontierBytes -= ev.bytes;
+    ev.state.status = PathStatus::Truncated;
+    ev.state.truncReason = why;
+    summary.paths.push_back(finishPath(std::move(ev.state), ev.node));
+  };
+
   frontier.push_back(Frontier{exec_.initialState(), orderCounter++, 0,
-                              nodeCounter++});
+                              nodeCounter++, 0});
+  frontier.back().bytes = frontier.back().state.approxBytes();
+  frontierBytes = frontier.back().bytes;
   if (ob) ob->onRoot(frontier.back().node, frontier.back().state);
 
   while (!frontier.empty()) {
-    if (summary.paths.size() >= config_.maxPaths) break;
-    if (summary.totalSteps >= config_.maxTotalSteps) break;
+    if (completed >= config_.maxPaths) {
+      summary.stopReason = "max-paths";
+      closeReason = TruncReason::Paths;
+      break;
+    }
+    if (summary.totalSteps >= config_.maxTotalSteps) {
+      summary.stopReason = "max-steps";
+      closeReason = TruncReason::Steps;
+      break;
+    }
     if (config_.maxWallSeconds > 0.0 &&
         double(clk.nowMicros() - startUs) / 1e6 > config_.maxWallSeconds) {
+      summary.stopReason = "wall";
+      closeReason = TruncReason::Wall;
       break;
     }
 
     const size_t idx = pickNext(frontier, rng);
     Frontier cur = std::move(frontier[idx]);
     frontier.erase(frontier.begin() + static_cast<long>(idx));
+    frontierBytes -= cur.bytes;
 
     if (cur.state.steps >= config_.maxStepsPerPath) {
       cur.state.status = PathStatus::Budget;
       summary.paths.push_back(finishPath(std::move(cur.state), cur.node));
+      ++completed;
       continue;
     }
 
@@ -285,13 +361,35 @@ ExploreSummary Explorer::run() {
         f.order = orderCounter++;
         f.node = childNode;
         f.state = std::move(succ);
+        f.bytes = f.state.approxBytes();
+        fault::hit("alloc");  // frontier growth is the engine's allocation site
+        frontierBytes += f.bytes;
         frontier.push_back(std::move(f));
         if (frontierPeak_) {
           frontierPeak_->setMax(static_cast<int64_t>(frontier.size()));
         }
+        if (config_.maxFrontier != 0 &&
+            frontier.size() > config_.maxFrontier) {
+          evict(TruncReason::Frontier);
+        }
       } else {
         sawDefect = sawDefect || succ.defect.has_value();
         summary.paths.push_back(finishPath(std::move(succ), childNode));
+        ++completed;
+      }
+    }
+    // Byte budget: frontier states plus the shared term pool. Evict until
+    // under budget; if that drains the whole frontier the run ends as
+    // "mem-budget" (the pool alone no longer fits).
+    if (config_.memBudgetBytes != 0 && !frontier.empty()) {
+      const size_t poolBytes = svc_.tm.numTerms() * kBytesPerTerm;
+      while (!frontier.empty() &&
+             frontierBytes + poolBytes > config_.memBudgetBytes) {
+        evict(TruncReason::Memory);
+      }
+      if (frontier.empty()) {
+        summary.stopReason = "mem-budget";
+        break;
       }
     }
     if (ob) {
@@ -310,19 +408,38 @@ ExploreSummary Explorer::run() {
       si.runSolverMicros = after.totalMicros - solverBase.totalMicros;
       ob->onStepEnd(si);
     }
-    if (sawDefect && config_.stopAtFirstDefect) break;
+    if (sawDefect && config_.stopAtFirstDefect) {
+      summary.stopReason = "first-defect";
+      closeReason = TruncReason::EarlyStop;
+      break;
+    }
   }
 
-  // Budget exhausted: close out remaining frontier states for accounting.
-  for (Frontier& f : frontier) {
-    if (summary.paths.size() >= config_.maxPaths) break;
-    f.state.status = PathStatus::Budget;
-    summary.paths.push_back(finishPath(std::move(f.state), f.node));
+  // Close out *every* remaining frontier state as Truncated{closeReason}
+  // so truncated + completed paths account for each forked state:
+  //   1 + totalForks == paths.size() + statesDropped + statesMerged.
+  if (!frontier.empty()) {
+    // A non-empty frontier here means a break fired, and every break sets
+    // closeReason before breaking.
+    for (Frontier& f : frontier) {
+      f.state.status = PathStatus::Truncated;
+      f.state.truncReason = closeReason;
+      summary.paths.push_back(finishPath(std::move(f.state), f.node));
+    }
+    frontier.clear();
   }
+  for (const PathResult& p : summary.paths) {
+    if (p.status == PathStatus::Truncated) {
+      ++summary.statesTruncated;
+      ++summary.truncatedByReason[static_cast<size_t>(p.truncReason)];
+    }
+  }
+  summary.solverUnknowns = svc_.solver.stats().unknown - solverBase.unknown;
 
   summary.coveredPcs = covered_.size();
   summary.coveredSet = covered_;
   summary.wallSeconds = double(clk.nowMicros() - startUs) / 1e6;
+  svc_.solver.setWallDeadlineMicros(0);
   if (tel_ && tel_->tracing()) {
     tel_->emit(telemetry::EventKind::Phase,
                {{"name", "explore"},

@@ -3,8 +3,10 @@
 // PathResults (with generated test inputs) for every completed path.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <set>
+#include <string>
 #include <vector>
 
 #include "core/executor.h"
@@ -28,11 +30,21 @@ struct ExplorerConfig {
   uint64_t maxPaths = 100000;        // completed paths
   uint64_t maxTotalSteps = 1000000;  // instructions across all paths
   uint64_t maxStepsPerPath = 100000;
-  /// Wall-clock budget in seconds; 0 = unlimited. Checked between steps,
-  /// so one slow solver query can overshoot it. Measured on the telemetry
+  /// Wall-clock budget in seconds; 0 = unlimited. Checked between steps
+  /// *and* passed down to the solver as an absolute deadline
+  /// (SmtSolver::setWallDeadlineMicros), so a slow query aborts (Unknown)
+  /// at the budget instead of overshooting it. Measured on the telemetry
   /// clock when one is attached (EngineServices::telemetry), so tests can
   /// drive it deterministically with a ManualClock.
   double maxWallSeconds = 0.0;
+  /// Frontier cap (0 = unbounded): when a push would exceed it, the
+  /// governor evicts the state the strategy values *least* and reports it
+  /// as Truncated{frontier}.
+  uint64_t maxFrontier = 0;
+  /// Approximate byte budget (0 = unbounded) covering frontier states
+  /// (MachineState::approxBytes) plus the shared term pool; over budget,
+  /// frontier states are evicted as Truncated{memory}.
+  uint64_t memBudgetBytes = 0;
   uint64_t rngSeed = 1;
   /// Stop as soon as the first defect is reported (for E7 time-to-defect).
   bool stopAtFirstDefect = false;
@@ -51,8 +63,21 @@ struct ExploreSummary {
   std::vector<PathResult> paths;
   uint64_t totalSteps = 0;   // instructions symbolically executed
   uint64_t totalForks = 0;
-  uint64_t statesDropped = 0;  // infeasible/overflowed frontier entries
+  uint64_t statesDropped = 0;  // infeasible frontier entries
   uint64_t statesMerged = 0;   // frontier merges (mergeStates only)
+  /// Paths the governor closed (status Truncated), total and by reason
+  /// (indexed by TruncReason). Together with the completed paths these
+  /// account for every forked state:
+  ///   1 + totalForks == paths.size() + statesDropped + statesMerged.
+  uint64_t statesTruncated = 0;
+  std::array<uint64_t, 7> truncatedByReason{};
+  /// Why the run stopped: "" when the frontier was exhausted (complete
+  /// exploration), else "max-paths", "max-steps", "wall", "mem-budget"
+  /// or "first-defect".
+  std::string stopReason;
+  /// Solver queries that returned Unknown during this run (conflict
+  /// budget or deadline); those branches are treated as not-taken.
+  uint64_t solverUnknowns = 0;
   size_t coveredPcs = 0;
   /// Every instruction address executed at least once (coverage report).
   std::set<uint64_t> coveredSet;
@@ -67,6 +92,12 @@ struct ExploreSummary {
     unsigned n = 0;
     for (const auto& p : paths) n += p.status == PathStatus::Exited ? 1 : 0;
     return n;
+  }
+  /// True when any path was truncated for a *budget* reason (not the
+  /// user-requested stopAtFirstDefect stop) — the CLI's exit-3 predicate.
+  bool budgetExhausted() const {
+    return statesTruncated >
+           truncatedByReason[static_cast<size_t>(TruncReason::EarlyStop)];
   }
 };
 
@@ -84,9 +115,13 @@ class Explorer {
     uint64_t order = 0;     // creation sequence number (tie-break)
     uint64_t newCovered = 0;  // pcs first covered by this state's last step
     uint64_t node = 0;        // path-forest node id (core/observer.h)
+    size_t bytes = 0;         // approxBytes() at push time (governor tally)
   };
 
   size_t pickNext(const std::vector<Frontier>& frontier, Rng& rng) const;
+  /// Eviction victim for the governor: the state the strategy would
+  /// schedule *last* (mirror image of pickNext).
+  size_t pickEvict(const std::vector<Frontier>& frontier, Rng& rng) const;
   PathResult finishPath(MachineState&& st, uint64_t node);
   /// Try to merge `incoming` into `host` (both Running, same pc).
   /// Returns false (leaving both untouched) when the states' traces are

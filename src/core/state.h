@@ -31,13 +31,30 @@ struct OutputRecord {
 };
 
 enum class PathStatus : uint8_t {
-  Running,   // still on the frontier
-  Exited,    // halt(code) executed
-  Defect,    // terminated by a checker (see Defect)
-  Budget,    // instruction/depth budget exhausted
-  Illegal,   // undecodable instruction or unmapped fetch
-  Infeasible // dropped: path condition unsatisfiable
+  Running,    // still on the frontier
+  Exited,     // halt(code) executed
+  Defect,     // terminated by a checker (see Defect)
+  Budget,     // per-path step budget (maxStepsPerPath) exhausted
+  Illegal,    // undecodable instruction or unmapped fetch
+  Infeasible, // dropped: path condition unsatisfiable
+  Truncated,  // closed by the resource governor; see TruncReason
 };
+
+/// Why the governor closed a Truncated path (docs/robustness.md). Every
+/// state the explorer gives up on carries one of these, so truncated +
+/// completed paths account for every forked state — nothing vanishes
+/// silently.
+enum class TruncReason : uint8_t {
+  None,      // path is not truncated
+  Frontier,  // evicted: frontier exceeded maxFrontier
+  Memory,    // evicted: state/term bytes exceeded memBudgetBytes
+  Wall,      // run stopped: maxWallSeconds exhausted
+  Steps,     // run stopped: maxTotalSteps exhausted
+  Paths,     // run stopped: maxPaths completed paths reached
+  EarlyStop, // run stopped: stopAtFirstDefect fired
+};
+
+const char* truncReasonName(TruncReason r);
 
 enum class DefectKind : uint8_t {
   DivByZero,
@@ -86,17 +103,32 @@ class MachineState {
   unsigned forks = 0;  // symbolic branches taken on this path
 
   PathStatus status = PathStatus::Running;
+  TruncReason truncReason = TruncReason::None;  // set when Truncated
   smt::TermRef exitCode;              // valid when status == Exited
   std::optional<Defect> defect;       // valid when status == Defect
 
   void addConstraint(smt::TermRef c) {
     if (!c.isTrue()) pathCond.push_back(c);
   }
+
+  /// Rough resident size of this state: the governor's accounting unit
+  /// for --mem-budget-mb. Counts the vectors and the memory overlay (the
+  /// per-state storage); hash-consed terms live in the shared TermManager
+  /// and are charged there.
+  size_t approxBytes() const {
+    return sizeof(MachineState) +
+           (regs.capacity() + regfile.capacity() + pathCond.capacity()) *
+               sizeof(smt::TermRef) +
+           inputs.capacity() * sizeof(InputRecord) +
+           outputs.capacity() * sizeof(OutputRecord) +
+           memory.overlayBytes() * 16;  // map node + key + TermRef, approx
+  }
 };
 
 /// Final record of one completed path (explorer output).
 struct PathResult {
   PathStatus status = PathStatus::Running;
+  TruncReason truncReason = TruncReason::None;  // set when Truncated
   uint64_t finalPc = 0;
   uint64_t steps = 0;
   unsigned forks = 0;

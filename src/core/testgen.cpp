@@ -17,6 +17,20 @@ const char* pathStatusName(PathStatus s) {
     case PathStatus::Budget: return "budget";
     case PathStatus::Illegal: return "illegal";
     case PathStatus::Infeasible: return "infeasible";
+    case PathStatus::Truncated: return "truncated";
+  }
+  return "?";
+}
+
+const char* truncReasonName(TruncReason r) {
+  switch (r) {
+    case TruncReason::None: return "none";
+    case TruncReason::Frontier: return "frontier";
+    case TruncReason::Memory: return "memory";
+    case TruncReason::Wall: return "wall";
+    case TruncReason::Steps: return "steps";
+    case TruncReason::Paths: return "paths";
+    case TruncReason::EarlyStop: return "early-stop";
   }
   return "?";
 }
@@ -35,6 +49,9 @@ std::string formatPath(const PathResult& p) {
   std::ostringstream os;
   os << pathStatusName(p.status) << " steps=" << p.steps
      << " forks=" << p.forks;
+  if (p.status == PathStatus::Truncated) {
+    os << " reason=" << truncReasonName(p.truncReason);
+  }
   if (p.exitCode) os << " exit=" << *p.exitCode;
   if (p.defect) {
     os << " defect=" << defectKindName(p.defect->kind)
@@ -58,7 +75,11 @@ std::string formatSummary(const ExploreSummary& s) {
   os << "paths=" << s.paths.size() << " exited=" << s.numExited()
      << " defects=" << s.numDefects() << " steps=" << s.totalSteps
      << " forks=" << s.totalForks << " coveredPcs=" << s.coveredPcs
-     << formatStr(" wall=%.3fs", s.wallSeconds) << '\n';
+     << formatStr(" wall=%.3fs", s.wallSeconds);
+  if (s.statesTruncated != 0) os << " truncated=" << s.statesTruncated;
+  if (s.solverUnknowns != 0) os << " unknown=" << s.solverUnknowns;
+  if (!s.stopReason.empty()) os << " stop=" << s.stopReason;
+  os << '\n';
   for (const PathResult& p : s.paths) {
     os << "  " << formatPath(p) << '\n';
   }
@@ -74,16 +95,27 @@ void writeSummaryJson(json::Writer& w, const ExploreSummary& s) {
   w.kv("total_forks", s.totalForks);
   w.kv("states_dropped", s.statesDropped);
   w.kv("states_merged", s.statesMerged);
+  w.kv("states_truncated", s.statesTruncated);
+  w.kv("solver_unknowns", s.solverUnknowns);
+  w.kv("stop_reason", std::string_view(s.stopReason));
   w.kv("covered_pcs", static_cast<uint64_t>(s.coveredPcs));
   w.kv("wall_seconds", s.wallSeconds);
   w.key("path_statuses").beginObject();
   // Stable order: count by status name.
   for (const PathStatus st :
        {PathStatus::Exited, PathStatus::Defect, PathStatus::Budget,
-        PathStatus::Illegal, PathStatus::Infeasible}) {
+        PathStatus::Illegal, PathStatus::Infeasible, PathStatus::Truncated}) {
     uint64_t n = 0;
     for (const PathResult& p : s.paths) n += p.status == st ? 1 : 0;
     if (n) w.kv(pathStatusName(st), n);
+  }
+  w.endObject();
+  w.key("truncated_by_reason").beginObject();
+  for (const TruncReason tr :
+       {TruncReason::Frontier, TruncReason::Memory, TruncReason::Wall,
+        TruncReason::Steps, TruncReason::Paths, TruncReason::EarlyStop}) {
+    const uint64_t n = s.truncatedByReason[static_cast<size_t>(tr)];
+    if (n) w.kv(truncReasonName(tr), n);
   }
   w.endObject();
   w.endObject();

@@ -18,6 +18,8 @@
 #include "obs/querylog.h"
 #include "obs/replay.h"
 #include "obs/sitestats.h"
+#include "support/error.h"
+#include "support/fault.h"
 #include "support/json.h"
 #include "support/strings.h"
 #include "support/telemetry.h"
@@ -26,26 +28,37 @@ namespace adlsym::driver::cli {
 
 namespace {
 
+/// Bad input (usage, unknown names, malformed values): exit code 2, per
+/// the exit-code table in docs/robustness.md.
 CommandResult fail(std::string msg) {
-  return CommandResult{1, std::move(msg) + "\n"};
+  return CommandResult{2, std::move(msg) + "\n"};
 }
 
 /// Per-command telemetry plumbing for the --stats-json / --trace flags:
 /// owns the bundle, the trace file and its JSONL sink. `get()` is null
-/// when neither flag was given, so the engine stays on its zero-cost
-/// path.
+/// when neither flag was given (and no manual clock was requested), so
+/// the engine stays on its zero-cost path.
 class CommandTelemetry {
  public:
-  /// Throws adlsym::Error when the trace file cannot be opened.
+  /// Throws adlsym::InputError when the trace file cannot be opened.
+  /// `manualClockStepUs` > 0 swaps the system clock for a ManualClock so
+  /// every recorded duration is deterministic (byte-identical stats
+  /// documents across runs).
   CommandTelemetry(const std::string& statsJsonPath,
-                   const std::string& tracePath)
+                   const std::string& tracePath,
+                   uint64_t manualClockStepUs = 0)
       : statsJsonPath_(statsJsonPath) {
-    if (!statsJsonPath.empty() || !tracePath.empty()) {
+    if (manualClockStepUs != 0) {
+      clock_ = std::make_unique<telemetry::ManualClock>(manualClockStepUs);
+      tel_ = std::make_unique<telemetry::Telemetry>(*clock_);
+    } else if (!statsJsonPath.empty() || !tracePath.empty()) {
       tel_ = std::make_unique<telemetry::Telemetry>();
     }
     if (!tracePath.empty()) {
       traceFile_.open(tracePath, std::ios::binary | std::ios::trunc);
-      if (!traceFile_) throw Error("cannot open trace file '" + tracePath + "'");
+      if (!traceFile_) {
+        throw InputError("cannot open trace file '" + tracePath + "'");
+      }
       sink_ = std::make_unique<telemetry::JsonlTraceSink>(traceFile_);
       tel_->setSink(sink_.get());
     }
@@ -60,11 +73,14 @@ class CommandTelemetry {
   void writeStatsJson(const std::string& command, const std::string& isa,
                       Fn writeBody) {
     if (statsJsonPath_.empty()) return;
+    fault::hit("obs.write");
     std::ofstream out(statsJsonPath_, std::ios::binary | std::ios::trunc);
-    if (!out) throw Error("cannot open stats file '" + statsJsonPath_ + "'");
+    if (!out) {
+      throw InputError("cannot open stats file '" + statsJsonPath_ + "'");
+    }
     json::Writer w(out);
     w.beginObject();
-    w.kv("schema", "adlsym-stats-v2");
+    w.kv("schema", "adlsym-stats-v3");
     w.kv("command", std::string_view(command));
     w.kv("isa", std::string_view(isa));
     writeBody(w);
@@ -80,6 +96,7 @@ class CommandTelemetry {
 
  private:
   std::string statsJsonPath_;
+  std::unique_ptr<telemetry::ManualClock> clock_;
   std::unique_ptr<telemetry::Telemetry> tel_;
   std::ofstream traceFile_;
   std::unique_ptr<telemetry::JsonlTraceSink> sink_;
@@ -91,7 +108,7 @@ loader::Image parseImageArg(const std::string& imageText) {
 
 std::string readFileOrThrow(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) throw Error("cannot open file '" + path + "'");
+  if (!in) throw InputError("cannot open file '" + path + "'");
   std::ostringstream os;
   os << in.rdbuf();
   return os.str();
@@ -128,6 +145,26 @@ std::string usage() {
       "  --coverage                           per-insn coverage report\n"
       "  --lint                               lint model+image first;\n"
       "                                       error findings abort\n"
+      "\n"
+      "resource governor (explore; docs/robustness.md):\n"
+      "  --max-frontier N       cap the frontier; excess states are\n"
+      "                         evicted (strategy-aware) as truncated\n"
+      "  --mem-budget-mb N      approximate state+term byte budget\n"
+      "  --solver-timeout-ms N  per-query solver deadline (Unknown on\n"
+      "                         expiry, layered on the conflict budget)\n"
+      "  --max-wall-ms N        whole-run wall budget; also bounds\n"
+      "                         in-flight solver queries\n"
+      "  --inject=SITE:N[,..]   deterministic fault injection: fire the\n"
+      "                         named fault site on its Nth hit (sites:\n"
+      "                         solver.check, image.read, obs.write,\n"
+      "                         alloc); also via env ADLSYM_FAULTS\n"
+      "  --clock=manual[:US]    deterministic manual clock advancing US\n"
+      "                         microseconds per read (reproducible\n"
+      "                         stats documents)\n"
+      "\n"
+      "exit codes: 0 ok; 1 findings (defects, lint errors, replay\n"
+      "mismatches); 2 bad input; 3 exploration truncated by a budget\n"
+      "(partial results); 4 internal error / injected fault\n"
       "\n"
       "observability (explore and run; docs/observability.md):\n"
       "  --stats-json=<file>   aggregated JSON stats document (summary,\n"
@@ -327,6 +364,13 @@ CommandResult cmdExplore(const std::string& isaName,
   sopt.explorer.maxTotalSteps = opt.maxTotalSteps;
   sopt.explorer.stopAtFirstDefect = opt.stopAtFirstDefect;
   sopt.explorer.mergeStates = opt.mergeStates;
+  sopt.explorer.maxFrontier = opt.maxFrontier;
+  sopt.explorer.memBudgetBytes = opt.memBudgetMb * 1024 * 1024;
+  sopt.explorer.maxWallSeconds = double(opt.maxWallMs) / 1e3;
+
+  // Fault schedule for this command only (support/fault.h); the guard
+  // disarms on every exit path, including an injected throw.
+  fault::ScopedArm faultArm(opt.injectSpec);
 
   // Session assembles from source; for a prebuilt image we drive the
   // layers directly, exactly like examples/newisa.cpp.
@@ -339,10 +383,11 @@ CommandResult cmdExplore(const std::string& isaName,
     if (!report.findings().empty()) lintText = report.formatText(isaName);
     if (report.hasErrors()) return {1, lintText};
   }
-  CommandTelemetry ct(opt.statsJsonPath, opt.tracePath);
+  CommandTelemetry ct(opt.statsJsonPath, opt.tracePath, opt.manualClockStepUs);
   smt::TermManager tm;
   smt::SmtSolver solver(tm);
   solver.setConflictBudget(sopt.solverConflictBudget);
+  solver.setQueryTimeoutMicros(opt.solverTimeoutMs * 1000);
 
   // Observatory wiring (docs/observability.md): each flag adds one
   // observer; the mux keeps the explorer's single-pointer hook.
@@ -377,11 +422,13 @@ CommandResult cmdExplore(const std::string& isaName,
   const auto summary = explorer.run();
 
   if (!opt.pathForestPath.empty()) {
+    fault::hit("obs.write");
     std::ofstream out(opt.pathForestPath, std::ios::binary | std::ios::trunc);
     if (!out) return fail("cannot open path-forest file '" + opt.pathForestPath + "'");
     forest->writeJson(out);
   }
   if (!opt.pathDotPath.empty()) {
+    fault::hit("obs.write");
     std::ofstream out(opt.pathDotPath, std::ios::binary | std::ios::trunc);
     if (!out) return fail("cannot open path-dot file '" + opt.pathDotPath + "'");
     forest->writeDot(out);
@@ -408,7 +455,19 @@ CommandResult cmdExplore(const std::string& isaName,
     }
   }
   os << solver.telemetrySnapshot().format();
-  return {0, os.str()};
+  // Exit-code table (docs/robustness.md): defects found beat everything
+  // (the findings are the tool's point, even from a partial run); then
+  // budget-truncated partial results report 3 so CI can tell "clean and
+  // complete" from "clean so far, but the engine gave up".
+  int code = 0;
+  if (summary.numDefects() > 0) {
+    code = 1;
+  } else if (summary.budgetExhausted() ||
+             (!summary.stopReason.empty() &&
+              summary.stopReason != "first-defect")) {
+    code = 3;
+  }
+  return {code, os.str()};
 }
 
 CommandResult cmdReplay(const std::string& dir) {
@@ -418,8 +477,13 @@ CommandResult cmdReplay(const std::string& dir) {
 
 CommandResult dispatch(const std::vector<std::string>& args) {
   try {
+    // ADLSYM_FAULTS arms a fault schedule for any command (CI smoke
+    // tests); explore --inject overrides it for that run. The guard
+    // disarms when dispatch returns or throws.
+    const char* envFaults = std::getenv("ADLSYM_FAULTS");
+    fault::ScopedArm envArm(envFaults != nullptr ? envFaults : "");
     if (args.empty() || args[0] == "help" || args[0] == "--help") {
-      return {args.empty() ? 1 : 0, usage()};
+      return {args.empty() ? 2 : 0, usage()};
     }
     const std::string& cmd = args[0];
     if (cmd == "isas") return cmdIsas();
@@ -512,6 +576,30 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.pathDotPath = args[i].substr(11);
         } else if (startsWith(args[i], "--query-log=")) {
           opt.queryLogDir = args[i].substr(12);
+        } else if (args[i] == "--max-frontier" && i + 1 < args.size()) {
+          const auto v = parseInt(args[++i]);
+          if (!v || *v == 0) return fail("bad --max-frontier '" + args[i] + "'");
+          opt.maxFrontier = *v;
+        } else if (args[i] == "--mem-budget-mb" && i + 1 < args.size()) {
+          const auto v = parseInt(args[++i]);
+          if (!v || *v == 0) return fail("bad --mem-budget-mb '" + args[i] + "'");
+          opt.memBudgetMb = *v;
+        } else if (args[i] == "--solver-timeout-ms" && i + 1 < args.size()) {
+          const auto v = parseInt(args[++i]);
+          if (!v) return fail("bad --solver-timeout-ms '" + args[i] + "'");
+          opt.solverTimeoutMs = *v;
+        } else if (args[i] == "--max-wall-ms" && i + 1 < args.size()) {
+          const auto v = parseInt(args[++i]);
+          if (!v) return fail("bad --max-wall-ms '" + args[i] + "'");
+          opt.maxWallMs = *v;
+        } else if (startsWith(args[i], "--inject=")) {
+          opt.injectSpec = args[i].substr(9);
+        } else if (args[i] == "--clock=manual") {
+          opt.manualClockStepUs = 1;
+        } else if (startsWith(args[i], "--clock=manual:")) {
+          const auto v = parseInt(args[i].substr(15));
+          if (!v || *v == 0) return fail("bad --clock step '" + args[i] + "'");
+          opt.manualClockStepUs = *v;
         } else if (args[i] == "--progress") {
           opt.progressSeconds = 1.0;
         } else if (startsWith(args[i], "--progress=")) {
@@ -532,8 +620,15 @@ CommandResult dispatch(const std::vector<std::string>& args) {
       return cmdReplay(args[1]);
     }
     return fail("unknown command '" + cmd + "'\n" + usage());
+  } catch (const fault::InjectedFault& e) {
+    // Before InputError/Error: InjectedFault derives from Error.
+    return {4, std::string("error: ") + e.what() + "\n"};
+  } catch (const InputError& e) {
+    return {2, std::string("error: ") + e.what() + "\n"};
+  } catch (const std::bad_alloc&) {
+    return {4, "error: out of memory\n"};
   } catch (const std::exception& e) {
-    return fail(std::string("error: ") + e.what());
+    return {4, std::string("error: ") + e.what() + "\n"};
   }
 }
 

@@ -82,6 +82,23 @@ struct ExploreOptions {
   std::string queryLogDir;
   /// Emit a progress heartbeat to stderr every N seconds (0 = off).
   double progressSeconds = 0.0;
+
+  // ---- resource governor (docs/robustness.md) ------------------------
+  /// Frontier cap with strategy-aware eviction (0 = unbounded).
+  uint64_t maxFrontier = 0;
+  /// Approximate state+term byte budget in MiB (0 = unbounded).
+  uint64_t memBudgetMb = 0;
+  /// Per-query solver deadline in milliseconds (0 = unlimited).
+  uint64_t solverTimeoutMs = 0;
+  /// Whole-run wall budget in milliseconds (0 = unlimited); also bounds
+  /// in-flight solver queries via the shared deadline.
+  uint64_t maxWallMs = 0;
+  /// Fault-injection schedule ("" = none), e.g. "solver.check:1"
+  /// (support/fault.h); armed for this command only.
+  std::string injectSpec;
+  /// Run on a deterministic ManualClock advancing this many microseconds
+  /// per read (0 = system clock). Makes --stats-json byte-reproducible.
+  uint64_t manualClockStepUs = 0;
 };
 
 /// `adlsym explore <isa> <image-text>` — symbolic exploration; prints the
@@ -95,7 +112,19 @@ CommandResult cmdExplore(const std::string& isa, const std::string& imageText,
 CommandResult cmdReplay(const std::string& dir);
 
 /// Top-level dispatcher used by the tool binary: args exclude argv[0].
-/// File arguments are read from disk here.
+/// File arguments are read from disk here. This is the process's single
+/// error boundary — adlsym::Error, std::bad_alloc and injected faults all
+/// become diagnostics with a documented exit code (docs/robustness.md):
+///   0  success
+///   1  findings: defects found, lint errors, replay mismatches,
+///      abnormal concrete run
+///   2  bad input: usage errors, unknown ISA/option, unreadable or
+///      malformed files, unwritable output paths
+///   3  partial results: exploration truncated by a resource budget
+///   4  internal error: engine invariant failure, out of memory,
+///      injected fault
+/// The ADLSYM_FAULTS environment variable arms a fault-injection schedule
+/// for any command (same syntax as explore --inject, support/fault.h).
 CommandResult dispatch(const std::vector<std::string>& args);
 
 /// Usage text.

@@ -21,6 +21,7 @@ Session::Session(const std::string& isa, const std::string& asmSource,
   tm_.setRewritingEnabled(opt_.rewriting);
   solver_ = std::make_unique<smt::SmtSolver>(tm_);
   solver_->setConflictBudget(opt_.solverConflictBudget);
+  solver_->setQueryTimeoutMicros(opt_.solverTimeoutMicros);
   solver_->setQueryCacheEnabled(opt_.queryCache);
   svc_ = std::make_unique<core::EngineServices>(tm_, *solver_, image_,
                                                 opt_.engine, opt_.telemetry);

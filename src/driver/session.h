@@ -33,6 +33,10 @@ struct SessionOptions {
   bool queryCache = true;
   /// SAT conflict budget per solver query (0 = unlimited).
   uint64_t solverConflictBudget = 500000;
+  /// Wall deadline per solver query in microseconds (0 = unlimited),
+  /// measured on the telemetry clock when one is attached. Layered on the
+  /// conflict budget; an expired query returns Unknown (docs/robustness.md).
+  uint64_t solverTimeoutMicros = 0;
   /// Observability bundle (metrics registry + clock + optional trace
   /// sink), attached to every layer of the session. Not owned; null =
   /// telemetry disabled at zero cost (docs/observability.md).

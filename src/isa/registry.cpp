@@ -16,7 +16,8 @@ const char* isaSource(const std::string& name) {
   if (name == "m16") return m16Source();
   if (name == "acc8") return acc8Source();
   if (name == "stk16") return stk16Source();
-  throw Error("unknown ISA '" + name + "' (shipped: rv32e, m16, acc8, stk16)");
+  throw InputError("unknown ISA '" + name +
+                   "' (shipped: rv32e, m16, acc8, stk16)");
 }
 
 std::vector<std::string> allIsaNames() { return {"rv32e", "m16", "acc8", "stk16"}; }

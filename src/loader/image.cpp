@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "support/error.h"
+#include "support/fault.h"
 #include "support/strings.h"
 
 namespace adlsym::loader {
@@ -66,13 +67,21 @@ std::string Image::serialize() const {
 }
 
 Image Image::deserialize(const std::string& text) {
+  fault::hit("image.read");
   Image img;
   std::istringstream is(text);
   std::string line;
+  size_t lineNo = 0;  // 1-based; every diagnostic carries it
+  auto bad = [&](const std::string& what) {
+    return InputError(formatStr("image:%zu: %s (line '%s')", lineNo,
+                                what.c_str(), std::string(trim(line)).c_str()));
+  };
+  ++lineNo;
   if (!std::getline(is, line) || trim(line) != "image v1") {
-    throw Error("image: bad header");
+    throw bad("bad header, expected 'image v1'");
   }
   while (std::getline(is, line)) {
+    ++lineNo;
     const std::string_view t = trim(line);
     if (t.empty()) continue;
     std::istringstream ls{std::string(t)};
@@ -82,13 +91,13 @@ Image Image::deserialize(const std::string& text) {
       std::string v;
       ls >> v;
       const auto addr = parseInt(v);
-      if (!addr) throw Error("image: bad entry address");
+      if (!addr) throw bad("bad entry address '" + v + "'");
       img.setEntry(*addr);
     } else if (kw == "symbol") {
       std::string name, v;
       ls >> name >> v;
       const auto addr = parseInt(v);
-      if (!addr) throw Error("image: bad symbol address");
+      if (!addr) throw bad("bad address '" + v + "' for symbol '" + name + "'");
       img.addSymbol(name, *addr);
     } else if (kw == "section") {
       Section s;
@@ -97,21 +106,31 @@ Image Image::deserialize(const std::string& text) {
       ls >> s.name >> baseStr >> perm >> size;
       const auto base = parseInt(baseStr);
       if (!base || (perm != "ro" && perm != "rw")) {
-        throw Error("image: bad section header");
+        throw bad("bad section header, expected "
+                  "'section <name> <base> ro|rw <size>'");
       }
       s.base = *base;
       s.writable = perm == "rw";
       s.bytes.reserve(size);
       while (s.bytes.size() < size) {
         std::string hex;
-        if (!(is >> hex)) throw Error("image: truncated section data");
+        if (!(is >> hex)) {
+          throw InputError(formatStr(
+              "image: truncated data for section '%s' starting at line %zu: "
+              "got %zu of %zu bytes",
+              s.name.c_str(), lineNo, s.bytes.size(), size));
+        }
         const auto byte = parseInt("0x" + hex);
-        if (!byte || *byte > 0xff) throw Error("image: bad byte '" + hex + "'");
+        if (!byte || *byte > 0xff) {
+          throw InputError(formatStr(
+              "image: bad byte '%s' at offset %zu of section '%s' (line %zu)",
+              hex.c_str(), s.bytes.size(), s.name.c_str(), lineNo));
+        }
         s.bytes.push_back(static_cast<uint8_t>(*byte));
       }
       img.addSection(std::move(s));
     } else {
-      throw Error("image: unknown directive '" + kw + "'");
+      throw bad("unknown directive '" + kw + "'");
     }
   }
   return img;

@@ -82,6 +82,9 @@ void PathForestRecorder::onPathDone(uint64_t node,
                                     const core::PathResult& r) {
   PathNode& n = at(node);
   n.status = core::pathStatusName(r.status);
+  if (r.status == core::PathStatus::Truncated) {
+    n.truncReason = core::truncReasonName(r.truncReason);
+  }
   n.finalPc = r.finalPc;
   n.steps = r.steps;
   n.forks = r.forks;
@@ -110,6 +113,9 @@ void PathForestRecorder::writeJson(std::ostream& os) const {
     w.kv("solver_queries", n.solverQueries);
     if (opt_.includeTiming) w.kv("solver_micros", n.solverMicros);
     w.kv("status", std::string_view(n.status));
+    if (!n.truncReason.empty()) {
+      w.kv("trunc_reason", std::string_view(n.truncReason));
+    }
     w.kv("final_pc", n.finalPc);
     w.kv("steps", n.steps);
     w.kv("forks", n.forks);
@@ -169,6 +175,7 @@ const char* statusColor(const std::string& status) {
   if (status == "dropped" || status == "infeasible") return "lightgrey";
   if (status == "merged") return "lightskyblue";
   if (status == "budget") return "khaki";
+  if (status == "truncated") return "orange";
   return "white";  // open / forked (interior)
 }
 

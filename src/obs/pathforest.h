@@ -36,6 +36,9 @@ struct PathNode {
   /// was retired by a fork), or "open" if the run ended with the node
   /// still on the frontier.
   std::string status = "open";
+  /// truncReasonName() when status == "truncated" (governor close-out),
+  /// empty otherwise.
+  std::string truncReason;
   uint64_t finalPc = 0;
   uint64_t steps = 0;
   unsigned forks = 0;

@@ -6,6 +6,7 @@
 
 #include "smt/printer.h"
 #include "support/error.h"
+#include "support/fault.h"
 #include "support/json.h"
 
 namespace adlsym::obs {
@@ -16,8 +17,8 @@ QueryLogger::QueryLogger(std::string dir) : dir_(std::move(dir)) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) {
-    throw Error("query-log: cannot create directory '" + dir_ +
-                "': " + ec.message());
+    throw InputError("query-log: cannot create directory '" + dir_ +
+                     "': " + ec.message());
   }
 }
 
@@ -30,6 +31,7 @@ void QueryLogger::onCheck(const std::vector<smt::TermRef>& permanent,
                           const std::vector<smt::TermRef>& assumptions,
                           smt::CheckResult result, uint64_t micros,
                           bool cached) {
+  fault::hit("obs.write");
   char stem[32];
   std::snprintf(stem, sizeof stem, "q%06llu",
                 static_cast<unsigned long long>(seq_));
@@ -40,13 +42,13 @@ void QueryLogger::onCheck(const std::vector<smt::TermRef>& permanent,
   const std::string smtPath = dir_ + "/" + stem + ".smt2";
   {
     std::ofstream os(smtPath, std::ios::trunc);
-    if (!os) throw Error("query-log: cannot write '" + smtPath + "'");
+    if (!os) throw InputError("query-log: cannot write '" + smtPath + "'");
     os << smt::toSmtLib(asserts);
   }
 
   const std::string metaPath = dir_ + "/" + stem + ".json";
   std::ofstream os(metaPath, std::ios::trunc);
-  if (!os) throw Error("query-log: cannot write '" + metaPath + "'");
+  if (!os) throw InputError("query-log: cannot write '" + metaPath + "'");
   json::Writer w(os);
   w.beginObject();
   w.kv("schema", "adlsym-query-v1");

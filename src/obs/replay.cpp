@@ -61,8 +61,14 @@ ReplayReport replayCorpus(const std::string& dir, telemetry::Telemetry* tel) {
   ReplayReport report;
   report.dir = dir;
 
-  std::vector<std::string> sidecars;
+  // A corpus directory that does not exist (or is unreadable) is bad
+  // input, not an empty corpus: surface it as a diagnostic + exit 2
+  // instead of the misleading "no sidecars" report.
   std::error_code ec;
+  if (!fs::is_directory(dir, ec) || ec) {
+    throw InputError("replay: '" + dir + "' is not a readable directory");
+  }
+  std::vector<std::string> sidecars;
   for (const auto& e : fs::directory_iterator(dir, ec)) {
     if (e.path().extension() == ".json")
       sidecars.push_back(e.path().filename().string());

@@ -309,6 +309,11 @@ SatResult SatSolver::solve(const std::vector<Lit>& assumptions) {
 
 SatResult SatSolver::solveImpl(const std::vector<Lit>& assumptions) {
   if (unsatisfiable_) return SatResult::Unsat;
+  if (deadlineClock_ != nullptr &&
+      deadlineClock_->nowMicros() >= deadlineMicros_) {
+    ++stats_.deadlineAborts;
+    return SatResult::Unknown;
+  }
   backtrack(0);
   if (propagate() != -1) {
     unsatisfiable_ = true;
@@ -356,6 +361,15 @@ SatResult SatSolver::solveImpl(const std::vector<Lit>& assumptions) {
       decayVarActivity();
       clauseInc_ *= 1.001;
       if (conflictBudget_ != 0 && conflictsThisSolve > conflictBudget_) {
+        backtrack(0);
+        return SatResult::Unknown;
+      }
+      // The deadline shares the conflict boundary with the budget above:
+      // conflicts are where CDCL time actually goes, so this bounds the
+      // overshoot to one conflict's propagation+analysis.
+      if (deadlineClock_ != nullptr &&
+          deadlineClock_->nowMicros() >= deadlineMicros_) {
+        ++stats_.deadlineAborts;
         backtrack(0);
         return SatResult::Unknown;
       }

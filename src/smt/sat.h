@@ -60,6 +60,7 @@ class SatSolver {
     uint64_t restarts = 0;
     uint64_t learned = 0;
     uint64_t deletedClauses = 0;
+    uint64_t deadlineAborts = 0;  // solves abandoned by setDeadline()
   };
   const Stats& stats() const { return stats_; }
   size_t numClauses() const { return clauses_.size(); }
@@ -67,6 +68,15 @@ class SatSolver {
   /// Hard budget: give up (Unknown) after this many conflicts per solve
   /// call. 0 = unlimited.
   void setConflictBudget(uint64_t budget) { conflictBudget_ = budget; }
+
+  /// Wall deadline: give up (Unknown) once `clk` passes `deadlineMicros`
+  /// (absolute). Checked at solve entry and at every conflict, so a solve
+  /// overshoots by at most one conflict's worth of work. Null clock
+  /// disables. The clock is not owned and must outlive the next solve.
+  void setDeadline(telemetry::Clock* clk, uint64_t deadlineMicros) {
+    deadlineClock_ = clk;
+    deadlineMicros_ = deadlineMicros;
+  }
 
   /// Attach telemetry (null to detach): per-solve conflict/decision deltas
   /// go into sat.conflicts_per_solve / sat.decisions_per_solve histograms.
@@ -131,6 +141,8 @@ class SatSolver {
   bool unsatisfiable_ = false;  // empty clause added at level 0
   Stats stats_;
   uint64_t conflictBudget_ = 0;
+  telemetry::Clock* deadlineClock_ = nullptr;
+  uint64_t deadlineMicros_ = 0;
   uint64_t learnedLimit_ = 4096;
 
   telemetry::Counter* solvesCtr_ = nullptr;

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "smt/printer.h"
+#include "support/fault.h"
 #include "support/json.h"
 #include "support/strings.h"
 
@@ -36,6 +37,7 @@ void SolverTelemetry::writeJson(json::Writer& w) const {
   w.kv("restarts", satCore.restarts);
   w.kv("learned", satCore.learned);
   w.kv("deleted_clauses", satCore.deletedClauses);
+  w.kv("deadline_aborts", satCore.deadlineAborts);
   w.kv("vars", satVars);
   w.kv("clauses", satClauses);
   w.endObject();
@@ -136,14 +138,15 @@ CheckResult SmtSolver::checkFresh(const std::vector<TermRef>& assumptions) {
 }
 
 CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
+  fault::hit("solver.check");
   ++stats_.queries;
   if (queryCtr_) queryCtr_->add();
   // One clock for both the legacy Stats and the telemetry histogram: the
   // injected clock when telemetry is attached (deterministic tests), the
   // system clock otherwise.
-  auto now = [&] {
-    return tel_ ? tel_->nowMicros() : telemetry::Clock::system().nowMicros();
-  };
+  telemetry::Clock& clk =
+      tel_ ? tel_->clock() : telemetry::Clock::system();
+  auto now = [&] { return clk.nowMicros(); };
   const uint64_t startUs = now();
   bool cached = false;
   auto finish = [&](CheckResult r) {
@@ -201,6 +204,21 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     }
     return finish(r);
   };
+
+  // Resolve this query's wall deadline: the per-query timeout (relative
+  // to query start) and the run-wide deadline (absolute, set by the
+  // explorer from its remaining maxWallSeconds), whichever is sooner.
+  uint64_t deadlineUs = 0;
+  if (queryTimeoutMicros_ != 0) deadlineUs = startUs + queryTimeoutMicros_;
+  if (wallDeadlineMicros_ != 0) {
+    deadlineUs = deadlineUs == 0 ? wallDeadlineMicros_
+                                 : std::min(deadlineUs, wallDeadlineMicros_);
+  }
+  if (deadlineUs != 0 && startUs >= deadlineUs) {
+    // The budget is already spent; don't even bit-blast.
+    return finish(CheckResult::Unknown);
+  }
+  sat_.setDeadline(deadlineUs != 0 ? &clk : nullptr, deadlineUs);
 
   std::vector<Lit> lits;
   lits.reserve(assumptions.size());

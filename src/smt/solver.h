@@ -90,6 +90,18 @@ class SmtSolver {
   /// exploration treats Unknown paths as not-taken and reports them.
   void setConflictBudget(uint64_t budget) { sat_.setConflictBudget(budget); }
 
+  /// Per-query wall deadline, layered on the conflict budget: abandon a
+  /// query (Unknown) once it has run this long on the query clock — the
+  /// injected telemetry clock when attached, the system clock otherwise.
+  /// 0 = unlimited.
+  void setQueryTimeoutMicros(uint64_t us) { queryTimeoutMicros_ = us; }
+
+  /// Absolute wall deadline shared by *all* queries (0 = none): the
+  /// explorer sets this to its own budget's end so no single check()
+  /// overshoots maxWallSeconds. A query starting past the deadline
+  /// returns Unknown without touching the SAT core.
+  void setWallDeadlineMicros(uint64_t us) { wallDeadlineMicros_ = us; }
+
   /// Debug cross-check: re-solve every query on a fresh single-shot solver
   /// and throw (with an SMT-LIB dump) if the incremental result diverges.
   /// Extremely slow; for tests and bug reports only.
@@ -147,6 +159,8 @@ class SmtSolver {
   bool cacheEnabled_ = true;
   std::unordered_map<std::string, CacheEntry> queryCache_;
   uint64_t cacheHits_ = 0;
+  uint64_t queryTimeoutMicros_ = 0;
+  uint64_t wallDeadlineMicros_ = 0;
 
   Stats stats_;
 

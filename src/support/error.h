@@ -16,6 +16,14 @@ class Error : public std::runtime_error {
   explicit Error(const std::string& what) : std::runtime_error(what) {}
 };
 
+/// Malformed *user* input: unreadable files, bad image text, unknown ISA
+/// names, invalid CLI flag values. The driver maps this to exit code 2
+/// (bad input) instead of 4 (internal error); see docs/robustness.md.
+class InputError : public Error {
+ public:
+  using Error::Error;
+};
+
 /// Internal consistency check that survives NDEBUG builds. Use for
 /// conditions that indicate a bug in this library rather than bad user input.
 inline void check(bool cond, const char* msg) {

@@ -1,0 +1,96 @@
+#include "support/fault.h"
+
+#include <algorithm>
+#include <new>
+
+#include "support/strings.h"
+
+namespace adlsym::fault {
+
+namespace {
+
+struct SiteState {
+  std::string name;
+  uint64_t nth = 0;    // 0 = not armed
+  uint64_t hits = 0;   // counted since arm()
+};
+
+// One slot per known site, catalogue order. Single-threaded by design,
+// like the rest of the engine.
+std::vector<SiteState>& slots() {
+  static std::vector<SiteState> s = [] {
+    std::vector<SiteState> v;
+    for (const std::string& n : knownSites()) v.push_back({n, 0, 0});
+    return v;
+  }();
+  return s;
+}
+
+bool g_armed = false;
+
+}  // namespace
+
+const std::vector<std::string>& knownSites() {
+  static const std::vector<std::string> sites = {
+      "solver.check",  // every SmtSolver::check entry
+      "image.read",    // loader::Image::deserialize entry
+      "obs.write",     // every observability file write (stats/forest/qlog)
+      "alloc",         // frontier state allocation (throws std::bad_alloc)
+  };
+  return sites;
+}
+
+void arm(const std::string& spec) {
+  disarm();
+  if (spec.empty()) return;
+  for (const std::string& part : splitString(spec, ',')) {
+    const size_t colon = part.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == part.size()) {
+      throw InputError("bad fault spec '" + part +
+                       "' (want <site>:<nth>, e.g. solver.check:1)");
+    }
+    const std::string site = part.substr(0, colon);
+    const auto nth = parseInt(part.substr(colon + 1));
+    if (!nth || *nth == 0) {
+      throw InputError("bad fault count in '" + part + "' (want nth >= 1)");
+    }
+    auto& ss = slots();
+    const auto it = std::find_if(ss.begin(), ss.end(),
+                                 [&](const SiteState& s) { return s.name == site; });
+    if (it == ss.end()) {
+      std::string known;
+      for (const std::string& n : knownSites()) {
+        if (!known.empty()) known += ", ";
+        known += n;
+      }
+      throw InputError("unknown fault site '" + site + "' (known: " + known + ")");
+    }
+    it->nth = *nth;
+    g_armed = true;
+  }
+}
+
+void disarm() {
+  for (SiteState& s : slots()) {
+    s.nth = 0;
+    s.hits = 0;
+  }
+  g_armed = false;
+}
+
+bool armed() { return g_armed; }
+
+void hit(const char* site) {
+  if (!g_armed) return;
+  for (SiteState& s : slots()) {
+    if (s.name != site) continue;
+    if (s.nth == 0) return;
+    if (++s.hits == s.nth) {
+      if (s.name == "alloc") throw std::bad_alloc();
+      throw InjectedFault(s.name, s.hits);
+    }
+    return;
+  }
+}
+
+}  // namespace adlsym::fault

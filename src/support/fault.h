@@ -1,0 +1,75 @@
+// Deterministic fault injection (docs/robustness.md). The engine declares
+// named fault *sites* (solver.check, image.read, obs.write, alloc); tests
+// and CI arm a schedule like "solver.check:3" and the third hit of that
+// site throws. Because the trigger is a hit count, not a timer or a
+// random draw, the same schedule replays the exact same failure on every
+// run — the graceful-degradation paths become regression-testable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+
+namespace adlsym::fault {
+
+/// Thrown by an armed fault site on its scheduled hit (except the `alloc`
+/// site, which throws std::bad_alloc to exercise the real OOM path). The
+/// driver maps this to exit code 4 (internal error).
+class InjectedFault : public Error {
+ public:
+  InjectedFault(const std::string& site, uint64_t hit)
+      : Error("injected fault at '" + site + "' (hit " + std::to_string(hit) +
+              ")"),
+        site_(site),
+        hit_(hit) {}
+  const std::string& site() const { return site_; }
+  uint64_t hit() const { return hit_; }
+
+ private:
+  std::string site_;
+  uint64_t hit_;
+};
+
+/// The registered fault sites, in catalogue order (docs/robustness.md).
+const std::vector<std::string>& knownSites();
+
+/// Arm a schedule from "<site>:<nth>[,<site>:<nth>...]": each named site
+/// fires on its Nth hit (1-based), counted from this call. Replaces any
+/// previous schedule. Throws InputError for an unknown site or a
+/// malformed count. An empty spec is a no-op (nothing armed).
+void arm(const std::string& spec);
+
+/// Clear the schedule and all hit counters.
+void disarm();
+
+/// True when any site is armed.
+bool armed();
+
+/// Count one hit of `site`; throws on the armed Nth hit. When nothing is
+/// armed this is a single branch on a global flag.
+void hit(const char* site);
+
+/// RAII arming for scoped use (CLI dispatch, tests): arms on
+/// construction, disarms on destruction — including during unwinding, so
+/// an injected fault never leaks its schedule into the next command.
+class ScopedArm {
+ public:
+  explicit ScopedArm(const std::string& spec) {
+    if (!spec.empty()) {
+      arm(spec);
+      active_ = true;
+    }
+  }
+  ~ScopedArm() {
+    if (active_) disarm();
+  }
+  ScopedArm(const ScopedArm&) = delete;
+  ScopedArm& operator=(const ScopedArm&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+}  // namespace adlsym::fault

@@ -30,11 +30,11 @@ size_t countEvents(const std::string& jsonl, const std::string& kind) {
 }
 
 TEST(Cli, UsageAndUnknown) {
-  EXPECT_EQ(dispatch({}).exitCode, 1);
+  EXPECT_EQ(dispatch({}).exitCode, 2);
   EXPECT_NE(dispatch({}).output.find("usage:"), std::string::npos);
   EXPECT_EQ(dispatch({"help"}).exitCode, 0);
   const auto r = dispatch({"frobnicate"});
-  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_EQ(r.exitCode, 2);
   EXPECT_NE(r.output.find("unknown command"), std::string::npos);
 }
 
@@ -55,7 +55,7 @@ TEST(Cli, ModelDump) {
   EXPECT_NE(r.output.find("(flag)"), std::string::npos);
   EXPECT_NE(r.output.find("lda_i"), std::string::npos);
   EXPECT_NE(r.output.find("mask="), std::string::npos);
-  EXPECT_EQ(dispatch({"model", "z80"}).exitCode, 1);
+  EXPECT_EQ(dispatch({"model", "z80"}).exitCode, 2);
 }
 
 constexpr char kProgram[] = R"(
@@ -109,7 +109,7 @@ TEST(Cli, ExploreStrategiesAndErrors) {
   }
   ExploreOptions bad;
   bad.strategy = "dancing-links";
-  EXPECT_EQ(cmdExplore("rv32e", img.output, bad).exitCode, 1);
+  EXPECT_EQ(cmdExplore("rv32e", img.output, bad).exitCode, 2);
 }
 
 TEST(Cli, ExploreCoverageAndMerge) {
@@ -137,7 +137,7 @@ TEST(Cli, ExploreStatsJsonAndTrace) {
   EXPECT_NE(r.output.find("paths=2"), std::string::npos);
 
   const std::string stats = slurp(opt.statsJsonPath);
-  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v2\""), std::string::npos);
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v3\""), std::string::npos);
   EXPECT_NE(stats.find("\"command\":\"explore\""), std::string::npos);
   EXPECT_NE(stats.find("\"isa\":\"rv32e\""), std::string::npos);
   EXPECT_NE(stats.find("\"paths\":2"), std::string::npos);
@@ -188,7 +188,7 @@ TEST(Cli, DispatchParsesObservabilityFlags) {
   const auto r = dispatch(
       {"explore", "rv32e", imgPath, "--stats-json=" + statsPath});
   EXPECT_EQ(r.exitCode, 0) << r.output;
-  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v2\""), std::string::npos);
+  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v3\""), std::string::npos);
 }
 
 TEST(Cli, PathForestFlagsAreDeterministic) {
@@ -251,11 +251,11 @@ TEST(Cli, QueryLogCaptureAndReplay) {
   EXPECT_EQ(bad.exitCode, 1);
   EXPECT_NE(bad.output.find("MISMATCH"), std::string::npos) << bad.output;
 
-  // Empty/missing corpus is an error, not a silent pass.
+  // Empty/missing corpus is a bad-input error, not a silent pass.
   EXPECT_EQ(dispatch({"replay", testing::TempDir() + "no_such_corpus"})
                 .exitCode,
-            1);
-  EXPECT_EQ(dispatch({"replay"}).exitCode, 1);
+            2);
+  EXPECT_EQ(dispatch({"replay"}).exitCode, 2);
 }
 
 TEST(Cli, ProgressFlagParsing) {
@@ -269,20 +269,20 @@ TEST(Cli, ProgressFlagParsing) {
   EXPECT_EQ(
       dispatch({"explore", "rv32e", imgPath, "--progress=3600"}).exitCode, 0);
   EXPECT_EQ(dispatch({"explore", "rv32e", imgPath, "--progress=0"}).exitCode,
-            1);
+            2);
   EXPECT_EQ(
-      dispatch({"explore", "rv32e", imgPath, "--progress=soon"}).exitCode, 1);
+      dispatch({"explore", "rv32e", imgPath, "--progress=soon"}).exitCode, 2);
 }
 
 TEST(Cli, AsmErrorsReported) {
   const auto r = cmdAsm("rv32e", "frob x1\n");
-  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_EQ(r.exitCode, 2);
   EXPECT_NE(r.output.find("unknown mnemonic"), std::string::npos);
 }
 
 TEST(Cli, DispatchFileErrors) {
   const auto r = dispatch({"asm", "rv32e", "/nonexistent/file.s"});
-  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_EQ(r.exitCode, 2);
   EXPECT_NE(r.output.find("cannot open"), std::string::npos);
 }
 
@@ -306,7 +306,7 @@ TEST(CliLint, StatsJsonHasPassTimings) {
   const auto r = dispatch({"lint", "rv32e", "--stats-json=" + statsPath});
   EXPECT_EQ(r.exitCode, 0) << r.output;
   const std::string stats = slurp(statsPath);
-  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v2\""), std::string::npos)
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v3\""), std::string::npos)
       << stats;
   EXPECT_NE(stats.find("\"command\":\"lint\""), std::string::npos);
   EXPECT_NE(stats.find("\"lint\":{\"findings\":"), std::string::npos) << stats;
@@ -419,12 +419,12 @@ TEST(CliLint, ImagePassesCleanOnGoodProgram) {
 }
 
 TEST(CliLint, BadUsage) {
-  EXPECT_EQ(dispatch({"lint"}).exitCode, 1);
+  EXPECT_EQ(dispatch({"lint"}).exitCode, 2);
   EXPECT_NE(dispatch({"lint"}).output.find("usage:"), std::string::npos);
   const auto r = dispatch({"lint", "acc8", "--format=yaml"});
-  EXPECT_EQ(r.exitCode, 1);
+  EXPECT_EQ(r.exitCode, 2);
   EXPECT_NE(r.output.find("unknown lint option"), std::string::npos);
-  EXPECT_EQ(dispatch({"lint", "/nonexistent.adl"}).exitCode, 1);
+  EXPECT_EQ(dispatch({"lint", "/nonexistent.adl"}).exitCode, 2);
 }
 
 TEST(CliLint, ExploreLintFlagAbortsOnErrors) {

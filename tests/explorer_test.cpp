@@ -64,7 +64,20 @@ TEST(Explorer, MaxPathsBudget) {
   SessionOptions opt;
   opt.explorer.maxPaths = 3;
   auto s = Session::forPortable(workloads::progBitcount(6), "rv32e", opt);
-  EXPECT_LE(s->explore().paths.size(), 3u);
+  const auto summary = s->explore();
+  // maxPaths bounds *completed* paths; the leftover frontier is reported
+  // as Truncated{paths} instead of silently vanishing.
+  unsigned completed = 0;
+  for (const auto& p : summary.paths) {
+    completed += p.status != PathStatus::Truncated ? 1 : 0;
+  }
+  EXPECT_LE(completed, 3u);
+  EXPECT_EQ(summary.stopReason, "max-paths");
+  EXPECT_GT(summary.statesTruncated, 0u);
+  // Every forked state is accounted for.
+  EXPECT_EQ(1 + summary.totalForks, summary.paths.size() +
+                                        summary.statesDropped +
+                                        summary.statesMerged);
 }
 
 TEST(Explorer, MaxStepsPerPathProducesBudgetStatus) {
@@ -89,10 +102,17 @@ TEST(Explorer, TotalStepBudgetClosesFrontier) {
   auto s = Session::forPortable(workloads::progBitcount(8), "rv32e", opt);
   const auto summary = s->explore();
   EXPECT_LE(summary.totalSteps, 21u);
-  // Remaining frontier states are accounted as Budget paths.
-  unsigned budget = 0;
-  for (const auto& p : summary.paths) budget += p.status == PathStatus::Budget;
-  EXPECT_GT(budget, 0u);
+  // Remaining frontier states are accounted as Truncated{steps} paths.
+  unsigned truncated = 0;
+  for (const auto& p : summary.paths) {
+    if (p.status == PathStatus::Truncated) {
+      ++truncated;
+      EXPECT_EQ(p.truncReason, TruncReason::Steps);
+    }
+  }
+  EXPECT_GT(truncated, 0u);
+  EXPECT_EQ(summary.statesTruncated, truncated);
+  EXPECT_EQ(summary.stopReason, "max-steps");
 }
 
 TEST(Explorer, StopAtFirstDefect) {
@@ -238,7 +258,9 @@ TEST(Explorer, MaxWallSecondsUsesInjectableClock) {
   const auto a = run();
   const auto b = run();
   ASSERT_GE(a.paths.size(), 1u);
-  EXPECT_EQ(a.paths[0].status, PathStatus::Budget);
+  EXPECT_EQ(a.paths[0].status, PathStatus::Truncated);
+  EXPECT_EQ(a.paths[0].truncReason, TruncReason::Wall);
+  EXPECT_EQ(a.stopReason, "wall");
   EXPECT_EQ(a.totalSteps, b.totalSteps);
   EXPECT_DOUBLE_EQ(a.wallSeconds, b.wallSeconds);
   EXPECT_GT(a.wallSeconds, 0.5);
