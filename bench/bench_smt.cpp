@@ -10,7 +10,10 @@
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.h"
+#include "core/evaluator.h"
+#include "core/pexplorer.h"
 #include "driver/session.h"
+#include "smt/qcache.h"
 #include "workloads/programs.h"
 
 using namespace adlsym;
@@ -106,6 +109,42 @@ void cacheTable() {
   std::printf("\n");
 }
 
+void sharedCacheTable() {
+  std::printf(
+      "(d) shared query cache under the parallel engine (--qcache,\n"
+      "    docs/parallelism.md; hit/miss counts are jobs-invariant)\n\n");
+  benchutil::Table table({"jobs", "qcache", "queries", "hits", "misses",
+                          "hit-rate", "wall-ms"},
+                         "shared-cache");
+  for (const unsigned jobs : {1u, 2u, 4u}) {
+    for (const bool cache : {true, false}) {
+      auto session = driver::Session::forPortable(
+          workloads::progBitcount(6), "rv32e");
+      const adl::ArchModel& m = session->model();
+      smt::QueryCache qcache;
+      core::ParallelConfig pcfg;
+      pcfg.jobs = jobs;
+      pcfg.qcache = cache ? &qcache : nullptr;
+      pcfg.solverConflictBudget = session->options().solverConflictBudget;
+      core::ParallelExplorer pex(
+          session->image(), session->options().engine, pcfg,
+          [&m](core::EngineServices& svc) -> std::unique_ptr<core::Executor> {
+            return std::make_unique<core::AdlExecutor>(m, svc);
+          });
+      benchutil::Timer t;
+      (void)pex.run();
+      const auto qs = qcache.stats();
+      table.addRow({benchutil::num(jobs), cache ? "on" : "off",
+                    benchutil::num(pex.solverTelemetry().queries),
+                    benchutil::num(qs.hits), benchutil::num(qs.misses),
+                    benchutil::fmt("%.2f", qs.hitRate()),
+                    benchutil::fmt("%.2f", t.millis())});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
 void BM_SolverQueryShallow(benchmark::State& state) {
   smt::TermManager tm;
   smt::SmtSolver solver(tm);
@@ -142,6 +181,7 @@ int main(int argc, char** argv) {
   depthTable();
   ablationTable();
   cacheTable();
+  sharedCacheTable();
   benchutil::writeJsonReport("smt");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "core/state.h"
@@ -99,6 +100,52 @@ class ObserverMux final : public ExploreObserver {
 
  private:
   std::vector<ExploreObserver*> obs_;
+};
+
+/// Mutex-serialized fan-out for the parallel explorer: worker threads
+/// invoke live observers (progress heartbeat, site stats) concurrently,
+/// and neither those observers' state nor the underlying stream is
+/// thread-safe on its own. One lock around the whole fan-out also keeps
+/// each callback's observer sequence atomic (a heartbeat never interleaves
+/// inside another callback's updates).
+class LockedObserverMux final : public ExploreObserver {
+ public:
+  void add(ExploreObserver* ob) { mux_.add(ob); }
+  bool empty() const { return mux_.empty(); }
+
+  void onRoot(uint64_t node, const MachineState& st) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    mux_.onRoot(node, st);
+  }
+  void onStepBegin(uint64_t node, const MachineState& st) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    mux_.onStepBegin(node, st);
+  }
+  void onStepEnd(const StepInfo& info) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    mux_.onStepEnd(info);
+  }
+  void onChild(uint64_t parent, uint64_t child, const MachineState& st,
+               size_t condSizeBefore) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    mux_.onChild(parent, child, st, condSizeBefore);
+  }
+  void onDrop(uint64_t node, uint64_t pc) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    mux_.onDrop(node, pc);
+  }
+  void onMerge(uint64_t host, uint64_t incoming, uint64_t pc) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    mux_.onMerge(host, incoming, pc);
+  }
+  void onPathDone(uint64_t node, const PathResult& result) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    mux_.onPathDone(node, result);
+  }
+
+ private:
+  std::mutex mu_;
+  ObserverMux mux_;
 };
 
 }  // namespace adlsym::core

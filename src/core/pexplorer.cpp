@@ -1,0 +1,743 @@
+#include "core/pexplorer.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <unordered_map>
+
+#include "core/testgen.h"
+#include "smt/printer.h"
+#include "smt/qcache.h"
+#include "support/fault.h"
+#include "support/rng.h"
+
+namespace adlsym::core {
+namespace {
+
+// Mirror of the sequential explorer's term accounting unit (explorer.cpp).
+constexpr size_t kBytesPerTerm = 48;
+
+// Structural address of a state in the fork tree: the sequence of
+// successor indices taken from the root. Worker- and schedule-independent,
+// and lexicographic order over keys is exactly DFS preorder with children
+// in fork-index order — which is how the merge assigns dense node ids.
+using PathKey = std::u32string;
+
+struct Entry {
+  MachineState state;
+  PathKey key;
+  uint64_t order = 0;       // worker-local creation order (strategy ties)
+  uint64_t newCovered = 0;  // decaying new-pc credit (Coverage strategy)
+  size_t bytes = 0;         // approxBytes at enqueue (governor tally)
+};
+
+size_t pickNextIdx(SearchStrategy s, const std::vector<Entry>& fr, Rng& rng) {
+  switch (s) {
+    case SearchStrategy::DFS: return fr.size() - 1;
+    case SearchStrategy::BFS: return 0;
+    case SearchStrategy::Random:
+      return static_cast<size_t>(rng.below(fr.size()));
+    case SearchStrategy::Coverage: {
+      size_t best = 0;
+      for (size_t i = 1; i < fr.size(); ++i) {
+        const Entry& a = fr[i];
+        const Entry& b = fr[best];
+        if (a.newCovered > b.newCovered ||
+            (a.newCovered == b.newCovered && a.order > b.order)) {
+          best = i;
+        }
+      }
+      return best;
+    }
+  }
+  return fr.size() - 1;
+}
+
+size_t pickEvictIdx(SearchStrategy s, const std::vector<Entry>& fr, Rng& rng) {
+  switch (s) {
+    case SearchStrategy::DFS: return 0;
+    case SearchStrategy::BFS: return fr.size() - 1;
+    case SearchStrategy::Random:
+      return static_cast<size_t>(rng.below(fr.size()));
+    case SearchStrategy::Coverage: {
+      size_t worst = 0;
+      for (size_t i = 1; i < fr.size(); ++i) {
+        const Entry& a = fr[i];
+        const Entry& b = fr[worst];
+        if (a.newCovered < b.newCovered ||
+            (a.newCovered == b.newCovered && a.order < b.order)) {
+          worst = i;
+        }
+      }
+      return worst;
+    }
+  }
+  return 0;
+}
+
+// Global per-node record, guarded by Engine::recMu. Creation fields are
+// written when the node is minted (at its parent's fork, or for the root
+// at startup); terminal fields when the node leaves a frontier.
+struct NodeRec {
+  uint64_t forkPc = 0;
+  uint64_t entryPc = 0;
+  std::string cond;
+  std::string verdict;
+  uint64_t solverQueries = 0;
+  uint64_t solverMicros = 0;
+  size_t numChildren = 0;  // > 0 once the node forked (interior node)
+  bool dropped = false;
+  uint64_t dropPc = 0;
+  std::optional<PathResult> result;  // set for every non-dropped terminal
+};
+
+struct Worker {
+  Worker(unsigned idx, uint64_t seed) : index(idx), solver(tm), rng(seed) {}
+
+  unsigned index;
+  std::unique_ptr<telemetry::ManualClock> clock;
+  std::unique_ptr<telemetry::Telemetry> tel;
+  smt::TermManager tm;
+  smt::SmtSolver solver;
+  Rng rng;
+  std::unique_ptr<EngineServices> svc;
+  std::unique_ptr<Executor> exec;
+
+  std::vector<Entry> frontier;
+  // Filled by a victim while this worker is parked in acquireWork (both
+  // inbox and handed are only touched under Engine::mu).
+  std::vector<Entry> inbox;
+  bool handed = false;
+
+  uint64_t orderCounter = 0;
+  uint64_t steps = 0;
+  uint64_t forksN = 0;
+  uint64_t drops = 0;
+  // Published after each step so other workers can tally the global term
+  // pool size for --mem-budget-mb without touching a foreign TermManager.
+  std::atomic<uint64_t> poolTerms{0};
+
+  telemetry::Counter* stepsCtr = nullptr;
+  telemetry::Counter* forksCtr = nullptr;
+  telemetry::Counter* dropsCtr = nullptr;
+  telemetry::Counter* mergesCtr = nullptr;
+  telemetry::Counter* pathsCtr = nullptr;
+
+  std::thread thread;
+};
+
+struct Engine {
+  Engine(const ParallelConfig& cfg,
+         std::vector<std::unique_ptr<Worker>>& workers)
+      : cfg(cfg), base(cfg.base), workers(workers), ob(cfg.base.observer) {}
+
+  const ParallelConfig& cfg;
+  const ExplorerConfig& base;
+  std::vector<std::unique_ptr<Worker>>& workers;
+  ExploreObserver* ob;
+
+  // ---- pool coordination (mu) -----------------------------------------
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<size_t> waiting;  // parked workers, oldest first
+  unsigned idle = 0;            // workers with no assigned work
+  bool finished = false;        // no work left anywhere (or stop/error)
+  std::string stopReason;
+  TruncReason closeReason = TruncReason::None;
+  std::exception_ptr error;
+  std::atomic<bool> stopFlag{false};
+  std::atomic<size_t> thievesWaiting{0};
+
+  // ---- global budgets --------------------------------------------------
+  std::atomic<uint64_t> gSteps{0};
+  std::atomic<uint64_t> gCompleted{0};
+  std::atomic<uint64_t> gPathsDone{0};
+  std::atomic<uint64_t> gFrontier{0};
+  std::atomic<uint64_t> gFrontierBytes{0};
+  uint64_t wallDeadlineSteadyUs = 0;  // set once before workers start
+
+  // ---- shared coverage + records --------------------------------------
+  std::mutex covMu;
+  std::set<uint64_t> covered;
+
+  std::mutex recMu;
+  std::map<PathKey, NodeRec> recs;
+
+  // First stop request wins; later ones are ignored so the recorded
+  // reason is whichever budget tripped first.
+  void requestStop(const char* reason, TruncReason why) {
+    std::lock_guard<std::mutex> lk(mu);
+    if (stopFlag.load(std::memory_order_relaxed)) return;
+    stopReason = reason;
+    closeReason = why;
+    finished = true;
+    stopFlag.store(true, std::memory_order_release);
+    cv.notify_all();
+  }
+
+  // Mirror of Explorer::finishPath minus trace events (workers have no
+  // sink): resolve the terminal record, optionally solve the path
+  // condition for a witness, and file the result under the node's key.
+  void finishPath(Worker& w, MachineState&& st, const PathKey& key) {
+    PathResult r;
+    r.status = st.status;
+    r.truncReason = st.truncReason;
+    r.finalPc = st.pc;
+    r.steps = st.steps;
+    r.forks = st.forks;
+    if (w.pathsCtr) w.pathsCtr->add();
+    if (st.defect) {
+      r.defect = std::move(st.defect);
+      r.test = r.defect->witness;
+    } else if (st.status != PathStatus::Truncated &&
+               w.svc->config.generateTests &&
+               w.solver.check(st.pathCond) == smt::CheckResult::Sat) {
+      for (const InputRecord& in : st.inputs) {
+        r.test.inputs.push_back(
+            {in.name, in.width, w.solver.modelValue(in.term)});
+      }
+      if (st.status == PathStatus::Exited && st.exitCode.valid()) {
+        r.exitCode = w.solver.modelValue(st.exitCode);
+      }
+      for (const OutputRecord& o : st.outputs) {
+        r.outputs.push_back(w.solver.modelValue(o.term));
+      }
+    }
+    gPathsDone.fetch_add(1, std::memory_order_relaxed);
+    if (ob) ob->onPathDone(0, r);
+    std::lock_guard<std::mutex> lk(recMu);
+    recs[key].result = std::move(r);
+  }
+
+  // Close one state from w's frontier as Truncated{why} (governor
+  // eviction). Returns false when w has nothing left to evict.
+  bool evictLocal(Worker& w, TruncReason why) {
+    if (w.frontier.empty()) return false;
+    const size_t vi = pickEvictIdx(base.strategy, w.frontier, w.rng);
+    Entry ev = std::move(w.frontier[vi]);
+    w.frontier.erase(w.frontier.begin() + static_cast<long>(vi));
+    gFrontier.fetch_sub(1, std::memory_order_relaxed);
+    gFrontierBytes.fetch_sub(ev.bytes, std::memory_order_relaxed);
+    ev.state.status = PathStatus::Truncated;
+    ev.state.truncReason = why;
+    finishPath(w, std::move(ev.state), ev.key);
+    return true;
+  }
+
+  void closeFrontier(Worker& w, TruncReason why) {
+    for (Entry& e : w.frontier) {
+      gFrontier.fetch_sub(1, std::memory_order_relaxed);
+      gFrontierBytes.fetch_sub(e.bytes, std::memory_order_relaxed);
+      e.state.status = PathStatus::Truncated;
+      e.state.truncReason = why;
+      finishPath(w, std::move(e.state), e.key);
+    }
+    w.frontier.clear();
+  }
+
+  // Deep-copy a frontier entry from `from`'s term pool into `to`'s. Safe
+  // only while `to` is parked (Engine::mu is held and the thief blocks in
+  // acquireWork until the victim publishes the handoff), so both pools
+  // are quiescent. Raw re-interning preserves term structure exactly;
+  // variables re-cons by (name, width) — downstream queries canonicalize
+  // by name anyway, so solving is unaffected by the move.
+  Entry migrate(Entry&& e, Worker& from, Worker& to) {
+    std::unordered_map<smt::TermId, smt::TermId> memo;
+    auto imp = [&](smt::TermRef t) { return to.tm.import(t, memo); };
+    const MachineState& s = e.state;
+    Entry ne;
+    ne.key = std::move(e.key);
+    ne.newCovered = e.newCovered;
+    ne.bytes = e.bytes;
+    MachineState ns;
+    ns.regs.reserve(s.regs.size());
+    for (const smt::TermRef t : s.regs) ns.regs.push_back(imp(t));
+    ns.regfile.reserve(s.regfile.size());
+    for (const smt::TermRef t : s.regfile) ns.regfile.push_back(imp(t));
+    ns.memory = SymMemory(s.memory.image());
+    std::vector<uint64_t> addrs = s.memory.overlayAddresses();
+    std::sort(addrs.begin(), addrs.end());
+    for (const uint64_t addr : addrs) {
+      ns.memory.writeByte(addr, imp(s.memory.readByte(from.tm, addr)));
+    }
+    ns.pc = s.pc;
+    ns.pathCond.reserve(s.pathCond.size());
+    for (const smt::TermRef t : s.pathCond) ns.pathCond.push_back(imp(t));
+    ns.inputs.reserve(s.inputs.size());
+    for (const InputRecord& in : s.inputs) {
+      ns.inputs.push_back({in.name, in.width, imp(in.term)});
+    }
+    ns.outputs.reserve(s.outputs.size());
+    for (const OutputRecord& o : s.outputs) {
+      ns.outputs.push_back({imp(o.term), o.pc});
+    }
+    ns.inputCounter = s.inputCounter;
+    ns.steps = s.steps;
+    ns.forks = s.forks;
+    ns.status = s.status;
+    ns.truncReason = s.truncReason;
+    if (s.exitCode.valid()) ns.exitCode = imp(s.exitCode);
+    ns.defect = s.defect;  // witness is concrete; no terms to migrate
+    ne.state = std::move(ns);
+    return ne;
+  }
+
+  // Victim side of work stealing: called between steps when thieves are
+  // parked and this worker can spare a state. Hands the entry the eviction
+  // policy values least, so the victim keeps its strategy-preferred work.
+  void handOffIfNeeded(Worker& w) {
+    if (thievesWaiting.load(std::memory_order_relaxed) == 0 ||
+        w.frontier.size() < 2) {
+      return;
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    if (waiting.empty() || finished) return;
+    const size_t ti = waiting.front();
+    waiting.erase(waiting.begin());
+    thievesWaiting.store(waiting.size(), std::memory_order_relaxed);
+    // The thief now has assigned work: drop its idle contribution here,
+    // not when it wakes, so a victim going idle right after the handoff
+    // cannot observe idle == jobs and falsely declare the pool finished.
+    --idle;
+    Worker& thief = *workers[ti];
+    const size_t vi = pickEvictIdx(base.strategy, w.frontier, w.rng);
+    Entry ev = std::move(w.frontier[vi]);
+    w.frontier.erase(w.frontier.begin() + static_cast<long>(vi));
+    thief.inbox.push_back(migrate(std::move(ev), w, thief));
+    thief.handed = true;
+    cv.notify_all();
+  }
+
+  void drainInboxLocked(Worker& w) {
+    for (Entry& e : w.inbox) {
+      e.order = w.orderCounter++;
+      w.frontier.push_back(std::move(e));
+    }
+    w.inbox.clear();
+    w.handed = false;
+  }
+
+  // Thief side: park until a victim hands work over or the pool drains.
+  // Returns false when the run is over for this worker.
+  bool acquireWork(Worker& w) {
+    std::unique_lock<std::mutex> lk(mu);
+    if (!w.inbox.empty()) {
+      drainInboxLocked(w);
+      return true;
+    }
+    if (finished) return false;
+    waiting.push_back(w.index);
+    ++idle;
+    thievesWaiting.store(waiting.size(), std::memory_order_relaxed);
+    if (idle == static_cast<unsigned>(workers.size())) {
+      // Everyone is out of work: nothing can produce more. Normal drain.
+      finished = true;
+      cv.notify_all();
+      return false;
+    }
+    w.handed = false;
+    cv.wait(lk, [&] { return w.handed || finished; });
+    if (!w.handed) {
+      auto it = std::find(waiting.begin(), waiting.end(), w.index);
+      if (it != waiting.end()) waiting.erase(it);
+      thievesWaiting.store(waiting.size(), std::memory_order_relaxed);
+      return false;
+    }
+    drainInboxLocked(w);
+    return true;
+  }
+
+  // One scheduling slot: mirror of the sequential loop body.
+  void step(Worker& w) {
+    const size_t idx = pickNextIdx(base.strategy, w.frontier, w.rng);
+    Entry cur = std::move(w.frontier[idx]);
+    w.frontier.erase(w.frontier.begin() + static_cast<long>(idx));
+    gFrontier.fetch_sub(1, std::memory_order_relaxed);
+    gFrontierBytes.fetch_sub(cur.bytes, std::memory_order_relaxed);
+
+    if (cur.state.steps >= base.maxStepsPerPath) {
+      cur.state.status = PathStatus::Budget;
+      finishPath(w, std::move(cur.state), cur.key);
+      gCompleted.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+
+    const size_t condBefore = cur.state.pathCond.size();
+    const smt::SmtSolver::Stats before = w.solver.stats();
+    if (ob) ob->onStepBegin(0, cur.state);
+    StepOut out;
+    w.exec->step(cur.state, out);
+    ++w.steps;
+    gSteps.fetch_add(1, std::memory_order_relaxed);
+    if (w.stepsCtr) w.stepsCtr->add();
+    bool newPcHere;
+    size_t covSize;
+    {
+      std::lock_guard<std::mutex> ck(covMu);
+      newPcHere = covered.insert(cur.state.pc).second;
+      covSize = covered.size();
+    }
+
+    const bool forked = out.successors.size() > 1;
+    if (forked) {
+      const uint64_t nf = out.successors.size() - 1;
+      w.forksN += nf;
+      if (w.forksCtr) w.forksCtr->add(nf);
+      // Mint the children records up front (entry pc + fork condition);
+      // the solver verdict lands after the successors are processed, once
+      // this step's query delta is known.
+      std::lock_guard<std::mutex> rk(recMu);
+      recs[cur.key].numChildren = out.successors.size();
+      for (size_t i = 0; i < out.successors.size(); ++i) {
+        const MachineState& succ = out.successors[i];
+        PathKey ck = cur.key;
+        ck.push_back(static_cast<char32_t>(i));
+        NodeRec& child = recs[ck];
+        child.forkPc = cur.state.pc;
+        child.entryPc = succ.pc;
+        std::string cond;
+        for (size_t j = condBefore; j < succ.pathCond.size(); ++j) {
+          if (!cond.empty()) cond += " & ";
+          cond += smt::toString(succ.pathCond[j]);
+        }
+        child.cond = std::move(cond);
+      }
+    }
+    if (out.successors.empty()) {
+      ++w.drops;
+      if (w.dropsCtr) w.dropsCtr->add();
+      {
+        std::lock_guard<std::mutex> rk(recMu);
+        NodeRec& n = recs[cur.key];
+        n.dropped = true;
+        n.dropPc = cur.state.pc;
+      }
+      if (ob) ob->onDrop(0, cur.state.pc);
+    }
+
+    bool sawDefect = false;
+    for (size_t i = 0; i < out.successors.size(); ++i) {
+      MachineState& succ = out.successors[i];
+      PathKey ck = cur.key;
+      if (forked) ck.push_back(static_cast<char32_t>(i));
+      if (succ.status == PathStatus::Running) {
+        Entry f;
+        f.newCovered = cur.newCovered / 2 + (newPcHere ? 1 : 0);
+        f.order = w.orderCounter++;
+        f.key = std::move(ck);
+        f.state = std::move(succ);
+        f.bytes = f.state.approxBytes();
+        fault::hit("alloc");  // frontier growth: the engine's alloc site
+        gFrontierBytes.fetch_add(f.bytes, std::memory_order_relaxed);
+        gFrontier.fetch_add(1, std::memory_order_relaxed);
+        w.frontier.push_back(std::move(f));
+        if (base.maxFrontier != 0) {
+          while (gFrontier.load(std::memory_order_relaxed) >
+                     base.maxFrontier &&
+                 evictLocal(w, TruncReason::Frontier)) {
+          }
+        }
+      } else {
+        sawDefect = sawDefect || succ.defect.has_value();
+        finishPath(w, std::move(succ), ck);
+        gCompleted.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+
+    // Byte budget: all frontier states plus every worker's term pool.
+    // Each worker evicts from its own frontier; when the whole pool is
+    // over budget and no frontier state remains anywhere, the run ends as
+    // "mem-budget" (the pools alone no longer fit).
+    if (base.memBudgetBytes != 0) {
+      w.poolTerms.store(w.tm.numTerms(), std::memory_order_relaxed);
+      uint64_t poolBytes = 0;
+      for (const auto& ww : workers) {
+        poolBytes += ww->poolTerms.load(std::memory_order_relaxed) *
+                     kBytesPerTerm;
+      }
+      while (gFrontierBytes.load(std::memory_order_relaxed) + poolBytes >
+                 base.memBudgetBytes &&
+             evictLocal(w, TruncReason::Memory)) {
+      }
+      if (w.frontier.empty() &&
+          gFrontier.load(std::memory_order_relaxed) == 0 &&
+          gFrontierBytes.load(std::memory_order_relaxed) + poolBytes >
+              base.memBudgetBytes) {
+        requestStop("mem-budget", TruncReason::Memory);
+      }
+    }
+
+    const smt::SmtSolver::Stats after = w.solver.stats();
+    if (forked) {
+      // Fork verdict, exactly as the sequential recorder computes it: the
+      // step issued queries (including witness solves for terminal
+      // successors) => "sat", none => "assumed". Query counts per state
+      // are schedule-independent (cache hits count as queries too), so
+      // the verdicts are canonical.
+      const uint64_t q = after.queries - before.queries;
+      const uint64_t us = after.totalMicros - before.totalMicros;
+      const char* verdict = q > 0 ? "sat" : "assumed";
+      std::lock_guard<std::mutex> rk(recMu);
+      for (size_t i = 0; i < out.successors.size(); ++i) {
+        PathKey ck = cur.key;
+        ck.push_back(static_cast<char32_t>(i));
+        NodeRec& child = recs[ck];
+        child.verdict = verdict;
+        child.solverQueries = q;
+        child.solverMicros = us;
+      }
+    }
+    if (ob) {
+      ExploreObserver::StepInfo si;
+      si.node = 0;
+      si.pc = cur.state.pc;
+      si.numSuccessors = out.successors.size();
+      si.frontierSize = gFrontier.load(std::memory_order_relaxed);
+      si.totalSteps = gSteps.load(std::memory_order_relaxed);
+      si.pathsDone = gPathsDone.load(std::memory_order_relaxed);
+      si.coveredPcs = covSize;
+      si.stepSolverQueries = after.queries - before.queries;
+      si.stepSolverMicros = after.totalMicros - before.totalMicros;
+      si.runSolverQueries = after.queries;
+      si.runSolverMicros = after.totalMicros;
+      ob->onStepEnd(si);
+    }
+    if (sawDefect && base.stopAtFirstDefect) {
+      requestStop("first-defect", TruncReason::EarlyStop);
+    }
+  }
+
+  void workerLoop(Worker& w) {
+    try {
+      for (;;) {
+        if (stopFlag.load(std::memory_order_acquire)) {
+          TruncReason why;
+          {
+            std::lock_guard<std::mutex> lk(mu);
+            why = closeReason;
+          }
+          closeFrontier(w, why);
+          return;
+        }
+        if (w.frontier.empty()) {
+          if (!acquireWork(w)) return;
+          continue;
+        }
+        if (gCompleted.load(std::memory_order_relaxed) >= base.maxPaths) {
+          requestStop("max-paths", TruncReason::Paths);
+          continue;
+        }
+        if (gSteps.load(std::memory_order_relaxed) >= base.maxTotalSteps) {
+          requestStop("max-steps", TruncReason::Steps);
+          continue;
+        }
+        if (wallDeadlineSteadyUs != 0 &&
+            telemetry::Clock::system().nowMicros() > wallDeadlineSteadyUs) {
+          requestStop("wall", TruncReason::Wall);
+          continue;
+        }
+        handOffIfNeeded(w);
+        if (w.frontier.empty()) continue;
+        step(w);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lk(mu);
+      if (!error) error = std::current_exception();
+      finished = true;
+      stopFlag.store(true, std::memory_order_release);
+      cv.notify_all();
+    }
+  }
+};
+
+}  // namespace
+
+ParallelExplorer::ParallelExplorer(const loader::Image& image,
+                                   const EngineConfig& engineCfg,
+                                   ParallelConfig cfg, ExecutorFactory factory,
+                                   telemetry::Telemetry* mainTel)
+    : image_(image),
+      engineCfg_(engineCfg),
+      cfg_(std::move(cfg)),
+      factory_(std::move(factory)),
+      mainTel_(mainTel) {}
+
+ParallelResult ParallelExplorer::run() {
+  telemetry::Clock& mainClk =
+      mainTel_ ? mainTel_->clock() : telemetry::Clock::system();
+  // Exactly two reads of the coordinator clock per run (here and at the
+  // end), so wallSeconds under --clock=manual is a constant independent of
+  // scheduling; workers run on their own clock instances.
+  const uint64_t startUs = mainClk.nowMicros();
+
+  const unsigned jobs = std::max(1u, cfg_.jobs);
+  std::vector<std::unique_ptr<Worker>> workers;
+  workers.reserve(jobs);
+  for (unsigned i = 0; i < jobs; ++i) {
+    auto w = std::make_unique<Worker>(i, cfg_.base.rngSeed + i);
+    if (cfg_.manualClockStepUs != 0) {
+      w->clock =
+          std::make_unique<telemetry::ManualClock>(cfg_.manualClockStepUs);
+      w->tel = std::make_unique<telemetry::Telemetry>(*w->clock);
+    } else if (mainTel_ != nullptr) {
+      w->tel = std::make_unique<telemetry::Telemetry>();
+    }
+    w->svc = std::make_unique<EngineServices>(w->tm, w->solver, image_,
+                                              engineCfg_, w->tel.get());
+    w->solver.setFreshMode(true);
+    w->solver.setSharedCache(cfg_.qcache);
+    if (cfg_.solverConflictBudget != 0) {
+      w->solver.setConflictBudget(cfg_.solverConflictBudget);
+    }
+    if (cfg_.solverTimeoutMicros != 0) {
+      w->solver.setQueryTimeoutMicros(cfg_.solverTimeoutMicros);
+    }
+    w->exec = factory_(*w->svc);
+    if (w->tel != nullptr) {
+      // Resolve every explorer metric eagerly so the registry name union
+      // (and thus the merged "metrics" JSON) is identical across --jobs.
+      telemetry::MetricsRegistry& m = w->tel->metrics();
+      w->stepsCtr = &m.counter("explore.steps");
+      w->forksCtr = &m.counter("explore.forks");
+      w->dropsCtr = &m.counter("explore.drops");
+      w->mergesCtr = &m.counter("explore.merges");
+      w->pathsCtr = &m.counter("explore.paths");
+    }
+    workers.push_back(std::move(w));
+  }
+
+  Engine eng(cfg_, workers);
+  if (cfg_.base.maxWallSeconds > 0.0) {
+    // The wall budget is real elapsed time across the pool, so it runs on
+    // the system steady clock regardless of --clock (docs/parallelism.md:
+    // wall stops are inherently schedule-dependent).
+    eng.wallDeadlineSteadyUs =
+        telemetry::Clock::system().nowMicros() +
+        static_cast<uint64_t>(cfg_.base.maxWallSeconds * 1e6);
+  }
+
+  {
+    Worker& w0 = *workers[0];
+    Entry root;
+    root.state = w0.exec->initialState();
+    root.order = w0.orderCounter++;
+    root.bytes = root.state.approxBytes();
+    eng.gFrontier.store(1, std::memory_order_relaxed);
+    eng.gFrontierBytes.store(root.bytes, std::memory_order_relaxed);
+    NodeRec& r = eng.recs[root.key];
+    r.forkPc = root.state.pc;
+    r.entryPc = root.state.pc;
+    r.verdict = "root";
+    if (eng.ob) eng.ob->onRoot(0, root.state);
+    w0.frontier.push_back(std::move(root));
+  }
+
+  for (auto& w : workers) {
+    Worker* wp = w.get();
+    wp->thread = std::thread([&eng, wp] { eng.workerLoop(*wp); });
+  }
+  for (auto& w : workers) w->thread.join();
+  if (eng.error) std::rethrow_exception(eng.error);
+
+  // ---- barrier merge: canonical ids from the key-ordered record walk ---
+  ParallelResult res;
+  ExploreSummary& s = res.summary;
+  std::map<PathKey, uint64_t> ids;
+  {
+    uint64_t next = 0;
+    for (const auto& [k, rec] : eng.recs) ids.emplace(k, next++);
+  }
+  res.tree.reserve(eng.recs.size());
+  for (auto& [k, rec] : eng.recs) {
+    PathTreeNode n;
+    n.id = ids.at(k);
+    if (!k.empty()) {
+      PathKey pk = k;
+      pk.pop_back();
+      n.parent = ids.at(pk);
+    }
+    n.forkPc = rec.forkPc;
+    n.entryPc = rec.entryPc;
+    n.cond = std::move(rec.cond);
+    n.verdict = std::move(rec.verdict);
+    n.solverQueries = rec.solverQueries;
+    n.solverMicros = rec.solverMicros;
+    for (size_t i = 0; i < rec.numChildren; ++i) {
+      PathKey ck = k;
+      ck.push_back(static_cast<char32_t>(i));
+      n.children.push_back(ids.at(ck));
+    }
+    if (rec.result) {
+      PathResult& r = *rec.result;
+      n.status = pathStatusName(r.status);
+      if (r.status == PathStatus::Truncated) {
+        n.truncReason = truncReasonName(r.truncReason);
+      }
+      n.finalPc = r.finalPc;
+      n.steps = r.steps;
+      n.forks = r.forks;
+      n.exitCode = r.exitCode;
+      if (r.defect) {
+        n.defectKind = defectKindName(r.defect->kind);
+        n.defectPc = r.defect->pc;
+      }
+      n.testInputs = r.test.inputs;
+      s.paths.push_back(std::move(r));
+    } else if (rec.dropped) {
+      n.status = "dropped";
+      n.finalPc = rec.dropPc;
+    } else if (rec.numChildren > 0) {
+      n.status = "forked";
+    }
+    res.tree.push_back(std::move(n));
+  }
+
+  for (const auto& w : workers) {
+    s.totalSteps += w->steps;
+    s.totalForks += w->forksN;
+    s.statesDropped += w->drops;
+  }
+  s.statesMerged = 0;  // --merge is rejected with --jobs
+  for (const PathResult& p : s.paths) {
+    if (p.status == PathStatus::Truncated) {
+      ++s.statesTruncated;
+      ++s.truncatedByReason[static_cast<size_t>(p.truncReason)];
+    }
+  }
+  s.stopReason = eng.stopReason;
+  s.coveredPcs = eng.covered.size();
+  s.coveredSet = std::move(eng.covered);
+
+  solverTel_ = smt::SolverTelemetry{};
+  for (const auto& w : workers) {
+    const smt::SolverTelemetry t = w->solver.telemetrySnapshot();
+    solverTel_.queries += t.queries;
+    solverTel_.sat += t.sat;
+    solverTel_.unsat += t.unsat;
+    solverTel_.unknown += t.unknown;
+    solverTel_.totalMicros += t.totalMicros;
+    solverTel_.maxMicros = std::max(solverTel_.maxMicros, t.maxMicros);
+    solverTel_.cacheHits += t.cacheHits;
+    solverTel_.satCore += t.satCore;
+    solverTel_.blast += t.blast;
+    solverTel_.satVars += t.satVars;
+    solverTel_.satClauses += t.satClauses;
+  }
+  s.solverUnknowns = solverTel_.unknown;
+
+  if (mainTel_ != nullptr) {
+    for (const auto& w : workers) {
+      if (w->tel) mainTel_->metrics().mergeFrom(w->tel->metrics());
+    }
+  }
+
+  s.wallSeconds = double(mainClk.nowMicros() - startUs) / 1e6;
+  return res;
+}
+
+}  // namespace adlsym::core

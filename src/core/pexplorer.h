@@ -1,0 +1,121 @@
+// Deterministic multi-threaded exploration engine (docs/parallelism.md).
+// `explore --jobs=N` routes here instead of the sequential Explorer: a
+// pool of N workers, each with a private TermManager + SmtSolver in fresh
+// per-query mode, cooperates over the frontier through work stealing and
+// an optional shared single-flight query cache (src/smt/qcache.h).
+//
+// Determinism contract: under --clock=manual the merged results — stats
+// JSON, path forest, per-path test inputs and stdout — are byte-identical
+// for every N, because
+//   * every state is addressed by a structural path key (the sequence of
+//     fork-successor indices from the root), independent of which worker
+//     executes it or in what order;
+//   * every solver query is solved from scratch (canonical CNF -> one
+//     canonical model) and the shared cache is single-flight, so a cached
+//     hit replays exactly the model the sole solve produced;
+//   * the barrier merge walks the global record map in path-key order,
+//     which is DFS preorder, and assigns dense node ids from that walk.
+// Parallel node ids therefore differ from the sequential engine's
+// completion-order ids, but are identical across all --jobs values.
+// Remaining caveats (timing-dependent by nature): per-query wall
+// deadlines on the system clock, --max-wall-ms stops, and a *binding*
+// cache capacity all break cross-N identity; docs/parallelism.md lists
+// them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/executor.h"
+#include "core/explorer.h"
+#include "smt/solver.h"
+#include "support/telemetry.h"
+
+namespace adlsym::smt {
+class QueryCache;
+}
+
+namespace adlsym::core {
+
+/// One node of the canonical merged path tree, preorder-indexed: node 0 is
+/// the root and children follow their parent with ascending fork indices.
+/// Mirrors the fields obs::PathForestRecorder tracks so the forest can be
+/// rebuilt from the tree after the run (obs::forestFromTree).
+struct PathTreeNode {
+  uint64_t id = 0;
+  std::optional<uint64_t> parent;      // empty on the root
+  uint64_t forkPc = 0;                 // pc of the fork that minted us
+  uint64_t entryPc = 0;                // first pc executed on this node
+  std::string cond;                    // constraints added by the fork
+  std::string verdict;                 // "root" | "sat" | "assumed"
+  uint64_t solverQueries = 0;          // queries during the minting step
+  uint64_t solverMicros = 0;
+  std::string status = "open";         // terminal status or "forked"/"dropped"
+  std::string truncReason;             // set when status == "truncated"
+  uint64_t finalPc = 0;
+  uint64_t steps = 0;
+  unsigned forks = 0;
+  std::optional<uint64_t> exitCode;
+  std::string defectKind;
+  uint64_t defectPc = 0;
+  std::vector<TestCase::Value> testInputs;
+  std::vector<uint64_t> children;
+};
+
+struct ParallelConfig {
+  ExplorerConfig base;             // strategy, budgets, live observer
+  unsigned jobs = 1;               // worker threads (clamped to >= 1)
+  uint64_t manualClockStepUs = 0;  // per-worker ManualClock step; 0 = system
+  smt::QueryCache* qcache = nullptr;  // shared cache; null = solve per query
+  uint64_t solverConflictBudget = 0;
+  uint64_t solverTimeoutMicros = 0;   // per-query deadline on worker clocks
+};
+
+struct ParallelResult {
+  ExploreSummary summary;           // paths in preorder (tree) order
+  std::vector<PathTreeNode> tree;   // dense preorder ids; [0] = root
+};
+
+class ParallelExplorer {
+ public:
+  /// Builds one executor per worker against that worker's private
+  /// EngineServices (term pool + solver). The factory runs on the
+  /// coordinator thread before workers start.
+  using ExecutorFactory =
+      std::function<std::unique_ptr<Executor>(EngineServices&)>;
+
+  /// `mainTel` is the coordinator's bundle: its clock stamps wallSeconds
+  /// (read exactly twice) and worker metric registries are merged into it
+  /// at the barrier. Workers never emit trace events — with --jobs the
+  /// trace file is empty by design (docs/parallelism.md).
+  ParallelExplorer(const loader::Image& image, const EngineConfig& engineCfg,
+                   ParallelConfig cfg, ExecutorFactory factory,
+                   telemetry::Telemetry* mainTel = nullptr);
+
+  /// Runs the pool to completion and merges. Worker exceptions (injected
+  /// faults, bad_alloc) stop the pool and rethrow here. Live observers in
+  /// cfg.base.observer are invoked from worker threads with node id 0 —
+  /// canonical ids exist only in the merged tree — so they must be
+  /// thread-safe (LockedObserverMux) and use only order-independent
+  /// StepInfo fields if their output is compared across --jobs values.
+  ParallelResult run();
+
+  /// Across-worker aggregate of the per-worker solver snapshots; valid
+  /// after run(). Sums are canonical because each per-state query
+  /// sequence is schedule-independent.
+  const smt::SolverTelemetry& solverTelemetry() const { return solverTel_; }
+
+ private:
+  const loader::Image& image_;
+  EngineConfig engineCfg_;  // by value: worker services reference it
+  ParallelConfig cfg_;
+  ExecutorFactory factory_;
+  telemetry::Telemetry* mainTel_;
+  smt::SolverTelemetry solverTel_;
+};
+
+}  // namespace adlsym::core

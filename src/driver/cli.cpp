@@ -10,6 +10,7 @@
 #include "analysis/lint.h"
 #include "asmgen/assembler.h"
 #include "asmgen/disasm.h"
+#include "core/pexplorer.h"
 #include "core/testgen.h"
 #include "driver/session.h"
 #include "isa/registry.h"
@@ -18,6 +19,7 @@
 #include "obs/querylog.h"
 #include "obs/replay.h"
 #include "obs/sitestats.h"
+#include "smt/qcache.h"
 #include "support/error.h"
 #include "support/fault.h"
 #include "support/json.h"
@@ -80,7 +82,7 @@ class CommandTelemetry {
     }
     json::Writer w(out);
     w.beginObject();
-    w.kv("schema", "adlsym-stats-v3");
+    w.kv("schema", "adlsym-stats-v4");
     w.kv("command", std::string_view(command));
     w.kv("isa", std::string_view(isa));
     writeBody(w);
@@ -145,6 +147,15 @@ std::string usage() {
       "  --coverage                           per-insn coverage report\n"
       "  --lint                               lint model+image first;\n"
       "                                       error findings abort\n"
+      "\n"
+      "parallel exploration (explore; docs/parallelism.md):\n"
+      "  --jobs N             worker threads (1..64); results are byte-\n"
+      "                       identical across N under --clock=manual.\n"
+      "                       Incompatible with --merge and --query-log\n"
+      "  --qcache=on|off|N    shared SMT query cache across workers:\n"
+      "                       on = unbounded (default), off = solve every\n"
+      "                       query, N = capacity with FIFO eviction\n"
+      "                       (eviction makes hit counts schedule-dependent)\n"
       "\n"
       "resource governor (explore; docs/robustness.md):\n"
       "  --max-frontier N       cap the frontier; excess states are\n"
@@ -383,6 +394,123 @@ CommandResult cmdExplore(const std::string& isaName,
     if (!report.findings().empty()) lintText = report.formatText(isaName);
     if (report.hasErrors()) return {1, lintText};
   }
+  // ---- parallel engine (--jobs, docs/parallelism.md) ------------------
+  if (opt.jobs > 0) {
+    if (opt.mergeStates) {
+      return fail("--merge is not supported with --jobs");
+    }
+    if (!opt.queryLogDir.empty()) {
+      return fail("--query-log is not supported with --jobs");
+    }
+    CommandTelemetry ct(opt.statsJsonPath, opt.tracePath,
+                        opt.manualClockStepUs);
+    // Live observers only; the path forest is rebuilt from the merged
+    // tree after the run, so only thread-safe collectors ride along, all
+    // behind one locked mux.
+    core::LockedObserverMux mux;
+    std::unique_ptr<obs::ProgressMeter> progress;
+    if (opt.progressSeconds > 0.0) {
+      // Always on the system clock: heartbeats are a live wall-time
+      // display from concurrent workers, not a deterministic artifact.
+      progress = std::make_unique<obs::ProgressMeter>(nullptr, std::cerr,
+                                                      opt.progressSeconds);
+      mux.add(progress.get());
+    }
+    std::unique_ptr<obs::SiteStatsCollector> sites;
+    if (ct.wantsStatsJson()) {
+      sites = std::make_unique<obs::SiteStatsCollector>(*model, image);
+      mux.add(sites.get());
+    }
+
+    std::unique_ptr<smt::QueryCache> qcache;
+    if (opt.qcacheOn) {
+      qcache = std::make_unique<smt::QueryCache>(opt.qcacheCapacity);
+    }
+
+    core::ParallelConfig pcfg;
+    pcfg.base = sopt.explorer;
+    if (!mux.empty()) pcfg.base.observer = &mux;
+    pcfg.jobs = static_cast<unsigned>(opt.jobs);
+    pcfg.manualClockStepUs = opt.manualClockStepUs;
+    pcfg.qcache = qcache.get();
+    pcfg.solverConflictBudget = sopt.solverConflictBudget;
+    pcfg.solverTimeoutMicros = opt.solverTimeoutMs * 1000;
+
+    const adl::ArchModel& m = *model;
+    core::ParallelExplorer pex(
+        image, sopt.engine, pcfg,
+        [&m](core::EngineServices& svc) -> std::unique_ptr<core::Executor> {
+          return std::make_unique<core::AdlExecutor>(m, svc);
+        },
+        ct.get());
+    core::ParallelResult pres = pex.run();
+    const core::ExploreSummary& summary = pres.summary;
+
+    if (!opt.pathForestPath.empty() || !opt.pathDotPath.empty()) {
+      const obs::PathForestRecorder forest = obs::forestFromTree(pres.tree);
+      if (!opt.pathForestPath.empty()) {
+        fault::hit("obs.write");
+        std::ofstream out(opt.pathForestPath,
+                          std::ios::binary | std::ios::trunc);
+        if (!out) {
+          return fail("cannot open path-forest file '" + opt.pathForestPath +
+                      "'");
+        }
+        forest.writeJson(out);
+      }
+      if (!opt.pathDotPath.empty()) {
+        fault::hit("obs.write");
+        std::ofstream out(opt.pathDotPath, std::ios::binary | std::ios::trunc);
+        if (!out) {
+          return fail("cannot open path-dot file '" + opt.pathDotPath + "'");
+        }
+        forest.writeDot(out);
+      }
+    }
+
+    ct.writeStatsJson("explore", isaName, [&](json::Writer& w) {
+      w.kv("strategy", std::string_view(opt.strategy));
+      w.key("summary");
+      core::writeSummaryJson(w, summary);
+      w.key("solver");
+      pex.solverTelemetry().writeJson(w);
+      // v4 addition: the shared query cache. Note no "jobs" field anywhere
+      // in the document — byte-identity across --jobs values is the
+      // contract, so the document cannot mention the jobs count.
+      w.key("qcache");
+      if (qcache) {
+        qcache->stats().writeJson(w);
+      } else {
+        w.beginObject();
+        w.kv("enabled", false);
+        w.endObject();
+      }
+      if (sites) sites->writeJson(w);
+    });
+    ct.finish();
+
+    std::ostringstream os;
+    os << lintText;
+    os << core::formatSummary(summary);
+    if (opt.coverageReport) {
+      for (const loader::Section& sec : image.sections()) {
+        if (sec.writable) continue;
+        os << "\ncoverage of section " << sec.name << ":\n"
+           << core::formatCoverage(*model, image, sec.name, summary);
+      }
+    }
+    os << pex.solverTelemetry().format();
+    int code = 0;
+    if (summary.numDefects() > 0) {
+      code = 1;
+    } else if (summary.budgetExhausted() ||
+               (!summary.stopReason.empty() &&
+                summary.stopReason != "first-defect")) {
+      code = 3;
+    }
+    return {code, os.str()};
+  }
+
   CommandTelemetry ct(opt.statsJsonPath, opt.tracePath, opt.manualClockStepUs);
   smt::TermManager tm;
   smt::SmtSolver solver(tm);
@@ -600,6 +728,26 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           const auto v = parseInt(args[i].substr(15));
           if (!v || *v == 0) return fail("bad --clock step '" + args[i] + "'");
           opt.manualClockStepUs = *v;
+        } else if ((args[i] == "--jobs" && i + 1 < args.size()) ||
+                   startsWith(args[i], "--jobs=")) {
+          const std::string v = startsWith(args[i], "--jobs=")
+                                    ? args[i].substr(7)
+                                    : args[++i];
+          const auto n = parseInt(v);
+          if (!n || *n == 0 || *n > 64) {
+            return fail("bad --jobs count '" + v + "' (want 1..64)");
+          }
+          opt.jobs = *n;
+        } else if (args[i] == "--qcache=on") {
+          opt.qcacheOn = true;
+          opt.qcacheCapacity = 0;
+        } else if (args[i] == "--qcache=off") {
+          opt.qcacheOn = false;
+        } else if (startsWith(args[i], "--qcache=")) {
+          const auto v = parseInt(args[i].substr(9));
+          if (!v || *v == 0) return fail("bad --qcache '" + args[i] + "'");
+          opt.qcacheOn = true;
+          opt.qcacheCapacity = *v;
         } else if (args[i] == "--progress") {
           opt.progressSeconds = 1.0;
         } else if (startsWith(args[i], "--progress=")) {

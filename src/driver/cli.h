@@ -99,6 +99,20 @@ struct ExploreOptions {
   /// Run on a deterministic ManualClock advancing this many microseconds
   /// per read (0 = system clock). Makes --stats-json byte-reproducible.
   uint64_t manualClockStepUs = 0;
+
+  // ---- parallel exploration (docs/parallelism.md) --------------------
+  /// Worker threads for the parallel engine (0 = the sequential
+  /// explorer; 1..64 = core::ParallelExplorer). With --clock=manual the
+  /// stats JSON, path forest and generated test inputs are byte-identical
+  /// across every jobs value. Incompatible with --merge and --query-log.
+  uint64_t jobs = 0;
+  /// Shared SMT query cache for the parallel engine (--qcache=on|off|N).
+  /// Ignored by the sequential explorer, which has its own per-solver
+  /// cache.
+  bool qcacheOn = true;
+  /// Cache entry capacity; 0 = unbounded (the deterministic default —
+  /// a binding capacity makes hit counts depend on scheduling).
+  uint64_t qcacheCapacity = 0;
 };
 
 /// `adlsym explore <isa> <image-text>` — symbolic exploration; prints the

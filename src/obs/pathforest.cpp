@@ -4,6 +4,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/pexplorer.h"
 #include "core/testgen.h"
 #include "smt/printer.h"
 #include "support/json.h"
@@ -221,6 +222,36 @@ std::string PathForestRecorder::toDot() const {
   std::ostringstream os;
   writeDot(os);
   return os.str();
+}
+
+PathForestRecorder forestFromTree(
+    const std::vector<core::PathTreeNode>& tree,
+    PathForestRecorder::Options opt) {
+  PathForestRecorder rec(opt);
+  rec.nodes_.reserve(tree.size());
+  for (const core::PathTreeNode& t : tree) {
+    PathNode n;
+    n.id = t.id;
+    n.parent = t.parent;
+    n.forkPc = t.forkPc;
+    n.entryPc = t.entryPc;
+    n.cond = t.cond;
+    n.verdict = t.verdict;
+    n.solverQueries = t.solverQueries;
+    n.solverMicros = t.solverMicros;
+    n.status = t.status;
+    n.truncReason = t.truncReason;
+    n.finalPc = t.finalPc;
+    n.steps = t.steps;
+    n.forks = t.forks;
+    n.exitCode = t.exitCode;
+    n.defectKind = t.defectKind;
+    n.defectPc = t.defectPc;
+    n.testInputs = t.testInputs;
+    n.children = t.children;
+    rec.nodes_.push_back(std::move(n));
+  }
+  return rec;
 }
 
 }  // namespace adlsym::obs

@@ -15,6 +15,10 @@
 
 #include "core/observer.h"
 
+namespace adlsym::core {
+struct PathTreeNode;
+}
+
 namespace adlsym::obs {
 
 struct PathNode {
@@ -86,6 +90,9 @@ class PathForestRecorder final : public core::ExploreObserver {
   std::string toDot() const;
 
  private:
+  friend PathForestRecorder forestFromTree(
+      const std::vector<core::PathTreeNode>& tree, Options opt);
+
   PathNode& at(uint64_t id);
 
   Options opt_;
@@ -93,5 +100,13 @@ class PathForestRecorder final : public core::ExploreObserver {
   std::vector<uint64_t> stepChildren_; // minted during the current step
   uint64_t stepPc_ = 0;                // pc of the in-flight step
 };
+
+/// Rebuild a recorder from the parallel engine's merged path tree
+/// (core::ParallelResult::tree): node ids are already dense and preorder,
+/// so the conversion is field-for-field and the resulting JSON/DOT has the
+/// same shape as a live recording — byte-identical across --jobs values.
+PathForestRecorder forestFromTree(
+    const std::vector<core::PathTreeNode>& tree,
+    PathForestRecorder::Options opt = {});
 
 }  // namespace adlsym::obs

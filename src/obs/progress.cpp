@@ -12,6 +12,7 @@ ProgressMeter::ProgressMeter(telemetry::Telemetry* tel, std::ostream& os,
 }
 
 void ProgressMeter::onStepEnd(const StepInfo& info) {
+  std::lock_guard<std::mutex> lk(mu_);
   telemetry::Clock& clock =
       tel_ ? tel_->clock() : telemetry::Clock::system();
   const uint64_t now = clock.nowMicros();

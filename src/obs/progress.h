@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <ostream>
 
 #include "core/observer.h"
@@ -23,11 +24,17 @@ class ProgressMeter final : public core::ExploreObserver {
   ProgressMeter(telemetry::Telemetry* tel, std::ostream& os,
                 double intervalSeconds = 1.0);
 
+  /// Thread-safe: parallel exploration workers report steps concurrently
+  /// (an internal mutex serializes clock reads, state and the stream).
   void onStepEnd(const StepInfo& info) override;
 
-  uint64_t beats() const { return beats_; }
+  uint64_t beats() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return beats_;
+  }
 
  private:
+  mutable std::mutex mu_;
   telemetry::Telemetry* tel_;
   std::ostream& os_;
   uint64_t intervalMicros_;

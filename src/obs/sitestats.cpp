@@ -5,6 +5,7 @@
 namespace adlsym::obs {
 
 void SiteStatsCollector::onStepEnd(const StepInfo& info) {
+  std::lock_guard<std::mutex> lk(mu_);
   const decode::DecodedInsn* d = decoder_.decodeAt(image_, info.pc);
   ++opcodes_[d != nullptr ? d->insn->name : "<illegal>"];
   Site& site = sites_[info.pc];
@@ -15,6 +16,7 @@ void SiteStatsCollector::onStepEnd(const StepInfo& info) {
 }
 
 void SiteStatsCollector::onDrop(uint64_t /*node*/, uint64_t pc) {
+  std::lock_guard<std::mutex> lk(mu_);
   ++sites_[pc].infeasible;
 }
 

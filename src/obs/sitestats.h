@@ -1,5 +1,5 @@
 // Per-opcode and per-branch-site accounting for the stats document
-// (docs/observability.md, adlsym-stats-v3): an ExploreObserver that
+// (docs/observability.md, adlsym-stats-v4): an ExploreObserver that
 // decodes every executed pc through the loaded ADL model and counts
 // executions per mnemonic, plus a per-pc table of fork/infeasible events
 // — the branch sites that actually split or killed paths. The decoder
@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "core/observer.h"
@@ -25,6 +26,10 @@ class SiteStatsCollector final : public core::ExploreObserver {
   SiteStatsCollector(const adl::ArchModel& model, const loader::Image& image)
       : image_(image), decoder_(model) {}
 
+  /// Thread-safe: parallel exploration workers report steps and drops
+  /// concurrently (an internal mutex guards the decoder cache and both
+  /// tables). Counts are order-independent sums over std::maps, so the
+  /// JSON is identical across --jobs values.
   void onStepEnd(const StepInfo& info) override;
   void onDrop(uint64_t node, uint64_t pc) override;
 
@@ -44,6 +49,7 @@ class SiteStatsCollector final : public core::ExploreObserver {
   void writeJson(json::Writer& w) const;
 
  private:
+  mutable std::mutex mu_;
   const loader::Image& image_;
   decode::Decoder decoder_;
   std::map<std::string, uint64_t> opcodes_;  // mnemonic -> executions

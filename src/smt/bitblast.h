@@ -39,6 +39,14 @@ class BitBlaster {
     uint64_t gates = 0;      // fresh gate variables introduced
     uint64_t cacheHits = 0;  // structural gate-cache hits
     uint64_t termsBlasted = 0;
+
+    /// Aggregate (fresh-solve mode sums one throwaway blaster per query).
+    Stats& operator+=(const Stats& o) {
+      gates += o.gates;
+      cacheHits += o.cacheHits;
+      termsBlasted += o.termsBlasted;
+      return *this;
+    }
   };
   const Stats& stats() const { return stats_; }
 

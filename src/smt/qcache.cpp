@@ -1,0 +1,259 @@
+#include "smt/qcache.h"
+
+#include <algorithm>
+
+#include "smt/solver.h"
+#include "support/json.h"
+
+namespace adlsym::smt {
+
+namespace {
+
+void appendNum(std::string& out, uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof buf;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  out.append(p, buf + sizeof buf);
+}
+
+void appendRef(std::string& out, TermId id,
+               const std::unordered_map<TermId, size_t>& memo) {
+  if (id == kInvalidTerm) {
+    out += '-';
+    return;
+  }
+  appendNum(out, memo.at(id));
+}
+
+enum class VarMode : uint8_t {
+  Blind,  // "V<w>:?"       — name-independent sort key
+  Named,  // "V<w>:<name>"  — within-pool deterministic tie-break
+  Slot,   // "V<w>:@<slot>" — α-renamed final key
+};
+
+/// Append post-order descriptors of every node under `root` not already in
+/// `memo`; returns root's local index. Local indices are emission order,
+/// so the serialization is DAG-shared: a subterm reachable twice is
+/// defined once and referenced by index.
+size_t serializeTerm(const TermManager& tm, TermId root, VarMode mode,
+                     std::unordered_map<TermId, size_t>& memo,
+                     std::string& out,
+                     std::unordered_map<std::string, size_t>* slotByName,
+                     std::vector<TermRef>* slotVars, TermManager* mgr) {
+  std::vector<TermId> stack{root};
+  while (!stack.empty()) {
+    const TermId id = stack.back();
+    if (memo.count(id) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const TermNode& n = tm.node(id);
+    const TermId ops[3] = {n.a, n.b, n.c};
+    bool ready = true;
+    for (const TermId o : ops) {
+      if (o != kInvalidTerm && memo.count(o) == 0) {
+        stack.push_back(o);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    switch (n.kind) {
+      case Kind::Const:
+        out += 'C';
+        appendNum(out, n.width);
+        out += ':';
+        appendNum(out, n.aux);
+        break;
+      case Kind::Var:
+        out += 'V';
+        appendNum(out, n.width);
+        out += ':';
+        switch (mode) {
+          case VarMode::Blind:
+            out += '?';
+            break;
+          case VarMode::Named:
+            out += tm.varName(id);
+            break;
+          case VarMode::Slot: {
+            const std::string& name = tm.varName(id);
+            auto [it, inserted] =
+                slotByName->try_emplace(name, slotByName->size());
+            if (inserted && slotVars != nullptr) {
+              slotVars->push_back(TermRef(mgr, id));
+            }
+            out += '@';
+            appendNum(out, it->second);
+            break;
+          }
+        }
+        break;
+      default:
+        out += 'O';
+        appendNum(out, static_cast<uint64_t>(n.kind));
+        out += ':';
+        appendNum(out, n.width);
+        out += ':';
+        appendRef(out, n.a, memo);
+        out += ',';
+        appendRef(out, n.b, memo);
+        out += ',';
+        appendRef(out, n.c, memo);
+        out += ':';
+        appendNum(out, n.aux);
+        break;
+    }
+    out += ';';
+    memo.emplace(id, memo.size());
+  }
+  return memo.at(root);
+}
+
+}  // namespace
+
+std::string QueryCache::canonicalKey(const std::vector<TermRef>& permanent,
+                                     const std::vector<TermRef>& assumptions,
+                                     std::vector<TermRef>* slotVars) {
+  if (slotVars != nullptr) slotVars->clear();
+  // The query is the *set* permanent ∪ assumptions; order and duplicates
+  // don't affect satisfiability. Within one pool, structural equality is
+  // id equality, so de-duplicating ids de-duplicates structure.
+  std::vector<TermRef> terms;
+  terms.reserve(permanent.size() + assumptions.size());
+  for (const TermRef t : permanent) {
+    if (t.valid() && !t.isTrue()) terms.push_back(t);
+  }
+  for (const TermRef t : assumptions) {
+    if (t.valid() && !t.isTrue()) terms.push_back(t);
+  }
+  if (terms.empty()) return std::string();
+  TermManager* mgr = terms.front().manager();
+  {
+    std::vector<TermId> ids;
+    ids.reserve(terms.size());
+    for (const TermRef t : terms) ids.push_back(t.id());
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    terms.clear();
+    for (const TermId id : ids) terms.push_back(TermRef(mgr, id));
+  }
+
+  // Pass 1: per-constraint sort keys. Primary key is name-*blind* so the
+  // order (and hence the α-renaming below) is invariant under variable
+  // renamings that don't collide structurally; the name-aware secondary
+  // key keeps the order deterministic within one pool.
+  struct Item {
+    std::string blind;
+    std::string named;
+    TermId id;
+  };
+  std::vector<Item> items;
+  items.reserve(terms.size());
+  for (const TermRef t : terms) {
+    Item it;
+    it.id = t.id();
+    std::unordered_map<TermId, size_t> memo;
+    serializeTerm(*mgr, t.id(), VarMode::Blind, memo, it.blind, nullptr,
+                  nullptr, nullptr);
+    memo.clear();
+    serializeTerm(*mgr, t.id(), VarMode::Named, memo, it.named, nullptr,
+                  nullptr, nullptr);
+    items.push_back(std::move(it));
+  }
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.blind != b.blind) return a.blind < b.blind;
+    return a.named < b.named;
+  });
+
+  // Pass 2: one global DAG walk over the sorted set, variables α-renamed
+  // to dense slots in first-occurrence order.
+  std::string key;
+  std::unordered_map<TermId, size_t> memo;
+  std::unordered_map<std::string, size_t> slotByName;
+  for (const Item& it : items) {
+    const size_t root = serializeTerm(*mgr, it.id, VarMode::Slot, memo, key,
+                                      &slotByName, slotVars, mgr);
+    key += 'R';
+    appendNum(key, root);
+    key += ';';
+  }
+  return key;
+}
+
+QueryCache::Outcome QueryCache::acquire(const std::string& key) {
+  std::unique_lock<std::mutex> lk(mu_);
+  for (;;) {
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+      map_.emplace(key, Entry{});  // in-flight marker; caller owns
+      ++stats_.misses;
+      return Outcome{};
+    }
+    if (it->second.done) {
+      ++stats_.hits;
+      Outcome o;
+      o.hit = true;
+      o.result = it->second.result;
+      o.slotValues = it->second.slotValues;
+      return o;
+    }
+    // In flight on another thread: wait for publish()/abandon(), then
+    // re-examine (an abandoned key makes this caller the next owner).
+    ++stats_.inflightWaits;
+    cv_.wait(lk, [&] {
+      auto cur = map_.find(key);
+      return cur == map_.end() || cur->second.done;
+    });
+  }
+}
+
+void QueryCache::publish(const std::string& key, CheckResult result,
+                         std::vector<uint64_t> slotValues) {
+  std::lock_guard<std::mutex> lk(mu_);
+  Entry& e = map_[key];
+  e.done = true;
+  e.result = result;
+  e.slotValues = std::move(slotValues);
+  fifo_.push_back(key);
+  if (capacity_ != 0) {
+    while (fifo_.size() > capacity_) {
+      map_.erase(fifo_.front());
+      fifo_.pop_front();
+      ++stats_.evictions;
+    }
+  }
+  cv_.notify_all();
+}
+
+void QueryCache::abandon(const std::string& key) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it != map_.end() && !it->second.done) map_.erase(it);
+  cv_.notify_all();
+}
+
+QueryCache::Stats QueryCache::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  Stats s = stats_;
+  s.entries = fifo_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+void QueryCache::Stats::writeJson(json::Writer& w) const {
+  w.beginObject();
+  w.kv("enabled", true);
+  w.kv("capacity", static_cast<uint64_t>(capacity));
+  w.kv("entries", static_cast<uint64_t>(entries));
+  w.kv("hits", hits);
+  w.kv("misses", misses);
+  w.kv("evictions", evictions);
+  w.kv("hit_rate", hitRate());
+  w.endObject();
+}
+
+}  // namespace adlsym::smt

@@ -1,0 +1,123 @@
+// Shared SMT query cache for multi-threaded exploration (docs/
+// parallelism.md). Workers solve path-feasibility queries on per-worker
+// term pools, so TermIds are not comparable across threads; the cache key
+// is instead a *canonical serialization* of the whole constraint set:
+// assumptions are serialized structurally (DAG-shared, so shared subterms
+// never blow up the key), sorted name-blind, de-duplicated, and variables
+// are α-renamed to dense slots in first-occurrence order. Two constraint
+// sets that are structurally equal up to a variable renaming (that
+// preserves the sorted order — e.g. any single-constraint query, or sets
+// whose constraints differ structurally) produce the same key; false
+// positives are impossible because the key encodes the full structure.
+//
+// Sat entries store their model as a slot-indexed value vector; each
+// client translates slots back to its own pool's variables through the
+// slotVars mapping returned by canonicalKey. This is what makes cached
+// models *canonical*: every distinct key is solved exactly once (single-
+// flight), on a fresh solver whose CNF depends only on term structure, so
+// the model a worker observes is independent of scheduling — the
+// cornerstone of the -j1 == -jN determinism guarantee.
+//
+// Concurrency: one mutex + condvar. acquire() is single-flight — the
+// first caller of a key becomes its *owner* and must publish() (verdict +
+// model) or abandon() (Unknown / exception) it; concurrent callers of the
+// same key block until the owner resolves it. Eviction is FIFO over
+// completed entries and only occurs when a capacity is set.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "smt/term.h"
+
+namespace adlsym::json {
+class Writer;
+}
+
+namespace adlsym::smt {
+
+enum class CheckResult;  // smt/solver.h
+
+class QueryCache {
+ public:
+  /// `capacity` bounds completed entries (FIFO eviction); 0 = unbounded.
+  /// Note: with a binding capacity, *which* entries survive depends on
+  /// completion order, so hit/miss counts are only deterministic across
+  /// -jN when the capacity does not bind (docs/parallelism.md).
+  explicit QueryCache(size_t capacity = 0) : capacity_(capacity) {}
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  struct Stats {
+    uint64_t hits = 0;        // completed verdict served (incl. waited)
+    uint64_t misses = 0;      // caller became the owner and solved
+    uint64_t evictions = 0;   // completed entries dropped by capacity
+    /// Lookups that blocked on another thread's in-flight solve. Resolves
+    /// as a hit; excluded from the stats JSON because it is inherently
+    /// scheduling-dependent (the counts above are not).
+    uint64_t inflightWaits = 0;
+    size_t entries = 0;       // completed entries resident now
+    size_t capacity = 0;      // 0 = unbounded
+
+    double hitRate() const {
+      const uint64_t total = hits + misses;
+      return total ? double(hits) / double(total) : 0.0;
+    }
+    /// The "qcache" object of the stats schema (adlsym-stats-v4). Emits
+    /// only scheduling-independent fields.
+    void writeJson(json::Writer& w) const;
+  };
+  Stats stats() const;
+
+  struct Outcome {
+    bool hit = false;   // result/slotValues valid; otherwise caller owns
+    CheckResult result;
+    std::vector<uint64_t> slotValues;  // Sat models, indexed by var slot
+  };
+
+  /// Single-flight lookup: a hit returns the completed verdict (+model);
+  /// otherwise the caller is now the key's owner and *must* call
+  /// publish() or abandon() exactly once. Blocks while another thread
+  /// owns the key.
+  Outcome acquire(const std::string& key);
+
+  /// Owner: complete the key with a verdict (never Unknown — abandon
+  /// those) and, for Sat, the slot-indexed model.
+  void publish(const std::string& key, CheckResult result,
+               std::vector<uint64_t> slotValues);
+
+  /// Owner: give the key up without a verdict (Unknown result, or an
+  /// exception unwound through the solve). Waiters retry and one becomes
+  /// the next owner.
+  void abandon(const std::string& key);
+
+  /// Canonical serialization of permanent ∪ assumptions (see file
+  /// comment). `slotVars`, when non-null, receives the caller-pool Var
+  /// term for each α-slot, in slot order — the model translation table.
+  /// True assumptions are skipped; callers must short-circuit constant-
+  /// false assumptions *before* keying (they never reach the solver).
+  static std::string canonicalKey(const std::vector<TermRef>& permanent,
+                                  const std::vector<TermRef>& assumptions,
+                                  std::vector<TermRef>* slotVars);
+
+ private:
+  struct Entry {
+    bool done = false;
+    CheckResult result;
+    std::vector<uint64_t> slotValues;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::unordered_map<std::string, Entry> map_;
+  std::deque<std::string> fifo_;  // completed keys, publish order
+  size_t capacity_;
+  Stats stats_;
+};
+
+}  // namespace adlsym::smt

@@ -61,6 +61,19 @@ class SatSolver {
     uint64_t learned = 0;
     uint64_t deletedClauses = 0;
     uint64_t deadlineAborts = 0;  // solves abandoned by setDeadline()
+
+    /// Aggregate another core's stats into this one (the fresh-solve mode
+    /// of SmtSolver sums one throwaway SatSolver per query).
+    Stats& operator+=(const Stats& o) {
+      conflicts += o.conflicts;
+      decisions += o.decisions;
+      propagations += o.propagations;
+      restarts += o.restarts;
+      learned += o.learned;
+      deletedClauses += o.deletedClauses;
+      deadlineAborts += o.deadlineAborts;
+      return *this;
+    }
   };
   const Stats& stats() const { return stats_; }
   size_t numClauses() const { return clauses_.size(); }

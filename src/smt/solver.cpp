@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "smt/printer.h"
+#include "smt/qcache.h"
 #include "support/fault.h"
 #include "support/json.h"
 #include "support/strings.h"
@@ -85,10 +86,17 @@ SolverTelemetry SmtSolver::telemetrySnapshot() const {
   t.totalMicros = stats_.totalMicros;
   t.maxMicros = stats_.maxMicros;
   t.cacheHits = cacheHits_;
-  t.satCore = sat_.stats();
-  t.blast = bb_.stats();
-  t.satVars = sat_.numVars();
-  t.satClauses = sat_.numClauses();
+  if (freshMode_) {
+    t.satCore = freshSat_;
+    t.blast = freshBlast_;
+    t.satVars = freshVars_;
+    t.satClauses = freshClauses_;
+  } else {
+    t.satCore = sat_.stats();
+    t.blast = bb_.stats();
+    t.satVars = sat_.numVars();
+    t.satClauses = sat_.numClauses();
+  }
   return t;
 }
 
@@ -137,6 +145,56 @@ CheckResult SmtSolver::checkFresh(const std::vector<TermRef>& assumptions) {
   return CheckResult::Unknown;
 }
 
+CheckResult SmtSolver::solveFreshWithModel(
+    const std::vector<TermRef>& assumptions, telemetry::Clock* clk,
+    uint64_t deadlineUs) {
+  SatSolver fs;
+  BitBlaster fb(tm_, fs);
+  fs.setTelemetry(tel_);
+  fb.setTelemetry(tel_);
+  fs.setConflictBudget(conflictBudget_);
+  if (deadlineUs != 0) fs.setDeadline(clk, deadlineUs);
+  bool bad = false;
+  for (const TermRef t : permanentAsserts_) {
+    if (t.isFalse() || !fs.addUnit(fb.litFor(t))) bad = true;
+  }
+  std::vector<Lit> lits;
+  lits.reserve(assumptions.size());
+  for (const TermRef t : assumptions) {
+    if (t.isTrue()) continue;
+    if (t.isFalse()) {
+      bad = true;
+      break;
+    }
+    lits.push_back(fb.litFor(t));
+  }
+  CheckResult r = CheckResult::Unknown;
+  if (bad) {
+    r = CheckResult::Unsat;
+  } else {
+    switch (fs.solve(lits)) {
+      case SatResult::Sat: r = CheckResult::Sat; break;
+      case SatResult::Unsat: r = CheckResult::Unsat; break;
+      case SatResult::Unknown: r = CheckResult::Unknown; break;
+    }
+  }
+  if (r == CheckResult::Sat) {
+    model_.clear();
+    for (const auto& [termId, bits] : fb.varTerms()) {
+      uint64_t v = 0;
+      for (size_t i = 0; i < bits.size(); ++i) {
+        if (fs.modelValue(bits[i])) v |= uint64_t{1} << i;
+      }
+      model_[tm_.varIndex(termId)] = v;
+    }
+  }
+  freshSat_ += fs.stats();
+  freshBlast_ += fb.stats();
+  freshVars_ += fs.numVars();
+  freshClauses_ += fs.numClauses();
+  return r;
+}
+
 CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
   fault::hit("solver.check");
   ++stats_.queries;
@@ -171,6 +229,69 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
   };
 
   if (permanentlyUnsat_) return finish(CheckResult::Unsat);
+
+  if (freshMode_) {
+    for (const TermRef t : assumptions) {
+      adlsym::check(t.width() == 1, "assumption must be width 1");
+      if (t.isFalse()) return finish(CheckResult::Unsat);
+    }
+    uint64_t deadlineUs = 0;
+    if (queryTimeoutMicros_ != 0) deadlineUs = startUs + queryTimeoutMicros_;
+    if (wallDeadlineMicros_ != 0) {
+      deadlineUs = deadlineUs == 0 ? wallDeadlineMicros_
+                                   : std::min(deadlineUs, wallDeadlineMicros_);
+    }
+    if (deadlineUs != 0 && startUs >= deadlineUs) {
+      return finish(CheckResult::Unknown);
+    }
+    if (sharedCache_ == nullptr) {
+      return finish(solveFreshWithModel(assumptions, &clk, deadlineUs));
+    }
+    // Shared-cache path: canonical key, single-flight solve-or-wait.
+    std::vector<TermRef> slotVars;
+    const std::string key =
+        QueryCache::canonicalKey(permanentAsserts_, assumptions, &slotVars);
+    QueryCache::Outcome o = sharedCache_->acquire(key);
+    if (o.hit) {
+      ++cacheHits_;
+      cached = true;
+      if (cacheHitCtr_) cacheHitCtr_->add();
+      if (o.result == CheckResult::Sat) {
+        // Translate the slot-indexed canonical model back to this pool's
+        // variables (slotVars[i] is the Var term behind α-slot i).
+        model_.clear();
+        const size_t n = std::min(slotVars.size(), o.slotValues.size());
+        for (size_t i = 0; i < n; ++i) {
+          model_[tm_.varIndex(slotVars[i].id())] = o.slotValues[i];
+        }
+      }
+      return finish(o.result);
+    }
+    if (cacheMissCtr_) cacheMissCtr_->add();
+    CheckResult r;
+    try {
+      r = solveFreshWithModel(assumptions, &clk, deadlineUs);
+    } catch (...) {
+      sharedCache_->abandon(key);
+      throw;
+    }
+    if (r == CheckResult::Unknown) {
+      // Never cache Unknown: a waiter (or a later caller) retries with its
+      // own budget, exactly as -j1 would.
+      sharedCache_->abandon(key);
+    } else {
+      std::vector<uint64_t> slotValues;
+      if (r == CheckResult::Sat) {
+        slotValues.reserve(slotVars.size());
+        for (const TermRef v : slotVars) {
+          auto it = model_.find(tm_.varIndex(v.id()));
+          slotValues.push_back(it == model_.end() ? 0 : it->second);
+        }
+      }
+      sharedCache_->publish(key, r, std::move(slotValues));
+    }
+    return finish(r);
+  }
 
   // Cache lookup. The key is the *sorted set* of assumption term ids:
   // hash-consing makes structurally equal assumptions share ids, and

@@ -17,6 +17,8 @@
 
 namespace adlsym::smt {
 
+class QueryCache;  // smt/qcache.h
+
 enum class CheckResult { Sat, Unsat, Unknown };
 
 const char* checkResultName(CheckResult r);
@@ -88,7 +90,10 @@ class SmtSolver {
 
   /// Abandon a query after this many SAT conflicts (0 = unlimited);
   /// exploration treats Unknown paths as not-taken and reports them.
-  void setConflictBudget(uint64_t budget) { sat_.setConflictBudget(budget); }
+  void setConflictBudget(uint64_t budget) {
+    conflictBudget_ = budget;
+    sat_.setConflictBudget(budget);
+  }
 
   /// Per-query wall deadline, layered on the conflict budget: abandon a
   /// query (Unknown) once it has run this long on the query clock — the
@@ -143,7 +148,27 @@ class SmtSolver {
   /// shared with this instance). Used by paranoid mode and tests.
   CheckResult checkFresh(const std::vector<TermRef>& assumptions);
 
+  /// Fresh-solve mode (parallel exploration, docs/parallelism.md): every
+  /// check() runs on a throwaway SAT core instead of the incremental one,
+  /// so the CNF — and hence any Sat model — depends only on term structure,
+  /// never on what this instance solved before. Slower per query, but the
+  /// canonical models are what make -j1 and -jN byte-identical; the shared
+  /// QueryCache (below) recovers the lost incrementality.
+  void setFreshMode(bool on) { freshMode_ = on; }
+  bool freshMode() const { return freshMode_; }
+
+  /// Attach the run-wide shared query cache (not owned; null detaches).
+  /// Only consulted in fresh mode: hits replay the canonical verdict and
+  /// model, misses are solved fresh and published single-flight.
+  void setSharedCache(QueryCache* c) { sharedCache_ = c; }
+
  private:
+  /// Fresh-mode miss path: solve on a throwaway core, snapshot the model
+  /// into model_ on Sat, aggregate the core's stats into the fresh
+  /// counters.
+  CheckResult solveFreshWithModel(const std::vector<TermRef>& assumptions,
+                                  telemetry::Clock* clk, uint64_t deadlineUs);
+
   TermManager& tm_;
   SatSolver sat_;
   BitBlaster bb_;
@@ -161,6 +186,16 @@ class SmtSolver {
   uint64_t cacheHits_ = 0;
   uint64_t queryTimeoutMicros_ = 0;
   uint64_t wallDeadlineMicros_ = 0;
+  uint64_t conflictBudget_ = 0;
+
+  bool freshMode_ = false;
+  QueryCache* sharedCache_ = nullptr;
+  // Aggregates over the throwaway cores of fresh mode (the members sat_/bb_
+  // sit unused there); telemetrySnapshot() reads these instead.
+  SatSolver::Stats freshSat_;
+  BitBlaster::Stats freshBlast_;
+  uint64_t freshVars_ = 0;
+  uint64_t freshClauses_ = 0;
 
   Stats stats_;
 

@@ -218,4 +218,51 @@ uint64_t TermManager::evalWith(
   return memo[t.id()];
 }
 
+TermRef TermManager::import(TermRef src,
+                            std::unordered_map<TermId, TermId>& memo) {
+  check(src.valid(), "import: invalid term");
+  const TermManager& from = *src.manager();
+  if (&from == this) return src;
+  // Iterative post-order; raw intern() (not the simplifying builders) so
+  // the copy is structurally byte-identical — the source pool already ran
+  // the rewriter, and re-simplifying here could diverge across pools.
+  std::vector<TermId> stack{src.id()};
+  while (!stack.empty()) {
+    const TermId id = stack.back();
+    if (memo.count(id) != 0) {
+      stack.pop_back();
+      continue;
+    }
+    const TermNode& n = from.node(id);
+    const TermId ops[3] = {n.a, n.b, n.c};
+    bool ready = true;
+    for (const TermId o : ops) {
+      if (o != kInvalidTerm && memo.count(o) == 0) {
+        stack.push_back(o);
+        ready = false;
+      }
+    }
+    if (!ready) continue;
+    stack.pop_back();
+    TermRef dst;
+    switch (n.kind) {
+      case Kind::Const:
+        dst = mkConst(n.width, n.aux);
+        break;
+      case Kind::Var:
+        dst = mkVar(n.width, from.varName(id));
+        break;
+      default: {
+        const TermId a = n.a != kInvalidTerm ? memo.at(n.a) : kInvalidTerm;
+        const TermId b = n.b != kInvalidTerm ? memo.at(n.b) : kInvalidTerm;
+        const TermId c = n.c != kInvalidTerm ? memo.at(n.c) : kInvalidTerm;
+        dst = intern(n.kind, n.width, a, b, c, n.aux);
+        break;
+      }
+    }
+    memo.emplace(id, dst.id());
+  }
+  return TermRef(this, memo.at(src.id()));
+}
+
 }  // namespace adlsym::smt

@@ -171,6 +171,21 @@ class TermManager {
   uint64_t evalWith(TermRef t,
                     const std::function<uint64_t(uint32_t)>& varValue) const;
 
+  // ---- cross-pool migration -------------------------------------------
+  /// Deep-copy a term owned by *another* manager into this one,
+  /// preserving structure exactly (raw interning, no re-simplification —
+  /// the source was already built through the simplifying builders, and
+  /// byte-identical structure across pools is what the parallel
+  /// explorer's determinism rests on). Variables are re-consed by
+  /// (name, width). `memo` carries sharing across several imports of one
+  /// batch (e.g. all terms of one migrated state). Neither manager may be
+  /// mutated concurrently during the call.
+  TermRef import(TermRef src, std::unordered_map<TermId, TermId>& memo);
+  TermRef import(TermRef src) {
+    std::unordered_map<TermId, TermId> memo;
+    return import(src, memo);
+  }
+
  private:
   friend class TermRef;
 

@@ -1,6 +1,8 @@
 #include "support/fault.h"
 
 #include <algorithm>
+#include <atomic>
+#include <deque>
 #include <new>
 
 #include "support/strings.h"
@@ -9,24 +11,30 @@ namespace adlsym::fault {
 
 namespace {
 
+// Hit counters are atomics so parallel exploration workers can share a
+// schedule: fetch_add hands exactly one thread the scheduled Nth hit, so
+// exactly one InjectedFault is thrown per armed site regardless of --jobs.
+// Arming/disarming itself still happens single-threaded (CLI dispatch,
+// test fixtures), before/after the workers run.
 struct SiteState {
+  explicit SiteState(std::string n) : name(std::move(n)) {}
   std::string name;
-  uint64_t nth = 0;    // 0 = not armed
-  uint64_t hits = 0;   // counted since arm()
+  std::atomic<uint64_t> nth{0};   // 0 = not armed
+  std::atomic<uint64_t> hits{0};  // counted since arm()
 };
 
-// One slot per known site, catalogue order. Single-threaded by design,
-// like the rest of the engine.
-std::vector<SiteState>& slots() {
-  static std::vector<SiteState> s = [] {
-    std::vector<SiteState> v;
-    for (const std::string& n : knownSites()) v.push_back({n, 0, 0});
+// One slot per known site, catalogue order. std::deque: atomics make
+// SiteState immovable, and deque never relocates elements.
+std::deque<SiteState>& slots() {
+  static std::deque<SiteState> s = [] {
+    std::deque<SiteState> v;
+    for (const std::string& n : knownSites()) v.emplace_back(n);
     return v;
   }();
   return s;
 }
 
-bool g_armed = false;
+std::atomic<bool> g_armed{false};
 
 }  // namespace
 
@@ -65,29 +73,31 @@ void arm(const std::string& spec) {
       }
       throw InputError("unknown fault site '" + site + "' (known: " + known + ")");
     }
-    it->nth = *nth;
-    g_armed = true;
+    it->nth.store(*nth, std::memory_order_relaxed);
+    g_armed.store(true, std::memory_order_release);
   }
 }
 
 void disarm() {
   for (SiteState& s : slots()) {
-    s.nth = 0;
-    s.hits = 0;
+    s.nth.store(0, std::memory_order_relaxed);
+    s.hits.store(0, std::memory_order_relaxed);
   }
-  g_armed = false;
+  g_armed.store(false, std::memory_order_release);
 }
 
-bool armed() { return g_armed; }
+bool armed() { return g_armed.load(std::memory_order_acquire); }
 
 void hit(const char* site) {
-  if (!g_armed) return;
+  if (!g_armed.load(std::memory_order_acquire)) return;
   for (SiteState& s : slots()) {
     if (s.name != site) continue;
-    if (s.nth == 0) return;
-    if (++s.hits == s.nth) {
+    const uint64_t nth = s.nth.load(std::memory_order_relaxed);
+    if (nth == 0) return;
+    const uint64_t count = s.hits.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (count == nth) {
       if (s.name == "alloc") throw std::bad_alloc();
-      throw InjectedFault(s.name, s.hits);
+      throw InjectedFault(s.name, count);
     }
     return;
   }

@@ -83,6 +83,15 @@ class Histogram {
   /// Inclusive upper bound of bucket i (UINT64_MAX for the overflow bucket).
   static uint64_t bucketUpperBound(size_t i);
 
+  /// Fold another histogram in (bucket-wise sums; max of maxes). Used to
+  /// merge per-worker registries after a parallel run.
+  void merge(const Histogram& o) {
+    count_ += o.count_;
+    sum_ += o.sum_;
+    if (o.max_ > max_) max_ = o.max_;
+    for (size_t i = 0; i < kBuckets; ++i) buckets_[i] += o.buckets_[i];
+  }
+
  private:
   uint64_t count_ = 0;
   uint64_t sum_ = 0;
@@ -103,6 +112,16 @@ class MetricsRegistry {
   const std::map<std::string, Gauge>& gauges() const { return gauges_; }
   const std::map<std::string, Histogram>& histograms() const {
     return histograms_;
+  }
+
+  /// Fold another registry in: counters add, gauges keep the maximum,
+  /// histograms merge bucket-wise. Names only present in `o` are created.
+  /// Used to merge per-worker registries into the main one after a
+  /// parallel run (std::map keeps the union's JSON order canonical).
+  void mergeFrom(const MetricsRegistry& o) {
+    for (const auto& [name, c] : o.counters_) counters_[name].add(c.value);
+    for (const auto& [name, g] : o.gauges_) gauges_[name].setMax(g.value);
+    for (const auto& [name, h] : o.histograms_) histograms_[name].merge(h);
   }
 
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,max,

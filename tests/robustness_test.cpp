@@ -347,7 +347,7 @@ TEST_F(CliRobustness, ExhaustedBudgetExitsThreeWithTruncationStats) {
        "--stats-json=" + stats});
   EXPECT_EQ(r.exitCode, 3) << r.output;
   const std::string doc = slurpFile(stats);
-  EXPECT_NE(doc.find("\"schema\":\"adlsym-stats-v3\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"adlsym-stats-v4\""), std::string::npos);
   EXPECT_NE(doc.find("\"stop_reason\":\"max-steps\""), std::string::npos)
       << doc;
   EXPECT_NE(doc.find("\"truncated_by_reason\":{\"steps\":"), std::string::npos)
@@ -392,6 +392,91 @@ TEST_F(CliRobustness, ManualClockMakesArtifactsByteIdentical) {
   EXPECT_FALSE(a.empty());
   EXPECT_EQ(a, b);
   EXPECT_FALSE(fault::armed());
+}
+
+// ---- robustness contract under the parallel engine (--jobs) --------------
+// The governor and the error boundary are engine-independent: exit codes,
+// stop_reason and truncation accounting under --jobs=N must match the
+// single-threaded contract above (docs/parallelism.md).
+
+uint64_t jsonUint(const std::string& doc, const std::string& key) {
+  const size_t at = doc.find("\"" + key + "\":");
+  EXPECT_NE(at, std::string::npos) << key << " missing in: " << doc;
+  if (at == std::string::npos) return 0;
+  return std::strtoull(doc.c_str() + at + key.size() + 3, nullptr, 10);
+}
+
+TEST_F(CliRobustness, ParallelInjectedFaultsExitFourWithDiagnostic) {
+  using driver::cli::dispatch;
+  struct {
+    const char* spec;
+    const char* needle;
+  } cases[] = {
+      {"--inject=solver.check:1", "injected fault"},
+      {"--inject=alloc:1", "out of memory"},
+  };
+  for (const auto& c : cases) {
+    // A worker thread hits the fault; the coordinator must surface it
+    // through the same process-level error boundary as -j1.
+    const auto r =
+        dispatch({"explore", "rv32e", imgPath, "--jobs", "4", c.spec});
+    EXPECT_EQ(r.exitCode, 4) << c.spec << ": " << r.output;
+    EXPECT_NE(r.output.find("error: "), std::string::npos) << c.spec;
+    EXPECT_NE(r.output.find(c.needle), std::string::npos)
+        << c.spec << ": " << r.output;
+    EXPECT_FALSE(fault::armed()) << c.spec;
+  }
+}
+
+TEST_F(CliRobustness, ParallelBudgetExhaustionMatchesContract) {
+  const std::string stats = testing::TempDir() + "robust_par_budget.json";
+  const auto r = driver::cli::dispatch(
+      {"explore", "rv32e", imgPath, "--jobs", "4", "--max-steps", "2",
+       "--clock=manual", "--stats-json=" + stats});
+  EXPECT_EQ(r.exitCode, 3) << r.output;
+  const std::string doc = slurpFile(stats);
+  EXPECT_NE(doc.find("\"schema\":\"adlsym-stats-v4\""), std::string::npos);
+  EXPECT_NE(doc.find("\"stop_reason\":\"max-steps\""), std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"truncated_by_reason\":{\"steps\":"), std::string::npos)
+      << doc;
+}
+
+TEST_F(CliRobustness, ParallelFrontierEvictionIsAccounted) {
+  const std::string stats = testing::TempDir() + "robust_par_frontier.json";
+  const auto r = driver::cli::dispatch(
+      {"explore", "rv32e", imgPath, "--jobs", "4", "--max-frontier", "1",
+       "--clock=manual", "--stats-json=" + stats});
+  EXPECT_EQ(r.exitCode, 3) << r.output;
+  const std::string doc = slurpFile(stats);
+  EXPECT_NE(doc.find("\"truncated_by_reason\":{\"frontier\":"),
+            std::string::npos)
+      << doc;
+  // The state-conservation invariant holds globally under concurrency:
+  // every forked state is eventually a path, a drop or a merge.
+  EXPECT_EQ(1 + jsonUint(doc, "total_forks"),
+            jsonUint(doc, "paths") + jsonUint(doc, "states_dropped") +
+                jsonUint(doc, "states_merged"))
+      << doc;
+}
+
+TEST_F(CliRobustness, ParallelRejectsIncompatibleModes) {
+  using driver::cli::dispatch;
+  const auto merge =
+      dispatch({"explore", "rv32e", imgPath, "--jobs", "2", "--merge"});
+  EXPECT_EQ(merge.exitCode, 2) << merge.output;
+  EXPECT_NE(merge.output.find("--merge"), std::string::npos) << merge.output;
+  const auto qlog = dispatch({"explore", "rv32e", imgPath, "--jobs", "2",
+                              "--query-log=" + testing::TempDir() + "ql"});
+  EXPECT_EQ(qlog.exitCode, 2) << qlog.output;
+  EXPECT_NE(qlog.output.find("--query-log"), std::string::npos)
+      << qlog.output;
+  EXPECT_EQ(
+      dispatch({"explore", "rv32e", imgPath, "--jobs", "0"}).exitCode, 2);
+  EXPECT_EQ(
+      dispatch({"explore", "rv32e", imgPath, "--jobs", "65"}).exitCode, 2);
+  EXPECT_EQ(
+      dispatch({"explore", "rv32e", imgPath, "--qcache=0"}).exitCode, 2);
 }
 
 TEST_F(CliRobustness, MalformedImageReportsLineContext) {
