@@ -1,5 +1,7 @@
 #include "core/evaluator.h"
 
+#include <algorithm>
+
 #include "core/checkers.h"
 #include "support/bits.h"
 #include "support/strings.h"
@@ -15,9 +17,22 @@ AdlExecutor::AdlExecutor(const adl::ArchModel& model, EngineServices& services)
     : model_(model), svc_(services), decoder_(model) {
   if (telemetry::Telemetry* t = svc_.telemetry) {
     stepsCtr_ = &t->metrics().counter("engine.steps");
+    ticksCtr_ = &t->metrics().counter("engine.rtl_ticks");
     decodeHist_ = &t->metrics().histogram("engine.decode_us");
     evalHist_ = &t->metrics().histogram("engine.eval_us");
   }
+}
+
+void AdlExecutor::setRtlProfile(RtlProfile* p) {
+  flushRtlProfile();
+  rtlProf_ = p;
+  rtlLocal_.assign(p != nullptr ? p->size() + 1 : 0, 0);
+}
+
+void AdlExecutor::flushRtlProfile() {
+  if (rtlProf_ == nullptr) return;
+  rtlProf_->addCounts(rtlLocal_);
+  std::fill(rtlLocal_.begin(), rtlLocal_.end(), 0);
 }
 
 MachineState AdlExecutor::initialState() {
@@ -234,6 +249,8 @@ void AdlExecutor::execStmts(MachineState st, Frame frame,
     const Stmt* s = work.front();
     work.erase(work.begin());
     bool dead = false;
+    ++out.rtlTicks;
+    if (rtlProf_ != nullptr) ++rtlLocal_[rtlProf_->indexOf(s)];
 
     switch (s->op) {
       case StmtOp::AssignReg: {
@@ -420,8 +437,12 @@ void AdlExecutor::step(const MachineState& in, StepOut& out) {
   std::vector<const Stmt*> work;
   work.reserve(d->insn->semantics.size());
   for (const auto& s : d->insn->semantics) work.push_back(s.get());
-  telemetry::ScopedTimer t(svc_.telemetry, evalHist_);
-  execStmts(in, frame, std::move(work), out);
+  const uint64_t ticksBefore = out.rtlTicks;
+  {
+    telemetry::ScopedTimer t(svc_.telemetry, evalHist_);
+    execStmts(in, frame, std::move(work), out);
+  }
+  if (ticksCtr_) ticksCtr_->add(out.rtlTicks - ticksBefore);
 }
 
 }  // namespace adlsym::core

@@ -7,6 +7,7 @@
 #include "adl/model.h"
 #include "core/checkers.h"
 #include "core/executor.h"
+#include "core/rtlprofile.h"
 #include "decode/decoder.h"
 
 namespace adlsym::core {
@@ -14,6 +15,7 @@ namespace adlsym::core {
 class AdlExecutor : public Executor {
  public:
   AdlExecutor(const adl::ArchModel& model, EngineServices& services);
+  ~AdlExecutor() override { flushRtlProfile(); }
 
   std::string name() const override { return "adl:" + model_.name; }
   MachineState initialState() override;
@@ -21,6 +23,13 @@ class AdlExecutor : public Executor {
 
   const adl::ArchModel& model() const { return model_; }
   decode::Decoder& decoder() { return decoder_; }
+
+  /// Enable per-RTL-statement counting into `p` (profiler runs only).
+  /// Counts accumulate executor-locally and reach `p` on flush — which the
+  /// destructor guarantees, so parallel workers flush before
+  /// ParallelExplorer::run() returns.
+  void setRtlProfile(RtlProfile* p);
+  void flushRtlProfile();
 
  private:
   /// Per-instruction evaluation context.
@@ -56,8 +65,14 @@ class AdlExecutor : public Executor {
 
   // Telemetry handles, resolved once at construction (null when disabled).
   telemetry::Counter* stepsCtr_ = nullptr;
+  telemetry::Counter* ticksCtr_ = nullptr;
   telemetry::Histogram* decodeHist_ = nullptr;
   telemetry::Histogram* evalHist_ = nullptr;
+
+  // Profiler hookup (null when not profiling): shared site table +
+  // executor-local counts, folded in by flushRtlProfile().
+  RtlProfile* rtlProf_ = nullptr;
+  std::vector<uint64_t> rtlLocal_;
 };
 
 }  // namespace adlsym::core

@@ -64,6 +64,10 @@ class EngineServices {
 /// (0 = path infeasible; >1 = symbolic branch / defect fork).
 struct StepOut {
   std::vector<MachineState> successors;
+  /// RTL statements evaluated by this step (all forked arms included).
+  /// Schedule-independent — the profiler's "evaluator ticks" unit; engines
+  /// without RTL semantics (the rv32e baseline) leave it 0.
+  uint64_t rtlTicks = 0;
 };
 
 class Executor {

@@ -232,6 +232,7 @@ ExploreSummary Explorer::run() {
   // Solver-work baseline so StepInfo can report run-relative deltas even
   // when the solver instance is shared across explorations.
   const smt::SmtSolver::Stats solverBase = svc_.solver.stats();
+  const uint64_t cacheHitsBase = svc_.solver.cacheHits();
 
   if (tel_ && tel_->tracing()) {
     tel_->emit(telemetry::EventKind::Phase,
@@ -292,8 +293,22 @@ ExploreSummary Explorer::run() {
 
     if (cur.state.steps >= config_.maxStepsPerPath) {
       cur.state.status = PathStatus::Budget;
+      const uint64_t cutPc = cur.state.pc;
+      smt::SmtSolver::Stats preClose;
+      if (ob) preClose = svc_.solver.stats();
       summary.paths.push_back(finishPath(std::move(cur.state), cur.node));
       ++completed;
+      if (ob) {
+        // The witness solve above ran outside any step window; report it
+        // so per-site attributed queries still sum to the solver total.
+        const smt::SmtSolver::Stats post = svc_.solver.stats();
+        if (post.queries != preClose.queries) {
+          ob->onOffStepSolve(cutPc, post.queries - preClose.queries,
+                             post.canon.terms - preClose.canon.terms,
+                             post.canon.gates - preClose.canon.gates,
+                             post.canon.conflicts - preClose.canon.conflicts);
+        }
+      }
       continue;
     }
 
@@ -406,6 +421,13 @@ ExploreSummary Explorer::run() {
       si.stepSolverMicros = after.totalMicros - solverBefore.totalMicros;
       si.runSolverQueries = after.queries - solverBase.queries;
       si.runSolverMicros = after.totalMicros - solverBase.totalMicros;
+      si.depth = cur.state.forks;
+      si.stepRtlTicks = out.rtlTicks;
+      si.stepCanonTerms = after.canon.terms - solverBefore.canon.terms;
+      si.stepCanonGates = after.canon.gates - solverBefore.canon.gates;
+      si.stepCanonConflicts =
+          after.canon.conflicts - solverBefore.canon.conflicts;
+      si.runCacheHits = svc_.solver.cacheHits() - cacheHitsBase;
       ob->onStepEnd(si);
     }
     if (sawDefect && config_.stopAtFirstDefect) {

@@ -43,8 +43,32 @@ class ExploreObserver {
     uint64_t stepSolverMicros = 0;
     uint64_t runSolverQueries = 0;
     uint64_t runSolverMicros = 0;
+    /// Fork depth of the stepped state (its pathCond fork count) — the
+    /// heartbeat's "frontier depth" signal.
+    uint64_t depth = 0;
+    /// RTL statements evaluated by this step (StepOut::rtlTicks); 0 for
+    /// engines without RTL semantics.
+    uint64_t stepRtlTicks = 0;
+    /// Canonical solver cost charged to this step (deltas of
+    /// SmtSolver::Stats::canon — replayed on cache hits, so identical
+    /// across -jN; docs/observability.md).
+    uint64_t stepCanonTerms = 0;
+    uint64_t stepCanonGates = 0;
+    uint64_t stepCanonConflicts = 0;
+    /// Query-cache hits since the run began (sequential: the solver's
+    /// local cache; parallel: this worker's shared-cache hits). Feeds the
+    /// heartbeat hit-rate together with runSolverQueries.
+    uint64_t runCacheHits = 0;
   };
   virtual void onStepEnd(const StepInfo& /*info*/) {}
+
+  /// Solver queries issued *outside* any step window: the witness solve of
+  /// a path closed by the per-path step budget before its next step began.
+  /// Charged to `pc` (where the path was cut) so per-site query counts
+  /// still sum to the solver's aggregate query count.
+  virtual void onOffStepSolve(uint64_t /*pc*/, uint64_t /*queries*/,
+                              uint64_t /*canonTerms*/, uint64_t /*canonGates*/,
+                              uint64_t /*canonConflicts*/) {}
 
   /// A fork minted `child` from `parent`; `st` is the successor state and
   /// the constraints added by the fork are st.pathCond[condSizeBefore..].
@@ -83,6 +107,12 @@ class ObserverMux final : public ExploreObserver {
   }
   void onStepEnd(const StepInfo& info) override {
     for (ExploreObserver* ob : obs_) ob->onStepEnd(info);
+  }
+  void onOffStepSolve(uint64_t pc, uint64_t queries, uint64_t canonTerms,
+                      uint64_t canonGates, uint64_t canonConflicts) override {
+    for (ExploreObserver* ob : obs_) {
+      ob->onOffStepSolve(pc, queries, canonTerms, canonGates, canonConflicts);
+    }
   }
   void onChild(uint64_t parent, uint64_t child, const MachineState& st,
                size_t condSizeBefore) override {
@@ -124,6 +154,11 @@ class LockedObserverMux final : public ExploreObserver {
   void onStepEnd(const StepInfo& info) override {
     std::lock_guard<std::mutex> lk(mu_);
     mux_.onStepEnd(info);
+  }
+  void onOffStepSolve(uint64_t pc, uint64_t queries, uint64_t canonTerms,
+                      uint64_t canonGates, uint64_t canonConflicts) override {
+    std::lock_guard<std::mutex> lk(mu_);
+    mux_.onOffStepSolve(pc, queries, canonTerms, canonGates, canonConflicts);
   }
   void onChild(uint64_t parent, uint64_t child, const MachineState& st,
                size_t condSizeBefore) override {

@@ -118,6 +118,9 @@ struct Worker {
   uint64_t steps = 0;
   uint64_t forksN = 0;
   uint64_t drops = 0;
+  // Pool diagnostics (schedule-dependent; stderr reporting only).
+  uint64_t steals = 0;         // entries received from a victim's handoff
+  uint64_t stealWaitUs = 0;    // time parked in acquireWork (steady clock)
   // Published after each step so other workers can tally the global term
   // pool size for --mem-budget-mb without touching a foreign TermManager.
   std::atomic<uint64_t> poolTerms{0};
@@ -314,6 +317,7 @@ struct Engine {
   }
 
   void drainInboxLocked(Worker& w) {
+    w.steals += w.inbox.size();
     for (Entry& e : w.inbox) {
       e.order = w.orderCounter++;
       w.frontier.push_back(std::move(e));
@@ -341,7 +345,12 @@ struct Engine {
       return false;
     }
     w.handed = false;
+    // Frontier-wait on the steady clock (never a worker ManualClock: the
+    // number of parks is schedule-dependent and must not perturb the
+    // deterministic query timestamps).
+    const uint64_t parkStart = telemetry::Clock::system().nowMicros();
     cv.wait(lk, [&] { return w.handed || finished; });
+    w.stealWaitUs += telemetry::Clock::system().nowMicros() - parkStart;
     if (!w.handed) {
       auto it = std::find(waiting.begin(), waiting.end(), w.index);
       if (it != waiting.end()) waiting.erase(it);
@@ -362,8 +371,22 @@ struct Engine {
 
     if (cur.state.steps >= base.maxStepsPerPath) {
       cur.state.status = PathStatus::Budget;
+      const uint64_t cutPc = cur.state.pc;
+      smt::SmtSolver::Stats preClose;
+      if (ob) preClose = w.solver.stats();
       finishPath(w, std::move(cur.state), cur.key);
       gCompleted.fetch_add(1, std::memory_order_relaxed);
+      if (ob) {
+        // Witness solve outside any step window: report it so per-site
+        // attributed queries still sum to the solver total.
+        const smt::SmtSolver::Stats post = w.solver.stats();
+        if (post.queries != preClose.queries) {
+          ob->onOffStepSolve(cutPc, post.queries - preClose.queries,
+                             post.canon.terms - preClose.canon.terms,
+                             post.canon.gates - preClose.canon.gates,
+                             post.canon.conflicts - preClose.canon.conflicts);
+        }
+      }
       return;
     }
 
@@ -505,6 +528,12 @@ struct Engine {
       si.stepSolverMicros = after.totalMicros - before.totalMicros;
       si.runSolverQueries = after.queries;
       si.runSolverMicros = after.totalMicros;
+      si.depth = cur.state.forks;
+      si.stepRtlTicks = out.rtlTicks;
+      si.stepCanonTerms = after.canon.terms - before.canon.terms;
+      si.stepCanonGates = after.canon.gates - before.canon.gates;
+      si.stepCanonConflicts = after.canon.conflicts - before.canon.conflicts;
+      si.runCacheHits = w.solver.cacheHits();
       ob->onStepEnd(si);
     }
     if (sawDefect && base.stopAtFirstDefect) {
@@ -591,6 +620,7 @@ ParallelResult ParallelExplorer::run() {
                                               engineCfg_, w->tel.get());
     w->solver.setFreshMode(true);
     w->solver.setSharedCache(cfg_.qcache);
+    if (cfg_.solverShapeProfile) w->solver.setShapeProfiling(true);
     if (cfg_.solverConflictBudget != 0) {
       w->solver.setConflictBudget(cfg_.solverConflictBudget);
     }
@@ -727,8 +757,25 @@ ParallelResult ParallelExplorer::run() {
     solverTel_.blast += t.blast;
     solverTel_.satVars += t.satVars;
     solverTel_.satClauses += t.satClauses;
+    solverTel_.canon += t.canon;
   }
   s.solverUnknowns = solverTel_.unknown;
+
+  shapes_.clear();
+  poolStats_ = PoolStats{};
+  poolStats_.jobs = jobs;
+  poolStats_.minWorkerSteps = UINT64_MAX;
+  for (const auto& w : workers) {
+    for (const auto& [bucket, row] : w->solver.queryShapes()) {
+      shapes_[bucket] += row;
+    }
+    poolStats_.steals += w->steals;
+    poolStats_.stealWaitMicros += w->stealWaitUs;
+    poolStats_.minWorkerSteps = std::min(poolStats_.minWorkerSteps, w->steps);
+    poolStats_.maxWorkerSteps = std::max(poolStats_.maxWorkerSteps, w->steps);
+    poolStats_.totalSteps += w->steps;
+  }
+  if (poolStats_.minWorkerSteps == UINT64_MAX) poolStats_.minWorkerSteps = 0;
 
   if (mainTel_ != nullptr) {
     for (const auto& w : workers) {

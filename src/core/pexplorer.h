@@ -25,6 +25,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -73,6 +74,9 @@ struct ParallelConfig {
   smt::QueryCache* qcache = nullptr;  // shared cache; null = solve per query
   uint64_t solverConflictBudget = 0;
   uint64_t solverTimeoutMicros = 0;   // per-query deadline on worker clocks
+  /// Accumulate per-shape query rows in every worker solver (profiler
+  /// runs; merged via queryShapes()).
+  bool solverShapeProfile = false;
 };
 
 struct ParallelResult {
@@ -109,6 +113,28 @@ class ParallelExplorer {
   /// sequence is schedule-independent.
   const smt::SolverTelemetry& solverTelemetry() const { return solverTel_; }
 
+  /// Across-worker merge of the per-shape query rows (valid after run()
+  /// when cfg.solverShapeProfile was set). Worker-id-independent: per-key
+  /// costs are canonical and a key's total hit count is issuances-1 under
+  /// a non-binding cache, whichever worker took the miss.
+  const std::map<unsigned, smt::SmtSolver::ShapeRow>& queryShapes() const {
+    return shapes_;
+  }
+
+  /// Pool diagnostics, valid after run(). Inherently schedule-dependent
+  /// (which worker stole what, how long thieves parked), so these go to
+  /// stderr/heartbeat reporting only — never into the byte-identical
+  /// stats/profile artifacts (docs/observability.md).
+  struct PoolStats {
+    unsigned jobs = 0;
+    uint64_t steals = 0;        // frontier entries migrated to a thief
+    uint64_t stealWaitMicros = 0;  // total time thieves parked (steady clock)
+    uint64_t minWorkerSteps = 0;   // utilization spread across workers
+    uint64_t maxWorkerSteps = 0;
+    uint64_t totalSteps = 0;
+  };
+  const PoolStats& poolStats() const { return poolStats_; }
+
  private:
   const loader::Image& image_;
   EngineConfig engineCfg_;  // by value: worker services reference it
@@ -116,6 +142,8 @@ class ParallelExplorer {
   ExecutorFactory factory_;
   telemetry::Telemetry* mainTel_;
   smt::SolverTelemetry solverTel_;
+  std::map<unsigned, smt::SmtSolver::ShapeRow> shapes_;
+  PoolStats poolStats_;
 };
 
 }  // namespace adlsym::core

@@ -1,0 +1,64 @@
+#include "core/rtlprofile.h"
+
+namespace adlsym::core {
+
+const char* stmtOpName(adl::rtl::StmtOp op) {
+  using adl::rtl::StmtOp;
+  switch (op) {
+    case StmtOp::AssignReg: return "assign_reg";
+    case StmtOp::AssignRegFile: return "assign_regfile";
+    case StmtOp::Store: return "store";
+    case StmtOp::Let: return "let";
+    case StmtOp::Output: return "output";
+    case StmtOp::Halt: return "halt";
+    case StmtOp::AssertEq: return "assert_eq";
+    case StmtOp::Trap: return "trap";
+    case StmtOp::If: return "if";
+  }
+  return "stmt";
+}
+
+RtlProfile::RtlProfile(const adl::ArchModel& model) {
+  // Mirror of ArchModel::stats()'s preorder: statement, then-body,
+  // else-body — the walk order is the id assignment.
+  struct Walker {
+    RtlProfile& p;
+    const char* insn;
+    uint32_t next = 0;
+    void walk(const std::vector<adl::rtl::StmtPtr>& body) {
+      for (const auto& s : body) {
+        const auto id = static_cast<uint32_t>(p.sites_.size());
+        p.index_.emplace(s.get(), id);
+        p.sites_.push_back(
+            StmtSite{insn, next++, s->op, s->loc.line, s->loc.col});
+        walk(s->thenBody);
+        walk(s->elseBody);
+      }
+    }
+  };
+  for (const adl::InsnInfo& i : model.insns) {
+    Walker w{*this, i.name.c_str()};
+    w.walk(i.semantics);
+  }
+  counts_.assign(sites_.size(), 0);
+}
+
+void RtlProfile::addCounts(const std::vector<uint64_t>& local) {
+  std::lock_guard<std::mutex> lk(mu_);
+  const size_t n = std::min(local.size(), counts_.size());
+  for (size_t i = 0; i < n; ++i) counts_[i] += local[i];
+}
+
+std::vector<uint64_t> RtlProfile::counts() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return counts_;
+}
+
+uint64_t RtlProfile::total() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  uint64_t t = 0;
+  for (const uint64_t c : counts_) t += c;
+  return t;
+}
+
+}  // namespace adlsym::core

@@ -11,10 +11,12 @@
 #include "asmgen/assembler.h"
 #include "asmgen/disasm.h"
 #include "core/pexplorer.h"
+#include "core/rtlprofile.h"
 #include "core/testgen.h"
 #include "driver/session.h"
 #include "isa/registry.h"
 #include "obs/pathforest.h"
+#include "obs/profile.h"
 #include "obs/progress.h"
 #include "obs/querylog.h"
 #include "obs/replay.h"
@@ -82,7 +84,7 @@ class CommandTelemetry {
     }
     json::Writer w(out);
     w.beginObject();
-    w.kv("schema", "adlsym-stats-v4");
+    w.kv("schema", "adlsym-stats-v5");
     w.kv("command", std::string_view(command));
     w.kv("isa", std::string_view(isa));
     writeBody(w);
@@ -116,6 +118,28 @@ std::string readFileOrThrow(const std::string& path) {
   return os.str();
 }
 
+/// Writes the --profile / --profile-folded artifacts; returns an error
+/// message ("" on success) so cmdExplore maps it to exit code 2.
+std::string writeProfileArtifacts(const obs::ProfileReport& rep,
+                                  const ExploreOptions& opt) {
+  if (!opt.profilePath.empty()) {
+    fault::hit("obs.write");
+    std::ofstream out(opt.profilePath, std::ios::binary | std::ios::trunc);
+    if (!out) return "cannot open profile file '" + opt.profilePath + "'";
+    rep.writeJson(out);
+  }
+  if (!opt.profileFoldedPath.empty()) {
+    fault::hit("obs.write");
+    std::ofstream out(opt.profileFoldedPath,
+                      std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return "cannot open profile-folded file '" + opt.profileFoldedPath + "'";
+    }
+    rep.writeFolded(out);
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string usage() {
@@ -130,6 +154,10 @@ std::string usage() {
       "  adlsym disasm <isa> <file.img>             disassemble an image\n"
       "  adlsym run <isa> <file.img> [in...]        concrete execution\n"
       "  adlsym explore <isa> <file.img> [options]  symbolic exploration\n"
+      "  adlsym profile <isa> <file.img> [options]  exploration + the\n"
+      "                                             cost-attribution tables\n"
+      "                                             (accepts all explore\n"
+      "                                             options)\n"
       "  adlsym replay <query-dir>                  re-solve a captured\n"
       "                                             query corpus and diff\n"
       "\n"
@@ -186,7 +214,15 @@ std::string usage() {
       "  --query-log=<dir>     capture every solver query as SMT-LIB +\n"
       "                        metadata; replay with `adlsym replay`\n"
       "  --progress[=N]        heartbeat to stderr every N seconds\n"
-      "                        (default 1)\n";
+      "                        (default 1); includes the qcache hit rate\n"
+      "                        and current frontier depth\n"
+      "  --profile=<file>      adlsym-profile-v1 cost attribution: per-\n"
+      "                        opcode / per-RTL-statement tick counts and\n"
+      "                        per-branch-site canonical solver cost;\n"
+      "                        byte-identical across --jobs under\n"
+      "                        --clock=manual\n"
+      "  --profile-folded=<f>  collapsed-stack lines for flamegraph\n"
+      "                        tooling\n";
 }
 
 CommandResult cmdIsas() {
@@ -394,6 +430,9 @@ CommandResult cmdExplore(const std::string& isaName,
     if (!report.findings().empty()) lintText = report.formatText(isaName);
     if (report.hasErrors()) return {1, lintText};
   }
+  const bool profiling = opt.profileStdout || !opt.profilePath.empty() ||
+                         !opt.profileFoldedPath.empty();
+
   // ---- parallel engine (--jobs, docs/parallelism.md) ------------------
   if (opt.jobs > 0) {
     if (opt.mergeStates) {
@@ -421,6 +460,13 @@ CommandResult cmdExplore(const std::string& isaName,
       sites = std::make_unique<obs::SiteStatsCollector>(*model, image);
       mux.add(sites.get());
     }
+    std::unique_ptr<core::RtlProfile> rtlProf;
+    std::unique_ptr<obs::ProfileCollector> profCollector;
+    if (profiling) {
+      rtlProf = std::make_unique<core::RtlProfile>(*model);
+      profCollector = std::make_unique<obs::ProfileCollector>(*model, image);
+      mux.add(profCollector.get());
+    }
 
     std::unique_ptr<smt::QueryCache> qcache;
     if (opt.qcacheOn) {
@@ -435,12 +481,18 @@ CommandResult cmdExplore(const std::string& isaName,
     pcfg.qcache = qcache.get();
     pcfg.solverConflictBudget = sopt.solverConflictBudget;
     pcfg.solverTimeoutMicros = opt.solverTimeoutMs * 1000;
+    pcfg.solverShapeProfile = profiling;
 
     const adl::ArchModel& m = *model;
+    core::RtlProfile* rp = rtlProf.get();
     core::ParallelExplorer pex(
         image, sopt.engine, pcfg,
-        [&m](core::EngineServices& svc) -> std::unique_ptr<core::Executor> {
-          return std::make_unique<core::AdlExecutor>(m, svc);
+        [&m, rp](core::EngineServices& svc) -> std::unique_ptr<core::Executor> {
+          auto ex = std::make_unique<core::AdlExecutor>(m, svc);
+          // Workers are destroyed inside run(), so the destructor flush
+          // lands every worker's statement counts before we read them.
+          if (rp != nullptr) ex->setRtlProfile(rp);
+          return ex;
         },
         ct.get());
     core::ParallelResult pres = pex.run();
@@ -468,15 +520,34 @@ CommandResult cmdExplore(const std::string& isaName,
       }
     }
 
+    obs::ProfileReport rep;
+    if (profiling) {
+      rep.isa = isaName;
+      rep.program = opt.programLabel;
+      rep.prof = profCollector.get();
+      rep.rtl = rtlProf.get();
+      rep.engineSteps = summary.totalSteps;
+      // Independent of the observer deltas: the per-statement tables
+      // flushed by the worker evaluators. Reconciliation cross-checks
+      // the two accumulation paths.
+      rep.engineRtlTicks = rtlProf->total();
+      rep.solver = pex.solverTelemetry();
+      if (qcache) {
+        rep.hasQcache = true;
+        rep.qcache = qcache->stats();
+      }
+      rep.shapes = &pex.queryShapes();
+    }
+
     ct.writeStatsJson("explore", isaName, [&](json::Writer& w) {
       w.kv("strategy", std::string_view(opt.strategy));
       w.key("summary");
       core::writeSummaryJson(w, summary);
       w.key("solver");
       pex.solverTelemetry().writeJson(w);
-      // v4 addition: the shared query cache. Note no "jobs" field anywhere
-      // in the document — byte-identity across --jobs values is the
-      // contract, so the document cannot mention the jobs count.
+      // The shared query cache. Note no "jobs" field anywhere in the
+      // document — byte-identity across --jobs values is the contract,
+      // so the document cannot mention the jobs count.
       w.key("qcache");
       if (qcache) {
         qcache->stats().writeJson(w);
@@ -486,8 +557,24 @@ CommandResult cmdExplore(const std::string& isaName,
         w.endObject();
       }
       if (sites) sites->writeJson(w);
+      // v5 addition: the profile summary block (profiling runs only).
+      if (profiling) rep.writeSummary(w);
     });
     ct.finish();
+
+    if (profiling) {
+      // Pool diagnostics are schedule-dependent by nature (which worker
+      // stole what), so they go to stderr only — never into the
+      // byte-identical stdout/JSON artifacts.
+      const core::ParallelExplorer::PoolStats& ps = pex.poolStats();
+      std::cerr << "[pool] jobs=" << ps.jobs << " steals=" << ps.steals
+                << " steal_wait_us=" << ps.stealWaitMicros
+                << " steps_min=" << ps.minWorkerSteps
+                << " steps_max=" << ps.maxWorkerSteps
+                << " steps_total=" << ps.totalSteps << "\n";
+      const std::string err = writeProfileArtifacts(rep, opt);
+      if (!err.empty()) return fail(err);
+    }
 
     std::ostringstream os;
     os << lintText;
@@ -500,6 +587,7 @@ CommandResult cmdExplore(const std::string& isaName,
       }
     }
     os << pex.solverTelemetry().format();
+    if (opt.profileStdout) os << rep.formatText();
     int code = 0;
     if (summary.numDefects() > 0) {
       code = 1;
@@ -542,12 +630,22 @@ CommandResult cmdExplore(const std::string& isaName,
     sites = std::make_unique<obs::SiteStatsCollector>(*model, image);
     mux.add(sites.get());
   }
+  std::unique_ptr<core::RtlProfile> rtlProf;
+  std::unique_ptr<obs::ProfileCollector> profCollector;
+  if (profiling) {
+    rtlProf = std::make_unique<core::RtlProfile>(*model);
+    profCollector = std::make_unique<obs::ProfileCollector>(*model, image);
+    mux.add(profCollector.get());
+    solver.setShapeProfiling(true);
+  }
   if (!mux.empty()) sopt.explorer.observer = &mux;
 
   core::EngineServices services(tm, solver, image, sopt.engine, ct.get());
   core::AdlExecutor executor(*model, services);
+  if (rtlProf) executor.setRtlProfile(rtlProf.get());
   core::Explorer explorer(executor, services, sopt.explorer);
   const auto summary = explorer.run();
+  if (rtlProf) executor.flushRtlProfile();
 
   if (!opt.pathForestPath.empty()) {
     fault::hit("obs.write");
@@ -562,6 +660,18 @@ CommandResult cmdExplore(const std::string& isaName,
     forest->writeDot(out);
   }
 
+  obs::ProfileReport rep;
+  if (profiling) {
+    rep.isa = isaName;
+    rep.program = opt.programLabel;
+    rep.prof = profCollector.get();
+    rep.rtl = rtlProf.get();
+    rep.engineSteps = summary.totalSteps;
+    rep.engineRtlTicks = rtlProf->total();
+    rep.solver = solver.telemetrySnapshot();
+    rep.shapes = &solver.queryShapes();
+  }
+
   ct.writeStatsJson("explore", isaName, [&](json::Writer& w) {
     w.kv("strategy", std::string_view(opt.strategy));
     w.key("summary");
@@ -569,8 +679,15 @@ CommandResult cmdExplore(const std::string& isaName,
     w.key("solver");
     solver.telemetrySnapshot().writeJson(w);
     if (sites) sites->writeJson(w);
+    // v5 addition: the profile summary block (profiling runs only).
+    if (profiling) rep.writeSummary(w);
   });
   ct.finish();
+
+  if (profiling) {
+    const std::string err = writeProfileArtifacts(rep, opt);
+    if (!err.empty()) return fail(err);
+  }
 
   std::ostringstream os;
   os << lintText;
@@ -583,6 +700,7 @@ CommandResult cmdExplore(const std::string& isaName,
     }
   }
   os << solver.telemetrySnapshot().format();
+  if (opt.profileStdout) os << rep.formatText();
   // Exit-code table (docs/robustness.md): defects found beat everything
   // (the findings are the tool's point, even from a partial run); then
   // budget-truncated partial results report 3 so CI can tell "clean and
@@ -676,9 +794,15 @@ CommandResult dispatch(const std::vector<std::string>& args) {
       }
       return cmdRun(args[1], readFileOrThrow(args[2]), inputs, ropt);
     }
-    if (cmd == "explore") {
-      if (args.size() < 3) return fail("usage: adlsym explore <isa> <file.img> [options]");
+    if (cmd == "explore" || cmd == "profile") {
+      if (args.size() < 3) {
+        return fail("usage: adlsym " + cmd + " <isa> <file.img> [options]");
+      }
       ExploreOptions opt;
+      // `profile` is `explore` plus the cost-attribution tables on stdout;
+      // it shares every explore option below.
+      opt.profileStdout = cmd == "profile";
+      opt.programLabel = args[2];
       for (size_t i = 3; i < args.size(); ++i) {
         if (args[i] == "--strategy" && i + 1 < args.size()) {
           opt.strategy = args[++i];
@@ -704,6 +828,10 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.pathDotPath = args[i].substr(11);
         } else if (startsWith(args[i], "--query-log=")) {
           opt.queryLogDir = args[i].substr(12);
+        } else if (startsWith(args[i], "--profile=")) {
+          opt.profilePath = args[i].substr(10);
+        } else if (startsWith(args[i], "--profile-folded=")) {
+          opt.profileFoldedPath = args[i].substr(17);
         } else if (args[i] == "--max-frontier" && i + 1 < args.size()) {
           const auto v = parseInt(args[++i]);
           if (!v || *v == 0) return fail("bad --max-frontier '" + args[i] + "'");
@@ -758,7 +886,7 @@ CommandResult dispatch(const std::vector<std::string>& args) {
             return fail("bad --progress interval '" + v + "'");
           }
         } else {
-          return fail("unknown explore option '" + args[i] + "'");
+          return fail("unknown " + cmd + " option '" + args[i] + "'");
         }
       }
       return cmdExplore(args[1], readFileOrThrow(args[2]), opt);

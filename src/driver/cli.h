@@ -113,10 +113,25 @@ struct ExploreOptions {
   /// Cache entry capacity; 0 = unbounded (the deterministic default —
   /// a binding capacity makes hit counts depend on scheduling).
   uint64_t qcacheCapacity = 0;
+
+  // ---- profiler (docs/observability.md) ------------------------------
+  /// Write the adlsym-profile-v1 cost-attribution document here ("" =
+  /// off). Byte-identical across --jobs values under --clock=manual.
+  std::string profilePath;
+  /// Write collapsed-stack lines for flamegraph tooling here ("" = off).
+  std::string profileFoldedPath;
+  /// Print the human-readable profile tables after the path table (the
+  /// `adlsym profile` command sets this).
+  bool profileStdout = false;
+  /// Program label recorded in the profile document (the image path as
+  /// given on the command line; cosmetic only).
+  std::string programLabel;
 };
 
 /// `adlsym explore <isa> <image-text>` — symbolic exploration; prints the
-/// path table with witnesses and the engine statistics.
+/// path table with witnesses and the engine statistics. `adlsym profile`
+/// dispatches here too with opt.profileStdout set: same exploration, plus
+/// the deterministic cost-attribution tables (obs/profile.h).
 CommandResult cmdExplore(const std::string& isa, const std::string& imageText,
                          const ExploreOptions& opt);
 

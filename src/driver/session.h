@@ -74,6 +74,10 @@ class Session {
   smt::TermManager& termManager() { return tm_; }
   smt::SmtSolver& solver() { return *solver_; }
   core::Executor& executor() { return *exec_; }
+  /// The engine-services bundle the executor runs against; lets callers
+  /// build their own Explorer over this session (e.g. to attach an
+  /// ExploreObserver, which ExplorerConfig carries by pointer).
+  core::EngineServices& services() { return *svc_; }
   const SessionOptions& options() const { return opt_; }
   /// The telemetry bundle this session records into (null when detached).
   telemetry::Telemetry* telemetry() const { return opt_.telemetry; }

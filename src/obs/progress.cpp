@@ -32,14 +32,23 @@ void ProgressMeter::onStepEnd(const StepInfo& info) {
                 : 0.0;
   const double solverShare =
       sinceStart ? double(info.runSolverMicros) / double(sinceStart) : 0.0;
+  // Query-cache hit rate over the whole run so far; 0 until the first
+  // query. With --jobs the run* fields are worker-local, so the rate is
+  // this worker's view — a live signal, not a deterministic artifact.
+  const double qcacheRate =
+      info.runSolverQueries
+          ? double(info.runCacheHits) / double(info.runSolverQueries)
+          : 0.0;
 
-  char line[192];
+  char line[224];
   std::snprintf(line, sizeof line,
                 "[progress] t=%.1fs frontier=%zu paths=%zu steps=%llu "
-                "steps/s=%.0f covered=%zu solver=%.0f%%\n",
+                "steps/s=%.0f covered=%zu solver=%.0f%% qcache=%.0f%% "
+                "depth=%llu\n",
                 double(sinceStart) / 1e6, info.frontierSize, info.pathsDone,
                 static_cast<unsigned long long>(info.totalSteps), stepsPerSec,
-                info.coveredPcs, solverShare * 100.0);
+                info.coveredPcs, solverShare * 100.0, qcacheRate * 100.0,
+                static_cast<unsigned long long>(info.depth));
   os_ << line;
   os_.flush();
 
@@ -51,7 +60,9 @@ void ProgressMeter::onStepEnd(const StepInfo& info) {
                 {"steps_per_sec", stepsPerSec},
                 {"covered_pcs", static_cast<uint64_t>(info.coveredPcs)},
                 {"solver_queries", info.runSolverQueries},
-                {"solver_share", solverShare}});
+                {"solver_share", solverShare},
+                {"qcache_hit_rate", qcacheRate},
+                {"depth", info.depth}});
   }
 
   ++beats_;

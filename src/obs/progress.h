@@ -1,6 +1,7 @@
 // Live progress heartbeat (docs/observability.md): an ExploreObserver
 // that periodically reports frontier size, finished paths, step
-// throughput, covered pcs and the solver's share of wall time — one
+// throughput, covered pcs, the solver's share of wall time, the query-
+// cache hit rate and the stepped state's fork depth — one
 // "[progress] ..." line on a stream (the CLI points it at stderr) and,
 // when the telemetry bundle has a trace sink, one Heartbeat trace event.
 // Time comes from the injectable telemetry clock, so tests drive it with

@@ -199,6 +199,7 @@ QueryCache::Outcome QueryCache::acquire(const std::string& key) {
       o.hit = true;
       o.result = it->second.result;
       o.slotValues = it->second.slotValues;
+      o.cost = it->second.cost;
       return o;
     }
     // In flight on another thread: wait for publish()/abandon(), then
@@ -212,12 +213,13 @@ QueryCache::Outcome QueryCache::acquire(const std::string& key) {
 }
 
 void QueryCache::publish(const std::string& key, CheckResult result,
-                         std::vector<uint64_t> slotValues) {
+                         std::vector<uint64_t> slotValues, QueryCost cost) {
   std::lock_guard<std::mutex> lk(mu_);
   Entry& e = map_[key];
   e.done = true;
   e.result = result;
   e.slotValues = std::move(slotValues);
+  e.cost = cost;
   fifo_.push_back(key);
   if (capacity_ != 0) {
     while (fifo_.size() > capacity_) {

@@ -43,6 +43,26 @@ namespace adlsym::smt {
 
 enum class CheckResult;  // smt/solver.h
 
+/// Canonical cost of solving one query's canonical CNF on a fresh core:
+/// terms blasted, AIG gates built, SAT conflicts. Captured once at the
+/// key's single-flight solve and *replayed* on every later hit, so the
+/// cost a caller observes depends only on the query — never on which
+/// worker or step happened to take the miss. This is what lets the
+/// profiler attribute solver cost per branch site byte-identically
+/// across -j1/-jN (docs/observability.md).
+struct QueryCost {
+  uint64_t terms = 0;
+  uint64_t gates = 0;
+  uint64_t conflicts = 0;
+
+  QueryCost& operator+=(const QueryCost& o) {
+    terms += o.terms;
+    gates += o.gates;
+    conflicts += o.conflicts;
+    return *this;
+  }
+};
+
 class QueryCache {
  public:
   /// `capacity` bounds completed entries (FIFO eviction); 0 = unbounded.
@@ -68,7 +88,7 @@ class QueryCache {
       const uint64_t total = hits + misses;
       return total ? double(hits) / double(total) : 0.0;
     }
-    /// The "qcache" object of the stats schema (adlsym-stats-v4). Emits
+    /// The "qcache" object of the stats schema (adlsym-stats-v5). Emits
     /// only scheduling-independent fields.
     void writeJson(json::Writer& w) const;
   };
@@ -78,6 +98,7 @@ class QueryCache {
     bool hit = false;   // result/slotValues valid; otherwise caller owns
     CheckResult result;
     std::vector<uint64_t> slotValues;  // Sat models, indexed by var slot
+    QueryCost cost;                    // canonical solve cost, replayed
   };
 
   /// Single-flight lookup: a hit returns the completed verdict (+model);
@@ -87,9 +108,10 @@ class QueryCache {
   Outcome acquire(const std::string& key);
 
   /// Owner: complete the key with a verdict (never Unknown — abandon
-  /// those) and, for Sat, the slot-indexed model.
+  /// those), for Sat the slot-indexed model, and the canonical solve cost
+  /// (replayed verbatim to every later hit).
   void publish(const std::string& key, CheckResult result,
-               std::vector<uint64_t> slotValues);
+               std::vector<uint64_t> slotValues, QueryCost cost = {});
 
   /// Owner: give the key up without a verdict (Unknown result, or an
   /// exception unwound through the solve). Waiters retry and one becomes
@@ -110,6 +132,7 @@ class QueryCache {
     bool done = false;
     CheckResult result;
     std::vector<uint64_t> slotValues;
+    QueryCost cost;
   };
 
   mutable std::mutex mu_;

@@ -1,6 +1,7 @@
 #include "smt/solver.h"
 
 #include <algorithm>
+#include <bit>
 #include <cstring>
 #include <sstream>
 
@@ -47,6 +48,13 @@ void SolverTelemetry::writeJson(json::Writer& w) const {
   w.kv("gate_cache_hits", blast.cacheHits);
   w.kv("terms_blasted", blast.termsBlasted);
   w.endObject();
+  // Canonical (cache-replayed) cost totals — schedule-independent, unlike
+  // sat_core/bitblast which only count work actually performed. v5.
+  w.key("canon").beginObject();
+  w.kv("terms", canon.terms);
+  w.kv("gates", canon.gates);
+  w.kv("conflicts", canon.conflicts);
+  w.endObject();
   w.endObject();
 }
 
@@ -86,6 +94,7 @@ SolverTelemetry SmtSolver::telemetrySnapshot() const {
   t.totalMicros = stats_.totalMicros;
   t.maxMicros = stats_.maxMicros;
   t.cacheHits = cacheHits_;
+  t.canon = stats_.canon;
   if (freshMode_) {
     t.satCore = freshSat_;
     t.blast = freshBlast_;
@@ -207,6 +216,9 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
   auto now = [&] { return clk.nowMicros(); };
   const uint64_t startUs = now();
   bool cached = false;
+  // Canonical cost of this query (QueryCost): measured on a miss, replayed
+  // from the cache on a hit, zero on short-circuited checks.
+  QueryCost cost;
   auto finish = [&](CheckResult r) {
     const uint64_t us = now() - startUs;
     stats_.totalMicros += us;
@@ -215,6 +227,19 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
       case CheckResult::Sat: ++stats_.sat; break;
       case CheckResult::Unsat: ++stats_.unsat; break;
       case CheckResult::Unknown: ++stats_.unknown; break;
+    }
+    stats_.canon += cost;
+    if (shapeProfiling_) {
+      const auto bucket = static_cast<unsigned>(std::bit_width(cost.terms));
+      ShapeRow& row = shapes_[bucket];
+      ++row.queries;
+      if (cached) ++row.hits;
+      switch (r) {
+        case CheckResult::Sat: ++row.sat; break;
+        case CheckResult::Unsat: ++row.unsat; break;
+        case CheckResult::Unknown: ++row.unknown; break;
+      }
+      row.cost += cost;
     }
     if (queryHist_) queryHist_->record(us);
     if (listener_) listener_->onCheck(permanentAsserts_, assumptions, r, us, cached);
@@ -244,8 +269,21 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     if (deadlineUs != 0 && startUs >= deadlineUs) {
       return finish(CheckResult::Unknown);
     }
+    // Fresh-solve cost is the delta of the fresh aggregates around the
+    // throwaway-core solve; on a cache hit the stored cost is replayed.
+    auto freshCostDelta = [&](auto solve) {
+      const uint64_t terms0 = freshBlast_.termsBlasted;
+      const uint64_t gates0 = freshBlast_.gates;
+      const uint64_t conf0 = freshSat_.conflicts;
+      const CheckResult r = solve();
+      cost.terms = freshBlast_.termsBlasted - terms0;
+      cost.gates = freshBlast_.gates - gates0;
+      cost.conflicts = freshSat_.conflicts - conf0;
+      return r;
+    };
     if (sharedCache_ == nullptr) {
-      return finish(solveFreshWithModel(assumptions, &clk, deadlineUs));
+      return finish(freshCostDelta(
+          [&] { return solveFreshWithModel(assumptions, &clk, deadlineUs); }));
     }
     // Shared-cache path: canonical key, single-flight solve-or-wait.
     std::vector<TermRef> slotVars;
@@ -255,6 +293,7 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     if (o.hit) {
       ++cacheHits_;
       cached = true;
+      cost = o.cost;
       if (cacheHitCtr_) cacheHitCtr_->add();
       if (o.result == CheckResult::Sat) {
         // Translate the slot-indexed canonical model back to this pool's
@@ -270,7 +309,8 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     if (cacheMissCtr_) cacheMissCtr_->add();
     CheckResult r;
     try {
-      r = solveFreshWithModel(assumptions, &clk, deadlineUs);
+      r = freshCostDelta(
+          [&] { return solveFreshWithModel(assumptions, &clk, deadlineUs); });
     } catch (...) {
       sharedCache_->abandon(key);
       throw;
@@ -288,7 +328,7 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
           slotValues.push_back(it == model_.end() ? 0 : it->second);
         }
       }
-      sharedCache_->publish(key, r, std::move(slotValues));
+      sharedCache_->publish(key, r, std::move(slotValues), cost);
     }
     return finish(r);
   }
@@ -310,17 +350,29 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     if (auto it = queryCache_.find(cacheKey); it != queryCache_.end()) {
       ++cacheHits_;
       cached = true;
+      cost = it->second.cost;
       if (cacheHitCtr_) cacheHitCtr_->add();
       if (it->second.result == CheckResult::Sat) model_ = it->second.model;
       return finish(it->second.result);
     }
     if (cacheMissCtr_) cacheMissCtr_->add();
   }
+  // Incremental-solve cost: delta of the member core/blaster stats from
+  // just before the assumption literals are blasted (snapshots assigned
+  // below, once the deadline pre-check has passed).
+  uint64_t termsBefore = 0, gatesBefore = 0, conflictsBefore = 0;
+  auto snapCost = [&] {
+    cost.terms = bb_.stats().termsBlasted - termsBefore;
+    cost.gates = bb_.stats().gates - gatesBefore;
+    cost.conflicts = sat_.stats().conflicts - conflictsBefore;
+  };
   auto remember = [&](CheckResult r) {
+    snapCost();
     if (cacheEnabled_ && r != CheckResult::Unknown) {
       CacheEntry entry;
       entry.result = r;
       if (r == CheckResult::Sat) entry.model = model_;
+      entry.cost = cost;
       queryCache_.emplace(std::move(cacheKey), std::move(entry));
     }
     return finish(r);
@@ -340,6 +392,9 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     return finish(CheckResult::Unknown);
   }
   sat_.setDeadline(deadlineUs != 0 ? &clk : nullptr, deadlineUs);
+  termsBefore = bb_.stats().termsBlasted;
+  gatesBefore = bb_.stats().gates;
+  conflictsBefore = sat_.stats().conflicts;
 
   std::vector<Lit> lits;
   lits.reserve(assumptions.size());
@@ -378,8 +433,11 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
       return remember(CheckResult::Sat);
     }
     case SatResult::Unsat: return remember(CheckResult::Unsat);
-    case SatResult::Unknown: return finish(CheckResult::Unknown);
+    case SatResult::Unknown:
+      snapCost();
+      return finish(CheckResult::Unknown);
   }
+  snapCost();
   return finish(CheckResult::Unknown);
 }
 

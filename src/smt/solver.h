@@ -7,17 +7,17 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "smt/bitblast.h"
+#include "smt/qcache.h"
 #include "smt/sat.h"
 #include "smt/term.h"
 #include "support/telemetry.h"
 
 namespace adlsym::smt {
-
-class QueryCache;  // smt/qcache.h
 
 enum class CheckResult { Sat, Unsat, Unknown };
 
@@ -40,6 +40,9 @@ struct SolverTelemetry {
   BitBlaster::Stats blast;
   uint64_t satVars = 0;
   uint64_t satClauses = 0;
+  /// Canonical (cache-replayed, schedule-independent) query cost totals;
+  /// the profiler's reconciliation targets (docs/observability.md).
+  QueryCost canon;
 
   /// Hit rate over all queries (cached and solved), in [0,1].
   double cacheHitRate() const {
@@ -126,6 +129,11 @@ class SmtSolver {
     uint64_t unknown = 0;
     uint64_t totalMicros = 0;
     uint64_t maxMicros = 0;
+    /// Canonical per-query cost totals (see QueryCost): a cache miss adds
+    /// the fresh-solve cost, a hit *replays* the stored cost, so these
+    /// accumulate identically whichever caller took the miss. Observers
+    /// read deltas of these to attribute solver cost per branch site.
+    QueryCost canon;
   };
   const Stats& stats() const { return stats_; }
   const SatSolver::Stats& satStats() const { return sat_.stats(); }
@@ -162,6 +170,37 @@ class SmtSolver {
   /// model, misses are solved fresh and published single-flight.
   void setSharedCache(QueryCache* c) { sharedCache_ = c; }
 
+  /// One row of the profiler's query-shape table: queries grouped by the
+  /// bit-width bucket of their canonical terms-blasted count. Sums are
+  /// schedule-independent when aggregated over all workers: every
+  /// issuance of a key carries the same replayed canonical cost, and a
+  /// key with n issuances contributes exactly n-1 hits in total (under an
+  /// unbounded cache) no matter which worker took the miss.
+  struct ShapeRow {
+    uint64_t queries = 0;
+    uint64_t hits = 0;  // served from a cache (local or shared)
+    uint64_t sat = 0;
+    uint64_t unsat = 0;
+    uint64_t unknown = 0;
+    QueryCost cost;
+
+    ShapeRow& operator+=(const ShapeRow& o) {
+      queries += o.queries;
+      hits += o.hits;
+      sat += o.sat;
+      unsat += o.unsat;
+      unknown += o.unknown;
+      cost += o.cost;
+      return *this;
+    }
+  };
+
+  /// Enable per-shape accumulation (profiler runs only; off by default).
+  void setShapeProfiling(bool on) { shapeProfiling_ = on; }
+  /// Rows keyed by bit_width(canonical terms) — 0 for cost-free
+  /// short-circuited checks. std::map keeps emission order canonical.
+  const std::map<unsigned, ShapeRow>& queryShapes() const { return shapes_; }
+
  private:
   /// Fresh-mode miss path: solve on a throwaway core, snapshot the model
   /// into model_ on Sat, aggregate the core's stats into the fresh
@@ -180,6 +219,7 @@ class SmtSolver {
   struct CacheEntry {
     CheckResult result = CheckResult::Unknown;
     std::unordered_map<uint32_t, uint64_t> model;  // for Sat entries
+    QueryCost cost;  // replayed on hits (see Stats::canon)
   };
   bool cacheEnabled_ = true;
   std::unordered_map<std::string, CacheEntry> queryCache_;
@@ -198,6 +238,9 @@ class SmtSolver {
   uint64_t freshClauses_ = 0;
 
   Stats stats_;
+
+  bool shapeProfiling_ = false;
+  std::map<unsigned, ShapeRow> shapes_;
 
   QueryListener* listener_ = nullptr;
 

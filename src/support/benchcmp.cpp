@@ -1,0 +1,268 @@
+#include "support/benchcmp.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace adlsym::benchcmp {
+
+namespace {
+
+bool endsWith(const std::string& s, const char* suffix) {
+  const size_t n = std::char_traits<char>::length(suffix);
+  return s.size() >= n && s.compare(s.size() - n, n, suffix) == 0;
+}
+
+/// "85%" -> 85, "1.2x" -> 1.2; false when the prefix is not numeric.
+bool numericPrefix(const std::string& s, char suffix, double* out) {
+  if (s.size() < 2 || s.back() != suffix) return false;
+  const std::string body = s.substr(0, s.size() - 1);
+  char* end = nullptr;
+  const double d = std::strtod(body.c_str(), &end);
+  if (end == nullptr || *end != '\0' || end == body.c_str()) return false;
+  *out = d;
+  return true;
+}
+
+std::string fmtNum(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+std::string render(const json::Value& v) {
+  switch (v.kind) {
+    case json::Value::Kind::Null: return "null";
+    case json::Value::Kind::Bool: return v.boolean ? "true" : "false";
+    case json::Value::Kind::Number: return fmtNum(v.number);
+    case json::Value::Kind::String: return "\"" + v.str + "\"";
+    case json::Value::Kind::Array: return "<array>";
+    case json::Value::Kind::Object: return "<object>";
+  }
+  return "?";
+}
+
+const json::Value* findTable(const json::Value& doc, const std::string& label) {
+  const json::Value* tables = doc.find("tables");
+  if (tables == nullptr || !tables->isArray()) return nullptr;
+  for (const json::Value& t : tables->array) {
+    const json::Value* l = t.find("label");
+    if (l != nullptr && l->isString() && l->str == label) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+MetricClass classifyMetric(const std::string& name, const json::Value& v) {
+  if (v.isNumber()) {
+    if (endsWith(name, "-ms") || endsWith(name, "-us") ||
+        name.rfind("ms(", 0) == 0 || name == "ms") {
+      return MetricClass::Time;
+    }
+    if (endsWith(name, "-kips") || endsWith(name, "kips") ||
+        endsWith(name, "/s")) {
+      return MetricClass::Rate;
+    }
+    return MetricClass::Exact;
+  }
+  if (v.isString()) {
+    double d;
+    if (numericPrefix(v.str, '%', &d)) return MetricClass::Percent;
+    if (numericPrefix(v.str, 'x', &d)) return MetricClass::Ratio;
+  }
+  return MetricClass::Text;
+}
+
+bool Report::failed() const {
+  for (const Issue& i : issues) {
+    if (i.kind != Issue::Kind::Improvement) return true;
+  }
+  return false;
+}
+
+std::string Report::formatText(const std::string& name) const {
+  std::ostringstream os;
+  uint64_t regressions = 0, drifts = 0, structure = 0, improvements = 0;
+  for (const Issue& i : issues) {
+    const char* kind = "";
+    switch (i.kind) {
+      case Issue::Kind::Structure: kind = "STRUCTURE"; ++structure; break;
+      case Issue::Kind::Regression: kind = "REGRESSION"; ++regressions; break;
+      case Issue::Kind::Drift: kind = "DRIFT"; ++drifts; break;
+      case Issue::Kind::Improvement: kind = "improvement"; ++improvements; break;
+    }
+    os << "  " << kind << " " << i.where;
+    if (!i.metric.empty()) os << " " << i.metric;
+    os << ": " << i.detail << "\n";
+  }
+  std::ostringstream head;
+  head << name << ": " << comparedTables << " tables, " << comparedRows
+       << " rows, " << comparedMetrics << " metrics; " << regressions
+       << " regressions, " << drifts << " drifts, " << structure
+       << " structural, " << improvements << " improvements\n";
+  return head.str() + os.str();
+}
+
+std::string validate(const json::Value& doc) {
+  if (!doc.isObject()) return "top level is not an object";
+  const json::Value* cmd = doc.find("command");
+  if (cmd == nullptr || !cmd->isString() || cmd->str != "bench") {
+    return "missing \"command\":\"bench\"";
+  }
+  const json::Value* tables = doc.find("tables");
+  if (tables == nullptr || !tables->isArray()) return "missing tables array";
+  if (tables->array.empty()) return "empty tables array";
+  for (size_t t = 0; t < tables->array.size(); ++t) {
+    const json::Value& table = tables->array[t];
+    const std::string at = "tables[" + std::to_string(t) + "]";
+    if (!table.isObject()) return at + " is not an object";
+    const json::Value* label = table.find("label");
+    if (label == nullptr || !label->isString() || label->str.empty()) {
+      return at + " has no label";
+    }
+    const json::Value* rows = table.find("rows");
+    if (rows == nullptr || !rows->isArray()) return at + " has no rows array";
+    if (rows->array.empty()) return at + " (" + label->str + ") has no rows";
+    for (size_t r = 0; r < rows->array.size(); ++r) {
+      const json::Value& row = rows->array[r];
+      if (!row.isObject() || row.object.empty()) {
+        return at + ".rows[" + std::to_string(r) + "] is not a non-empty object";
+      }
+    }
+  }
+  return "";
+}
+
+Report compare(const json::Value& baseline, const json::Value& fresh,
+               const Options& opt) {
+  Report rep;
+  auto add = [&rep](Issue::Kind kind, std::string where, std::string metric,
+                    std::string detail) {
+    rep.issues.push_back(Issue{kind, std::move(where), std::move(metric),
+                               std::move(detail)});
+  };
+
+  const json::Value* baseTables = baseline.find("tables");
+  if (baseTables == nullptr || !baseTables->isArray()) {
+    add(Issue::Kind::Structure, "<doc>", "", "baseline has no tables");
+    return rep;
+  }
+  for (const json::Value& baseTable : baseTables->array) {
+    const json::Value* labelV = baseTable.find("label");
+    const std::string label =
+        labelV != nullptr && labelV->isString() ? labelV->str : "?";
+    const json::Value* freshTable = findTable(fresh, label);
+    if (freshTable == nullptr) {
+      add(Issue::Kind::Structure, label, "", "table missing from fresh run");
+      continue;
+    }
+    ++rep.comparedTables;
+    const json::Value* baseRows = baseTable.find("rows");
+    const json::Value* freshRows = freshTable->find("rows");
+    if (baseRows == nullptr || freshRows == nullptr || !baseRows->isArray() ||
+        !freshRows->isArray()) {
+      add(Issue::Kind::Structure, label, "", "rows array missing");
+      continue;
+    }
+    if (baseRows->array.size() != freshRows->array.size()) {
+      add(Issue::Kind::Structure, label, "",
+          "row count " + std::to_string(baseRows->array.size()) + " -> " +
+              std::to_string(freshRows->array.size()));
+      continue;
+    }
+    for (size_t r = 0; r < baseRows->array.size(); ++r) {
+      const json::Value& baseRow = baseRows->array[r];
+      const json::Value& freshRow = freshRows->array[r];
+      const std::string where = label + "[" + std::to_string(r) + "]";
+      ++rep.comparedRows;
+      for (const auto& [metric, baseVal] : baseRow.object) {
+        const json::Value* freshVal = freshRow.find(metric);
+        if (freshVal == nullptr) {
+          add(Issue::Kind::Structure, where, metric, "metric missing");
+          continue;
+        }
+        ++rep.comparedMetrics;
+        const MetricClass cls = classifyMetric(metric, baseVal);
+        double relTol = opt.timeTolPct;
+        if (cls == MetricClass::Rate) relTol = opt.rateTolPct;
+        if (cls == MetricClass::Ratio) relTol = opt.ratioTolPct;
+        if (const auto it = opt.metricTolPct.find(metric);
+            it != opt.metricTolPct.end()) {
+          relTol = it->second;
+        }
+        switch (cls) {
+          case MetricClass::Time:
+          case MetricClass::Rate: {
+            if (!freshVal->isNumber()) {
+              add(Issue::Kind::Structure, where, metric,
+                  "expected a number, got " + render(*freshVal));
+              break;
+            }
+            const double oldV = baseVal.number;
+            const double newV = freshVal->number;
+            // Worse = slower for Time, lower for Rate. Tolerance is
+            // relative to the baseline, with a tiny absolute floor so
+            // 0.01ms-scale cells do not flap.
+            const double band =
+                std::max(std::fabs(oldV) * relTol / 100.0, 1e-9);
+            const double worse =
+                cls == MetricClass::Time ? newV - oldV : oldV - newV;
+            if (worse > band) {
+              add(Issue::Kind::Regression, where, metric,
+                  fmtNum(oldV) + " -> " + fmtNum(newV) + " (tol " +
+                      fmtNum(relTol) + "%)");
+            } else if (-worse > band) {
+              add(Issue::Kind::Improvement, where, metric,
+                  fmtNum(oldV) + " -> " + fmtNum(newV));
+            }
+            break;
+          }
+          case MetricClass::Ratio:
+          case MetricClass::Percent: {
+            double oldV = 0, newV = 0;
+            const char suffix = cls == MetricClass::Ratio ? 'x' : '%';
+            if (!freshVal->isString() ||
+                !numericPrefix(freshVal->str, suffix, &newV)) {
+              add(Issue::Kind::Structure, where, metric,
+                  "expected a '" + std::string(1, suffix) + "' cell, got " +
+                      render(*freshVal));
+              break;
+            }
+            numericPrefix(baseVal.str, suffix, &oldV);
+            const double band = cls == MetricClass::Percent
+                                    ? opt.pctTolPoints
+                                    : std::fabs(oldV) * relTol / 100.0;
+            if (std::fabs(newV - oldV) > band) {
+              add(Issue::Kind::Drift, where, metric,
+                  baseVal.str + " -> " + freshVal->str);
+            }
+            break;
+          }
+          case MetricClass::Exact: {
+            if (!freshVal->isNumber() || freshVal->number != baseVal.number) {
+              add(Issue::Kind::Drift, where, metric,
+                  render(baseVal) + " -> " + render(*freshVal));
+            }
+            break;
+          }
+          case MetricClass::Text: {
+            const bool same = freshVal->kind == baseVal.kind &&
+                              freshVal->str == baseVal.str &&
+                              freshVal->boolean == baseVal.boolean &&
+                              freshVal->number == baseVal.number;
+            if (!same) {
+              add(Issue::Kind::Drift, where, metric,
+                  render(baseVal) + " -> " + render(*freshVal));
+            }
+            break;
+          }
+        }
+      }
+    }
+  }
+  return rep;
+}
+
+}  // namespace adlsym::benchcmp

@@ -1,0 +1,79 @@
+// Bench regression comparator (docs/observability.md): diffs a freshly
+// produced bench JSON report (tools/bench_to_json.sh) against a committed
+// BENCH_*.json baseline, metric by metric. Timing metrics get a relative
+// tolerance (they are machine-noisy by nature), throughput metrics the
+// same in the opposite direction, percent/ratio strings a numeric drift
+// band, and everything else — counts, verdicts, labels — must match
+// exactly, because the engine is deterministic and a silent count drift
+// is itself a regression. tools/bench_diff is the CLI over this; CI runs
+// it report-only on every build.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "support/json.h"
+
+namespace adlsym::benchcmp {
+
+struct Options {
+  /// Relative tolerance (percent) for time-like metrics ("*-ms", "*-us");
+  /// only slower-than-baseline beyond this is a regression.
+  double timeTolPct = 25.0;
+  /// Relative tolerance for throughput metrics ("*-kips", "*/s"); only
+  /// lower-than-baseline beyond this is a regression.
+  double rateTolPct = 25.0;
+  /// Relative drift band for "1.2x"-style ratio strings (direction-
+  /// agnostic: these mix overheads and speedups).
+  double ratioTolPct = 25.0;
+  /// Absolute drift band, in percentage points, for "85%"-style cells.
+  double pctTolPoints = 5.0;
+  /// Per-metric overrides of the relative tolerance (metric name ->
+  /// percent); applies to time/rate/ratio metrics.
+  std::map<std::string, double> metricTolPct;
+};
+
+/// How one metric column is judged, derived from its name and value form.
+enum class MetricClass { Time, Rate, Ratio, Percent, Exact, Text };
+
+MetricClass classifyMetric(const std::string& name, const json::Value& v);
+
+struct Issue {
+  enum class Kind {
+    Structure,    // missing table/row/metric or shape mismatch — fails
+    Regression,   // worse than baseline beyond tolerance — fails
+    Drift,        // exact/banded metric moved — fails
+    Improvement,  // better than baseline beyond tolerance — informational
+  };
+  Kind kind = Kind::Structure;
+  std::string where;   // "<table>[<row>]"
+  std::string metric;  // column name ("" for structural issues)
+  std::string detail;  // human-readable old -> new with the tolerance
+};
+
+struct Report {
+  std::vector<Issue> issues;
+  uint64_t comparedTables = 0;
+  uint64_t comparedRows = 0;
+  uint64_t comparedMetrics = 0;
+
+  bool failed() const;  // any non-Improvement issue
+  std::string formatText(const std::string& name) const;
+};
+
+/// Structural validation of one bench document ({"command":"bench",
+/// "tables":[{label,rows:[{...}]}]}). Returns "" when well-formed, else
+/// the first problem. bench_to_json.sh gates on this (--validate) so a
+/// truncated run never installs a partial JSON.
+std::string validate(const json::Value& doc);
+
+/// Diff `fresh` against `baseline` (both validated bench documents).
+/// Tables are matched by label, rows by index; the top-level "schema" is
+/// deliberately ignored so committed baselines survive stats-schema
+/// bumps.
+Report compare(const json::Value& baseline, const json::Value& fresh,
+               const Options& opt);
+
+}  // namespace adlsym::benchcmp

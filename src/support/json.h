@@ -1,13 +1,16 @@
 // Minimal streaming JSON writer used by the telemetry layer, the CLI's
-// --stats-json output and the bench JSON reports. Emits compact (no
-// whitespace) JSON; commas and nesting are tracked automatically so call
-// sites read like the document they produce.
+// --stats-json output and the bench JSON reports, plus the matching
+// reader (Value + parse) used by tools/bench_diff to load documents the
+// writer produced. The writer emits compact (no whitespace) JSON; commas
+// and nesting are tracked automatically so call sites read like the
+// document they produce.
 #pragma once
 
 #include <cstdint>
 #include <ostream>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace adlsym::json {
@@ -55,5 +58,34 @@ class Writer {
   std::vector<uint32_t> counts_;
   bool pendingKey_ = false;
 };
+
+/// Parsed JSON value — the reader counterpart of Writer. A tagged struct
+/// rather than a variant so consumers stay simple; object members keep
+/// their document order (the writer emits deterministic orders, and
+/// bench_diff reports drift in that order).
+struct Value {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool isNull() const { return kind == Kind::Null; }
+  bool isBool() const { return kind == Kind::Bool; }
+  bool isNumber() const { return kind == Kind::Number; }
+  bool isString() const { return kind == Kind::String; }
+  bool isArray() const { return kind == Kind::Array; }
+  bool isObject() const { return kind == Kind::Object; }
+
+  /// First member with this key, or null when absent / not an object.
+  const Value* find(std::string_view key) const;
+};
+
+/// Parse one complete JSON document (trailing whitespace allowed, trailing
+/// garbage is not). Throws adlsym::InputError with a byte offset on
+/// malformed input — truncated documents fail, they never parse partially.
+Value parse(std::string_view text);
 
 }  // namespace adlsym::json

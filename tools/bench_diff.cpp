@@ -1,0 +1,200 @@
+// bench_diff — compare a fresh bench run against committed BENCH_*.json
+// baselines (docs/observability.md). Two modes:
+//
+//   bench_diff [options] <baseline-dir> <fresh-dir>
+//     Diff every BENCH_*.json in <baseline-dir> against the same file in
+//     <fresh-dir>. Exit 1 on any regression / drift / structural break,
+//     0 when clean. --report-only always exits 0 (CI runs this on every
+//     build so the report is visible without gating merges).
+//
+//   bench_diff --validate <file.json>...
+//     Structural validation only: exit 1 unless every file parses and
+//     looks like a bench report. tools/bench_to_json.sh gates on this so
+//     a crashed bench never installs a truncated JSON.
+//
+// Options:
+//   --report-only          print the report but exit 0 regardless
+//   --time-tol-pct=N       tolerance for *-ms/*-us metrics (default 25)
+//   --rate-tol-pct=N       tolerance for *-kips, */s metrics (default 25)
+//   --ratio-tol-pct=N      drift band for "1.2x" cells (default 25)
+//   --pct-tol-points=N     drift band for "85%" cells (default 5)
+//   --metric-tol=NAME:PCT  per-metric relative tolerance override
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/benchcmp.h"
+#include "support/error.h"
+#include "support/json.h"
+
+namespace fs = std::filesystem;
+using adlsym::benchcmp::Options;
+using adlsym::benchcmp::Report;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_diff [options] <baseline-dir> <fresh-dir>\n"
+               "       bench_diff --validate <file.json>...\n"
+               "options: --report-only --time-tol-pct=N --rate-tol-pct=N\n"
+               "         --ratio-tol-pct=N --pct-tol-points=N"
+               " --metric-tol=NAME:PCT\n");
+  return 2;
+}
+
+bool readFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream os;
+  os << in.rdbuf();
+  *out = os.str();
+  return true;
+}
+
+bool parseDouble(const std::string& s, double* out) {
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != s.c_str();
+}
+
+int runValidate(const std::vector<std::string>& files) {
+  if (files.empty()) return usage();
+  int bad = 0;
+  for (const std::string& path : files) {
+    std::string text;
+    if (!readFile(path, &text)) {
+      std::fprintf(stderr, "bench_diff: cannot read %s\n", path.c_str());
+      ++bad;
+      continue;
+    }
+    std::string err;
+    try {
+      const adlsym::json::Value doc = adlsym::json::parse(text);
+      err = adlsym::benchcmp::validate(doc);
+    } catch (const std::exception& e) {
+      err = e.what();
+    }
+    if (!err.empty()) {
+      std::fprintf(stderr, "bench_diff: %s: %s\n", path.c_str(), err.c_str());
+      ++bad;
+    }
+  }
+  return bad != 0 ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool reportOnly = false;
+  bool validateMode = false;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto valueOf = [&a](const char* flag) {
+      return a.substr(std::string(flag).size());
+    };
+    double d;
+    if (a == "--validate") {
+      validateMode = true;
+    } else if (a == "--report-only") {
+      reportOnly = true;
+    } else if (a.rfind("--time-tol-pct=", 0) == 0 &&
+               parseDouble(valueOf("--time-tol-pct="), &d)) {
+      opt.timeTolPct = d;
+    } else if (a.rfind("--rate-tol-pct=", 0) == 0 &&
+               parseDouble(valueOf("--rate-tol-pct="), &d)) {
+      opt.rateTolPct = d;
+    } else if (a.rfind("--ratio-tol-pct=", 0) == 0 &&
+               parseDouble(valueOf("--ratio-tol-pct="), &d)) {
+      opt.ratioTolPct = d;
+    } else if (a.rfind("--pct-tol-points=", 0) == 0 &&
+               parseDouble(valueOf("--pct-tol-points="), &d)) {
+      opt.pctTolPoints = d;
+    } else if (a.rfind("--metric-tol=", 0) == 0) {
+      const std::string spec = valueOf("--metric-tol=");
+      const size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0 ||
+          !parseDouble(spec.substr(colon + 1), &d)) {
+        std::fprintf(stderr, "bench_diff: bad --metric-tol '%s'\n",
+                     spec.c_str());
+        return 2;
+      }
+      opt.metricTolPct[spec.substr(0, colon)] = d;
+    } else if (a.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "bench_diff: unknown option '%s'\n", a.c_str());
+      return usage();
+    } else {
+      pos.push_back(a);
+    }
+  }
+
+  if (validateMode) return runValidate(pos);
+  if (pos.size() != 2) return usage();
+  const fs::path baseDir = pos[0];
+  const fs::path freshDir = pos[1];
+
+  std::error_code ec;
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(baseDir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, ".json") == 0) {
+      names.push_back(name);
+    }
+  }
+  if (ec) {
+    std::fprintf(stderr, "bench_diff: cannot read %s: %s\n",
+                 baseDir.string().c_str(), ec.message().c_str());
+    return 2;
+  }
+  if (names.empty()) {
+    std::fprintf(stderr, "bench_diff: no BENCH_*.json in %s\n",
+                 baseDir.string().c_str());
+    return 2;
+  }
+  std::sort(names.begin(), names.end());
+
+  bool anyFailure = false;
+  for (const std::string& name : names) {
+    std::string baseText, freshText;
+    if (!readFile((baseDir / name).string(), &baseText)) {
+      std::fprintf(stderr, "bench_diff: cannot read baseline %s\n",
+                   name.c_str());
+      return 2;
+    }
+    if (!readFile((freshDir / name).string(), &freshText)) {
+      std::printf("%s: fresh report missing (STRUCTURE)\n", name.c_str());
+      anyFailure = true;
+      continue;
+    }
+    try {
+      const adlsym::json::Value baseDoc = adlsym::json::parse(baseText);
+      const adlsym::json::Value freshDoc = adlsym::json::parse(freshText);
+      const std::string freshErr = adlsym::benchcmp::validate(freshDoc);
+      if (!freshErr.empty()) {
+        std::printf("%s: fresh report malformed: %s (STRUCTURE)\n",
+                    name.c_str(), freshErr.c_str());
+        anyFailure = true;
+        continue;
+      }
+      const Report rep = adlsym::benchcmp::compare(baseDoc, freshDoc, opt);
+      std::fputs(rep.formatText(name).c_str(), stdout);
+      anyFailure = anyFailure || rep.failed();
+    } catch (const std::exception& e) {
+      std::printf("%s: %s (STRUCTURE)\n", name.c_str(), e.what());
+      anyFailure = true;
+    }
+  }
+
+  if (anyFailure && reportOnly) {
+    std::printf("bench_diff: failures found (ignored: --report-only)\n");
+  }
+  return anyFailure && !reportOnly ? 1 : 0;
+}

@@ -7,6 +7,11 @@
 #   out-dir    defaults to the repo root, so BENCH_*.json land next to
 #              EXPERIMENTS.md
 #
+# The benches write into a scratch directory first; each report is
+# structurally validated (tools/bench_diff --validate) and only then moved
+# into out-dir. A crashed or truncated bench therefore exits non-zero
+# without installing a partial JSON — out-dir is never left half-updated.
+#
 # The google-benchmark microbenchmark suites in bench_smt / bench_overhead
 # are filtered out (--benchmark_filter=NONE): only the paper-style tables
 # feed the JSON reports, and skipping the microbenchmarks keeps a full run
@@ -23,9 +28,14 @@ if [ ! -d "$BUILD_DIR/bench" ]; then
 fi
 
 mkdir -p "$OUT_DIR"
+BENCH_DIFF="$BUILD_DIR/tools/bench_diff"
+
+SCRATCH=$(mktemp -d "${TMPDIR:-/tmp}/adlsym-bench.XXXXXX")
+trap 'rm -rf "$SCRATCH"' EXIT INT TERM
+
 # writeJsonReport() reads this; an absolute path keeps it valid regardless
 # of each bench's working directory.
-ADLSYM_BENCH_JSON=$(cd "$OUT_DIR" && pwd)
+ADLSYM_BENCH_JSON=$SCRATCH
 export ADLSYM_BENCH_JSON
 
 status=0
@@ -43,6 +53,30 @@ for b in retarget overhead paths smt defects crossisa search concolic; do
   echo
 done
 
-echo "JSON reports in $ADLSYM_BENCH_JSON:"
-ls "$ADLSYM_BENCH_JSON"/BENCH_*.json
-exit $status
+if [ "$status" -ne 0 ]; then
+  echo "error: a bench failed; no JSON installed" >&2
+  exit "$status"
+fi
+
+set -- "$SCRATCH"/BENCH_*.json
+if [ ! -e "$1" ]; then
+  echo "error: benches produced no JSON reports" >&2
+  exit 1
+fi
+
+# Gate on structural validity before anything reaches out-dir.
+if [ -x "$BENCH_DIFF" ]; then
+  if ! "$BENCH_DIFF" --validate "$@"; then
+    echo "error: malformed bench JSON; no JSON installed" >&2
+    exit 1
+  fi
+else
+  echo "warning: $BENCH_DIFF not built; skipping JSON validation" >&2
+fi
+
+for f in "$@"; do
+  mv "$f" "$OUT_DIR/$(basename "$f")"
+done
+
+echo "JSON reports in $OUT_DIR:"
+ls "$OUT_DIR"/BENCH_*.json
