@@ -26,8 +26,10 @@ void depthTable() {
                           "solve-ms", "total-ms", "solver-share"},
                          "depth");
   for (const unsigned n : {2u, 4u, 8u, 16u, 24u, 32u}) {
+    driver::SessionOptions opt;
+    opt.prefilter = false;  // measure the raw solver; (e) has the ablation
     auto session =
-        driver::Session::forPortable(workloads::progChecksum(n), "rv32e");
+        driver::Session::forPortable(workloads::progChecksum(n), "rv32e", opt);
     benchutil::Timer t;
     const auto summary = session->explore();
     const double totalMs = t.millis();
@@ -59,6 +61,7 @@ void ablationTable() {
   for (const Case& c : cases) {
     for (const bool rewrite : {true, false}) {
       driver::SessionOptions opt;
+      opt.prefilter = false;  // isolate the rewriter axis
       opt.rewriting = rewrite;
       auto session = driver::Session::forPortable(c.prog, "rv32e", opt);
       benchutil::Timer t;
@@ -94,6 +97,7 @@ void cacheTable() {
   for (const Case& c : cases) {
     for (const bool cache : {true, false}) {
       driver::SessionOptions opt;
+      opt.prefilter = false;  // isolate the cache axis
       opt.queryCache = cache;
       auto session = driver::Session::forPortable(c.prog, "rv32e", opt);
       benchutil::Timer t;
@@ -125,6 +129,7 @@ void sharedCacheTable() {
       core::ParallelConfig pcfg;
       pcfg.jobs = jobs;
       pcfg.qcache = cache ? &qcache : nullptr;
+      pcfg.prefilter = false;  // isolate the shared-cache axis
       pcfg.solverConflictBudget = session->options().solverConflictBudget;
       core::ParallelExplorer pex(
           session->image(), session->options().engine, pcfg,
@@ -139,6 +144,49 @@ void sharedCacheTable() {
                     benchutil::num(qs.hits), benchutil::num(qs.misses),
                     benchutil::fmt("%.2f", qs.hitRate()),
                     benchutil::fmt("%.2f", t.millis())});
+    }
+  }
+  table.print();
+  std::printf("\n");
+}
+
+void prefilterTable() {
+  std::printf(
+      "(e) abstract-interpretation prefilter ablation (--prefilter,\n"
+      "    docs/absdomain.md; identical exploration results, blasted =\n"
+      "    queries that reached the bit-blaster)\n\n");
+  benchutil::Table table({"workload", "prefilter", "queries", "pre-sat",
+                          "pre-unsat", "fallback", "blasted", "gates",
+                          "solve-ms", "blast-ratio"},
+                         "prefilter-ablation");
+  struct Case {
+    const char* name;
+    workloads::PProgram prog;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"checksum16", workloads::progChecksum(16)});
+  cases.push_back({"bitcount8", workloads::progBitcount(8)});
+  cases.push_back({"earlyexit16", workloads::progEarlyExit(16)});
+  for (const Case& c : cases) {
+    uint64_t blastedOff = 0;
+    for (const bool pre : {false, true}) {
+      driver::SessionOptions opt;
+      opt.prefilter = pre;
+      auto session = driver::Session::forPortable(c.prog, "rv32e", opt);
+      (void)session->explore();
+      const auto& st = session->solver().stats();
+      const uint64_t blasted = st.preFallback + st.directSolves;
+      if (!pre) blastedOff = blasted;
+      table.addRow({c.name, pre ? "on" : "off", benchutil::num(st.queries),
+                    benchutil::num(st.preSat), benchutil::num(st.preUnsat),
+                    benchutil::num(st.preFallback), benchutil::num(blasted),
+                    benchutil::num(session->solver().blastStats().gates),
+                    benchutil::fmt("%.2f", st.totalMicros / 1e3),
+                    pre ? benchutil::fmt("%.1fx", blasted
+                                                      ? double(blastedOff) /
+                                                            double(blasted)
+                                                      : double(blastedOff))
+                        : "1.0x"});
     }
   }
   table.print();
@@ -182,6 +230,7 @@ int main(int argc, char** argv) {
   ablationTable();
   cacheTable();
   sharedCacheTable();
+  prefilterTable();
   benchutil::writeJsonReport("smt");
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();

@@ -1,0 +1,299 @@
+// Abstract-interpretation lints (ADL016-ADL017): lower each instruction's
+// RTL semantics into a throwaway smt::TermManager — operand fields,
+// register reads, loads and inputs become unconstrained variables — and
+// run the same TermAbsEvaluator that powers smt::PreSolver with every
+// variable at top. A branch condition whose abstract value is still a
+// singleton is constant for EVERY encoding and machine state (ADL016);
+// an AssignReg whose value term is identical to the register's current
+// state term, or whose value is overwritten before any read, has no
+// observable effect (ADL017). Both checks are conservative: the walker
+// forgets register state across If merges and clears pending writes on
+// any branch, so a finding here is a proof, never a heuristic.
+#include <map>
+#include <vector>
+
+#include "analysis/absdom.h"
+#include "analysis/lint.h"
+#include "support/strings.h"
+
+namespace adlsym::analysis {
+
+namespace {
+
+using adl::rtl::Expr;
+using adl::rtl::ExprOp;
+using adl::rtl::Stmt;
+using adl::rtl::StmtOp;
+
+Finding mkFinding(LintCode code, std::string message, std::string insn,
+                  SourceLoc loc) {
+  Finding f;
+  f.code = code;
+  f.severity = lintDefaultSeverity(code);
+  f.message = std::move(message);
+  f.insn = std::move(insn);
+  f.loc = loc;
+  return f;
+}
+
+class AbsLintWalker {
+ public:
+  AbsLintWalker(const adl::ArchModel& model, const adl::InsnInfo& insn,
+                std::vector<Finding>& out)
+      : model_(model), insn_(insn), eval_(tm_), out_(out) {}
+
+  void run() { walkBlock(insn_.semantics); }
+
+ private:
+  // ---- RTL -> term lowering ------------------------------------------
+  // Register reads resolve to the register's CURRENT state term, so a
+  // later `r = r`-shaped assignment hash-conses to the same TermId as the
+  // state it replaces — that identity is the ADL017 no-op proof.
+
+  smt::TermRef freshVar(const char* tag, unsigned width) {
+    return tm_.mkVar(width, formatStr("%s%u", tag, freshCtr_++));
+  }
+
+  smt::TermRef regTerm(unsigned reg) {
+    auto it = regState_.find(reg);
+    if (it != regState_.end()) return it->second;
+    smt::TermRef v =
+        tm_.mkVar(model_.regs[reg].width, "reg_" + model_.regs[reg].name);
+    regState_.emplace(reg, v);
+    return v;
+  }
+
+  /// Coerce to a width-1 boolean (x != 0) for the logical operators.
+  smt::TermRef toBool(smt::TermRef t) {
+    if (t.width() == 1) return t;
+    return tm_.mkNe(t, tm_.mkConst(t.width(), 0));
+  }
+
+  smt::TermRef lower(const Expr& e) {
+    switch (e.op) {
+      case ExprOp::Const: return tm_.mkConst(e.width, e.aux);
+      case ExprOp::Field: {
+        const adl::EncFieldInfo& f =
+            *insn_.operandFields[static_cast<size_t>(e.aux)];
+        return tm_.mkVar(e.width, "field_" + f.name);
+      }
+      case ExprOp::LetRef: {
+        auto it = letState_.find(static_cast<unsigned>(e.aux));
+        // A let referenced outside its defining block (sema rejects this,
+        // but stay total): an unconstrained value.
+        if (it == letState_.end()) return freshVar("let", e.width);
+        return it->second;
+      }
+      case ExprOp::RegRead: return regTerm(static_cast<unsigned>(e.aux));
+      // Reads with effects/addresses we don't model: each occurrence is a
+      // fresh unconstrained variable (sound — top contains everything).
+      case ExprOp::RegFileRead: lower(*e.args[0]); return freshVar("rf", e.width);
+      case ExprOp::Load: lower(*e.args[0]); return freshVar("ld", e.width);
+      case ExprOp::Input: return freshVar("in", e.width);
+      case ExprOp::Not: return tm_.mkNot(lower(*e.args[0]));
+      case ExprOp::Neg: return tm_.mkNeg(lower(*e.args[0]));
+      case ExprOp::LogicalNot: {
+        smt::TermRef a = lower(*e.args[0]);
+        return tm_.mkEq(a, tm_.mkConst(a.width(), 0));
+      }
+      case ExprOp::Add: return tm_.mkAdd(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Sub: return tm_.mkSub(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Mul: return tm_.mkMul(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::UDiv: return tm_.mkUDiv(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::URem: return tm_.mkURem(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::SDiv: return tm_.mkSDiv(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::SRem: return tm_.mkSRem(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::And: return tm_.mkAnd(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Or: return tm_.mkOr(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Xor: return tm_.mkXor(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Shl: return tm_.mkShl(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::LShr: return tm_.mkLShr(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::AShr: return tm_.mkAShr(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Eq: return tm_.mkEq(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Ne: return tm_.mkNe(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Ult: return tm_.mkUlt(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Ule: return tm_.mkUle(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Ugt: return tm_.mkUgt(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Uge: return tm_.mkUge(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Slt: return tm_.mkSlt(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Sle: return tm_.mkSle(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Sgt: return tm_.mkSgt(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Sge: return tm_.mkSge(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::LogicalAnd:
+        return tm_.mkAnd(toBool(lower(*e.args[0])), toBool(lower(*e.args[1])));
+      case ExprOp::LogicalOr:
+        return tm_.mkOr(toBool(lower(*e.args[0])), toBool(lower(*e.args[1])));
+      case ExprOp::ZExt: return tm_.mkZExt(lower(*e.args[0]), e.width);
+      case ExprOp::SExt: return tm_.mkSExt(lower(*e.args[0]), e.width);
+      case ExprOp::Trunc: return tm_.mkResize(lower(*e.args[0]), e.width);
+      case ExprOp::Concat:
+        return tm_.mkConcat(lower(*e.args[0]), lower(*e.args[1]));
+      case ExprOp::Extract:
+        return tm_.mkExtract(lower(*e.args[0]),
+                             static_cast<unsigned>(e.aux >> 8),
+                             static_cast<unsigned>(e.aux & 0xff));
+    }
+    return freshVar("x", e.width);
+  }
+
+  // ---- ADL017 pending-write tracking ---------------------------------
+  // `pending_` maps a register to the location of its last write that no
+  // expression has read since. Any read of the register — directly or as
+  // part of its state term inside a larger expression — clears it; the
+  // conservative sledgehammer is that lowering re-reads state terms, so
+  // we clear on regTerm() lookups during statement-argument lowering.
+
+  void clearPendingReadsIn(smt::TermRef t) {
+    // Walk `t`'s DAG and drop every pending entry whose written-value
+    // term occurs in it — that register's last write was just read.
+    if (!t.valid()) return;
+    std::vector<smt::TermId> stack{t.id()};
+    std::map<smt::TermId, bool> seen;
+    while (!stack.empty()) {
+      const smt::TermId id = stack.back();
+      stack.pop_back();
+      if (seen[id]) continue;
+      seen[id] = true;
+      for (auto it = pending_.begin(); it != pending_.end();) {
+        if (it->second.stateId == id) {
+          it = pending_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      const smt::TermNode& n = tm_.node(id);
+      if (n.a != smt::kInvalidTerm) stack.push_back(n.a);
+      if (n.b != smt::kInvalidTerm) stack.push_back(n.b);
+      if (n.c != smt::kInvalidTerm) stack.push_back(n.c);
+    }
+  }
+
+  // ---- statement walk ------------------------------------------------
+
+  void walkBlock(const std::vector<adl::rtl::StmtPtr>& body) {
+    for (const auto& s : body) walkStmt(*s);
+  }
+
+  void walkStmt(const Stmt& s) {
+    switch (s.op) {
+      case StmtOp::AssignReg: {
+        const unsigned reg = static_cast<unsigned>(s.aux);
+        const smt::TermRef cur = regTerm(reg);
+        smt::TermRef val = lower(*s.args[0]);
+        clearPendingReadsIn(val);
+        if (val == cur) {
+          out_.push_back(mkFinding(
+              LintCode::DeadRtlWrite,
+              formatStr("assignment writes register '%s' its current value; "
+                        "the write has no effect",
+                        model_.regs[reg].name.c_str()),
+              insn_.name, s.loc));
+        } else if (auto it = pending_.find(reg); it != pending_.end()) {
+          out_.push_back(mkFinding(
+              LintCode::DeadRtlWrite,
+              formatStr("value written to register '%s' is overwritten "
+                        "before any read",
+                        model_.regs[reg].name.c_str()),
+              insn_.name, it->second.loc));
+        }
+        pending_[reg] = {s.loc, val.id()};
+        regState_[reg] = val;
+        break;
+      }
+      case StmtOp::Let: {
+        smt::TermRef val = lower(*s.args[0]);
+        clearPendingReadsIn(val);
+        letState_[static_cast<unsigned>(s.aux)] = val;
+        break;
+      }
+      case StmtOp::If: {
+        smt::TermRef cond = lower(*s.args[0]);
+        clearPendingReadsIn(cond);
+        if (const auto av = eval_.eval(cond)) {
+          uint64_t cv = 0;
+          if (av->isConst(&cv)) {
+            out_.push_back(mkFinding(
+                LintCode::ConstantBranchCond,
+                formatStr("branch condition is statically %s for every "
+                          "operand and machine state; the %s can never "
+                          "execute",
+                          cv ? "true" : "false",
+                          cv ? "else-branch" : "then-branch"),
+                insn_.name, s.loc));
+          }
+        }
+        // Branch-local state: walk each arm from the pre-If state, then
+        // forget whatever either arm changed (join to unknown). Pending
+        // writes do not survive a branch in either direction — a
+        // conditional overwrite does not make the earlier write dead.
+        const auto regSaved = regState_;
+        const auto letSaved = letState_;
+        pending_.clear();
+        walkBlock(s.thenBody);
+        const auto regThen = regState_;
+        regState_ = regSaved;
+        letState_ = letSaved;
+        pending_.clear();
+        walkBlock(s.elseBody);
+        pending_.clear();
+        for (const auto& [reg, val] : regThen) {
+          auto it = regState_.find(reg);
+          if (it == regState_.end() || it->second != val) {
+            regState_[reg] = freshVar("phi", model_.regs[reg].width);
+          }
+        }
+        letState_ = letSaved;
+        break;
+      }
+      case StmtOp::Halt:
+      case StmtOp::Trap:
+        // Execution ends; register state is the observable exit state, so
+        // writes before a halt are not dead.
+        for (const auto& a : s.args) {
+          clearPendingReadsIn(lower(*a));
+        }
+        pending_.clear();
+        break;
+      default:
+        // AssignRegFile / Store / Output / AssertEq: lower every argument
+        // so register reads inside them clear pending writes.
+        for (const auto& a : s.args) {
+          clearPendingReadsIn(lower(*a));
+        }
+        break;
+    }
+  }
+
+  struct PendingWrite {
+    SourceLoc loc;
+    /// The written value's term — lowering resolves every post-write read
+    /// of the register to exactly this term, so "the write was read"
+    /// reduces to "this id appears in a later lowered DAG". Hash-consing
+    /// can alias it with an unrelated equal subterm, which only clears a
+    /// pending entry early (conservative: a missed finding, never a
+    /// false one).
+    smt::TermId stateId = smt::kInvalidTerm;
+  };
+
+  const adl::ArchModel& model_;
+  const adl::InsnInfo& insn_;
+  smt::TermManager tm_;
+  TermAbsEvaluator eval_;
+  std::vector<Finding>& out_;
+  std::map<unsigned, smt::TermRef> regState_;
+  std::map<unsigned, smt::TermRef> letState_;
+  std::map<unsigned, PendingWrite> pending_;
+  unsigned freshCtr_ = 0;
+};
+
+}  // namespace
+
+void appendAbsdomFindings(const adl::ArchModel& model,
+                          std::vector<Finding>& out) {
+  for (const adl::InsnInfo& insn : model.insns) {
+    AbsLintWalker walker(model, insn, out);
+    walker.run();
+  }
+}
+
+}  // namespace adlsym::analysis

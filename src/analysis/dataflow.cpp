@@ -243,6 +243,7 @@ LintReport lintModel(const adl::ArchModel& model) {
   std::vector<Finding> findings;
   appendDecodeSpaceFindings(model, findings);
   appendDataflowFindings(model, findings);
+  appendAbsdomFindings(model, findings);
   for (Finding& f : findings) report.add(std::move(f));
   return report;
 }

@@ -19,6 +19,8 @@ const char* lintCodeName(LintCode code) {
     case LintCode::PartialFieldUse: return "ADL013";
     case LintCode::UnreachableStmt: return "ADL014";
     case LintCode::RelWithoutPcWrite: return "ADL015";
+    case LintCode::ConstantBranchCond: return "ADL016";
+    case LintCode::DeadRtlWrite: return "ADL017";
     case LintCode::UnreachableBlock: return "IMG001";
     case LintCode::FallThroughOffEnd: return "IMG002";
     case LintCode::JumpOutsideCode: return "IMG003";
@@ -34,6 +36,7 @@ std::optional<LintCode> lintCodeFromName(const std::string& name) {
         LintCode::ReadNeverWritten, LintCode::DeadLet,
         LintCode::UnreadOperandField, LintCode::PartialFieldUse,
         LintCode::UnreachableStmt, LintCode::RelWithoutPcWrite,
+        LintCode::ConstantBranchCond, LintCode::DeadRtlWrite,
         LintCode::UnreachableBlock, LintCode::FallThroughOffEnd,
         LintCode::JumpOutsideCode, LintCode::UndecodableReachable}) {
     if (name == lintCodeName(c)) return c;
@@ -63,6 +66,10 @@ const char* lintCodeSummary(LintCode code) {
       return "statement can never execute (follows halt/trap)";
     case LintCode::RelWithoutPcWrite:
       return "pc-relative operand but semantics never assign pc";
+    case LintCode::ConstantBranchCond:
+      return "branch condition is statically constant for every input";
+    case LintCode::DeadRtlWrite:
+      return "register write provably has no effect";
     case LintCode::UnreachableBlock:
       return "code not reachable from the image entry point";
     case LintCode::FallThroughOffEnd:

@@ -29,6 +29,9 @@ enum class LintCode {
   PartialFieldUse,       // ADL013: only some bits of a field are used
   UnreachableStmt,       // ADL014: statement after halt/trap
   RelWithoutPcWrite,     // ADL015: %rel operand but pc never assigned
+  // Abstract interpretation over lowered RTL (analysis/absdom.h).
+  ConstantBranchCond,    // ADL016: branch condition is statically constant
+  DeadRtlWrite,          // ADL017: register write provably dead
   // Image static analysis (CFG recovery).
   UnreachableBlock,      // IMG001: code not reachable from the entry
   FallThroughOffEnd,     // IMG002: execution can run off mapped code
@@ -86,7 +89,15 @@ void appendDecodeSpaceFindings(const adl::ArchModel& model,
 void appendDataflowFindings(const adl::ArchModel& model,
                             std::vector<Finding>& out);
 
-/// All model-level passes: decode space + semantics dataflow.
+/// Abstract-interpretation findings (ADL016-ADL017, abslint.cpp): lowers
+/// each instruction's RTL to a throwaway term DAG and runs the absdom
+/// evaluator with every input unconstrained, flagging branch conditions
+/// that are still constant and register writes that provably have no
+/// effect (no-op value, or overwritten before any read).
+void appendAbsdomFindings(const adl::ArchModel& model,
+                          std::vector<Finding>& out);
+
+/// All model-level passes: decode space + semantics dataflow + absdom.
 LintReport lintModel(const adl::ArchModel& model);
 
 /// Image-level passes: static CFG recovery diagnostics (IMG001-IMG004).

@@ -20,7 +20,9 @@ const char* defectKindName(DefectKind k) {
 bool EngineServices::feasible(const MachineState& st, smt::TermRef extra) {
   std::vector<smt::TermRef> assumptions = st.pathCond;
   if (extra.valid()) assumptions.push_back(extra);
-  return solver.check(assumptions) == smt::CheckResult::Sat;
+  // Feasibility never reads the model, so a conclusive abstract-prefilter
+  // Sat can short-circuit the solve entirely (smt/presolver.h).
+  return solver.checkNoModel(assumptions) == smt::CheckResult::Sat;
 }
 
 TestCase EngineServices::solveWitness(const MachineState& st,

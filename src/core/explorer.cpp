@@ -306,7 +306,9 @@ ExploreSummary Explorer::run() {
           ob->onOffStepSolve(cutPc, post.queries - preClose.queries,
                              post.canon.terms - preClose.canon.terms,
                              post.canon.gates - preClose.canon.gates,
-                             post.canon.conflicts - preClose.canon.conflicts);
+                             post.canon.conflicts - preClose.canon.conflicts,
+                             post.preHitSeen - preClose.preHitSeen,
+                             post.preMissSeen - preClose.preMissSeen);
         }
       }
       continue;
@@ -428,6 +430,8 @@ ExploreSummary Explorer::run() {
       si.stepCanonConflicts =
           after.canon.conflicts - solverBefore.canon.conflicts;
       si.runCacheHits = svc_.solver.cacheHits() - cacheHitsBase;
+      si.stepPrefilterHits = after.preHitSeen - solverBefore.preHitSeen;
+      si.stepPrefilterMisses = after.preMissSeen - solverBefore.preMissSeen;
       ob->onStepEnd(si);
     }
     if (sawDefect && config_.stopAtFirstDefect) {

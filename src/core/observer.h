@@ -59,16 +59,24 @@ class ExploreObserver {
     /// local cache; parallel: this worker's shared-cache hits). Feeds the
     /// heartbeat hit-rate together with runSolverQueries.
     uint64_t runCacheHits = 0;
+    /// Abstract-prefilter outcomes charged to this step, per issuance:
+    /// queries whose key the prefilter decided (hits) or judged and fell
+    /// through on (misses). Replayed through the query cache like the
+    /// canon costs, so the per-site sums are identical across -jN.
+    uint64_t stepPrefilterHits = 0;
+    uint64_t stepPrefilterMisses = 0;
   };
   virtual void onStepEnd(const StepInfo& /*info*/) {}
 
   /// Solver queries issued *outside* any step window: the witness solve of
   /// a path closed by the per-path step budget before its next step began.
   /// Charged to `pc` (where the path was cut) so per-site query counts
-  /// still sum to the solver's aggregate query count.
+  /// still sum to the solver's aggregate query count. `preHits`/`preMisses`
+  /// are the prefilter outcomes of those queries (see StepInfo).
   virtual void onOffStepSolve(uint64_t /*pc*/, uint64_t /*queries*/,
                               uint64_t /*canonTerms*/, uint64_t /*canonGates*/,
-                              uint64_t /*canonConflicts*/) {}
+                              uint64_t /*canonConflicts*/, uint64_t /*preHits*/,
+                              uint64_t /*preMisses*/) {}
 
   /// A fork minted `child` from `parent`; `st` is the successor state and
   /// the constraints added by the fork are st.pathCond[condSizeBefore..].
@@ -109,9 +117,11 @@ class ObserverMux final : public ExploreObserver {
     for (ExploreObserver* ob : obs_) ob->onStepEnd(info);
   }
   void onOffStepSolve(uint64_t pc, uint64_t queries, uint64_t canonTerms,
-                      uint64_t canonGates, uint64_t canonConflicts) override {
+                      uint64_t canonGates, uint64_t canonConflicts,
+                      uint64_t preHits, uint64_t preMisses) override {
     for (ExploreObserver* ob : obs_) {
-      ob->onOffStepSolve(pc, queries, canonTerms, canonGates, canonConflicts);
+      ob->onOffStepSolve(pc, queries, canonTerms, canonGates, canonConflicts,
+                         preHits, preMisses);
     }
   }
   void onChild(uint64_t parent, uint64_t child, const MachineState& st,
@@ -156,9 +166,11 @@ class LockedObserverMux final : public ExploreObserver {
     mux_.onStepEnd(info);
   }
   void onOffStepSolve(uint64_t pc, uint64_t queries, uint64_t canonTerms,
-                      uint64_t canonGates, uint64_t canonConflicts) override {
+                      uint64_t canonGates, uint64_t canonConflicts,
+                      uint64_t preHits, uint64_t preMisses) override {
     std::lock_guard<std::mutex> lk(mu_);
-    mux_.onOffStepSolve(pc, queries, canonTerms, canonGates, canonConflicts);
+    mux_.onOffStepSolve(pc, queries, canonTerms, canonGates, canonConflicts,
+                        preHits, preMisses);
   }
   void onChild(uint64_t parent, uint64_t child, const MachineState& st,
                size_t condSizeBefore) override {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 
 #include "core/testgen.h"
+#include "smt/presolver.h"
 #include "smt/printer.h"
 #include "smt/qcache.h"
 #include "support/fault.h"
@@ -104,6 +105,7 @@ struct Worker {
   std::unique_ptr<telemetry::Telemetry> tel;
   smt::TermManager tm;
   smt::SmtSolver solver;
+  std::unique_ptr<smt::PreSolver> presolver;  // attached when cfg.prefilter
   Rng rng;
   std::unique_ptr<EngineServices> svc;
   std::unique_ptr<Executor> exec;
@@ -384,7 +386,9 @@ struct Engine {
           ob->onOffStepSolve(cutPc, post.queries - preClose.queries,
                              post.canon.terms - preClose.canon.terms,
                              post.canon.gates - preClose.canon.gates,
-                             post.canon.conflicts - preClose.canon.conflicts);
+                             post.canon.conflicts - preClose.canon.conflicts,
+                             post.preHitSeen - preClose.preHitSeen,
+                             post.preMissSeen - preClose.preMissSeen);
         }
       }
       return;
@@ -534,6 +538,8 @@ struct Engine {
       si.stepCanonGates = after.canon.gates - before.canon.gates;
       si.stepCanonConflicts = after.canon.conflicts - before.canon.conflicts;
       si.runCacheHits = w.solver.cacheHits();
+      si.stepPrefilterHits = after.preHitSeen - before.preHitSeen;
+      si.stepPrefilterMisses = after.preMissSeen - before.preMissSeen;
       ob->onStepEnd(si);
     }
     if (sawDefect && base.stopAtFirstDefect) {
@@ -620,6 +626,12 @@ ParallelResult ParallelExplorer::run() {
                                               engineCfg_, w->tel.get());
     w->solver.setFreshMode(true);
     w->solver.setSharedCache(cfg_.qcache);
+    if (cfg_.prefilter) {
+      // Per-worker, shared-nothing: the pre-solver's refinement cache is
+      // keyed by this worker's pool TermIds.
+      w->presolver = std::make_unique<smt::PreSolver>(w->tm);
+      w->solver.setPreSolver(w->presolver.get());
+    }
     if (cfg_.solverShapeProfile) w->solver.setShapeProfiling(true);
     if (cfg_.solverConflictBudget != 0) {
       w->solver.setConflictBudget(cfg_.solverConflictBudget);
@@ -758,6 +770,14 @@ ParallelResult ParallelExplorer::run() {
     solverTel_.satVars += t.satVars;
     solverTel_.satClauses += t.satClauses;
     solverTel_.canon += t.canon;
+    solverTel_.preEnabled = solverTel_.preEnabled || t.preEnabled;
+    solverTel_.preConsulted += t.preConsulted;
+    solverTel_.preSat += t.preSat;
+    solverTel_.preUnsat += t.preUnsat;
+    solverTel_.preFallback += t.preFallback;
+    solverTel_.preShortcircuit += t.preShortcircuit;
+    solverTel_.directSolves += t.directSolves;
+    solverTel_.preCoreConstraints += t.preCoreConstraints;
   }
   s.solverUnknowns = solverTel_.unknown;
 

@@ -77,6 +77,10 @@ struct ParallelConfig {
   /// Accumulate per-shape query rows in every worker solver (profiler
   /// runs; merged via queryShapes()).
   bool solverShapeProfile = false;
+  /// Attach a per-worker abstract pre-solver (smt/presolver.h) to every
+  /// worker solver. Shared-nothing like the term pools; verdicts are
+  /// structural, so enabling it never perturbs the determinism contract.
+  bool prefilter = true;
 };
 
 struct ParallelResult {

@@ -21,6 +21,7 @@
 #include "obs/querylog.h"
 #include "obs/replay.h"
 #include "obs/sitestats.h"
+#include "smt/presolver.h"
 #include "smt/qcache.h"
 #include "support/error.h"
 #include "support/fault.h"
@@ -84,7 +85,7 @@ class CommandTelemetry {
     }
     json::Writer w(out);
     w.beginObject();
-    w.kv("schema", "adlsym-stats-v5");
+    w.kv("schema", "adlsym-stats-v6");
     w.kv("command", std::string_view(command));
     w.kv("isa", std::string_view(isa));
     writeBody(w);
@@ -175,6 +176,10 @@ std::string usage() {
       "  --coverage                           per-insn coverage report\n"
       "  --lint                               lint model+image first;\n"
       "                                       error findings abort\n"
+      "  --prefilter=on|off                   abstract-interpretation\n"
+      "                                       pre-solver in front of bit-\n"
+      "                                       blasting (default on;\n"
+      "                                       docs/absdomain.md)\n"
       "\n"
       "parallel exploration (explore; docs/parallelism.md):\n"
       "  --jobs N             worker threads (1..64); results are byte-\n"
@@ -216,7 +221,7 @@ std::string usage() {
       "  --progress[=N]        heartbeat to stderr every N seconds\n"
       "                        (default 1); includes the qcache hit rate\n"
       "                        and current frontier depth\n"
-      "  --profile=<file>      adlsym-profile-v1 cost attribution: per-\n"
+      "  --profile=<file>      adlsym-profile-v2 cost attribution: per-\n"
       "                        opcode / per-RTL-statement tick counts and\n"
       "                        per-branch-site canonical solver cost;\n"
       "                        byte-identical across --jobs under\n"
@@ -309,7 +314,7 @@ CommandResult cmdLint(const std::string& subject, const std::string& adlSource,
     }
   } else {
     // Run the passes individually so --stats-json can attribute time to
-    // each (lintModel() is exactly these two appends).
+    // each (lintModel() is exactly these three appends).
     telemetry::Telemetry* tel = ct.get();
     std::vector<analysis::Finding> findings;
     {
@@ -321,6 +326,11 @@ CommandResult cmdLint(const std::string& subject, const std::string& adlSource,
       telemetry::ScopedTimer t(
           tel, tel ? &tel->metrics().histogram("lint.dataflow_us") : nullptr);
       analysis::appendDataflowFindings(*model, findings);
+    }
+    {
+      telemetry::ScopedTimer t(
+          tel, tel ? &tel->metrics().histogram("lint.absdom_us") : nullptr);
+      analysis::appendAbsdomFindings(*model, findings);
     }
     for (analysis::Finding& f : findings) report.add(std::move(f));
     if (!opt.imageText.empty()) {
@@ -479,6 +489,7 @@ CommandResult cmdExplore(const std::string& isaName,
     pcfg.jobs = static_cast<unsigned>(opt.jobs);
     pcfg.manualClockStepUs = opt.manualClockStepUs;
     pcfg.qcache = qcache.get();
+    pcfg.prefilter = opt.prefilterOn;
     pcfg.solverConflictBudget = sopt.solverConflictBudget;
     pcfg.solverTimeoutMicros = opt.solverTimeoutMs * 1000;
     pcfg.solverShapeProfile = profiling;
@@ -545,6 +556,9 @@ CommandResult cmdExplore(const std::string& isaName,
       core::writeSummaryJson(w, summary);
       w.key("solver");
       pex.solverTelemetry().writeJson(w);
+      // v6 addition: the abstract-prefilter block (docs/absdomain.md).
+      w.key("prefilter");
+      pex.solverTelemetry().writePrefilterJson(w);
       // The shared query cache. Note no "jobs" field anywhere in the
       // document — byte-identity across --jobs values is the contract,
       // so the document cannot mention the jobs count.
@@ -604,6 +618,11 @@ CommandResult cmdExplore(const std::string& isaName,
   smt::SmtSolver solver(tm);
   solver.setConflictBudget(sopt.solverConflictBudget);
   solver.setQueryTimeoutMicros(opt.solverTimeoutMs * 1000);
+  std::unique_ptr<smt::PreSolver> presolver;
+  if (opt.prefilterOn) {
+    presolver = std::make_unique<smt::PreSolver>(tm);
+    solver.setPreSolver(presolver.get());
+  }
 
   // Observatory wiring (docs/observability.md): each flag adds one
   // observer; the mux keeps the explorer's single-pointer hook.
@@ -678,6 +697,9 @@ CommandResult cmdExplore(const std::string& isaName,
     core::writeSummaryJson(w, summary);
     w.key("solver");
     solver.telemetrySnapshot().writeJson(w);
+    // v6 addition: the abstract-prefilter block (docs/absdomain.md).
+    w.key("prefilter");
+    solver.telemetrySnapshot().writePrefilterJson(w);
     if (sites) sites->writeJson(w);
     // v5 addition: the profile summary block (profiling runs only).
     if (profiling) rep.writeSummary(w);
@@ -866,6 +888,12 @@ CommandResult dispatch(const std::vector<std::string>& args) {
             return fail("bad --jobs count '" + v + "' (want 1..64)");
           }
           opt.jobs = *n;
+        } else if (args[i] == "--prefilter=on") {
+          opt.prefilterOn = true;
+        } else if (args[i] == "--prefilter=off") {
+          opt.prefilterOn = false;
+        } else if (startsWith(args[i], "--prefilter=")) {
+          return fail("bad --prefilter '" + args[i] + "' (want on|off)");
         } else if (args[i] == "--qcache=on") {
           opt.qcacheOn = true;
           opt.qcacheCapacity = 0;

@@ -113,9 +113,13 @@ struct ExploreOptions {
   /// Cache entry capacity; 0 = unbounded (the deterministic default —
   /// a binding capacity makes hit counts depend on scheduling).
   uint64_t qcacheCapacity = 0;
+  /// Abstract-interpretation pre-solver in front of bit-blasting
+  /// (--prefilter=on|off, docs/absdomain.md). Applies to both engines;
+  /// per-worker in the parallel engine (shared-nothing).
+  bool prefilterOn = true;
 
   // ---- profiler (docs/observability.md) ------------------------------
-  /// Write the adlsym-profile-v1 cost-attribution document here ("" =
+  /// Write the adlsym-profile-v2 cost-attribution document here ("" =
   /// off). Byte-identical across --jobs values under --clock=manual.
   std::string profilePath;
   /// Write collapsed-stack lines for flamegraph tooling here ("" = off).

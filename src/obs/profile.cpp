@@ -24,6 +24,8 @@ void ProfileCollector::onStepEnd(const StepInfo& info) {
   site.canon.terms += info.stepCanonTerms;
   site.canon.gates += info.stepCanonGates;
   site.canon.conflicts += info.stepCanonConflicts;
+  site.prefilterHits += info.stepPrefilterHits;
+  site.prefilterMisses += info.stepPrefilterMisses;
   ++totalSteps_;
   totalTicks_ += info.stepRtlTicks;
   totalQueries_ += info.stepSolverQueries;
@@ -31,7 +33,8 @@ void ProfileCollector::onStepEnd(const StepInfo& info) {
 
 void ProfileCollector::onOffStepSolve(uint64_t pc, uint64_t queries,
                                       uint64_t canonTerms, uint64_t canonGates,
-                                      uint64_t canonConflicts) {
+                                      uint64_t canonConflicts,
+                                      uint64_t preHits, uint64_t preMisses) {
   std::lock_guard<std::mutex> lk(mu_);
   SiteCost& site = sites_[pc];
   if (site.opcode.empty()) {
@@ -44,6 +47,8 @@ void ProfileCollector::onOffStepSolve(uint64_t pc, uint64_t queries,
   site.canon.terms += canonTerms;
   site.canon.gates += canonGates;
   site.canon.conflicts += canonConflicts;
+  site.prefilterHits += preHits;
+  site.prefilterMisses += preMisses;
   totalQueries_ += queries;
   totalOffStep_ += queries;
 }
@@ -102,7 +107,7 @@ ProfileReport::Reconcile ProfileReport::reconcile() const {
 void ProfileReport::writeJson(std::ostream& os) const {
   json::Writer w(os);
   w.beginObject();
-  w.kv("schema", "adlsym-profile-v1");
+  w.kv("schema", "adlsym-profile-v2");
   w.kv("isa", isa);
   w.kv("program", program);
 
@@ -122,6 +127,8 @@ void ProfileReport::writeJson(std::ostream& os) const {
       w.kv("forks", s.forks);
       w.kv("queries", s.queries);
       w.kv("off_step_queries", s.offStepQueries);
+      w.kv("prefilter_hits", s.prefilterHits);
+      w.kv("prefilter_misses", s.prefilterMisses);
       writeCanon(w, s.canon);
       w.endObject();
     }
@@ -171,6 +178,8 @@ void ProfileReport::writeJson(std::ostream& os) const {
   w.kv("unknown", solver.unknown);
   w.kv("cache_hits", solver.cacheHits);
   writeCanon(w, solver.canon);
+  w.key("prefilter");
+  solver.writePrefilterJson(w);
   if (shapes != nullptr) {
     w.key("shapes").beginArray();
     for (const auto& [bucket, row] : *shapes) {
@@ -238,7 +247,7 @@ void ProfileReport::writeFolded(std::ostream& os) const {
 void ProfileReport::writeSummary(json::Writer& w) const {
   const Reconcile r = reconcile();
   w.key("profile").beginObject();
-  w.kv("schema", "adlsym-profile-v1");
+  w.kv("schema", "adlsym-profile-v2");
   w.kv("rtl_ticks", engineRtlTicks);
   w.kv("sites", static_cast<uint64_t>(prof != nullptr ? prof->sites().size()
                                                       : 0));
@@ -261,6 +270,10 @@ std::string ProfileReport::formatText() const {
      << " cache_hits=" << solver.cacheHits << " canon(terms=" << solver.canon.terms
      << " gates=" << solver.canon.gates
      << " conflicts=" << solver.canon.conflicts << ")\n";
+  os << "prefilter: " << (solver.preEnabled ? "on" : "off")
+     << " consulted=" << solver.preConsulted << " sat=" << solver.preSat
+     << " unsat=" << solver.preUnsat << " fallbacks=" << solver.preFallback
+     << " direct=" << solver.directSolves << "\n";
   if (hasQcache) {
     os << "qcache: hits=" << qcache.hits << " misses=" << qcache.misses
        << " evictions=" << qcache.evictions << " entries=" << qcache.entries

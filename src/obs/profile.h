@@ -4,9 +4,10 @@
 // semantic site that incurred it — the pc, and through the decoder the
 // mnemonic — plus a report type that joins those sites with the
 // per-RTL-statement tables (core::RtlProfile), the solver aggregate and
-// the query-shape rows into the adlsym-profile-v1 JSON document, a
+// the query-shape rows into the adlsym-profile-v2 JSON document, a
 // collapsed-stack file for flamegraph tooling, and the top-level
-// "profile" summary block of the v5 stats schema.
+// "profile" summary block of the v6 stats schema. v2 adds per-site
+// abstract-prefilter hit/miss attribution (docs/absdomain.md).
 //
 // Every number here is canonical: per-step solver deltas replay cached
 // costs (smt::QueryCost), RTL tick counts depend only on what executed,
@@ -50,7 +51,8 @@ class ProfileCollector final : public core::ExploreObserver {
   /// engines report them here so per-site query sums still reconcile
   /// with the solver's aggregate query count.
   void onOffStepSolve(uint64_t pc, uint64_t queries, uint64_t canonTerms,
-                      uint64_t canonGates, uint64_t canonConflicts) override;
+                      uint64_t canonGates, uint64_t canonConflicts,
+                      uint64_t preHits, uint64_t preMisses) override;
 
   struct SiteCost {
     std::string opcode;  // mnemonic; "<illegal>" when undecodable
@@ -60,6 +62,10 @@ class ProfileCollector final : public core::ExploreObserver {
     uint64_t queries = 0;        // issued inside this site's step windows
     uint64_t offStepQueries = 0;  // budget-cut witness solves charged here
     smt::QueryCost canon;        // canonical solver cost (replayed on hits)
+    /// Abstract-prefilter outcomes of this site's queries, per issuance
+    /// (replayed like canon, so schedule-independent).
+    uint64_t prefilterHits = 0;
+    uint64_t prefilterMisses = 0;
   };
 
   const std::map<uint64_t, SiteCost>& sites() const { return sites_; }
@@ -116,13 +122,13 @@ struct ProfileReport {
   };
   Reconcile reconcile() const;
 
-  /// The full adlsym-profile-v1 document (compact JSON + '\n').
+  /// The full adlsym-profile-v2 document (compact JSON + '\n').
   void writeJson(std::ostream& os) const;
   /// Collapsed-stack lines ("frame;frame value") for flamegraph tooling.
   /// Roots name their unit: exec_ticks (RTL statements), solver_gates
   /// (canonical AIG gates).
   void writeFolded(std::ostream& os) const;
-  /// The top-level "profile" summary block of adlsym-stats-v5 (appended
+  /// The top-level "profile" summary block of adlsym-stats-v6 (appended
   /// to an open object; emitted only on profiling runs).
   void writeSummary(json::Writer& w) const;
   /// Human-readable tables for `adlsym profile` stdout.

@@ -1,0 +1,138 @@
+#include "smt/presolver.h"
+
+#include <algorithm>
+
+#include "smt/solver.h"
+
+namespace adlsym::smt {
+
+using analysis::AbsValue;
+using analysis::TermAbsEvaluator;
+using analysis::VarRefinement;
+
+PreVerdict PreSolver::judge(const std::vector<TermRef>& permanent,
+                            const std::vector<TermRef>& assumptions) {
+  // Gather the non-trivial constraints.
+  std::vector<TermRef> cs;
+  cs.reserve(permanent.size() + assumptions.size());
+  bool anyFalse = false;
+  for (const std::vector<TermRef>* list : {&permanent, &assumptions}) {
+    for (const TermRef t : *list) {
+      if (!t.valid() || t.isTrue()) continue;
+      if (t.isFalse()) {
+        anyFalse = true;
+        continue;
+      }
+      cs.push_back(t);
+    }
+  }
+  if (anyFalse) return {CheckResult::Unsat, 1};
+  if (cs.empty()) return {CheckResult::Sat, 0};
+
+  // Phase 1: meet every constraint's variable refinements into one
+  // environment. Full pass — no early exit — so the refined values and
+  // the contributor sets depend only on the constraint *set*.
+  struct VarState {
+    AbsValue v;
+    std::vector<uint32_t> contributors;  // constraint ordinals, may repeat
+  };
+  std::unordered_map<TermId, VarState> env;
+  std::vector<uint32_t> refiners;  // ordinals that refined some variable
+  for (uint32_t i = 0; i < cs.size(); ++i) {
+    auto cacheIt = refineCache_.find(cs[i].id());
+    if (cacheIt == refineCache_.end()) {
+      std::vector<VarRefinement> refs;
+      analysis::appendRefinements(cs[i], refs);
+      cacheIt = refineCache_.emplace(cs[i].id(), std::move(refs)).first;
+    }
+    bool contributed = false;
+    for (const auto& [var, val] : cacheIt->second) {
+      contributed = true;
+      const auto [slot, fresh] = env.try_emplace(var, VarState{val, {i}});
+      if (!fresh) {
+        slot->second.v = analysis::absMeet(slot->second.v, val);
+        slot->second.contributors.push_back(i);
+      }
+    }
+    if (contributed) refiners.push_back(i);
+  }
+  const auto distinctContributors = [](const VarState& st) {
+    std::vector<uint32_t> c = st.contributors;
+    std::sort(c.begin(), c.end());
+    c.erase(std::unique(c.begin(), c.end()), c.end());
+    return c;
+  };
+  // A variable met to bottom: its constraints exclude every value.
+  {
+    std::vector<uint32_t> blamed;
+    for (const auto& [var, st] : env) {
+      if (!st.v.bot) continue;
+      const auto c = distinctContributors(st);
+      blamed.insert(blamed.end(), c.begin(), c.end());
+    }
+    if (!blamed.empty()) {
+      std::sort(blamed.begin(), blamed.end());
+      blamed.erase(std::unique(blamed.begin(), blamed.end()), blamed.end());
+      return {CheckResult::Unsat, static_cast<unsigned>(blamed.size())};
+    }
+  }
+
+  // Phase 2: evaluate every constraint under the refined environment.
+  TermAbsEvaluator ev(tm_);
+  ev.setNodeBudget(nodeBudget_);
+  for (const auto& [var, st] : env) ev.bind(var, st.v);
+  bool budgetHit = false;
+  bool allTrue = true;
+  std::vector<uint32_t> falsified;
+  for (uint32_t i = 0; i < cs.size(); ++i) {
+    const auto av = ev.eval(cs[i]);
+    if (!av.has_value()) {
+      budgetHit = true;
+      break;  // every later eval would return nullopt too
+    }
+    uint64_t v = 0;
+    if (av->bot) {
+      allTrue = false;  // vacuous abstraction; not conclusive on its own
+    } else if (av->isConst(&v)) {
+      if (v == 0) falsified.push_back(i);
+    } else {
+      allTrue = false;
+    }
+  }
+  // Whether the budget binds depends only on the query's distinct node
+  // count (evaluation is memoized), so this check is order-independent —
+  // and it must come before any verdict to stay that way.
+  if (budgetHit) return {CheckResult::Unknown, 0};
+  if (!falsified.empty()) {
+    // The abstract core: the falsified constraints plus every constraint
+    // whose refinements shaped the environment they were falsified under
+    // — as a distinct union, since one constraint can play both roles.
+    std::vector<uint32_t> blamed = falsified;
+    blamed.insert(blamed.end(), refiners.begin(), refiners.end());
+    std::sort(blamed.begin(), blamed.end());
+    blamed.erase(std::unique(blamed.begin(), blamed.end()), blamed.end());
+    return {CheckResult::Unsat, static_cast<unsigned>(blamed.size())};
+  }
+  if (!allTrue) return {CheckResult::Unknown, 0};
+
+  // Phase 3: Sat gate. Abstract truth of every constraint quantifies
+  // over the refined environment; that set must be inhabited for a
+  // witness to exist. An uninhabited refinement is itself a sound Unsat
+  // (the refinements over-approximate each constraint's projection).
+  {
+    std::vector<uint32_t> blamed;
+    for (const auto& [var, st] : env) {
+      if (analysis::absPickConcrete(st.v).has_value()) continue;
+      const auto c = distinctContributors(st);
+      blamed.insert(blamed.end(), c.begin(), c.end());
+    }
+    if (!blamed.empty()) {
+      std::sort(blamed.begin(), blamed.end());
+      blamed.erase(std::unique(blamed.begin(), blamed.end()), blamed.end());
+      return {CheckResult::Unsat, static_cast<unsigned>(blamed.size())};
+    }
+  }
+  return {CheckResult::Sat, 0};
+}
+
+}  // namespace adlsym::smt

@@ -200,6 +200,8 @@ QueryCache::Outcome QueryCache::acquire(const std::string& key) {
       o.result = it->second.result;
       o.slotValues = it->second.slotValues;
       o.cost = it->second.cost;
+      o.hasModel = it->second.hasModel;
+      o.preTag = it->second.preTag;
       return o;
     }
     // In flight on another thread: wait for publish()/abandon(), then
@@ -213,13 +215,16 @@ QueryCache::Outcome QueryCache::acquire(const std::string& key) {
 }
 
 void QueryCache::publish(const std::string& key, CheckResult result,
-                         std::vector<uint64_t> slotValues, QueryCost cost) {
+                         std::vector<uint64_t> slotValues, QueryCost cost,
+                         uint8_t preTag, bool hasModel) {
   std::lock_guard<std::mutex> lk(mu_);
   Entry& e = map_[key];
   e.done = true;
   e.result = result;
   e.slotValues = std::move(slotValues);
   e.cost = cost;
+  e.preTag = preTag;
+  e.hasModel = hasModel;
   fifo_.push_back(key);
   if (capacity_ != 0) {
     while (fifo_.size() > capacity_) {
@@ -229,6 +234,18 @@ void QueryCache::publish(const std::string& key, CheckResult result,
     }
   }
   cv_.notify_all();
+}
+
+void QueryCache::backfillModel(const std::string& key,
+                               std::vector<uint64_t> slotValues) {
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = map_.find(key);
+  if (it == map_.end() || !it->second.done || it->second.hasModel ||
+      it->second.result != CheckResult::Sat) {
+    return;
+  }
+  it->second.slotValues = std::move(slotValues);
+  it->second.hasModel = true;
 }
 
 void QueryCache::abandon(const std::string& key) {

@@ -88,7 +88,7 @@ class QueryCache {
       const uint64_t total = hits + misses;
       return total ? double(hits) / double(total) : 0.0;
     }
-    /// The "qcache" object of the stats schema (adlsym-stats-v5). Emits
+    /// The "qcache" object of the stats schema (adlsym-stats-v6). Emits
     /// only scheduling-independent fields.
     void writeJson(json::Writer& w) const;
   };
@@ -99,6 +99,16 @@ class QueryCache {
     CheckResult result;
     std::vector<uint64_t> slotValues;  // Sat models, indexed by var slot
     QueryCost cost;                    // canonical solve cost, replayed
+    /// Sat entries published by the abstract prefilter skip the solve and
+    /// carry no model; a later needModel hit restores one (canonically)
+    /// and backfills it via backfillModel().
+    bool hasModel = true;
+    /// Prefilter provenance of the key's verdict (see SmtSolver): 0 =
+    /// solved directly, 1 = prefilter sat, 2 = prefilter unsat, 3 =
+    /// consulted but fell through to a real solve. Structural like the
+    /// verdict itself, so replaying it on hits keeps per-site prefilter
+    /// attribution schedule-independent.
+    uint8_t preTag = 0;
   };
 
   /// Single-flight lookup: a hit returns the completed verdict (+model);
@@ -109,9 +119,17 @@ class QueryCache {
 
   /// Owner: complete the key with a verdict (never Unknown — abandon
   /// those), for Sat the slot-indexed model, and the canonical solve cost
-  /// (replayed verbatim to every later hit).
+  /// (replayed verbatim to every later hit). `preTag`/`hasModel` document
+  /// the verdict's provenance (see Outcome).
   void publish(const std::string& key, CheckResult result,
-               std::vector<uint64_t> slotValues, QueryCost cost = {});
+               std::vector<uint64_t> slotValues, QueryCost cost = {},
+               uint8_t preTag = 0, bool hasModel = true);
+
+  /// Attach a restored model to a completed model-less Sat entry (no-op
+  /// for anything else). Concurrent restorers of one key compute the same
+  /// canonical model, so last-writer-wins is benign.
+  void backfillModel(const std::string& key,
+                     std::vector<uint64_t> slotValues);
 
   /// Owner: give the key up without a verdict (Unknown result, or an
   /// exception unwound through the solve). Waiters retry and one becomes
@@ -133,6 +151,8 @@ class QueryCache {
     CheckResult result;
     std::vector<uint64_t> slotValues;
     QueryCost cost;
+    bool hasModel = true;
+    uint8_t preTag = 0;
   };
 
   mutable std::mutex mu_;

@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "smt/presolver.h"
 #include "smt/printer.h"
 #include "smt/qcache.h"
 #include "support/fault.h"
@@ -58,6 +59,21 @@ void SolverTelemetry::writeJson(json::Writer& w) const {
   w.endObject();
 }
 
+void SolverTelemetry::writePrefilterJson(json::Writer& w) const {
+  w.beginObject();
+  w.kv("enabled", preEnabled);
+  w.kv("consulted", preConsulted);
+  w.kv("sat", preSat);
+  w.kv("unsat", preUnsat);
+  w.kv("hits", preSat + preUnsat);
+  w.kv("fallbacks", preFallback);
+  w.kv("shortcircuit", preShortcircuit);
+  w.kv("direct", directSolves);
+  w.kv("core_constraints", preCoreConstraints);
+  w.kv("reconciled", prefilterReconciled());
+  w.endObject();
+}
+
 std::string SolverTelemetry::toJson() const {
   std::ostringstream os;
   json::Writer w(os);
@@ -95,6 +111,14 @@ SolverTelemetry SmtSolver::telemetrySnapshot() const {
   t.maxMicros = stats_.maxMicros;
   t.cacheHits = cacheHits_;
   t.canon = stats_.canon;
+  t.preEnabled = pre_ != nullptr;
+  t.preConsulted = stats_.preConsulted;
+  t.preSat = stats_.preSat;
+  t.preUnsat = stats_.preUnsat;
+  t.preFallback = stats_.preFallback;
+  t.preShortcircuit = stats_.preShortcircuit;
+  t.directSolves = stats_.directSolves;
+  t.preCoreConstraints = stats_.preCoreConstraints;
   if (freshMode_) {
     t.satCore = freshSat_;
     t.blast = freshBlast_;
@@ -115,6 +139,9 @@ void SmtSolver::setTelemetry(telemetry::Telemetry* t) {
   queryCtr_ = t ? &t->metrics().counter("solver.queries") : nullptr;
   cacheHitCtr_ = t ? &t->metrics().counter("solver.cache_hits") : nullptr;
   cacheMissCtr_ = t ? &t->metrics().counter("solver.cache_misses") : nullptr;
+  preHitCtr_ = t ? &t->metrics().counter("solver.prefilter_hits") : nullptr;
+  preMissCtr_ =
+      t ? &t->metrics().counter("solver.prefilter_misses") : nullptr;
   sat_.setTelemetry(t);
   bb_.setTelemetry(t);
 }
@@ -204,7 +231,42 @@ CheckResult SmtSolver::solveFreshWithModel(
   return r;
 }
 
-CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
+void SmtSolver::restoreModelFresh(const std::vector<TermRef>& assumptions) {
+  // No telemetry, no budget, no deadline, no stats aggregation: see the
+  // header comment. The throwaway core sees the same canonical CNF as
+  // solveFreshWithModel would, so the model it finds is the model the
+  // single-flight miss solve would have published.
+  SatSolver fs;
+  BitBlaster fb(tm_, fs);
+  bool bad = false;
+  for (const TermRef t : permanentAsserts_) {
+    if (t.isFalse() || !fs.addUnit(fb.litFor(t))) bad = true;
+  }
+  std::vector<Lit> lits;
+  lits.reserve(assumptions.size());
+  for (const TermRef t : assumptions) {
+    if (t.isTrue()) continue;
+    if (t.isFalse()) {
+      bad = true;
+      break;
+    }
+    lits.push_back(fb.litFor(t));
+  }
+  adlsym::check(!bad && fs.solve(lits) == SatResult::Sat,
+                "prefilter sat certificate failed model restoration "
+                "(abstract-domain soundness bug)");
+  model_.clear();
+  for (const auto& [termId, bits] : fb.varTerms()) {
+    uint64_t v = 0;
+    for (size_t i = 0; i < bits.size(); ++i) {
+      if (fs.modelValue(bits[i])) v |= uint64_t{1} << i;
+    }
+    model_[tm_.varIndex(termId)] = v;
+  }
+}
+
+CheckResult SmtSolver::checkImpl(const std::vector<TermRef>& assumptions,
+                                 bool needModel) {
   fault::hit("solver.check");
   ++stats_.queries;
   if (queryCtr_) queryCtr_->add();
@@ -253,12 +315,56 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     return r;
   };
 
-  if (permanentlyUnsat_) return finish(CheckResult::Unsat);
+  // Prefilter accounting (docs/absdomain.md): consult() judges a cache
+  // miss abstractly and files it in its verdict bucket; replayTag()
+  // re-plays a cached key's provenance so per-issuance hit/miss tallies
+  // are independent of which caller took the miss. Conclusive verdicts
+  // are counted once per judged key, exactly like qcache misses.
+  auto consult = [&]() {
+    const PreVerdict pv = pre_->judge(permanentAsserts_, assumptions);
+    ++stats_.preConsulted;
+    switch (pv.result) {
+      case CheckResult::Sat:
+        ++stats_.preSat;
+        ++stats_.preHitSeen;
+        if (preHitCtr_) preHitCtr_->add();
+        break;
+      case CheckResult::Unsat:
+        ++stats_.preUnsat;
+        ++stats_.preHitSeen;
+        stats_.preCoreConstraints += pv.coreConstraints;
+        if (preHitCtr_) preHitCtr_->add();
+        break;
+      case CheckResult::Unknown:
+        ++stats_.preFallback;
+        ++stats_.preMissSeen;
+        if (preMissCtr_) preMissCtr_->add();
+        break;
+    }
+    return pv.result;
+  };
+  auto replayTag = [&](uint8_t tag) {
+    if (tag == 1 || tag == 2) {
+      ++stats_.preHitSeen;
+      if (preHitCtr_) preHitCtr_->add();
+    } else if (tag == 3) {
+      ++stats_.preMissSeen;
+      if (preMissCtr_) preMissCtr_->add();
+    }
+  };
+
+  if (permanentlyUnsat_) {
+    ++stats_.preShortcircuit;
+    return finish(CheckResult::Unsat);
+  }
 
   if (freshMode_) {
     for (const TermRef t : assumptions) {
       adlsym::check(t.width() == 1, "assumption must be width 1");
-      if (t.isFalse()) return finish(CheckResult::Unsat);
+      if (t.isFalse()) {
+        ++stats_.preShortcircuit;
+        return finish(CheckResult::Unsat);
+      }
     }
     uint64_t deadlineUs = 0;
     if (queryTimeoutMicros_ != 0) deadlineUs = startUs + queryTimeoutMicros_;
@@ -267,6 +373,7 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
                                    : std::min(deadlineUs, wallDeadlineMicros_);
     }
     if (deadlineUs != 0 && startUs >= deadlineUs) {
+      ++stats_.preShortcircuit;
       return finish(CheckResult::Unknown);
     }
     // Fresh-solve cost is the delta of the fresh aggregates around the
@@ -282,6 +389,19 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
       return r;
     };
     if (sharedCache_ == nullptr) {
+      if (pre_ != nullptr) {
+        const CheckResult pv = consult();
+        if (pv == CheckResult::Unsat) return finish(pv);
+        if (pv == CheckResult::Sat) {
+          if (needModel) {
+            restoreModelFresh(assumptions);
+            ++stats_.preModelRestores;
+          }
+          return finish(pv);
+        }
+      } else {
+        ++stats_.directSolves;
+      }
       return finish(freshCostDelta(
           [&] { return solveFreshWithModel(assumptions, &clk, deadlineUs); }));
     }
@@ -289,24 +409,76 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
     std::vector<TermRef> slotVars;
     const std::string key =
         QueryCache::canonicalKey(permanentAsserts_, assumptions, &slotVars);
+    // Slot-indexed rendering of model_, the publish/backfill format.
+    auto slotModel = [&] {
+      std::vector<uint64_t> slotValues;
+      slotValues.reserve(slotVars.size());
+      for (const TermRef v : slotVars) {
+        auto it = model_.find(tm_.varIndex(v.id()));
+        slotValues.push_back(it == model_.end() ? 0 : it->second);
+      }
+      return slotValues;
+    };
     QueryCache::Outcome o = sharedCache_->acquire(key);
     if (o.hit) {
       ++cacheHits_;
       cached = true;
       cost = o.cost;
       if (cacheHitCtr_) cacheHitCtr_->add();
+      replayTag(o.preTag);
       if (o.result == CheckResult::Sat) {
-        // Translate the slot-indexed canonical model back to this pool's
-        // variables (slotVars[i] is the Var term behind α-slot i).
-        model_.clear();
-        const size_t n = std::min(slotVars.size(), o.slotValues.size());
-        for (size_t i = 0; i < n; ++i) {
-          model_[tm_.varIndex(slotVars[i].id())] = o.slotValues[i];
+        if (o.hasModel) {
+          // Translate the slot-indexed canonical model back to this pool's
+          // variables (slotVars[i] is the Var term behind α-slot i).
+          model_.clear();
+          const size_t n = std::min(slotVars.size(), o.slotValues.size());
+          for (size_t i = 0; i < n; ++i) {
+            model_[tm_.varIndex(slotVars[i].id())] = o.slotValues[i];
+          }
+        } else if (needModel) {
+          // Prefiltered Sat entry, first model-needing reader: restore
+          // the canonical model off the books and backfill the entry so
+          // later readers replay it like any solved entry.
+          restoreModelFresh(assumptions);
+          ++stats_.preModelRestores;
+          sharedCache_->backfillModel(key, slotModel());
         }
       }
       return finish(o.result);
     }
     if (cacheMissCtr_) cacheMissCtr_->add();
+    uint8_t preTag = 0;
+    if (pre_ != nullptr) {
+      CheckResult pv;
+      try {
+        pv = consult();
+        if (pv == CheckResult::Sat && needModel) {
+          restoreModelFresh(assumptions);
+          ++stats_.preModelRestores;
+        }
+      } catch (...) {
+        sharedCache_->abandon(key);
+        throw;
+      }
+      if (pv == CheckResult::Unsat) {
+        sharedCache_->publish(key, pv, {}, QueryCost{}, /*preTag=*/2,
+                              /*hasModel=*/true);
+        return finish(pv);
+      }
+      if (pv == CheckResult::Sat) {
+        // Canonical cost stays zero whether or not a restoration solve
+        // ran: the key is prefilter-decided, and its replayed cost must
+        // not depend on whether the miss-taker needed a model.
+        sharedCache_->publish(key, pv,
+                              needModel ? slotModel() : std::vector<uint64_t>{},
+                              QueryCost{}, /*preTag=*/1,
+                              /*hasModel=*/needModel);
+        return finish(pv);
+      }
+      preTag = 3;
+    } else {
+      ++stats_.directSolves;
+    }
     CheckResult r;
     try {
       r = freshCostDelta(
@@ -321,14 +493,8 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
       sharedCache_->abandon(key);
     } else {
       std::vector<uint64_t> slotValues;
-      if (r == CheckResult::Sat) {
-        slotValues.reserve(slotVars.size());
-        for (const TermRef v : slotVars) {
-          auto it = model_.find(tm_.varIndex(v.id()));
-          slotValues.push_back(it == model_.end() ? 0 : it->second);
-        }
-      }
-      sharedCache_->publish(key, r, std::move(slotValues), cost);
+      if (r == CheckResult::Sat) slotValues = slotModel();
+      sharedCache_->publish(key, r, std::move(slotValues), cost, preTag);
     }
     return finish(r);
   }
@@ -352,7 +518,19 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
       cached = true;
       cost = it->second.cost;
       if (cacheHitCtr_) cacheHitCtr_->add();
-      if (it->second.result == CheckResult::Sat) model_ = it->second.model;
+      replayTag(it->second.preTag);
+      if (it->second.result == CheckResult::Sat) {
+        if (it->second.hasModel) {
+          model_ = it->second.model;
+        } else if (needModel) {
+          // Prefiltered Sat entry without a model: restore one off the
+          // books and backfill the entry for later readers.
+          restoreModelFresh(assumptions);
+          ++stats_.preModelRestores;
+          it->second.model = model_;
+          it->second.hasModel = true;
+        }
+      }
       return finish(it->second.result);
     }
     if (cacheMissCtr_) cacheMissCtr_->add();
@@ -361,6 +539,7 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
   // just before the assumption literals are blasted (snapshots assigned
   // below, once the deadline pre-check has passed).
   uint64_t termsBefore = 0, gatesBefore = 0, conflictsBefore = 0;
+  uint8_t preTag = 0;
   auto snapCost = [&] {
     cost.terms = bb_.stats().termsBlasted - termsBefore;
     cost.gates = bb_.stats().gates - gatesBefore;
@@ -373,6 +552,7 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
       entry.result = r;
       if (r == CheckResult::Sat) entry.model = model_;
       entry.cost = cost;
+      entry.preTag = preTag;
       queryCache_.emplace(std::move(cacheKey), std::move(entry));
     }
     return finish(r);
@@ -389,7 +569,43 @@ CheckResult SmtSolver::check(const std::vector<TermRef>& assumptions) {
   }
   if (deadlineUs != 0 && startUs >= deadlineUs) {
     // The budget is already spent; don't even bit-blast.
+    ++stats_.preShortcircuit;
     return finish(CheckResult::Unknown);
+  }
+  // Prefilter consult, after every short-circuit off-mode would also
+  // take (so verdicts are identical with the prefilter on or off) and
+  // before any bit-blasting. Conclusive verdicts are cached with a zero
+  // canonical cost and skip the SAT core entirely; the incremental core
+  // never sees their literals.
+  if (pre_ != nullptr) {
+    const CheckResult pv = consult();
+    if (pv == CheckResult::Unsat) {
+      if (cacheEnabled_) {
+        CacheEntry entry;
+        entry.result = pv;
+        entry.preTag = 2;
+        queryCache_.emplace(std::move(cacheKey), std::move(entry));
+      }
+      return finish(pv);
+    }
+    if (pv == CheckResult::Sat) {
+      if (needModel) {
+        restoreModelFresh(assumptions);
+        ++stats_.preModelRestores;
+      }
+      if (cacheEnabled_) {
+        CacheEntry entry;
+        entry.result = pv;
+        entry.preTag = 1;
+        entry.hasModel = needModel;
+        if (needModel) entry.model = model_;
+        queryCache_.emplace(std::move(cacheKey), std::move(entry));
+      }
+      return finish(pv);
+    }
+    preTag = 3;
+  } else {
+    ++stats_.directSolves;
   }
   sat_.setDeadline(deadlineUs != 0 ? &clk : nullptr, deadlineUs);
   termsBefore = bb_.stats().termsBlasted;

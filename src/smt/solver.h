@@ -23,6 +23,8 @@ enum class CheckResult { Sat, Unsat, Unknown };
 
 const char* checkResultName(CheckResult r);
 
+class PreSolver;  // smt/presolver.h
+
 /// One snapshot of the whole SMT stack's statistics: query-level stats,
 /// the SAT core, the bit-blaster and the query cache, aggregated so
 /// consumers read a single object instead of stitching stats()/satStats()/
@@ -44,13 +46,41 @@ struct SolverTelemetry {
   /// the profiler's reconciliation targets (docs/observability.md).
   QueryCost canon;
 
+  /// Abstract prefilter accounting (docs/absdomain.md). Every query lands
+  /// in exactly one of four disjoint buckets: cacheHits, preShortcircuit
+  /// (resolved before cache or prefilter — permanently-unsat, constant-
+  /// false assumption, expired deadline), preConsulted (prefilter judged
+  /// it at a cache miss) and directSolves (missed with the prefilter
+  /// disabled). preSat/preUnsat/preFallback partition preConsulted.
+  bool preEnabled = false;
+  uint64_t preConsulted = 0;
+  uint64_t preSat = 0;
+  uint64_t preUnsat = 0;
+  uint64_t preFallback = 0;
+  uint64_t preShortcircuit = 0;
+  uint64_t directSolves = 0;
+  /// Summed abstract-core sizes over conclusive-unsat verdicts: how many
+  /// constraints the abstract explanation blamed, totalled per judged key.
+  uint64_t preCoreConstraints = 0;
+
   /// Hit rate over all queries (cached and solved), in [0,1].
   double cacheHitRate() const {
     return queries ? double(cacheHits) / double(queries) : 0.0;
   }
 
+  /// Both prefilter accounting identities hold: the verdict kinds
+  /// partition the consultations, and the four buckets partition the
+  /// queries.
+  bool prefilterReconciled() const {
+    return preSat + preUnsat + preFallback == preConsulted &&
+           cacheHits + preShortcircuit + preConsulted + directSolves ==
+               queries;
+  }
+
   /// The "solver" object of the stats schema (docs/observability.md).
   void writeJson(json::Writer& w) const;
+  /// The top-level "prefilter" object of the stats schema (v6).
+  void writePrefilterJson(json::Writer& w) const;
   std::string toJson() const;
   /// Human-readable two-line form used by `adlsym explore`.
   std::string format() const;
@@ -79,7 +109,17 @@ class SmtSolver {
 
   /// Check satisfiability of the permanent assertions plus the given
   /// width-1 assumption terms.
-  CheckResult check(const std::vector<TermRef>& assumptions);
+  CheckResult check(const std::vector<TermRef>& assumptions) {
+    return checkImpl(assumptions, /*needModel=*/true);
+  }
+
+  /// Like check(), but the caller promises not to read the model after a
+  /// Sat verdict (lastModel()/modelValue() are unspecified). This is what
+  /// lets the abstract prefilter short-circuit Sat verdicts: a conclusive
+  /// abstract Sat carries no model, so model-needing callers still solve.
+  CheckResult checkNoModel(const std::vector<TermRef>& assumptions) {
+    return checkImpl(assumptions, /*needModel=*/false);
+  }
 
   /// Model value of a term after a Sat result. The model is snapshotted at
   /// Sat time, so this works for any term (unconstrained variables read 0)
@@ -133,7 +173,30 @@ class SmtSolver {
     /// the fresh-solve cost, a hit *replays* the stored cost, so these
     /// accumulate identically whichever caller took the miss. Observers
     /// read deltas of these to attribute solver cost per branch site.
+    /// Keys the prefilter decided carry a canonical cost of zero — even
+    /// when a model-needing caller forced a restoration solve — so the
+    /// totals stay independent of which caller took the miss.
     QueryCost canon;
+    /// Abstract-prefilter buckets; see SolverTelemetry for the invariants.
+    uint64_t preConsulted = 0;
+    uint64_t preSat = 0;
+    uint64_t preUnsat = 0;
+    uint64_t preFallback = 0;
+    uint64_t preShortcircuit = 0;
+    uint64_t directSolves = 0;
+    uint64_t preCoreConstraints = 0;
+    /// Model restorations: needModel checks served by a model-less
+    /// prefiltered Sat entry. Which issuance of a key pays the
+    /// restoration is scheduling-dependent, so this never reaches the
+    /// stats JSON — it exists for logs and tests.
+    uint64_t preModelRestores = 0;
+    /// Per-issuance prefilter provenance, replayed from the cache on hits
+    /// (preTag): a query whose key was judged conclusively counts as a
+    /// "seen hit" every time it is issued, a judged-but-fallen-through
+    /// key as a "seen miss". Observers read deltas of these to attribute
+    /// prefilter effectiveness per branch site, schedule-independently.
+    uint64_t preHitSeen = 0;
+    uint64_t preMissSeen = 0;
   };
   const Stats& stats() const { return stats_; }
   const SatSolver::Stats& satStats() const { return sat_.stats(); }
@@ -170,6 +233,15 @@ class SmtSolver {
   /// model, misses are solved fresh and published single-flight.
   void setSharedCache(QueryCache* c) { sharedCache_ = c; }
 
+  /// Attach the abstract pre-solver (not owned; null detaches — the
+  /// default). When attached, every cache miss is judged abstractly
+  /// before any bit-blasting: a conclusive Unsat always short-circuits
+  /// the solve, a conclusive Sat short-circuits it for checkNoModel()
+  /// callers and triggers an off-the-books model restoration for
+  /// check() callers. Per-worker, shared-nothing, like the term pool.
+  void setPreSolver(PreSolver* p) { pre_ = p; }
+  bool prefilterEnabled() const { return pre_ != nullptr; }
+
   /// One row of the profiler's query-shape table: queries grouped by the
   /// bit-width bucket of their canonical terms-blasted count. Sums are
   /// schedule-independent when aggregated over all workers: every
@@ -202,11 +274,22 @@ class SmtSolver {
   const std::map<unsigned, ShapeRow>& queryShapes() const { return shapes_; }
 
  private:
+  CheckResult checkImpl(const std::vector<TermRef>& assumptions,
+                        bool needModel);
+
   /// Fresh-mode miss path: solve on a throwaway core, snapshot the model
   /// into model_ on Sat, aggregate the core's stats into the fresh
   /// counters.
   CheckResult solveFreshWithModel(const std::vector<TermRef>& assumptions,
                                   telemetry::Clock* clk, uint64_t deadlineUs);
+
+  /// Model restoration for a prefilter-certified Sat query: solve the
+  /// canonical CNF on a throwaway core with no budget, no deadline, no
+  /// telemetry and no stats aggregation — deliberately off the books, so
+  /// whether (and where) a restoration happens can never perturb the
+  /// schedule-independent counters. Fills model_; throws if the core
+  /// disagrees with the certificate (an absdom soundness bug).
+  void restoreModelFresh(const std::vector<TermRef>& assumptions);
 
   TermManager& tm_;
   SatSolver sat_;
@@ -220,6 +303,8 @@ class SmtSolver {
     CheckResult result = CheckResult::Unknown;
     std::unordered_map<uint32_t, uint64_t> model;  // for Sat entries
     QueryCost cost;  // replayed on hits (see Stats::canon)
+    bool hasModel = true;   // false: prefiltered Sat, model not computed
+    uint8_t preTag = 0;     // provenance, replayed on hits (see qcache.h)
   };
   bool cacheEnabled_ = true;
   std::unordered_map<std::string, CacheEntry> queryCache_;
@@ -230,6 +315,7 @@ class SmtSolver {
 
   bool freshMode_ = false;
   QueryCache* sharedCache_ = nullptr;
+  PreSolver* pre_ = nullptr;
   // Aggregates over the throwaway cores of fresh mode (the members sat_/bb_
   // sit unused there); telemetrySnapshot() reads these instead.
   SatSolver::Stats freshSat_;
@@ -250,6 +336,8 @@ class SmtSolver {
   telemetry::Counter* queryCtr_ = nullptr;
   telemetry::Counter* cacheHitCtr_ = nullptr;
   telemetry::Counter* cacheMissCtr_ = nullptr;
+  telemetry::Counter* preHitCtr_ = nullptr;
+  telemetry::Counter* preMissCtr_ = nullptr;
 };
 
 }  // namespace adlsym::smt

@@ -137,7 +137,7 @@ TEST(Cli, ExploreStatsJsonAndTrace) {
   EXPECT_NE(r.output.find("paths=2"), std::string::npos);
 
   const std::string stats = slurp(opt.statsJsonPath);
-  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v5\""), std::string::npos);
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v6\""), std::string::npos);
   EXPECT_NE(stats.find("\"command\":\"explore\""), std::string::npos);
   EXPECT_NE(stats.find("\"isa\":\"rv32e\""), std::string::npos);
   EXPECT_NE(stats.find("\"paths\":2"), std::string::npos);
@@ -188,7 +188,7 @@ TEST(Cli, DispatchParsesObservabilityFlags) {
   const auto r = dispatch(
       {"explore", "rv32e", imgPath, "--stats-json=" + statsPath});
   EXPECT_EQ(r.exitCode, 0) << r.output;
-  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v5\""), std::string::npos);
+  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v6\""), std::string::npos);
 }
 
 TEST(Cli, PathForestFlagsAreDeterministic) {
@@ -306,7 +306,7 @@ TEST(CliLint, StatsJsonHasPassTimings) {
   const auto r = dispatch({"lint", "rv32e", "--stats-json=" + statsPath});
   EXPECT_EQ(r.exitCode, 0) << r.output;
   const std::string stats = slurp(statsPath);
-  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v5\""), std::string::npos)
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v6\""), std::string::npos)
       << stats;
   EXPECT_NE(stats.find("\"command\":\"lint\""), std::string::npos);
   EXPECT_NE(stats.find("\"lint\":{\"findings\":"), std::string::npos) << stats;
@@ -314,6 +314,7 @@ TEST(CliLint, StatsJsonHasPassTimings) {
   // Per-pass timing histograms (docs/observability.md metric names).
   EXPECT_NE(stats.find("\"lint.decode_space_us\""), std::string::npos) << stats;
   EXPECT_NE(stats.find("\"lint.dataflow_us\""), std::string::npos);
+  EXPECT_NE(stats.find("\"lint.absdom_us\""), std::string::npos);
 }
 
 TEST(CliLint, ErrorFindingFailsExitCode) {
@@ -345,6 +346,17 @@ TEST(CliLint, WarningsGateOnlyUnderWerror) {
   EXPECT_NE(r.output.find("[ADL013]"), std::string::npos) << r.output;
 }
 
+TEST(CliLint, AbsdomWarningsGateUnderWerror) {
+  // ADL016/ADL017 come from the abstract-interpretation pass and are
+  // warnings: clean exit without --werror, gate with it.
+  for (const char* file : {"adl016.adl", "adl017.adl"}) {
+    const std::string path = fixture(file);
+    EXPECT_EQ(dispatch({"lint", path}).exitCode, 0) << file;
+    const auto r = dispatch({"lint", path, "--werror"});
+    EXPECT_EQ(r.exitCode, 1) << file << ":\n" << r.output;
+  }
+}
+
 TEST(CliLint, JsonDocumentShape) {
   const auto r = dispatch({"lint", fixture("adl013.adl"), "--format=json"});
   EXPECT_EQ(r.exitCode, 0);  // warning + note only
@@ -374,7 +386,8 @@ TEST(CliLint, EveryDocumentedCodeHasAFiringFixture) {
       {"adl003.adl", "ADL003"}, {"adl010.adl", "ADL010"},
       {"adl011.adl", "ADL011"}, {"adl012.adl", "ADL012"},
       {"adl013.adl", "ADL013"}, {"adl014.adl", "ADL014"},
-      {"adl015.adl", "ADL015"},
+      {"adl015.adl", "ADL015"}, {"adl016.adl", "ADL016"},
+      {"adl017.adl", "ADL017"},
   };
   for (const auto& c : cases) {
     const auto text = dispatch({"lint", fixture(c.file)});

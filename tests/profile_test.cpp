@@ -1,5 +1,5 @@
 // Deterministic profiler + bench comparator (docs/observability.md):
-// the adlsym-profile-v1 artifacts (obs/profile.h) must be byte-identical
+// the adlsym-profile-v2 artifacts (obs/profile.h) must be byte-identical
 // across --jobs values and reconcile per-site sums against the engine and
 // solver aggregates; support/benchcmp.h must catch injected regressions
 // (the bench_diff acceptance fixture); the JSON reader must reject
@@ -49,7 +49,7 @@ TEST(JsonReader, WriterOutputRoundTrips) {
   std::ostringstream os;
   json::Writer w(os);
   w.beginObject();
-  w.kv("schema", "adlsym-stats-v5");
+  w.kv("schema", "adlsym-stats-v6");
   w.kv("count", uint64_t{42});
   w.kv("rate", 0.5);
   w.kv("ok", true);
@@ -61,7 +61,7 @@ TEST(JsonReader, WriterOutputRoundTrips) {
   const json::Value doc = json::parse(os.str());
   ASSERT_TRUE(doc.isObject());
   ASSERT_NE(doc.find("schema"), nullptr);
-  EXPECT_EQ(doc.find("schema")->str, "adlsym-stats-v5");
+  EXPECT_EQ(doc.find("schema")->str, "adlsym-stats-v6");
   EXPECT_DOUBLE_EQ(doc.find("count")->number, 42.0);
   EXPECT_DOUBLE_EQ(doc.find("rate")->number, 0.5);
   EXPECT_TRUE(doc.find("ok")->boolean);
@@ -103,7 +103,7 @@ TEST(JsonReader, EscapesAndFind) {
 // ---------------------------------------------------------------------
 
 json::Value benchDoc(const std::string& tablesJson) {
-  return json::parse("{\"schema\":\"adlsym-stats-v5\",\"command\":\"bench\","
+  return json::parse("{\"schema\":\"adlsym-stats-v6\",\"command\":\"bench\","
                      "\"bench\":\"fixture\",\"tables\":" +
                      tablesJson + "}");
 }
@@ -274,8 +274,8 @@ TEST(ProfileCollectorUnit, ChargesStepAndOffStepCostPerSite) {
   info.stepSolverQueries = 1;
   info.stepCanonGates = 11;
   prof.onStepEnd(info);
-  prof.onOffStepSolve(entry, 2, 5, 7, 1);
-  prof.onOffStepSolve(0xdeadbeef, 1, 0, 0, 0);  // undecodable site
+  prof.onOffStepSolve(entry, 2, 5, 7, 1, 1, 1);
+  prof.onOffStepSolve(0xdeadbeef, 1, 0, 0, 0, 0, 1);  // undecodable site
 
   EXPECT_EQ(prof.totalSteps(), 2u);
   EXPECT_EQ(prof.totalRtlTicks(), 10u);
@@ -328,8 +328,8 @@ struct SeqObserver final : core::ExploreObserver {
     }
   }
   void onDrop(uint64_t, uint64_t) override { ++drops; }
-  void onOffStepSolve(uint64_t, uint64_t, uint64_t, uint64_t,
-                      uint64_t) override {
+  void onOffStepSolve(uint64_t, uint64_t, uint64_t, uint64_t, uint64_t,
+                      uint64_t, uint64_t) override {
     ++offSteps;
   }
 };
@@ -356,7 +356,7 @@ TEST(ThreadSafeObservers, LockedMuxKeepsEachFanOutAtomic) {
       for (int i = 0; i < kStepsPerThread; ++i) {
         mux.onStepEnd(info);
         if (i % 7 == 0) mux.onDrop(0, 4);
-        if (i % 11 == 0) mux.onOffStepSolve(4, 1, 0, 0, 0);
+        if (i % 11 == 0) mux.onOffStepSolve(4, 1, 0, 0, 0, 0, 1);
       }
     });
   }
@@ -425,7 +425,7 @@ TEST(ThreadSafeObservers, ProfileCollectorMergesConcurrentWorkers) {
       info.stepSolverQueries = 1;
       info.stepCanonGates = 3;
       for (int i = 0; i < kRounds; ++i) prof.onStepEnd(info);
-      prof.onOffStepSolve(entry, 1, 0, 0, 0);
+      prof.onOffStepSolve(entry, 1, 0, 0, 0, 0, 1);
     });
   }
   for (auto& th : pool) th.join();
@@ -520,7 +520,7 @@ class ProfileDeterminism : public ::testing::Test {
     ASSERT_FALSE(a.profileJson.empty()) << where;
     const json::Value doc = json::parse(a.profileJson);
     ASSERT_NE(doc.find("schema"), nullptr) << where;
-    EXPECT_EQ(doc.find("schema")->str, "adlsym-profile-v1") << where;
+    EXPECT_EQ(doc.find("schema")->str, "adlsym-profile-v2") << where;
 
     const json::Value* engine = doc.find("engine");
     const json::Value* solver = doc.find("solver");
@@ -557,10 +557,10 @@ class ProfileDeterminism : public ::testing::Test {
     EXPECT_EQ(rtlTicks, engine->find("rtl_ticks")->number) << where;
 
     // The stats document carries the v5 profile summary block.
-    EXPECT_NE(a.statsJson.find("\"schema\":\"adlsym-stats-v5\""),
+    EXPECT_NE(a.statsJson.find("\"schema\":\"adlsym-stats-v6\""),
               std::string::npos)
         << where;
-    EXPECT_NE(a.statsJson.find("\"profile\":{\"schema\":\"adlsym-profile-v1\""),
+    EXPECT_NE(a.statsJson.find("\"profile\":{\"schema\":\"adlsym-profile-v2\""),
               std::string::npos)
         << where;
     EXPECT_NE(a.statsJson.find("\"reconciled\":true"), std::string::npos)

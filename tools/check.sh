@@ -1,5 +1,6 @@
 #!/usr/bin/env bash
-# Full local gate: formatting, the regular build + tests, and an
+# Full local gate: formatting, the regular build + tests, clang-tidy,
+# structural validation of the committed bench baselines, and an
 # ASan+UBSan build + tests (build-san/). This is what CI runs.
 set -eu
 cd "$(dirname "$0")/.."
@@ -12,6 +13,12 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 echo "== tests"
 (cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo "== clang-tidy"
+tools/tidy_check.sh build
+
+echo "== bench baseline validation"
+build/tools/bench_diff --validate BENCH_*.json
 
 echo "== build (ASan+UBSan)"
 cmake -B build-san -S . -DADLSYM_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null

@@ -1,0 +1,133 @@
+// stats_strip — canonicalize an adlsym stats JSON document for the
+// prefilter byte-identity smoke (CI, docs/absdomain.md). The determinism
+// contract says exploration artifacts are identical with --prefilter=on
+// and off *modulo the solver-work accounting*: the prefilter block itself,
+// the metrics registry (histogram shapes shift with the solver path
+// taken) and the solver's sat/bit-blast/canonicalization counters. This
+// tool parses a stats document, drops exactly those subtrees, and
+// re-emits the rest deterministically so `cmp` can assert the remainder
+// is byte-identical across modes.
+//
+//   stats_strip <stats.json>     # stripped document on stdout
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "support/json.h"
+
+using adlsym::json::Value;
+
+namespace {
+
+void emit(const Value& v, std::string* out, bool inSolver);
+
+void emitNumber(double d, std::string* out) {
+  char buf[64];
+  // Counters dominate; print integral values without a fraction so the
+  // output is stable and diff-friendly.
+  if (std::nearbyint(d) == d && std::fabs(d) <= 9007199254740992.0) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, static_cast<int64_t>(d));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+  }
+  *out += buf;
+}
+
+bool dropTopLevel(const std::string& key) {
+  return key == "prefilter" || key == "metrics";
+}
+
+bool dropInSolver(const std::string& key) {
+  return key == "sat_core" || key == "bitblast" || key == "canon";
+}
+
+void emitObject(const Value& v, std::string* out, bool topLevel) {
+  *out += '{';
+  bool first = true;
+  for (const auto& [key, member] : v.object) {
+    if (topLevel && dropTopLevel(key)) continue;
+    if (!first) *out += ',';
+    first = false;
+    *out += '"';
+    *out += adlsym::json::escape(key);
+    *out += "\":";
+    emit(member, out, topLevel && key == "solver");
+  }
+  *out += '}';
+}
+
+void emit(const Value& v, std::string* out, bool inSolver) {
+  switch (v.kind) {
+    case Value::Kind::Null:
+      *out += "null";
+      break;
+    case Value::Kind::Bool:
+      *out += v.boolean ? "true" : "false";
+      break;
+    case Value::Kind::Number:
+      emitNumber(v.number, out);
+      break;
+    case Value::Kind::String:
+      *out += '"';
+      *out += adlsym::json::escape(v.str);
+      *out += '"';
+      break;
+    case Value::Kind::Array:
+      *out += '[';
+      for (size_t i = 0; i < v.array.size(); ++i) {
+        if (i) *out += ',';
+        emit(v.array[i], out, false);
+      }
+      *out += ']';
+      break;
+    case Value::Kind::Object: {
+      *out += '{';
+      bool first = true;
+      for (const auto& [key, member] : v.object) {
+        if (inSolver && dropInSolver(key)) continue;
+        if (!first) *out += ',';
+        first = false;
+        *out += '"';
+        *out += adlsym::json::escape(key);
+        *out += "\":";
+        emit(member, out, false);
+      }
+      *out += '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: stats_strip <stats.json>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1], std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "stats_strip: cannot read %s\n", argv[1]);
+    return 2;
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  std::string out;
+  try {
+    const Value doc = adlsym::json::parse(os.str());
+    if (doc.kind != Value::Kind::Object) {
+      std::fprintf(stderr, "stats_strip: %s: not a JSON object\n", argv[1]);
+      return 1;
+    }
+    emitObject(doc, &out, /*topLevel=*/true);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "stats_strip: %s: %s\n", argv[1], e.what());
+    return 1;
+  }
+  out += '\n';
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Run clang-tidy (.clang-tidy: bugprone-*, performance-*, concurrency-*)
+# over the first-party C++ sources against a compile_commands.json.
+# Usage: tools/tidy_check.sh [build-dir]   (default: build)
+# Exits 0 with a notice when clang-tidy is not installed, so check.sh
+# stays usable on minimal containers — CI installs it and gets the gate.
+set -u
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "tidy_check: clang-tidy not found, skipping"
+  exit 0
+fi
+
+builddir="${1:-build}"
+if [ ! -f "$builddir/compile_commands.json" ]; then
+  echo "tidy_check: $builddir/compile_commands.json missing" >&2
+  echo "tidy_check: configure first (cmake -B $builddir -S .)" >&2
+  exit 1
+fi
+
+# Translation units only; headers are covered through HeaderFilterRegex.
+# shellcheck disable=SC2046
+clang-tidy -p "$builddir" --quiet $(find src tools bench examples \
+    -name '*.cpp' | sort)
+status=$?
+if [ $status -ne 0 ]; then
+  echo "tidy_check: clang-tidy reported findings (see above)"
+fi
+exit $status
