@@ -159,13 +159,15 @@ bool Explorer::tryMerge(MachineState& host, const MachineState& incoming) {
   return true;
 }
 
-PathResult Explorer::finishPath(MachineState&& st, uint64_t node) {
+PathResult Explorer::finishPath(MachineState&& st, uint64_t node,
+                                std::string pathKey) {
   PathResult r;
   r.status = st.status;
   r.truncReason = st.truncReason;
   r.finalPc = st.pc;
   r.steps = st.steps;
   r.forks = st.forks;
+  r.pathKey = std::move(pathKey);
   if (pathsCtr_) pathsCtr_->add();
   if (tel_ && tel_->tracing()) {
     tel_->emit(telemetry::EventKind::PathDone,
@@ -225,6 +227,9 @@ ExploreSummary Explorer::run() {
   Rng rng(config_.rngSeed);
   covered_.clear();
   ExploreObserver* ob = config_.observer;
+  // Maintain dotted structural path keys only on request: each fork costs
+  // one string per successor, which un-keyed observers shouldn't pay.
+  const bool wantKeys = ob != nullptr && ob->wantsPathKeys();
   // Path-forest node ids: 0 is the root; forks mint fresh ids, straight-
   // line steps keep theirs. Only meaningful (and only maintained past the
   // counter) when an observer is attached.
@@ -259,11 +264,12 @@ ExploreSummary Explorer::run() {
     frontierBytes -= ev.bytes;
     ev.state.status = PathStatus::Truncated;
     ev.state.truncReason = why;
-    summary.paths.push_back(finishPath(std::move(ev.state), ev.node));
+    summary.paths.push_back(
+        finishPath(std::move(ev.state), ev.node, std::move(ev.key)));
   };
 
   frontier.push_back(Frontier{exec_.initialState(), orderCounter++, 0,
-                              nodeCounter++, 0});
+                              nodeCounter++, 0, {}});
   frontier.back().bytes = frontier.back().state.approxBytes();
   frontierBytes = frontier.back().bytes;
   if (ob) ob->onRoot(frontier.back().node, frontier.back().state);
@@ -296,7 +302,8 @@ ExploreSummary Explorer::run() {
       const uint64_t cutPc = cur.state.pc;
       smt::SmtSolver::Stats preClose;
       if (ob) preClose = svc_.solver.stats();
-      summary.paths.push_back(finishPath(std::move(cur.state), cur.node));
+      summary.paths.push_back(
+          finishPath(std::move(cur.state), cur.node, std::move(cur.key)));
       ++completed;
       if (ob) {
         // The witness solve above ran outside any step window; report it
@@ -353,8 +360,19 @@ ExploreSummary Explorer::run() {
 
     const bool forked = out.successors.size() > 1;
     bool sawDefect = false;
-    for (MachineState& succ : out.successors) {
+    for (size_t si = 0; si < out.successors.size(); ++si) {
+      MachineState& succ = out.successors[si];
       const uint64_t childNode = forked ? nodeCounter++ : cur.node;
+      // Structural key: forks append the successor index; straight-line
+      // steps inherit (matches core/pexplorer's PathKey discipline).
+      std::string childKey;
+      if (wantKeys) {
+        childKey = cur.key;
+        if (forked) {
+          if (!childKey.empty()) childKey += '.';
+          childKey += std::to_string(si);
+        }
+      }
       if (ob && forked) ob->onChild(cur.node, childNode, succ, condBefore);
       if (succ.status == PathStatus::Running) {
         if (config_.mergeStates) {
@@ -377,6 +395,7 @@ ExploreSummary Explorer::run() {
         f.newCovered = cur.newCovered / 2 + (newPcHere ? 1 : 0);
         f.order = orderCounter++;
         f.node = childNode;
+        f.key = std::move(childKey);
         f.state = std::move(succ);
         f.bytes = f.state.approxBytes();
         fault::hit("alloc");  // frontier growth is the engine's allocation site
@@ -391,7 +410,8 @@ ExploreSummary Explorer::run() {
         }
       } else {
         sawDefect = sawDefect || succ.defect.has_value();
-        summary.paths.push_back(finishPath(std::move(succ), childNode));
+        summary.paths.push_back(
+            finishPath(std::move(succ), childNode, std::move(childKey)));
         ++completed;
       }
     }
@@ -432,6 +452,9 @@ ExploreSummary Explorer::run() {
       si.runCacheHits = svc_.solver.cacheHits() - cacheHitsBase;
       si.stepPrefilterHits = after.preHitSeen - solverBefore.preHitSeen;
       si.stepPrefilterMisses = after.preMissSeen - solverBefore.preMissSeen;
+      if (wantKeys) si.pathKey = cur.key;
+      si.pathSteps = cur.state.steps;  // pre-step count (cur is unstepped)
+      si.frontierBytes = frontierBytes;
       ob->onStepEnd(si);
     }
     if (sawDefect && config_.stopAtFirstDefect) {
@@ -450,7 +473,8 @@ ExploreSummary Explorer::run() {
     for (Frontier& f : frontier) {
       f.state.status = PathStatus::Truncated;
       f.state.truncReason = closeReason;
-      summary.paths.push_back(finishPath(std::move(f.state), f.node));
+      summary.paths.push_back(
+          finishPath(std::move(f.state), f.node, std::move(f.key)));
     }
     frontier.clear();
   }

@@ -116,13 +116,18 @@ class Explorer {
     uint64_t newCovered = 0;  // pcs first covered by this state's last step
     uint64_t node = 0;        // path-forest node id (core/observer.h)
     size_t bytes = 0;         // approxBytes() at push time (governor tally)
+    /// Dotted structural path key ("" = root, then fork successor indices
+    /// joined by '.'); maintained only when the attached observer returns
+    /// wantsPathKeys() — empty otherwise.
+    std::string key;
   };
 
   size_t pickNext(const std::vector<Frontier>& frontier, Rng& rng) const;
   /// Eviction victim for the governor: the state the strategy would
   /// schedule *last* (mirror image of pickNext).
   size_t pickEvict(const std::vector<Frontier>& frontier, Rng& rng) const;
-  PathResult finishPath(MachineState&& st, uint64_t node);
+  PathResult finishPath(MachineState&& st, uint64_t node,
+                        std::string pathKey = {});
   /// Try to merge `incoming` into `host` (both Running, same pc).
   /// Returns false (leaving both untouched) when the states' traces are
   /// incompatible.

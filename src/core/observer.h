@@ -20,6 +20,16 @@ class ExploreObserver {
  public:
   virtual ~ExploreObserver() = default;
 
+  /// Opt-in to structural path keys: when any attached observer returns
+  /// true, both engines fill StepInfo::pathKey and PathResult::pathKey
+  /// with the dotted fork-index key of the stepped state ("" = root,
+  /// "1.0" = second child of the first fork, then its first child).
+  /// Structural keys are the identity that survives parallel scheduling
+  /// (docs/parallelism.md), so the event stream (obs/events.h) keys every
+  /// record on them. Off by default because maintaining the strings costs
+  /// an allocation per fork.
+  virtual bool wantsPathKeys() const { return false; }
+
   /// The initial state entered the frontier as node `node` (always 0).
   virtual void onRoot(uint64_t /*node*/, const MachineState& /*st*/) {}
 
@@ -65,6 +75,16 @@ class ExploreObserver {
     /// canon costs, so the per-site sums are identical across -jN.
     uint64_t stepPrefilterHits = 0;
     uint64_t stepPrefilterMisses = 0;
+    /// Structural path key of the stepped state (see wantsPathKeys);
+    /// empty unless an attached observer opted in.
+    std::string pathKey;
+    /// Steps this state had executed *before* this one — strictly
+    /// increasing along a path-forest node, so (pathKey, pathSteps) is a
+    /// schedule-independent total order on step events.
+    uint64_t pathSteps = 0;
+    /// Estimated heap bytes held by frontier states (after requeueing) —
+    /// the governor's --mem-budget-mb accounting signal.
+    uint64_t frontierBytes = 0;
   };
   virtual void onStepEnd(const StepInfo& /*info*/) {}
 
@@ -106,6 +126,13 @@ class ObserverMux final : public ExploreObserver {
     if (ob != nullptr) obs_.push_back(ob);
   }
   bool empty() const { return obs_.empty(); }
+
+  bool wantsPathKeys() const override {
+    for (ExploreObserver* ob : obs_) {
+      if (ob->wantsPathKeys()) return true;
+    }
+    return false;
+  }
 
   void onRoot(uint64_t node, const MachineState& st) override {
     for (ExploreObserver* ob : obs_) ob->onRoot(node, st);
@@ -152,6 +179,9 @@ class LockedObserverMux final : public ExploreObserver {
  public:
   void add(ExploreObserver* ob) { mux_.add(ob); }
   bool empty() const { return mux_.empty(); }
+
+  // Queried once at run start, before workers exist — no lock needed.
+  bool wantsPathKeys() const override { return mux_.wantsPathKeys(); }
 
   void onRoot(uint64_t node, const MachineState& st) override {
     std::lock_guard<std::mutex> lk(mu_);

@@ -29,6 +29,17 @@ constexpr size_t kBytesPerTerm = 48;
 // in fork-index order — which is how the merge assigns dense node ids.
 using PathKey = std::u32string;
 
+/// Dotted-decimal serialization of a structural key, matching the
+/// sequential explorer's string keys exactly: root = "", {1,0} = "1.0".
+std::string keyToString(const PathKey& k) {
+  std::string out;
+  for (size_t i = 0; i < k.size(); ++i) {
+    if (i != 0) out += '.';
+    out += std::to_string(static_cast<uint32_t>(k[i]));
+  }
+  return out;
+}
+
 struct Entry {
   MachineState state;
   PathKey key;
@@ -139,12 +150,19 @@ struct Worker {
 struct Engine {
   Engine(const ParallelConfig& cfg,
          std::vector<std::unique_ptr<Worker>>& workers)
-      : cfg(cfg), base(cfg.base), workers(workers), ob(cfg.base.observer) {}
+      : cfg(cfg),
+        base(cfg.base),
+        workers(workers),
+        ob(cfg.base.observer),
+        wantKeys(ob != nullptr && ob->wantsPathKeys()) {}
 
   const ParallelConfig& cfg;
   const ExplorerConfig& base;
   std::vector<std::unique_ptr<Worker>>& workers;
   ExploreObserver* ob;
+  // Serialize structural keys into StepInfo/PathResult for the event
+  // stream (resolved once, before workers start).
+  const bool wantKeys;
 
   // ---- pool coordination (mu) -----------------------------------------
   std::mutex mu;
@@ -195,6 +213,7 @@ struct Engine {
     r.finalPc = st.pc;
     r.steps = st.steps;
     r.forks = st.forks;
+    if (wantKeys) r.pathKey = keyToString(key);
     if (w.pathsCtr) w.pathsCtr->add();
     if (st.defect) {
       r.defect = std::move(st.defect);
@@ -540,6 +559,9 @@ struct Engine {
       si.runCacheHits = w.solver.cacheHits();
       si.stepPrefilterHits = after.preHitSeen - before.preHitSeen;
       si.stepPrefilterMisses = after.preMissSeen - before.preMissSeen;
+      if (wantKeys) si.pathKey = keyToString(cur.key);
+      si.pathSteps = cur.state.steps;  // pre-step count (cur is unstepped)
+      si.frontierBytes = gFrontierBytes.load(std::memory_order_relaxed);
       ob->onStepEnd(si);
     }
     if (sawDefect && base.stopAtFirstDefect) {
@@ -639,6 +661,9 @@ ParallelResult ParallelExplorer::run() {
     if (cfg_.solverTimeoutMicros != 0) {
       w->solver.setQueryTimeoutMicros(cfg_.solverTimeoutMicros);
     }
+    // The extra listener (the flight recorder) is shared across workers
+    // and serializes internally.
+    w->solver.addQueryListener(cfg_.queryListener);
     w->exec = factory_(*w->svc);
     if (w->tel != nullptr) {
       // Resolve every explorer metric eagerly so the registry name union

@@ -81,6 +81,10 @@ struct ParallelConfig {
   /// worker solver. Shared-nothing like the term pools; verdicts are
   /// structural, so enabling it never perturbs the determinism contract.
   bool prefilter = true;
+  /// Extra query listener attached to every worker solver (not owned;
+  /// null = none). Invoked from worker threads concurrently, so it must be
+  /// thread-safe — the flight recorder (obs::EventBus) qualifies.
+  smt::QueryListener* queryListener = nullptr;
 };
 
 struct ParallelResult {

@@ -136,6 +136,9 @@ struct PathResult {
   std::vector<uint64_t> outputs;          // concrete output values (model)
   std::optional<Defect> defect;
   TestCase test;                          // generated inputs for this path
+  /// Structural path key (docs/parallelism.md), filled only when an
+  /// attached observer returns wantsPathKeys() — see ExploreObserver.
+  std::string pathKey;
 };
 
 }  // namespace adlsym::core

@@ -1,11 +1,13 @@
 #include "driver/cli.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <sstream>
+#include <thread>
 
 #include "analysis/lint.h"
 #include "asmgen/assembler.h"
@@ -13,8 +15,11 @@
 #include "core/pexplorer.h"
 #include "core/rtlprofile.h"
 #include "core/testgen.h"
+#include "decode/decoder.h"
 #include "driver/session.h"
 #include "isa/registry.h"
+#include "obs/events.h"
+#include "obs/manifest.h"
 #include "obs/pathforest.h"
 #include "obs/profile.h"
 #include "obs/progress.h"
@@ -85,7 +90,7 @@ class CommandTelemetry {
     }
     json::Writer w(out);
     w.beginObject();
-    w.kv("schema", "adlsym-stats-v6");
+    w.kv("schema", "adlsym-stats-v7");
     w.kv("command", std::string_view(command));
     w.kv("isa", std::string_view(isa));
     writeBody(w);
@@ -141,6 +146,115 @@ std::string writeProfileArtifacts(const obs::ProfileReport& rep,
   return "";
 }
 
+/// Decodable instruction count over the image's non-writable sections —
+/// the coverage-percent denominator for heartbeats and snapshot events
+/// (the same decoder walk `--coverage` renders).
+uint64_t countCodePcs(const adl::ArchModel& model, const loader::Image& image) {
+  decode::Decoder decoder(model);
+  uint64_t total = 0;
+  for (const loader::Section& s : image.sections()) {
+    if (s.writable) continue;
+    uint64_t addr = s.base;
+    while (addr < s.end()) {
+      const decode::DecodedInsn* d = decoder.decodeAt(image, addr);
+      if (d == nullptr) {
+        ++addr;
+        continue;
+      }
+      ++total;
+      addr += d->lengthBytes;
+    }
+  }
+  return total;
+}
+
+/// --events / --manifest plumbing shared by both engine paths: owns the
+/// event stream file and the flight recorder, and assembles the run
+/// manifest at the end.
+struct FlightRecorder {
+  std::ofstream file;
+  std::unique_ptr<obs::EventBus> bus;
+  uint64_t codePcs = 0;
+
+  /// Throws adlsym::InputError when the events file cannot be opened.
+  void open(const ExploreOptions& opt, const adl::ArchModel& model,
+            const loader::Image& image, telemetry::Telemetry* tel) {
+    if (opt.eventsPath.empty() && opt.manifestPath.empty() &&
+        opt.progressSeconds <= 0.0) {
+      return;
+    }
+    codePcs = countCodePcs(model, image);
+    if (opt.eventsPath.empty()) return;
+    std::ostream* os = &std::cout;
+    if (opt.eventsPath != "-") {
+      fault::hit("obs.write");
+      file.open(opt.eventsPath, std::ios::binary | std::ios::trunc);
+      if (!file) {
+        throw InputError("cannot open events file '" + opt.eventsPath + "'");
+      }
+      os = &file;
+    }
+    obs::EventBusOptions bopt;
+    bopt.snapshotEverySteps = opt.eventsSnapshotEvery;
+    bopt.maxFrontier = opt.maxFrontier;
+    bopt.memBudgetBytes = opt.memBudgetMb * 1024 * 1024;
+    bopt.codePcs = codePcs;
+    bus = std::make_unique<obs::EventBus>(*os, tel, bopt);
+  }
+
+  void runBegin(const std::string& isaName, const ExploreOptions& opt) {
+    if (!bus) return;
+    obs::EventBus::RunMeta rm;
+    rm.command = opt.profileStdout ? "profile" : "explore";
+    rm.isa = isaName;
+    rm.strategy = opt.strategy;
+    rm.program = opt.programLabel;
+    bus->runBegin(rm);
+  }
+
+  /// Close the stream so the manifest hashes the final bytes.
+  void close() {
+    if (bus) bus->flush();
+    if (file.is_open()) file.close();
+  }
+
+  /// The stats document's "events" block (always present for explore:
+  /// {"enabled":false} when the recorder is off).
+  void writeStatsJson(json::Writer& w) const {
+    w.key("events");
+    if (bus) {
+      bus->writeStatsJson(w);
+    } else {
+      w.beginObject();
+      w.kv("enabled", false);
+      w.endObject();
+    }
+  }
+};
+
+/// Write the adlsym-run-v1 manifest recording every artifact this run
+/// produced. Called after all artifact streams are closed; throws
+/// adlsym::InputError (exit 2) when an artifact is unreadable or the
+/// manifest path is unwritable.
+void writeRunManifest(const std::string& isaName, const ExploreOptions& opt) {
+  if (opt.manifestPath.empty()) return;
+  fault::hit("obs.write");
+  obs::RunManifest man;
+  man.command = opt.profileStdout ? "profile" : "explore";
+  man.isa = isaName;
+  man.strategy = opt.strategy;
+  man.program = opt.programLabel;
+  man.argv = opt.argvEcho;
+  man.addArtifact("stats", opt.statsJsonPath);
+  man.addArtifact("trace", opt.tracePath);
+  man.addArtifact("forest", opt.pathForestPath);
+  man.addArtifact("forest_dot", opt.pathDotPath);
+  man.addArtifact("profile", opt.profilePath);
+  man.addArtifact("profile_folded", opt.profileFoldedPath);
+  if (opt.eventsPath != "-") man.addArtifact("events", opt.eventsPath);
+  man.writeFile(opt.manifestPath);
+}
+
 }  // namespace
 
 std::string usage() {
@@ -161,6 +275,14 @@ std::string usage() {
       "                                             options)\n"
       "  adlsym replay <query-dir>                  re-solve a captured\n"
       "                                             query corpus and diff\n"
+      "  adlsym tail <events-file>                  live run inspector over\n"
+      "                                             an --events stream\n"
+      "  adlsym events summarize <events-file>      recompute run counters\n"
+      "                                             from the stream and\n"
+      "                                             check reconciliation\n"
+      "  adlsym verify-run <manifest.json>          re-hash a run's\n"
+      "                                             artifacts and replay\n"
+      "                                             cross-artifact checks\n"
       "\n"
       "lint options (docs/linting.md):\n"
       "  --format=text|json   output rendering (default text)\n"
@@ -227,7 +349,23 @@ std::string usage() {
       "                        byte-identical across --jobs under\n"
       "                        --clock=manual\n"
       "  --profile-folded=<f>  collapsed-stack lines for flamegraph\n"
-      "                        tooling\n";
+      "                        tooling\n"
+      "  --events=<file|->     adlsym-events-v1 flight recorder: one JSONL\n"
+      "                        event per step/fork/path/query plus periodic\n"
+      "                        snapshots; the deterministic event set is\n"
+      "                        identical across --jobs under --clock=manual\n"
+      "                        (sort with tools/events_canon); inspect live\n"
+      "                        with `adlsym tail`\n"
+      "  --events-snapshot=N   snapshot cadence in step events (default\n"
+      "                        1000; 0 = never)\n"
+      "  --manifest=<file>     adlsym-run-v1 manifest: every artifact of\n"
+      "                        this run with its SHA-256; check with\n"
+      "                        `adlsym verify-run`\n"
+      "\n"
+      "tail options: --no-follow (render once), --max-wait=S (give up\n"
+      "after S seconds without run_end)\n"
+      "events summarize options: --stats=<stats.json> (cross-check the\n"
+      "stream against the run's stats document)\n";
 }
 
 CommandResult cmdIsas() {
@@ -457,12 +595,15 @@ CommandResult cmdExplore(const std::string& isaName,
     // tree after the run, so only thread-safe collectors ride along, all
     // behind one locked mux.
     core::LockedObserverMux mux;
+    FlightRecorder fr;
+    fr.open(opt, *model, image, ct.get());
+    if (fr.bus) mux.add(fr.bus.get());
     std::unique_ptr<obs::ProgressMeter> progress;
     if (opt.progressSeconds > 0.0) {
       // Always on the system clock: heartbeats are a live wall-time
       // display from concurrent workers, not a deterministic artifact.
-      progress = std::make_unique<obs::ProgressMeter>(nullptr, std::cerr,
-                                                      opt.progressSeconds);
+      progress = std::make_unique<obs::ProgressMeter>(
+          nullptr, std::cerr, opt.progressSeconds, fr.bus.get(), fr.codePcs);
       mux.add(progress.get());
     }
     std::unique_ptr<obs::SiteStatsCollector> sites;
@@ -493,6 +634,7 @@ CommandResult cmdExplore(const std::string& isaName,
     pcfg.solverConflictBudget = sopt.solverConflictBudget;
     pcfg.solverTimeoutMicros = opt.solverTimeoutMs * 1000;
     pcfg.solverShapeProfile = profiling;
+    pcfg.queryListener = fr.bus.get();
 
     const adl::ArchModel& m = *model;
     core::RtlProfile* rp = rtlProf.get();
@@ -506,8 +648,15 @@ CommandResult cmdExplore(const std::string& isaName,
           return ex;
         },
         ct.get());
+    fr.runBegin(isaName, opt);
     core::ParallelResult pres = pex.run();
     const core::ExploreSummary& summary = pres.summary;
+    if (fr.bus) {
+      // Workers were destroyed inside run(), so the evaluator tick total
+      // is already flushed.
+      fr.bus->runEnd(summary, pex.solverTelemetry(),
+                     rtlProf ? rtlProf->total() : 0);
+    }
 
     if (!opt.pathForestPath.empty() || !opt.pathDotPath.empty()) {
       const obs::PathForestRecorder forest = obs::forestFromTree(pres.tree);
@@ -573,6 +722,8 @@ CommandResult cmdExplore(const std::string& isaName,
       if (sites) sites->writeJson(w);
       // v5 addition: the profile summary block (profiling runs only).
       if (profiling) rep.writeSummary(w);
+      // v7 addition: the flight-recorder accounting block.
+      fr.writeStatsJson(w);
     });
     ct.finish();
 
@@ -589,6 +740,10 @@ CommandResult cmdExplore(const std::string& isaName,
       const std::string err = writeProfileArtifacts(rep, opt);
       if (!err.empty()) return fail(err);
     }
+
+    // Every artifact stream is final now; the manifest hashes them.
+    fr.close();
+    writeRunManifest(isaName, opt);
 
     std::ostringstream os;
     os << lintText;
@@ -627,6 +782,12 @@ CommandResult cmdExplore(const std::string& isaName,
   // Observatory wiring (docs/observability.md): each flag adds one
   // observer; the mux keeps the explorer's single-pointer hook.
   core::ObserverMux mux;
+  FlightRecorder fr;
+  fr.open(opt, *model, image, ct.get());
+  if (fr.bus) {
+    mux.add(fr.bus.get());
+    solver.addQueryListener(fr.bus.get());
+  }
   std::unique_ptr<obs::PathForestRecorder> forest;
   if (!opt.pathForestPath.empty() || !opt.pathDotPath.empty()) {
     forest = std::make_unique<obs::PathForestRecorder>();
@@ -640,8 +801,8 @@ CommandResult cmdExplore(const std::string& isaName,
   }
   std::unique_ptr<obs::ProgressMeter> progress;
   if (opt.progressSeconds > 0.0) {
-    progress = std::make_unique<obs::ProgressMeter>(ct.get(), std::cerr,
-                                                    opt.progressSeconds);
+    progress = std::make_unique<obs::ProgressMeter>(
+        ct.get(), std::cerr, opt.progressSeconds, fr.bus.get(), fr.codePcs);
     mux.add(progress.get());
   }
   std::unique_ptr<obs::SiteStatsCollector> sites;
@@ -663,8 +824,13 @@ CommandResult cmdExplore(const std::string& isaName,
   core::AdlExecutor executor(*model, services);
   if (rtlProf) executor.setRtlProfile(rtlProf.get());
   core::Explorer explorer(executor, services, sopt.explorer);
+  fr.runBegin(isaName, opt);
   const auto summary = explorer.run();
   if (rtlProf) executor.flushRtlProfile();
+  if (fr.bus) {
+    fr.bus->runEnd(summary, solver.telemetrySnapshot(),
+                   rtlProf ? rtlProf->total() : 0);
+  }
 
   if (!opt.pathForestPath.empty()) {
     fault::hit("obs.write");
@@ -703,6 +869,8 @@ CommandResult cmdExplore(const std::string& isaName,
     if (sites) sites->writeJson(w);
     // v5 addition: the profile summary block (profiling runs only).
     if (profiling) rep.writeSummary(w);
+    // v7 addition: the flight-recorder accounting block.
+    fr.writeStatsJson(w);
   });
   ct.finish();
 
@@ -710,6 +878,10 @@ CommandResult cmdExplore(const std::string& isaName,
     const std::string err = writeProfileArtifacts(rep, opt);
     if (!err.empty()) return fail(err);
   }
+
+  // Every artifact stream is final now; the manifest hashes them.
+  fr.close();
+  writeRunManifest(isaName, opt);
 
   std::ostringstream os;
   os << lintText;
@@ -741,6 +913,81 @@ CommandResult cmdExplore(const std::string& isaName,
 CommandResult cmdReplay(const std::string& dir) {
   const obs::ReplayReport report = obs::replayCorpus(dir);
   return {report.exitCode(), report.formatText()};
+}
+
+CommandResult cmdTail(const std::string& eventsPath, const TailOptions& opt) {
+  std::ifstream in(eventsPath, std::ios::binary);
+  if (!in.is_open()) {
+    throw InputError("cannot open events file '" + eventsPath + "'");
+  }
+  obs::TailState state;
+  std::string line;
+  size_t lineNo = 0;
+  auto drain = [&]() {
+    bool any = false;
+    while (std::getline(in, line)) {
+      ++lineNo;
+      if (line.empty()) continue;
+      try {
+        state.apply(json::parse(line));
+      } catch (const Error& e) {
+        throw InputError("events line " + std::to_string(lineNo) + ": " +
+                         e.what());
+      }
+      any = true;
+    }
+    // getline stops at EOF with the fail bit set; clear it so the next
+    // poll picks up freshly appended lines (tail -f semantics).
+    in.clear();
+    return any;
+  };
+
+  drain();
+  if (!opt.follow) {
+    return {0, state.render()};
+  }
+
+  // Live mode: redraw on stderr after each batch of new events; the final
+  // dashboard goes to stdout like every other command.
+  std::cerr << state.render();
+  double waited = 0.0;
+  while (!state.done() && (opt.maxWaitSeconds <= 0.0 ||
+                           waited < opt.maxWaitSeconds)) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(opt.pollSeconds));
+    waited += opt.pollSeconds;
+    if (drain()) {
+      waited = 0.0;
+      std::cerr << "\n" << state.render();
+    }
+  }
+  std::ostringstream os;
+  os << state.render();
+  if (!state.done()) os << "tail: gave up waiting for run_end\n";
+  return {state.done() ? 0 : 1, os.str()};
+}
+
+CommandResult cmdEventsSummarize(const std::string& eventsPath,
+                                 const std::string& statsJsonPath) {
+  std::ifstream in(eventsPath, std::ios::binary);
+  if (!in.is_open()) {
+    throw InputError("cannot open events file '" + eventsPath + "'");
+  }
+  obs::EventsSummary es = obs::summarizeEvents(in);
+  std::ostringstream os;
+  if (!statsJsonPath.empty()) {
+    const json::Value stats = json::parse(readFileOrThrow(statsJsonPath));
+    for (std::string& p : obs::reconcileWithStats(es, stats)) {
+      es.problems.push_back("stats: " + p);
+    }
+  }
+  os << es.formatText();
+  return {es.ok() ? 0 : 1, os.str()};
+}
+
+CommandResult cmdVerifyRun(const std::string& manifestPath) {
+  const obs::VerifyReport rep = obs::verifyRun(manifestPath);
+  return {rep.ok() ? 0 : 1, rep.formatText()};
 }
 
 CommandResult dispatch(const std::vector<std::string>& args) {
@@ -854,6 +1101,20 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.profilePath = args[i].substr(10);
         } else if (startsWith(args[i], "--profile-folded=")) {
           opt.profileFoldedPath = args[i].substr(17);
+        } else if (startsWith(args[i], "--events=")) {
+          opt.eventsPath = args[i].substr(9);
+          if (opt.eventsPath.empty()) {
+            return fail("bad --events (want a file path or '-')");
+          }
+        } else if (startsWith(args[i], "--events-snapshot=")) {
+          const auto v = parseInt(args[i].substr(18));
+          if (!v) return fail("bad --events-snapshot '" + args[i] + "'");
+          opt.eventsSnapshotEvery = *v;
+        } else if (startsWith(args[i], "--manifest=")) {
+          opt.manifestPath = args[i].substr(11);
+          if (opt.manifestPath.empty()) {
+            return fail("bad --manifest (want a file path)");
+          }
         } else if (args[i] == "--max-frontier" && i + 1 < args.size()) {
           const auto v = parseInt(args[++i]);
           if (!v || *v == 0) return fail("bad --max-frontier '" + args[i] + "'");
@@ -917,11 +1178,68 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           return fail("unknown " + cmd + " option '" + args[i] + "'");
         }
       }
+      opt.argvEcho = args;  // echoed into the --manifest document
       return cmdExplore(args[1], readFileOrThrow(args[2]), opt);
     }
     if (cmd == "replay") {
       if (args.size() != 2) return fail("usage: adlsym replay <query-dir>");
       return cmdReplay(args[1]);
+    }
+    if (cmd == "tail") {
+      TailOptions topt;
+      std::vector<std::string> pos;
+      for (size_t i = 1; i < args.size(); ++i) {
+        if (args[i] == "--no-follow") {
+          topt.follow = false;
+        } else if (startsWith(args[i], "--max-wait=")) {
+          const std::string v = args[i].substr(11);
+          char* end = nullptr;
+          topt.maxWaitSeconds = std::strtod(v.c_str(), &end);
+          if (end == v.c_str() || *end != '\0' || topt.maxWaitSeconds <= 0.0) {
+            return fail("bad --max-wait '" + v + "'");
+          }
+        } else if (startsWith(args[i], "--")) {
+          return fail("unknown tail option '" + args[i] + "'");
+        } else {
+          pos.push_back(args[i]);
+        }
+      }
+      if (pos.size() != 1) {
+        return fail(
+            "usage: adlsym tail <events-file> [--no-follow] [--max-wait=S]");
+      }
+      return cmdTail(pos[0], topt);
+    }
+    if (cmd == "events") {
+      if (args.size() < 3 || args[1] != "summarize") {
+        return fail(
+            "usage: adlsym events summarize <events-file> "
+            "[--stats=<stats.json>]");
+      }
+      std::string eventsPath, statsPath;
+      for (size_t i = 2; i < args.size(); ++i) {
+        if (startsWith(args[i], "--stats=")) {
+          statsPath = args[i].substr(8);
+        } else if (startsWith(args[i], "--")) {
+          return fail("unknown events option '" + args[i] + "'");
+        } else if (eventsPath.empty()) {
+          eventsPath = args[i];
+        } else {
+          return fail("extra events argument '" + args[i] + "'");
+        }
+      }
+      if (eventsPath.empty()) {
+        return fail(
+            "usage: adlsym events summarize <events-file> "
+            "[--stats=<stats.json>]");
+      }
+      return cmdEventsSummarize(eventsPath, statsPath);
+    }
+    if (cmd == "verify-run") {
+      if (args.size() != 2) {
+        return fail("usage: adlsym verify-run <manifest.json>");
+      }
+      return cmdVerifyRun(args[1]);
     }
     return fail("unknown command '" + cmd + "'\n" + usage());
   } catch (const fault::InjectedFault& e) {

@@ -130,6 +130,21 @@ struct ExploreOptions {
   /// Program label recorded in the profile document (the image path as
   /// given on the command line; cosmetic only).
   std::string programLabel;
+
+  // ---- flight recorder (docs/observability.md) -----------------------
+  /// Stream the adlsym-events-v1 JSONL event stream here ("" = off;
+  /// "-" = stdout). The deterministic event *set* is identical across
+  /// --jobs values under --clock=manual (tools/events_canon).
+  std::string eventsPath;
+  /// Emit one self-describing snapshot event after every N step events
+  /// (0 = never).
+  uint64_t eventsSnapshotEvery = 1000;
+  /// Write the adlsym-run-v1 manifest (every artifact with its SHA-256,
+  /// obs/manifest.h) here after the run ("" = off); check with
+  /// `adlsym verify-run`.
+  std::string manifestPath;
+  /// Full invocation (argv[0] excluded), echoed into the manifest.
+  std::vector<std::string> argvEcho;
 };
 
 /// `adlsym explore <isa> <image-text>` — symbolic exploration; prints the
@@ -143,6 +158,35 @@ CommandResult cmdExplore(const std::string& isa, const std::string& imageText,
 /// (explore --query-log) and diff verdicts; exit 1 on any mismatch,
 /// unreadable entry or empty corpus.
 CommandResult cmdReplay(const std::string& dir);
+
+struct TailOptions {
+  /// Keep polling the file for new events until run_end (the default);
+  /// --no-follow renders the current contents once and returns.
+  bool follow = true;
+  /// Poll interval while following, in seconds.
+  double pollSeconds = 0.2;
+  /// Give up following after this many seconds without a run_end
+  /// (0 = never). Keeps CI invocations from hanging on a dead stream.
+  double maxWaitSeconds = 0.0;
+};
+
+/// `adlsym tail <events-file>` — live terminal inspector over an
+/// adlsym-events-v1 stream (file or fifo): renders the run dashboard,
+/// redrawing as events arrive, until run_end. Exit 2 on a malformed
+/// stream.
+CommandResult cmdTail(const std::string& eventsPath, const TailOptions& opt);
+
+/// `adlsym events summarize <events-file> [--stats=<stats.json>]` —
+/// recompute the run's counters from the stream, check every
+/// reconciliation identity, and (with --stats) cross-check against the
+/// adlsym-stats-v7 document. Exit 1 when any identity fails.
+CommandResult cmdEventsSummarize(const std::string& eventsPath,
+                                 const std::string& statsJsonPath);
+
+/// `adlsym verify-run <manifest>` — re-hash every artifact recorded in an
+/// adlsym-run-v1 manifest and replay the cross-artifact reconciliation
+/// identities. Exit 1 on any mismatch, 2 on a malformed manifest.
+CommandResult cmdVerifyRun(const std::string& manifestPath);
 
 /// Top-level dispatcher used by the tool binary: args exclude argv[0].
 /// File arguments are read from disk here. This is the process's single

@@ -1,0 +1,301 @@
+#include "obs/manifest.h"
+
+#include <fstream>
+#include <initializer_list>
+#include <sstream>
+
+#include "obs/events.h"
+#include "support/error.h"
+#include "support/hash.h"
+#include "support/json.h"
+
+namespace adlsym::obs {
+
+namespace {
+
+/// Stream a file through SHA-256, also reporting its size. Returns false
+/// when the file cannot be opened.
+bool hashFile(const std::string& path, std::string& hexOut,
+              uint64_t& bytesOut) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return false;
+  hash::Sha256 h;
+  uint64_t total = 0;
+  char buf[65536];
+  while (in.read(buf, sizeof(buf)) || in.gcount() > 0) {
+    h.update(buf, static_cast<size_t>(in.gcount()));
+    total += static_cast<uint64_t>(in.gcount());
+    if (in.eof()) break;
+  }
+  hexOut = h.hexDigest();
+  bytesOut = total;
+  return true;
+}
+
+std::string dirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+std::string readWholeFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    throw InputError("cannot open '" + path + "'");
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+}  // namespace
+
+void RunManifest::addArtifact(const std::string& role,
+                              const std::string& path) {
+  if (!path.empty()) artifacts_.push_back({role, path});
+}
+
+std::string RunManifest::toJson() const {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.beginObject();
+  w.kv("schema", "adlsym-run-v1");
+  w.kv("command", command);
+  w.kv("isa", isa);
+  w.kv("strategy", strategy);
+  w.kv("program", program);
+  w.key("argv");
+  w.beginArray();
+  for (const std::string& a : argv) w.value(a);
+  w.endArray();
+  w.kv("stats_schema", statsSchema);
+  w.kv("events_schema", eventsSchema);
+  w.key("artifacts");
+  w.beginArray();
+  for (const Entry& e : artifacts_) {
+    std::string hex;
+    uint64_t bytes = 0;
+    if (!hashFile(e.path, hex, bytes)) {
+      throw InputError("manifest artifact '" + e.path + "' (" + e.role +
+                       ") is unreadable");
+    }
+    w.beginObject();
+    w.kv("role", e.role);
+    w.kv("path", e.path);
+    w.kv("sha256", hex);
+    w.kv("bytes", bytes);
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+  os << '\n';
+  return os.str();
+}
+
+void RunManifest::writeFile(const std::string& manifestPath) const {
+  const std::string doc = toJson();
+  std::ofstream out(manifestPath, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    throw InputError("cannot open '" + manifestPath + "' for writing");
+  }
+  out << doc;
+  out.flush();
+  if (!out.good()) {
+    throw InputError("failed writing manifest '" + manifestPath + "'");
+  }
+}
+
+namespace {
+
+const json::Value* member(const json::Value& v,
+                          std::initializer_list<const char*> path) {
+  const json::Value* cur = &v;
+  for (const char* key : path) {
+    cur = cur->find(key);
+    if (cur == nullptr) return nullptr;
+  }
+  return cur;
+}
+
+uint64_t u64At(const json::Value& v, std::initializer_list<const char*> path) {
+  const json::Value* m = member(v, path);
+  return m != nullptr && m->isNumber() ? m->asU64() : 0;
+}
+
+/// The stats document's own reconciliation identities — checked even when
+/// the run produced no event stream.
+void checkStatsIdentities(const json::Value& stats, VerifyReport& rep) {
+  rep.checks.push_back("stats paths identity");
+  const uint64_t forks = u64At(stats, {"summary", "total_forks"});
+  const uint64_t paths = u64At(stats, {"summary", "paths"});
+  const uint64_t dropped = u64At(stats, {"summary", "states_dropped"});
+  const uint64_t merged = u64At(stats, {"summary", "states_merged"});
+  if (1 + forks != paths + dropped + merged) {
+    rep.problems.push_back(
+        "stats paths identity violated: 1 + " + std::to_string(forks) +
+        " forks != " + std::to_string(paths) + " paths + " +
+        std::to_string(dropped) + " dropped + " + std::to_string(merged) +
+        " merged");
+  }
+  if (member(stats, {"prefilter"}) != nullptr) {
+    rep.checks.push_back("stats 4-bucket query accounting");
+    const uint64_t queries = u64At(stats, {"solver", "queries"});
+    const uint64_t cached = u64At(stats, {"solver", "cache_hits"});
+    const uint64_t shortc = u64At(stats, {"prefilter", "shortcircuit"});
+    const uint64_t consulted = u64At(stats, {"prefilter", "consulted"});
+    const uint64_t direct = u64At(stats, {"prefilter", "direct"});
+    if (cached + shortc + consulted + direct != queries) {
+      rep.problems.push_back(
+          "stats 4-bucket accounting violated: " + std::to_string(cached) +
+          " cached + " + std::to_string(shortc) + " shortcircuit + " +
+          std::to_string(consulted) + " consulted + " +
+          std::to_string(direct) + " direct != " + std::to_string(queries) +
+          " queries");
+    }
+    const json::Value* rec = member(stats, {"prefilter", "reconciled"});
+    if (rec != nullptr && rec->isBool() && !rec->boolean) {
+      rep.problems.push_back("stats prefilter.reconciled is false");
+    }
+  }
+  const json::Value* prof = member(stats, {"profile", "reconciled"});
+  if (prof != nullptr && prof->isBool() && !prof->boolean) {
+    rep.problems.push_back("stats profile.reconciled is false");
+  }
+}
+
+}  // namespace
+
+VerifyReport verifyRun(const std::string& manifestPath) {
+  json::Value doc;
+  try {
+    doc = json::parse(readWholeFile(manifestPath));
+  } catch (const InputError& e) {
+    throw InputError(std::string("manifest: ") + e.what());
+  }
+  if (!doc.isObject()) throw InputError("manifest is not a JSON object");
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->isString() ||
+      schema->str != "adlsym-run-v1") {
+    throw InputError("manifest schema is not adlsym-run-v1");
+  }
+
+  VerifyReport rep;
+  const std::string base = dirName(manifestPath);
+  std::string statsPath, eventsPath;
+
+  const json::Value* arts = doc.find("artifacts");
+  if (arts == nullptr || !arts->isArray()) {
+    throw InputError("manifest has no artifacts array");
+  }
+  for (const json::Value& a : arts->array) {
+    VerifyReport::ArtifactCheck c;
+    const json::Value* role = a.find("role");
+    const json::Value* path = a.find("path");
+    const json::Value* sha = a.find("sha256");
+    if (role == nullptr || !role->isString() || path == nullptr ||
+        !path->isString() || sha == nullptr || !sha->isString()) {
+      rep.problems.push_back("malformed artifact entry in manifest");
+      continue;
+    }
+    c.role = role->str;
+    c.path = path->str;
+    c.expectedSha256 = sha->str;
+    c.expectedBytes = u64At(a, {"bytes"});
+    // Resolve: as recorded first, then relative to the manifest (a results
+    // directory that moved wholesale still verifies).
+    c.resolved = c.path;
+    c.found = hashFile(c.resolved, c.actualSha256, c.actualBytes);
+    if (!c.found && !c.path.empty() && c.path[0] != '/') {
+      c.resolved = base + "/" + c.path;
+      c.found = hashFile(c.resolved, c.actualSha256, c.actualBytes);
+    }
+    if (!c.found) {
+      rep.problems.push_back("artifact '" + c.path + "' (" + c.role +
+                             ") is missing");
+    } else {
+      c.hashOk = c.actualSha256 == c.expectedSha256;
+      if (!c.hashOk) {
+        rep.problems.push_back("artifact '" + c.path + "' (" + c.role +
+                               ") hash mismatch: manifest " +
+                               c.expectedSha256 + ", file " + c.actualSha256);
+      } else if (c.role == "stats") {
+        statsPath = c.resolved;
+      } else if (c.role == "events") {
+        eventsPath = c.resolved;
+      }
+    }
+    rep.artifacts.push_back(std::move(c));
+  }
+
+  // Cross-artifact verification: only over artifacts whose hashes matched
+  // (a corrupted file would fail reconciliation for the wrong reason).
+  json::Value stats;
+  bool haveStats = false;
+  if (!statsPath.empty()) {
+    try {
+      stats = json::parse(readWholeFile(statsPath));
+      haveStats = true;
+    } catch (const Error& e) {
+      rep.problems.push_back("stats artifact unparseable: " +
+                             std::string(e.what()));
+    }
+  }
+  if (haveStats) {
+    const json::Value* ss = stats.find("schema");
+    const json::Value* want = doc.find("stats_schema");
+    if (ss != nullptr && ss->isString() && want != nullptr &&
+        want->isString() && ss->str != want->str) {
+      rep.problems.push_back("stats schema '" + ss->str +
+                             "' does not match manifest stats_schema '" +
+                             want->str + "'");
+    }
+    checkStatsIdentities(stats, rep);
+  }
+  if (!eventsPath.empty()) {
+    rep.checks.push_back("events stream reconciliation");
+    try {
+      std::ifstream in(eventsPath, std::ios::binary);
+      const EventsSummary es = summarizeEvents(in);
+      for (const std::string& p : es.problems) {
+        rep.problems.push_back("events: " + p);
+      }
+      if (haveStats) {
+        rep.checks.push_back("events-vs-stats reconciliation");
+        for (const std::string& p : reconcileWithStats(es, stats)) {
+          rep.problems.push_back("events-vs-stats: " + p);
+        }
+      }
+    } catch (const Error& e) {
+      rep.problems.push_back("events artifact unreadable: " +
+                             std::string(e.what()));
+    }
+  }
+  return rep;
+}
+
+std::string VerifyReport::formatText() const {
+  std::ostringstream os;
+  for (const ArtifactCheck& c : artifacts) {
+    os << (c.found && c.hashOk ? "ok   " : "FAIL ") << c.role << "  "
+       << c.path;
+    if (c.found && c.hashOk) {
+      os << "  sha256=" << c.actualSha256.substr(0, 12) << "...  "
+         << c.actualBytes << " bytes";
+    } else if (!c.found) {
+      os << "  (missing)";
+    } else {
+      os << "  (hash mismatch)";
+    }
+    os << '\n';
+  }
+  for (const std::string& c : checks) os << "check: " << c << '\n';
+  if (problems.empty()) {
+    os << "verify-run: OK (" << artifacts.size() << " artifact(s), "
+       << checks.size() << " cross-check(s))\n";
+  } else {
+    os << "verify-run: " << problems.size() << " problem(s)\n";
+    for (const std::string& p : problems) os << "  - " << p << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace adlsym::obs

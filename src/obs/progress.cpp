@@ -2,11 +2,14 @@
 
 #include <cstdio>
 
+#include "obs/events.h"
+
 namespace adlsym::obs {
 
 ProgressMeter::ProgressMeter(telemetry::Telemetry* tel, std::ostream& os,
-                             double intervalSeconds)
-    : tel_(tel), os_(os) {
+                             double intervalSeconds, EventBus* bus,
+                             uint64_t codePcs)
+    : tel_(tel), os_(os), bus_(bus), codePcs_(codePcs) {
   if (intervalSeconds < 0.001) intervalSeconds = 0.001;
   intervalMicros_ = static_cast<uint64_t>(intervalSeconds * 1e6);
 }
@@ -40,15 +43,23 @@ void ProgressMeter::onStepEnd(const StepInfo& info) {
           ? double(info.runCacheHits) / double(info.runSolverQueries)
           : 0.0;
 
-  char line[224];
+  char cov[48];
+  if (codePcs_ != 0) {
+    std::snprintf(cov, sizeof cov, "%zu(%.0f%%)", info.coveredPcs,
+                  100.0 * double(info.coveredPcs) / double(codePcs_));
+  } else {
+    std::snprintf(cov, sizeof cov, "%zu", info.coveredPcs);
+  }
+  char line[256];
   std::snprintf(line, sizeof line,
                 "[progress] t=%.1fs frontier=%zu paths=%zu steps=%llu "
-                "steps/s=%.0f covered=%zu solver=%.0f%% qcache=%.0f%% "
-                "depth=%llu\n",
+                "steps/s=%.0f covered=%s solver=%.0f%% qcache=%.0f%% "
+                "depth=%llu fmem=%lluKiB\n",
                 double(sinceStart) / 1e6, info.frontierSize, info.pathsDone,
                 static_cast<unsigned long long>(info.totalSteps), stepsPerSec,
-                info.coveredPcs, solverShare * 100.0, qcacheRate * 100.0,
-                static_cast<unsigned long long>(info.depth));
+                cov, solverShare * 100.0, qcacheRate * 100.0,
+                static_cast<unsigned long long>(info.depth),
+                static_cast<unsigned long long>(info.frontierBytes / 1024));
   os_ << line;
   os_.flush();
 
@@ -62,7 +73,15 @@ void ProgressMeter::onStepEnd(const StepInfo& info) {
                 {"solver_queries", info.runSolverQueries},
                 {"solver_share", solverShare},
                 {"qcache_hit_rate", qcacheRate},
-                {"depth", info.depth}});
+                {"depth", info.depth},
+                {"frontier_bytes", info.frontierBytes}});
+  }
+  // The event stream sees the same beat the terminal does, so --events
+  // and --progress never disagree about the run's live trajectory.
+  if (bus_ != nullptr) {
+    bus_->heartbeat(info.frontierSize, info.pathsDone, info.totalSteps,
+                    stepsPerSec, info.coveredPcs, solverShare, qcacheRate,
+                    info.depth, info.frontierBytes);
   }
 
   ++beats_;

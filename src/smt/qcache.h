@@ -88,7 +88,7 @@ class QueryCache {
       const uint64_t total = hits + misses;
       return total ? double(hits) / double(total) : 0.0;
     }
-    /// The "qcache" object of the stats schema (adlsym-stats-v6). Emits
+    /// The "qcache" object of the stats schema (adlsym-stats-v7). Emits
     /// only scheduling-independent fields.
     void writeJson(json::Writer& w) const;
   };

@@ -305,6 +305,9 @@ CheckResult SmtSolver::checkImpl(const std::vector<TermRef>& assumptions,
     }
     if (queryHist_) queryHist_->record(us);
     if (listener_) listener_->onCheck(permanentAsserts_, assumptions, r, us, cached);
+    for (QueryListener* l : extraListeners_) {
+      l->onCheck(permanentAsserts_, assumptions, r, us, cached);
+    }
     if (tel_ && tel_->tracing()) {
       tel_->emit(telemetry::EventKind::SolverQuery,
                  {{"result", checkResultName(r)},

@@ -215,6 +215,13 @@ class SmtSolver {
   /// including cache hits and short-circuited unsat checks — is reported.
   void setQueryListener(QueryListener* l) { listener_ = l; }
 
+  /// Attach an *additional* listener (not owned, never detached): lets the
+  /// event bus observe queries alongside a --query-log capture. Reported
+  /// after the primary listener, in attachment order.
+  void addQueryListener(QueryListener* l) {
+    if (l != nullptr) extraListeners_.push_back(l);
+  }
+
   /// Solve assumptions /\ permanent asserts on a throwaway solver (no state
   /// shared with this instance). Used by paranoid mode and tests.
   CheckResult checkFresh(const std::vector<TermRef>& assumptions);
@@ -329,6 +336,7 @@ class SmtSolver {
   std::map<unsigned, ShapeRow> shapes_;
 
   QueryListener* listener_ = nullptr;
+  std::vector<QueryListener*> extraListeners_;
 
   // Telemetry (null when detached; hot paths branch on the pointers).
   telemetry::Telemetry* tel_ = nullptr;

@@ -1,0 +1,39 @@
+// Content hashing for run manifests (docs/observability.md,
+// adlsym-run-v1): a self-contained SHA-256 so artifact integrity checks
+// (`adlsym verify-run`) need no external dependency. Streaming interface
+// plus one-shot helpers for strings and files.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adlsym::hash {
+
+/// Incremental SHA-256 (FIPS 180-4). update() any number of times, then
+/// hexDigest() exactly once; the instance is spent afterwards.
+class Sha256 {
+ public:
+  Sha256();
+  void update(const void* data, size_t len);
+  /// Finalize and return the 64-char lowercase hex digest.
+  std::string hexDigest();
+
+ private:
+  void compress(const uint8_t* block);
+
+  uint32_t h_[8];
+  uint64_t totalBytes_ = 0;
+  uint8_t buf_[64];
+  size_t bufLen_ = 0;
+};
+
+/// One-shot digest of a byte string.
+std::string sha256Hex(std::string_view data);
+
+/// Digest of a file's contents, streamed. Throws adlsym::InputError when
+/// the file cannot be opened.
+std::string sha256File(const std::string& path);
+
+}  // namespace adlsym::hash

@@ -1,5 +1,6 @@
 #include "support/json.h"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -349,6 +350,27 @@ class Parser {
     Value v;
     v.kind = Value::Kind::Number;
     v.number = d;
+    // Preserve pure-integer tokens exactly (the double alone rounds past
+    // 2^53 and would corrupt 64-bit counters on a read-modify-write).
+    if (span.find_first_of(".eE") == std::string::npos) {
+      errno = 0;
+      char* iend = nullptr;
+      if (span[0] == '-') {
+        const long long sv = std::strtoll(span.c_str(), &iend, 10);
+        if (errno == 0 && iend != nullptr && *iend == '\0') {
+          v.intExact = true;
+          v.intValue = sv;
+          v.uintValue = static_cast<uint64_t>(sv);
+        }
+      } else {
+        const unsigned long long uv = std::strtoull(span.c_str(), &iend, 10);
+        if (errno == 0 && iend != nullptr && *iend == '\0') {
+          v.intExact = true;
+          v.uintValue = uv;
+          v.intValue = static_cast<int64_t>(uv);
+        }
+      }
+    }
     return v;
   }
 

@@ -68,6 +68,13 @@ struct Value {
   Kind kind = Kind::Null;
   bool boolean = false;
   double number = 0.0;
+  /// Exact integer payload, set when the number token was a pure integer
+  /// (no fraction or exponent) that fits the type: `number` alone is a
+  /// double and silently loses precision past 2^53, which matters for the
+  /// 64-bit counters the stats and event schemas carry.
+  bool intExact = false;
+  uint64_t uintValue = 0;  // exact when intExact and the token was >= 0
+  int64_t intValue = 0;    // exact when intExact and the token fit int64
   std::string str;
   std::vector<Value> array;
   std::vector<std::pair<std::string, Value>> object;
@@ -78,6 +85,15 @@ struct Value {
   bool isString() const { return kind == Kind::String; }
   bool isArray() const { return kind == Kind::Array; }
   bool isObject() const { return kind == Kind::Object; }
+
+  /// Exact unsigned / signed reads preferring the integer payload; fall
+  /// back to truncating the double for non-integer tokens.
+  uint64_t asU64() const {
+    return intExact ? uintValue : static_cast<uint64_t>(number);
+  }
+  int64_t asI64() const {
+    return intExact ? intValue : static_cast<int64_t>(number);
+  }
 
   /// First member with this key, or null when absent / not an object.
   const Value* find(std::string_view key) const;

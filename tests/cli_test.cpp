@@ -137,7 +137,7 @@ TEST(Cli, ExploreStatsJsonAndTrace) {
   EXPECT_NE(r.output.find("paths=2"), std::string::npos);
 
   const std::string stats = slurp(opt.statsJsonPath);
-  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v6\""), std::string::npos);
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v7\""), std::string::npos);
   EXPECT_NE(stats.find("\"command\":\"explore\""), std::string::npos);
   EXPECT_NE(stats.find("\"isa\":\"rv32e\""), std::string::npos);
   EXPECT_NE(stats.find("\"paths\":2"), std::string::npos);
@@ -188,7 +188,7 @@ TEST(Cli, DispatchParsesObservabilityFlags) {
   const auto r = dispatch(
       {"explore", "rv32e", imgPath, "--stats-json=" + statsPath});
   EXPECT_EQ(r.exitCode, 0) << r.output;
-  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v6\""), std::string::npos);
+  EXPECT_NE(slurp(statsPath).find("\"adlsym-stats-v7\""), std::string::npos);
 }
 
 TEST(Cli, PathForestFlagsAreDeterministic) {
@@ -286,6 +286,97 @@ TEST(Cli, DispatchFileErrors) {
   EXPECT_NE(r.output.find("cannot open"), std::string::npos);
 }
 
+// ---- flight recorder flags (docs/observability.md) ----------------------
+
+TEST(CliEvents, ExploreEventsAndManifestFlagsEndToEnd) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  const std::string imgPath = testing::TempDir() + "cli_events.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+  const std::string ev = testing::TempDir() + "cli_events.jsonl";
+  const std::string stats = testing::TempDir() + "cli_events_stats.json";
+  const std::string man = testing::TempDir() + "cli_events_man.json";
+
+  const auto r = dispatch({"explore", "rv32e", imgPath, "--clock=manual",
+                           "--events=" + ev, "--events-snapshot=2",
+                           "--stats-json=" + stats, "--manifest=" + man});
+  ASSERT_EQ(r.exitCode, 0) << r.output;
+  const std::string stream = slurp(ev);
+  EXPECT_NE(stream.find("\"type\":\"run_begin\""), std::string::npos);
+  EXPECT_NE(stream.find("\"schema\":\"adlsym-events-v1\""),
+            std::string::npos);
+  EXPECT_NE(stream.find("\"snapshot_every_steps\":2"), std::string::npos);
+  EXPECT_NE(stream.find("\"type\":\"snapshot\""), std::string::npos);
+  EXPECT_NE(stream.find("\"type\":\"run_end\""), std::string::npos);
+  EXPECT_NE(slurp(man).find("\"schema\":\"adlsym-run-v1\""),
+            std::string::npos);
+
+  // The whole toolchain over the run's artifacts.
+  const auto sum = dispatch({"events", "summarize", ev, "--stats=" + stats});
+  EXPECT_EQ(sum.exitCode, 0) << sum.output;
+  EXPECT_NE(sum.output.find("reconciliation: OK"), std::string::npos)
+      << sum.output;
+  const auto ver = dispatch({"verify-run", man});
+  EXPECT_EQ(ver.exitCode, 0) << ver.output;
+  EXPECT_NE(ver.output.find("verify-run: OK"), std::string::npos);
+  const auto tail = dispatch({"tail", ev, "--no-follow"});
+  EXPECT_EQ(tail.exitCode, 0) << tail.output;
+  EXPECT_NE(tail.output.find("done"), std::string::npos) << tail.output;
+  EXPECT_NE(tail.output.find("rv32e"), std::string::npos) << tail.output;
+}
+
+TEST(CliEvents, EventsToStdoutInterleavesWithPathTable) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  ExploreOptions opt;
+  opt.eventsPath = "-";
+  opt.manualClockStepUs = 1;
+  const auto r = cmdExplore("rv32e", img.output, opt);
+  EXPECT_EQ(r.exitCode, 0);
+}
+
+TEST(CliEvents, VerifyRunFailsOnTamperedArtifact) {
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  const std::string imgPath = testing::TempDir() + "cli_vr.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+  const std::string stats = testing::TempDir() + "cli_vr_stats.json";
+  const std::string man = testing::TempDir() + "cli_vr_man.json";
+  const auto r = dispatch({"explore", "rv32e", imgPath, "--clock=manual",
+                           "--stats-json=" + stats, "--manifest=" + man});
+  ASSERT_EQ(r.exitCode, 0) << r.output;
+  std::ofstream(stats, std::ios::binary | std::ios::app) << "\n";
+  const auto ver = dispatch({"verify-run", man});
+  EXPECT_EQ(ver.exitCode, 1) << ver.output;
+  EXPECT_NE(ver.output.find("FAIL"), std::string::npos) << ver.output;
+}
+
+TEST(CliEvents, UsageErrors) {
+  EXPECT_EQ(dispatch({"tail"}).exitCode, 2);
+  EXPECT_EQ(dispatch({"tail", "/nonexistent/events.jsonl", "--no-follow"})
+                .exitCode,
+            2);
+  EXPECT_EQ(dispatch({"events"}).exitCode, 2);
+  EXPECT_EQ(dispatch({"events", "frobnicate", "x"}).exitCode, 2);
+  EXPECT_EQ(dispatch({"events", "summarize"}).exitCode, 2);
+  EXPECT_EQ(dispatch({"verify-run"}).exitCode, 2);
+  EXPECT_EQ(dispatch({"verify-run", "/nonexistent/man.json"}).exitCode, 2);
+  const auto img = cmdAsm("rv32e", kProgram);
+  ASSERT_EQ(img.exitCode, 0);
+  const std::string imgPath = testing::TempDir() + "cli_ev_usage.img";
+  std::ofstream(imgPath, std::ios::binary) << img.output;
+  EXPECT_EQ(dispatch({"explore", "rv32e", imgPath, "--events="}).exitCode, 2);
+  EXPECT_EQ(dispatch({"explore", "rv32e", imgPath, "--manifest="}).exitCode,
+            2);
+  // Usage text documents the new surface.
+  const std::string u = usage();
+  EXPECT_NE(u.find("--events="), std::string::npos);
+  EXPECT_NE(u.find("--manifest="), std::string::npos);
+  EXPECT_NE(u.find("tail"), std::string::npos);
+  EXPECT_NE(u.find("verify-run"), std::string::npos);
+  EXPECT_NE(u.find("events summarize"), std::string::npos);
+}
+
 // ---- lint ----------------------------------------------------------------
 
 std::string fixture(const std::string& name) {
@@ -306,7 +397,7 @@ TEST(CliLint, StatsJsonHasPassTimings) {
   const auto r = dispatch({"lint", "rv32e", "--stats-json=" + statsPath});
   EXPECT_EQ(r.exitCode, 0) << r.output;
   const std::string stats = slurp(statsPath);
-  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v6\""), std::string::npos)
+  EXPECT_NE(stats.find("\"schema\":\"adlsym-stats-v7\""), std::string::npos)
       << stats;
   EXPECT_NE(stats.find("\"command\":\"lint\""), std::string::npos);
   EXPECT_NE(stats.find("\"lint\":{\"findings\":"), std::string::npos) << stats;

@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <sstream>
+
 #include "support/bits.h"
 #include "support/diag.h"
+#include "support/json.h"
 #include "support/rng.h"
 #include "support/strings.h"
 
@@ -107,6 +111,70 @@ TEST(Rng, BelowInRange) {
   const double u = r.unit();
   EXPECT_GE(u, 0.0);
   EXPECT_LT(u, 1.0);
+}
+
+// ---- json writer/reader round-trips ------------------------------------
+
+std::string writeString(const std::string& s) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.beginObject().kv("s", std::string_view(s)).endObject();
+  return os.str();
+}
+
+TEST(Json, RoundTripsControlCharacters) {
+  // Every byte below 0x20 must escape on the way out and parse back
+  // identically — event payloads carry arbitrary program labels.
+  std::string all;
+  for (int c = 1; c < 0x20; ++c) all.push_back(char(c));
+  all += "\"\\";
+  const std::string doc = writeString(all);
+  for (char c : doc) {
+    EXPECT_TRUE(static_cast<unsigned char>(c) >= 0x20) << doc;
+  }
+  const json::Value v = json::parse(doc);
+  EXPECT_EQ(v.find("s")->str, all);
+}
+
+TEST(Json, RoundTripsNonAsciiBytes) {
+  // UTF-8 and stray high bytes pass through untouched (the writer escapes
+  // only what JSON requires).
+  const std::string s = "caf\xc3\xa9 \xe2\x86\x92 \xff\xfe";
+  const json::Value v = json::parse(writeString(s));
+  EXPECT_EQ(v.find("s")->str, s);
+}
+
+TEST(Json, RoundTrips64BitIntegerBoundaries) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.beginObject();
+  w.kv("umax", ~uint64_t{0});
+  w.kv("imin", std::numeric_limits<int64_t>::min());
+  w.kv("imax", std::numeric_limits<int64_t>::max());
+  w.kv("p53", uint64_t{1} << 53);
+  w.kv("p53p1", (uint64_t{1} << 53) + 1);  // not representable as double
+  w.kv("zero", uint64_t{0});
+  w.endObject();
+  const json::Value v = json::parse(os.str());
+  EXPECT_TRUE(v.find("umax")->intExact);
+  EXPECT_EQ(v.find("umax")->asU64(), ~uint64_t{0});
+  EXPECT_TRUE(v.find("imin")->intExact);
+  EXPECT_EQ(v.find("imin")->asI64(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(v.find("imax")->asI64(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(v.find("p53")->asU64(), uint64_t{1} << 53);
+  EXPECT_EQ(v.find("p53p1")->asU64(), (uint64_t{1} << 53) + 1);
+  EXPECT_EQ(v.find("zero")->asU64(), 0u);
+}
+
+TEST(Json, FractionalAndExponentTokensAreNotExact) {
+  const json::Value v = json::parse("{\"a\":1.5,\"b\":1e3,\"c\":42}");
+  EXPECT_FALSE(v.find("a")->intExact);
+  EXPECT_DOUBLE_EQ(v.find("a")->number, 1.5);
+  EXPECT_FALSE(v.find("b")->intExact);
+  EXPECT_DOUBLE_EQ(v.find("b")->number, 1000.0);
+  EXPECT_TRUE(v.find("c")->intExact);
+  EXPECT_EQ(v.find("c")->asU64(), 42u);
+  EXPECT_EQ(v.find("c")->asI64(), 42);
 }
 
 }  // namespace

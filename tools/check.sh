@@ -20,6 +20,24 @@ tools/tidy_check.sh build
 echo "== bench baseline validation"
 build/tools/bench_diff --validate BENCH_*.json
 
+# The stats document is a versioned interface (docs/observability.md):
+# any new top-level key must be added to the stats_strip allowlist (and
+# documented) or this gate fails. The same run exercises the flight
+# recorder end to end: the event stream must reconcile against the
+# stats counters and the run manifest must verify.
+echo "== stats schema key allowlist + flight-recorder reconciliation"
+ckdir=$(mktemp -d)
+printf '_start:\n  in8 x5\n  beq x5, x0, zero\n  out x5\n  halti 1\nzero:\n  halti 2\n' > "$ckdir/ck.s"
+build/tools/adlsym asm rv32e "$ckdir/ck.s" > "$ckdir/ck.img"
+build/tools/adlsym explore rv32e "$ckdir/ck.img" --clock=manual \
+  --events="$ckdir/events.jsonl" --manifest="$ckdir/manifest.json" \
+  --stats-json="$ckdir/stats.json" > /dev/null
+build/tools/stats_strip --check-keys "$ckdir/stats.json"
+build/tools/adlsym events summarize "$ckdir/events.jsonl" \
+  --stats="$ckdir/stats.json" > /dev/null
+build/tools/adlsym verify-run "$ckdir/manifest.json" > /dev/null
+rm -rf "$ckdir"
+
 echo "== build (ASan+UBSan)"
 cmake -B build-san -S . -DADLSYM_SANITIZE=ON -DCMAKE_BUILD_TYPE=Debug >/dev/null
 cmake --build build-san -j >/dev/null

@@ -8,11 +8,17 @@
 // re-emits the rest deterministically so `cmp` can assert the remainder
 // is byte-identical across modes.
 //
-//   stats_strip <stats.json>     # stripped document on stdout
+//   stats_strip <stats.json>               # stripped document on stdout
+//   stats_strip --check-keys <stats.json>  # schema gate: exit 1 when the
+//                                          # document declares an unknown
+//                                          # schema version or contains a
+//                                          # top-level key outside the
+//                                          # adlsym-stats-v7 allowlist
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 
@@ -101,16 +107,55 @@ void emit(const Value& v, std::string* out, bool inSolver) {
   }
 }
 
+// Every top-level key any adlsym command may write into an
+// adlsym-stats-v7 document. The --check-keys gate fails CI when a new
+// block lands without being registered here (and documented in
+// docs/observability.md).
+int checkKeys(const Value& doc, const char* path) {
+  static const std::set<std::string> kKnown = {
+      "schema",   "command", "isa",          "strategy", "summary",
+      "solver",   "prefilter", "qcache",     "opcodes",  "branch_sites",
+      "profile",  "metrics", "lint",         "run",      "outputs",
+      "events",
+  };
+  int rc = 0;
+  const Value* schema = nullptr;
+  for (const auto& [key, member] : doc.object) {
+    if (key == "schema") schema = &member;
+    if (!kKnown.count(key)) {
+      std::fprintf(stderr, "stats_strip: %s: unknown top-level key '%s'\n",
+                   path, key.c_str());
+      rc = 1;
+    }
+  }
+  if (schema == nullptr || schema->kind != Value::Kind::String) {
+    std::fprintf(stderr, "stats_strip: %s: missing schema key\n", path);
+    rc = 1;
+  } else if (schema->str != "adlsym-stats-v7") {
+    std::fprintf(stderr, "stats_strip: %s: unexpected schema '%s'\n", path,
+                 schema->str.c_str());
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 2) {
-    std::fprintf(stderr, "usage: stats_strip <stats.json>\n");
+  bool checkOnly = false;
+  const char* path = nullptr;
+  if (argc == 2) {
+    path = argv[1];
+  } else if (argc == 3 && std::string(argv[1]) == "--check-keys") {
+    checkOnly = true;
+    path = argv[2];
+  } else {
+    std::fprintf(stderr, "usage: stats_strip [--check-keys] <stats.json>\n");
     return 2;
   }
-  std::ifstream in(argv[1], std::ios::binary);
+  std::ifstream in(path, std::ios::binary);
   if (!in) {
-    std::fprintf(stderr, "stats_strip: cannot read %s\n", argv[1]);
+    std::fprintf(stderr, "stats_strip: cannot read %s\n", path);
     return 2;
   }
   std::ostringstream os;
@@ -119,12 +164,13 @@ int main(int argc, char** argv) {
   try {
     const Value doc = adlsym::json::parse(os.str());
     if (doc.kind != Value::Kind::Object) {
-      std::fprintf(stderr, "stats_strip: %s: not a JSON object\n", argv[1]);
+      std::fprintf(stderr, "stats_strip: %s: not a JSON object\n", path);
       return 1;
     }
+    if (checkOnly) return checkKeys(doc, path);
     emitObject(doc, &out, /*topLevel=*/true);
   } catch (const std::exception& e) {
-    std::fprintf(stderr, "stats_strip: %s: %s\n", argv[1], e.what());
+    std::fprintf(stderr, "stats_strip: %s: %s\n", path, e.what());
     return 1;
   }
   out += '\n';
