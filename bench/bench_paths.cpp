@@ -6,6 +6,8 @@
 // The expectation is that all three ISAs trace the same curve — the
 // exploration cost is a property of the program, not of the architecture —
 // while absolute time varies with instruction count per IR operation.
+#include <filesystem>
+
 #include "bench/bench_util.h"
 #include "core/evaluator.h"
 #include "core/pexplorer.h"
@@ -148,6 +150,65 @@ void parallelSeries() {
   std::printf("\n");
 }
 
+void checkpointSeries() {
+  std::printf(
+      "(g) checkpoint overhead on the exponential series\n"
+      "    (--checkpoint-every, docs/robustness.md; level-barrier\n"
+      "    checkpoints, path counts invariant, ckpts = files written)\n\n");
+  benchutil::Table table({"bits", "ckpt-every", "paths", "insns", "ckpts",
+                          "ckpt-kb", "wall-ms"},
+                         "checkpoint");
+  const std::string ckptPath =
+      (std::filesystem::temp_directory_path() / "adlsym_bench_paths.ckpt")
+          .string();
+  for (const unsigned bits : {6u, 8u}) {
+    for (const uint64_t every : {uint64_t{0}, uint64_t{4}, uint64_t{1}}) {
+      auto session = driver::Session::forPortable(
+          workloads::progBitcount(bits), "rv32e");
+      const adl::ArchModel& m = session->model();
+      smt::QueryCache qcache;
+      core::ParallelConfig pcfg;
+      pcfg.jobs = 2;
+      pcfg.qcache = &qcache;
+      pcfg.prefilter = false;  // isolate the checkpoint axis
+      pcfg.manualClockStepUs = 1;  // the clock model checkpoints rely on
+      pcfg.solverConflictBudget = session->options().solverConflictBudget;
+      uint64_t writes = 0;
+      if (every != 0) {
+        pcfg.checkpointEverySteps = every;
+        pcfg.checkpointPath = ckptPath;
+        pcfg.ckptIsa = "rv32e";
+        pcfg.ckptStrategy = "dfs";
+        pcfg.ckptImageSha = "bench";
+        pcfg.ckptExtras = [&writes](json::Writer&,
+                                    const core::ParallelConfig::CkptInfo&) {
+          ++writes;
+        };
+      }
+      core::ParallelExplorer pex(
+          session->image(), session->options().engine, pcfg,
+          [&m](core::EngineServices& svc) -> std::unique_ptr<core::Executor> {
+            return std::make_unique<core::AdlExecutor>(m, svc);
+          });
+      benchutil::Timer t;
+      const core::ParallelResult res = pex.run();
+      const double ms = t.millis();
+      uint64_t bytes = 0;
+      if (every != 0) bytes = std::filesystem::file_size(ckptPath);
+      table.addRow({benchutil::num(bits),
+                    every ? benchutil::num(every) : "off",
+                    benchutil::num(res.summary.paths.size()),
+                    benchutil::num(res.summary.totalSteps),
+                    benchutil::num(writes),
+                    benchutil::fmt("%.1f", double(bytes) / 1024.0),
+                    benchutil::fmt("%.2f", ms)});
+    }
+  }
+  std::filesystem::remove(ckptPath);
+  table.print();
+  std::printf("\n");
+}
+
 void prefilterSeries() {
   std::printf(
       "(f) abstract-interpretation prefilter on the exponential series\n"
@@ -193,6 +254,7 @@ int main() {
   mergingSeries();
   governedSeries();
   parallelSeries();
+  checkpointSeries();
   prefilterSeries();
   std::printf(
       "shape check: path counts are ISA-invariant; wall time grows with\n"
@@ -200,8 +262,9 @@ int main() {
       "collapses the diamond chain of (b) to linearly many paths; the\n"
       "frontier cap bounds peak memory while accounting for every evicted\n"
       "state as a truncated path; the parallel series reports identical\n"
-      "path/insn counts at every jobs value (speedup needs >1 core); the\n"
-      "prefilter removes a multiple of the bit-blasted queries at\n"
+      "path/insn counts at every jobs value (speedup needs >1 core);\n"
+      "level-barrier checkpoints add bounded overhead at identical path\n"
+      "counts; the prefilter removes a multiple of the bit-blasted queries at\n"
       "identical path counts.\n");
   benchutil::writeJsonReport("paths");
   return 0;

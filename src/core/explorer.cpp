@@ -4,6 +4,7 @@
 
 #include "core/testgen.h"
 #include "support/fault.h"
+#include "support/stop.h"
 
 namespace {
 /// Approximate resident bytes per hash-consed term (node + bucket + ref
@@ -275,6 +276,11 @@ ExploreSummary Explorer::run() {
   if (ob) ob->onRoot(frontier.back().node, frontier.back().state);
 
   while (!frontier.empty()) {
+    if (support::stopRequested()) {
+      summary.stopReason = "signal";
+      closeReason = TruncReason::Signal;
+      break;
+    }
     if (completed >= config_.maxPaths) {
       summary.stopReason = "max-paths";
       closeReason = TruncReason::Paths;

@@ -70,7 +70,7 @@ struct ExploreSummary {
   /// account for every forked state:
   ///   1 + totalForks == paths.size() + statesDropped + statesMerged.
   uint64_t statesTruncated = 0;
-  std::array<uint64_t, 7> truncatedByReason{};
+  std::array<uint64_t, 8> truncatedByReason{};
   /// Why the run stopped: "" when the frontier was exhausted (complete
   /// exploration), else "max-paths", "max-steps", "wall", "mem-budget"
   /// or "first-defect".

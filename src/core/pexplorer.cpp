@@ -2,20 +2,26 @@
 
 #include <algorithm>
 #include <atomic>
+#include <charconv>
 #include <condition_variable>
 #include <exception>
 #include <map>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
 #include "core/testgen.h"
 #include "smt/presolver.h"
 #include "smt/printer.h"
 #include "smt/qcache.h"
+#include "support/error.h"
 #include "support/fault.h"
+#include "support/json.h"
 #include "support/rng.h"
+#include "support/stop.h"
 
 namespace adlsym::core {
 namespace {
@@ -40,6 +46,26 @@ std::string keyToString(const PathKey& k) {
   return out;
 }
 
+/// Inverse of keyToString, for checkpoint restore. Throws InputError on
+/// anything keyToString would not produce.
+PathKey keyFromString(const std::string& s) {
+  PathKey k;
+  if (s.empty()) return k;
+  size_t pos = 0;
+  for (;;) {
+    size_t dot = s.find('.', pos);
+    if (dot == std::string::npos) dot = s.size();
+    uint32_t v = 0;
+    const auto [end, ec] = std::from_chars(s.data() + pos, s.data() + dot, v);
+    if (ec != std::errc() || end != s.data() + dot || dot == pos) {
+      throw InputError("checkpoint: bad path key '" + s + "'");
+    }
+    k.push_back(static_cast<char32_t>(v));
+    if (dot == s.size()) return k;
+    pos = dot + 1;
+  }
+}
+
 struct Entry {
   MachineState state;
   PathKey key;
@@ -47,6 +73,112 @@ struct Entry {
   uint64_t newCovered = 0;  // decaying new-pc credit (Coverage strategy)
   size_t bytes = 0;         // approxBytes at enqueue (governor tally)
 };
+
+/// Fold one worker's solver snapshot into the running aggregate — the
+/// barrier merge and the checkpoint writer must sum identically.
+void accumulateSolver(smt::SolverTelemetry& a, const smt::SolverTelemetry& t) {
+  a.queries += t.queries;
+  a.sat += t.sat;
+  a.unsat += t.unsat;
+  a.unknown += t.unknown;
+  a.totalMicros += t.totalMicros;
+  a.maxMicros = std::max(a.maxMicros, t.maxMicros);
+  a.cacheHits += t.cacheHits;
+  a.satCore += t.satCore;
+  a.blast += t.blast;
+  a.satVars += t.satVars;
+  a.satClauses += t.satClauses;
+  a.canon += t.canon;
+  a.preEnabled = a.preEnabled || t.preEnabled;
+  a.preConsulted += t.preConsulted;
+  a.preSat += t.preSat;
+  a.preUnsat += t.preUnsat;
+  a.preFallback += t.preFallback;
+  a.preShortcircuit += t.preShortcircuit;
+  a.directSolves += t.directSolves;
+  a.preCoreConstraints += t.preCoreConstraints;
+}
+
+/// Checkpoint form of the across-worker solver aggregate: every field a
+/// resumed run must treat as already-consumed baseline.
+void writeSolverCkpt(json::Writer& w, const smt::SolverTelemetry& t) {
+  w.beginObject();
+  w.kv("queries", t.queries);
+  w.kv("sat", t.sat);
+  w.kv("unsat", t.unsat);
+  w.kv("unknown", t.unknown);
+  w.kv("total_us", t.totalMicros);
+  w.kv("max_us", t.maxMicros);
+  w.kv("cache_hits", t.cacheHits);
+  w.key("sat_core").beginObject();
+  w.kv("conflicts", t.satCore.conflicts);
+  w.kv("decisions", t.satCore.decisions);
+  w.kv("propagations", t.satCore.propagations);
+  w.kv("restarts", t.satCore.restarts);
+  w.kv("learned", t.satCore.learned);
+  w.kv("deleted", t.satCore.deletedClauses);
+  w.kv("deadline_aborts", t.satCore.deadlineAborts);
+  w.endObject();
+  w.key("blast").beginObject();
+  w.kv("gates", t.blast.gates);
+  w.kv("cache_hits", t.blast.cacheHits);
+  w.kv("terms", t.blast.termsBlasted);
+  w.endObject();
+  w.kv("sat_vars", t.satVars);
+  w.kv("sat_clauses", t.satClauses);
+  w.key("canon").beginObject();
+  w.kv("terms", t.canon.terms);
+  w.kv("gates", t.canon.gates);
+  w.kv("conflicts", t.canon.conflicts);
+  w.endObject();
+  w.kv("pre_enabled", t.preEnabled);
+  w.kv("pre_consulted", t.preConsulted);
+  w.kv("pre_sat", t.preSat);
+  w.kv("pre_unsat", t.preUnsat);
+  w.kv("pre_fallback", t.preFallback);
+  w.kv("pre_shortcircuit", t.preShortcircuit);
+  w.kv("direct_solves", t.directSolves);
+  w.kv("pre_core_constraints", t.preCoreConstraints);
+  w.endObject();
+}
+
+smt::SolverTelemetry readSolverCkpt(const json::Value& v) {
+  smt::SolverTelemetry t;
+  t.queries = ckpt::fieldU64(v, "queries");
+  t.sat = ckpt::fieldU64(v, "sat");
+  t.unsat = ckpt::fieldU64(v, "unsat");
+  t.unknown = ckpt::fieldU64(v, "unknown");
+  t.totalMicros = ckpt::fieldU64(v, "total_us");
+  t.maxMicros = ckpt::fieldU64(v, "max_us");
+  t.cacheHits = ckpt::fieldU64(v, "cache_hits");
+  const json::Value& core = ckpt::field(v, "sat_core");
+  t.satCore.conflicts = ckpt::fieldU64(core, "conflicts");
+  t.satCore.decisions = ckpt::fieldU64(core, "decisions");
+  t.satCore.propagations = ckpt::fieldU64(core, "propagations");
+  t.satCore.restarts = ckpt::fieldU64(core, "restarts");
+  t.satCore.learned = ckpt::fieldU64(core, "learned");
+  t.satCore.deletedClauses = ckpt::fieldU64(core, "deleted");
+  t.satCore.deadlineAborts = ckpt::fieldU64(core, "deadline_aborts");
+  const json::Value& blast = ckpt::field(v, "blast");
+  t.blast.gates = ckpt::fieldU64(blast, "gates");
+  t.blast.cacheHits = ckpt::fieldU64(blast, "cache_hits");
+  t.blast.termsBlasted = ckpt::fieldU64(blast, "terms");
+  t.satVars = ckpt::fieldU64(v, "sat_vars");
+  t.satClauses = ckpt::fieldU64(v, "sat_clauses");
+  const json::Value& canon = ckpt::field(v, "canon");
+  t.canon.terms = ckpt::fieldU64(canon, "terms");
+  t.canon.gates = ckpt::fieldU64(canon, "gates");
+  t.canon.conflicts = ckpt::fieldU64(canon, "conflicts");
+  t.preEnabled = ckpt::field(v, "pre_enabled").boolean;
+  t.preConsulted = ckpt::fieldU64(v, "pre_consulted");
+  t.preSat = ckpt::fieldU64(v, "pre_sat");
+  t.preUnsat = ckpt::fieldU64(v, "pre_unsat");
+  t.preFallback = ckpt::fieldU64(v, "pre_fallback");
+  t.preShortcircuit = ckpt::fieldU64(v, "pre_shortcircuit");
+  t.directSolves = ckpt::fieldU64(v, "direct_solves");
+  t.preCoreConstraints = ckpt::fieldU64(v, "pre_core_constraints");
+  return t;
+}
 
 size_t pickNextIdx(SearchStrategy s, const std::vector<Entry>& fr, Rng& rng) {
   switch (s) {
@@ -122,6 +254,10 @@ struct Worker {
   std::unique_ptr<Executor> exec;
 
   std::vector<Entry> frontier;
+  // Successors that reached the checkpoint level (Engine::levelLimit):
+  // held out of the frontier until the level barrier writes a checkpoint
+  // and requeues them. Still counted in the global frontier gauges.
+  std::vector<Entry> paused;
   // Filled by a victim while this worker is parked in acquireWork (both
   // inbox and handed are only touched under Engine::mu).
   std::vector<Entry> inbox;
@@ -175,6 +311,29 @@ struct Engine {
   std::exception_ptr error;
   std::atomic<bool> stopFlag{false};
   std::atomic<size_t> thievesWaiting{0};
+
+  // ---- checkpoint / level barrier --------------------------------------
+  // States pause (worker-locally) when pushed with steps >= levelLimit; a
+  // parent always has steps <= levelLimit - 1, so every paused state sits
+  // at exactly the limit — a property of the state, never of scheduling.
+  // When the whole pool is idle with paused work, the last parker writes
+  // the checkpoint, advances the limit and requeues (epochGen wakes the
+  // parked workers to rescan). UINT64_MAX = no periodic checkpoints.
+  std::atomic<uint64_t> levelLimit{UINT64_MAX};
+  std::atomic<uint64_t> pausedTotal{0};
+  uint64_t epochGen = 0;       // (mu) bumped when a level barrier releases
+  unsigned signalParked = 0;   // (mu) workers parked for the signal barrier
+  // Resume baselines: consumed budgets recorded by the checkpoint being
+  // resumed, folded into the merged summary and into later checkpoints.
+  uint64_t baseSteps = 0;
+  uint64_t baseForks = 0;
+  uint64_t baseDrops = 0;
+  smt::SolverTelemetry solverBase;
+  telemetry::MetricsRegistry metricsBase;  // restored worker-side metrics
+  // Coordinator clock context for checkpoint timestamps (set by run()).
+  telemetry::Clock* mainClk = nullptr;
+  telemetry::Telemetry* mainTel = nullptr;
+  uint64_t wallStartUs = 0;
 
   // ---- global budgets --------------------------------------------------
   std::atomic<uint64_t> gSteps{0};
@@ -347,6 +506,203 @@ struct Engine {
     w.handed = false;
   }
 
+  /// Across-worker solver aggregate plus the resume baseline — the same
+  /// sum the barrier merge produces, computable mid-run at a quiesced
+  /// barrier (per-state query sequences are schedule-independent, so the
+  /// total is canonical even though its split across workers is not).
+  smt::SolverTelemetry solverSum() const {
+    smt::SolverTelemetry t = solverBase;
+    for (const auto& wp : workers) {
+      accumulateSolver(t, wp->solver.telemetrySnapshot());
+    }
+    return t;
+  }
+
+  /// Serialize the full exploration state into cfg.checkpointPath
+  /// (adlsym-ckpt-v1, atomic replace). Every other worker must be
+  /// quiescent — parked under mu, signal-parked, or joined — so worker
+  /// frontiers, term pools and counters are safe to read.
+  void writeCheckpointQuiesced(bool complete, const std::string& stopR,
+                               double wallSeconds) {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.beginObject();
+    w.kv("schema", ckpt::kSchema);
+    w.kv("isa", std::string_view(cfg.ckptIsa));
+    w.kv("strategy", std::string_view(cfg.ckptStrategy));
+    w.kv("rng_seed", base.rngSeed);
+    w.kv("image_sha256", std::string_view(cfg.ckptImageSha));
+    w.kv("complete", complete);
+    w.kv("stop_reason", std::string_view(stopR));
+    w.kv("checkpoint_every", cfg.checkpointEverySteps);
+    w.kv("level_limit", levelLimit.load(std::memory_order_relaxed));
+    // The value the next coordinator-clock read will return: --resume
+    // advances a fresh ManualClock here, so timestamps continue exactly
+    // where this run's would have. peekMicros (not a read) keeps the
+    // checkpointed run's own read sequence unperturbed.
+    uint64_t clockNext = 0;
+    if (auto* mc = dynamic_cast<telemetry::ManualClock*>(mainClk)) {
+      clockNext = mc->peekMicros();
+    } else if (mainClk != nullptr) {
+      clockNext = telemetry::Clock::system().nowMicros();
+    }
+    w.kv("clock_us", clockNext);
+    w.kv("wall_start_us", wallStartUs);
+    if (complete) w.kv("wall_seconds", wallSeconds);
+
+    w.key("counters").beginObject();
+    w.kv("steps", gSteps.load(std::memory_order_relaxed));
+    uint64_t forks = baseForks;
+    uint64_t drops = baseDrops;
+    for (const auto& wp : workers) {
+      forks += wp->forksN;
+      drops += wp->drops;
+    }
+    w.kv("forks", forks);
+    w.kv("drops", drops);
+    w.kv("completed", gCompleted.load(std::memory_order_relaxed));
+    w.kv("paths_done", gPathsDone.load(std::memory_order_relaxed));
+    w.endObject();
+
+    uint64_t coveredPcs = 0;
+    w.key("covered").beginArray();
+    {
+      std::lock_guard<std::mutex> ck(covMu);
+      coveredPcs = covered.size();
+      for (const uint64_t pc : covered) w.value(pc);
+    }
+    w.endArray();
+
+    // Frontier: every live state (frontier + paused + inbox, all workers),
+    // sorted by structural key. The term table deduplicates across worker
+    // pools (scratch-pool slots), so the bytes are independent of which
+    // worker held which state.
+    std::vector<std::pair<const Entry*, Worker*>> live;
+    for (const auto& wp : workers) {
+      for (const Entry& e : wp->frontier) live.push_back({&e, wp.get()});
+      for (const Entry& e : wp->paused) live.push_back({&e, wp.get()});
+      for (const Entry& e : wp->inbox) live.push_back({&e, wp.get()});
+    }
+    std::sort(live.begin(), live.end(), [](const auto& a, const auto& b) {
+      return a.first->key < b.first->key;
+    });
+    std::ostringstream fs;
+    json::Writer fw(fs);
+    smt::TermTableWriter tw;
+    fw.beginArray();
+    for (const auto& [e, owner] : live) {
+      fw.beginObject();
+      fw.kv("k", std::string_view(keyToString(e->key)));
+      ckpt::writeMachineStateFields(fw, e->state, owner->tm, tw);
+      fw.endObject();
+    }
+    fw.endArray();
+    w.kv("terms", std::string_view(tw.table()));
+    w.key("frontier").rawValue(fs.str());
+
+    // Path records so far, in key order (recs is a std::map).
+    w.key("recs").beginArray();
+    {
+      std::lock_guard<std::mutex> rk(recMu);
+      for (const auto& [k, rec] : recs) {
+        w.beginObject();
+        w.kv("k", std::string_view(keyToString(k)));
+        w.kv("fp", rec.forkPc);
+        w.kv("ep", rec.entryPc);
+        w.kv("c", std::string_view(rec.cond));
+        w.kv("v", std::string_view(rec.verdict));
+        w.kv("q", rec.solverQueries);
+        w.kv("us", rec.solverMicros);
+        w.kv("nc", static_cast<uint64_t>(rec.numChildren));
+        w.kv("d", rec.dropped);
+        w.kv("dp", rec.dropPc);
+        if (rec.result) {
+          w.key("r");
+          ckpt::writePathResult(w, *rec.result);
+        }
+        w.endObject();
+      }
+    }
+    w.endArray();
+
+    const smt::SolverTelemetry solver = solverSum();
+    w.key("solver");
+    writeSolverCkpt(w, solver);
+
+    if (cfg.qcache != nullptr) {
+      w.key("qcache");
+      cfg.qcache->writeCkptJson(w);
+    }
+
+    // Worker-side metrics only (plus the restored baseline): the
+    // coordinator's own registry re-accumulates deterministically when
+    // the resumed process redoes its startup work.
+    w.key("metrics");
+    {
+      telemetry::MetricsRegistry merged;
+      merged.mergeFrom(metricsBase);
+      for (const auto& wp : workers) {
+        if (wp->tel) merged.mergeFrom(wp->tel->metrics());
+      }
+      merged.writeJson(w);
+    }
+
+    if (cfg.ckptExtras) {
+      ParallelConfig::CkptInfo info;
+      info.steps = gSteps.load(std::memory_order_relaxed);
+      info.frontier = gFrontier.load(std::memory_order_relaxed);
+      info.frontierBytes = gFrontierBytes.load(std::memory_order_relaxed);
+      info.pathsDone = gPathsDone.load(std::memory_order_relaxed);
+      info.coveredPcs = coveredPcs;
+      info.solverQueries = solver.queries;
+      info.cacheHits = solver.cacheHits;
+      info.solverMicros = solver.totalMicros;
+      cfg.ckptExtras(w, info);
+    }
+    w.endObject();
+    ckpt::writeCheckpointFile(cfg.checkpointPath, os.str());
+  }
+
+  /// Graceful-stop barrier (SIGINT/SIGTERM with --checkpoint): each
+  /// active worker parks here; the last one — when every other worker is
+  /// either signal-parked or idle in acquireWork — checkpoints the live
+  /// frontier, then closes the pool so the drain marks the held states
+  /// Truncated{signal}.
+  void signalStop() {
+    std::unique_lock<std::mutex> lk(mu);
+    if (finished) return;
+    ++signalParked;
+    if (signalParked + idle == static_cast<unsigned>(workers.size())) {
+      writeCheckpointQuiesced(false, "signal", 0.0);
+      stopReason = "signal";
+      closeReason = TruncReason::Signal;
+      finished = true;
+      stopFlag.store(true, std::memory_order_release);
+      cv.notify_all();
+    } else {
+      cv.wait(lk, [&] { return finished; });
+    }
+  }
+
+  /// Close every state this worker still holds — frontier, paused level
+  /// states, pending inbox — as Truncated{why}. Every exit path runs
+  /// this, so the fork-accounting identity survives stops and signals.
+  void shutDownWorker(Worker& w, TruncReason why) {
+    {
+      std::lock_guard<std::mutex> lk(mu);
+      if (!w.inbox.empty()) drainInboxLocked(w);
+    }
+    if (!w.paused.empty()) {
+      pausedTotal.fetch_sub(w.paused.size(), std::memory_order_relaxed);
+      for (Entry& e : w.paused) {
+        e.order = w.orderCounter++;
+        w.frontier.push_back(std::move(e));
+      }
+      w.paused.clear();
+    }
+    closeFrontier(w, why);
+  }
+
   // Thief side: park until a victim hands work over or the pool drains.
   // Returns false when the run is over for this worker.
   bool acquireWork(Worker& w) {
@@ -360,26 +716,58 @@ struct Engine {
     ++idle;
     thievesWaiting.store(waiting.size(), std::memory_order_relaxed);
     if (idle == static_cast<unsigned>(workers.size())) {
+      if (pausedTotal.load(std::memory_order_relaxed) != 0) {
+        // Level barrier: no runnable work anywhere, but states are paused
+        // at exactly the checkpoint level. This last parker owns the
+        // barrier: checkpoint, advance the level, requeue every worker's
+        // paused states into its own frontier, release the pool.
+        levelLimit.fetch_add(cfg.checkpointEverySteps,
+                             std::memory_order_relaxed);
+        if (!cfg.checkpointPath.empty()) {
+          writeCheckpointQuiesced(false, "", 0.0);
+        }
+        for (auto& wp : workers) {
+          for (Entry& e : wp->paused) {
+            e.order = wp->orderCounter++;
+            wp->frontier.push_back(std::move(e));
+          }
+          wp->paused.clear();
+        }
+        pausedTotal.store(0, std::memory_order_relaxed);
+        waiting.clear();
+        idle = 0;
+        thievesWaiting.store(0, std::memory_order_relaxed);
+        ++epochGen;
+        cv.notify_all();
+        return true;
+      }
       // Everyone is out of work: nothing can produce more. Normal drain.
       finished = true;
       cv.notify_all();
       return false;
     }
     w.handed = false;
+    const uint64_t ep = epochGen;
     // Frontier-wait on the steady clock (never a worker ManualClock: the
     // number of parks is schedule-dependent and must not perturb the
     // deterministic query timestamps).
     const uint64_t parkStart = telemetry::Clock::system().nowMicros();
-    cv.wait(lk, [&] { return w.handed || finished; });
+    cv.wait(lk, [&] { return w.handed || finished || epochGen != ep; });
     w.stealWaitUs += telemetry::Clock::system().nowMicros() - parkStart;
-    if (!w.handed) {
-      auto it = std::find(waiting.begin(), waiting.end(), w.index);
-      if (it != waiting.end()) waiting.erase(it);
-      thievesWaiting.store(waiting.size(), std::memory_order_relaxed);
-      return false;
+    if (w.handed) {
+      drainInboxLocked(w);
+      return true;
     }
-    drainInboxLocked(w);
-    return true;
+    if (epochGen != ep && !finished) {
+      // A level barrier released: our paused states (if any) are back in
+      // the frontier; rescan. The barrier owner already reset waiting and
+      // the idle count for the whole pool.
+      return true;
+    }
+    auto it = std::find(waiting.begin(), waiting.end(), w.index);
+    if (it != waiting.end()) waiting.erase(it);
+    thievesWaiting.store(waiting.size(), std::memory_order_relaxed);
+    return false;
   }
 
   // One scheduling slot: mirror of the sequential loop body.
@@ -481,11 +869,18 @@ struct Engine {
         fault::hit("alloc");  // frontier growth: the engine's alloc site
         gFrontierBytes.fetch_add(f.bytes, std::memory_order_relaxed);
         gFrontier.fetch_add(1, std::memory_order_relaxed);
-        w.frontier.push_back(std::move(f));
-        if (base.maxFrontier != 0) {
-          while (gFrontier.load(std::memory_order_relaxed) >
-                     base.maxFrontier &&
-                 evictLocal(w, TruncReason::Frontier)) {
+        if (f.state.steps >= levelLimit.load(std::memory_order_relaxed)) {
+          // Reached the checkpoint level (steps == limit exactly: the
+          // parent was below it). Hold until the level barrier.
+          pausedTotal.fetch_add(1, std::memory_order_relaxed);
+          w.paused.push_back(std::move(f));
+        } else {
+          w.frontier.push_back(std::move(f));
+          if (base.maxFrontier != 0) {
+            while (gFrontier.load(std::memory_order_relaxed) >
+                       base.maxFrontier &&
+                   evictLocal(w, TruncReason::Frontier)) {
+            }
           }
         }
       } else {
@@ -578,11 +973,30 @@ struct Engine {
             std::lock_guard<std::mutex> lk(mu);
             why = closeReason;
           }
-          closeFrontier(w, why);
+          shutDownWorker(w, why);
           return;
         }
+        if (support::stopRequested()) {
+          // Graceful stop: with a checkpoint configured, rendezvous so
+          // the live frontier is durably recorded before it is closed;
+          // without one, plain early stop.
+          if (cfg.checkpointPath.empty()) {
+            requestStop("signal", TruncReason::Signal);
+          } else {
+            signalStop();
+          }
+          continue;
+        }
         if (w.frontier.empty()) {
-          if (!acquireWork(w)) return;
+          if (!acquireWork(w)) {
+            TruncReason why;
+            {
+              std::lock_guard<std::mutex> lk(mu);
+              why = closeReason;
+            }
+            shutDownWorker(w, why);
+            return;
+          }
           continue;
         }
         if (gCompleted.load(std::memory_order_relaxed) >= base.maxPaths) {
@@ -627,10 +1041,17 @@ ParallelExplorer::ParallelExplorer(const loader::Image& image,
 ParallelResult ParallelExplorer::run() {
   telemetry::Clock& mainClk =
       mainTel_ ? mainTel_->clock() : telemetry::Clock::system();
+  const json::Value* rv = cfg_.resume;
+  const bool resumedComplete =
+      rv != nullptr && ckpt::field(*rv, "complete").boolean;
   // Exactly two reads of the coordinator clock per run (here and at the
   // end), so wallSeconds under --clock=manual is a constant independent of
-  // scheduling; workers run on their own clock instances.
-  const uint64_t startUs = mainClk.nowMicros();
+  // scheduling; workers run on their own clock instances. A resumed run
+  // inherits the original start (the CLI advanced the clock to the
+  // checkpoint's position) and so reads it only once — or, when resuming
+  // an already-complete checkpoint, not at all.
+  const uint64_t startUs =
+      rv != nullptr ? ckpt::fieldU64(*rv, "wall_start_us") : mainClk.nowMicros();
 
   const unsigned jobs = std::max(1u, cfg_.jobs);
   std::vector<std::unique_ptr<Worker>> workers;
@@ -679,6 +1100,12 @@ ParallelResult ParallelExplorer::run() {
   }
 
   Engine eng(cfg_, workers);
+  eng.mainClk = &mainClk;
+  eng.mainTel = mainTel_;
+  eng.wallStartUs = startUs;
+  if (cfg_.checkpointEverySteps != 0) {
+    eng.levelLimit.store(cfg_.checkpointEverySteps, std::memory_order_relaxed);
+  }
   if (cfg_.base.maxWallSeconds > 0.0) {
     // The wall budget is real elapsed time across the pool, so it runs on
     // the system steady clock regardless of --clock (docs/parallelism.md:
@@ -688,7 +1115,7 @@ ParallelResult ParallelExplorer::run() {
         static_cast<uint64_t>(cfg_.base.maxWallSeconds * 1e6);
   }
 
-  {
+  if (rv == nullptr) {
     Worker& w0 = *workers[0];
     Entry root;
     root.state = w0.exec->initialState();
@@ -702,6 +1129,85 @@ ParallelResult ParallelExplorer::run() {
     r.verdict = "root";
     if (eng.ob) eng.ob->onRoot(0, root.state);
     w0.frontier.push_back(std::move(root));
+  } else {
+    // ---- resume: seed the engine from the checkpoint -------------------
+    // Everything canonical is restored (frontier states, path records,
+    // counters, consumed budgets); everything schedule-local is rebuilt
+    // fresh (worker assignment — all states start on worker 0 and
+    // stealing redistributes — entry order counters, per-worker RNG
+    // positions, newCovered credits). docs/robustness.md lists these.
+    Worker& w0 = *workers[0];
+    const json::Value& cnt = ckpt::field(*rv, "counters");
+    eng.baseSteps = ckpt::fieldU64(cnt, "steps");
+    eng.baseForks = ckpt::fieldU64(cnt, "forks");
+    eng.baseDrops = ckpt::fieldU64(cnt, "drops");
+    eng.gSteps.store(eng.baseSteps, std::memory_order_relaxed);
+    eng.gCompleted.store(ckpt::fieldU64(cnt, "completed"),
+                         std::memory_order_relaxed);
+    eng.gPathsDone.store(ckpt::fieldU64(cnt, "paths_done"),
+                         std::memory_order_relaxed);
+    if (cfg_.checkpointEverySteps != 0) {
+      eng.levelLimit.store(ckpt::fieldU64(*rv, "level_limit"),
+                           std::memory_order_relaxed);
+    }
+    if (resumedComplete) {
+      // Replays zero work; the drain leaves the seeded reason in place.
+      eng.stopReason = ckpt::fieldStr(*rv, "stop_reason");
+    }
+    const json::Value& cov = ckpt::field(*rv, "covered");
+    if (!cov.isArray()) throw InputError("checkpoint: 'covered' not an array");
+    for (const json::Value& pc : cov.array) eng.covered.insert(pc.asU64());
+
+    eng.solverBase = readSolverCkpt(ckpt::field(*rv, "solver"));
+    eng.metricsBase.mergeFromJson(ckpt::field(*rv, "metrics"));
+
+    const std::vector<smt::TermRef> slots =
+        smt::TermTableReader::read(ckpt::fieldStr(*rv, "terms"), w0.tm);
+    const json::Value& fr = ckpt::field(*rv, "frontier");
+    if (!fr.isArray()) throw InputError("checkpoint: 'frontier' not an array");
+    const uint64_t lvl = eng.levelLimit.load(std::memory_order_relaxed);
+    uint64_t nLive = 0;
+    uint64_t liveBytes = 0;
+    for (const json::Value& fe : fr.array) {
+      Entry e;
+      e.key = keyFromString(ckpt::fieldStr(fe, "k"));
+      e.state = ckpt::readMachineState(fe, slots, &image_);
+      e.order = w0.orderCounter++;
+      e.bytes = e.state.approxBytes();
+      ++nLive;
+      liveBytes += e.bytes;
+      if (e.state.steps >= lvl) {
+        // A signal checkpoint can hold states already paused at the
+        // current level; re-pause them so the next barrier fires where
+        // the uninterrupted run's would have.
+        eng.pausedTotal.fetch_add(1, std::memory_order_relaxed);
+        w0.paused.push_back(std::move(e));
+      } else {
+        w0.frontier.push_back(std::move(e));
+      }
+    }
+    eng.gFrontier.store(nLive, std::memory_order_relaxed);
+    eng.gFrontierBytes.store(liveBytes, std::memory_order_relaxed);
+
+    const json::Value& rr = ckpt::field(*rv, "recs");
+    if (!rr.isArray()) throw InputError("checkpoint: 'recs' not an array");
+    for (const json::Value& re : rr.array) {
+      PathKey k = keyFromString(ckpt::fieldStr(re, "k"));
+      NodeRec n;
+      n.forkPc = ckpt::fieldU64(re, "fp");
+      n.entryPc = ckpt::fieldU64(re, "ep");
+      n.cond = ckpt::fieldStr(re, "c");
+      n.verdict = ckpt::fieldStr(re, "v");
+      n.solverQueries = ckpt::fieldU64(re, "q");
+      n.solverMicros = ckpt::fieldU64(re, "us");
+      n.numChildren = static_cast<size_t>(ckpt::fieldU64(re, "nc"));
+      n.dropped = ckpt::field(re, "d").boolean;
+      n.dropPc = ckpt::fieldU64(re, "dp");
+      if (const json::Value* r = re.find("r")) {
+        n.result = ckpt::readPathResult(*r);
+      }
+      eng.recs.emplace(std::move(k), std::move(n));
+    }
   }
 
   for (auto& w : workers) {
@@ -710,6 +1216,22 @@ ParallelResult ParallelExplorer::run() {
   }
   for (auto& w : workers) w->thread.join();
   if (eng.error) std::rethrow_exception(eng.error);
+
+  // Resuming an already-complete checkpoint replays zero work, so the end
+  // read is skipped too and the recorded duration stands — the regenerated
+  // artifacts are byte-identical to the original run's.
+  const double wallSeconds =
+      resumedComplete ? ckpt::field(*rv, "wall_seconds").number
+                      : double(mainClk.nowMicros() - startUs) / 1e6;
+
+  // Final checkpoint: complete runs (frontier exhausted or budget-stopped)
+  // record their terminal state so a later --resume just regenerates the
+  // artifacts. Written before the merge below moves the records out. A
+  // signal stop already wrote its checkpoint — with the live frontier —
+  // at the rendezvous; don't clobber it with an empty one.
+  if (!cfg_.checkpointPath.empty() && eng.stopReason != "signal") {
+    eng.writeCheckpointQuiesced(true, eng.stopReason, wallSeconds);
+  }
 
   // ---- barrier merge: canonical ids from the key-ordered record walk ---
   ParallelResult res;
@@ -764,6 +1286,9 @@ ParallelResult ParallelExplorer::run() {
     res.tree.push_back(std::move(n));
   }
 
+  s.totalSteps = eng.baseSteps;
+  s.totalForks = eng.baseForks;
+  s.statesDropped = eng.baseDrops;
   for (const auto& w : workers) {
     s.totalSteps += w->steps;
     s.totalForks += w->forksN;
@@ -780,30 +1305,7 @@ ParallelResult ParallelExplorer::run() {
   s.coveredPcs = eng.covered.size();
   s.coveredSet = std::move(eng.covered);
 
-  solverTel_ = smt::SolverTelemetry{};
-  for (const auto& w : workers) {
-    const smt::SolverTelemetry t = w->solver.telemetrySnapshot();
-    solverTel_.queries += t.queries;
-    solverTel_.sat += t.sat;
-    solverTel_.unsat += t.unsat;
-    solverTel_.unknown += t.unknown;
-    solverTel_.totalMicros += t.totalMicros;
-    solverTel_.maxMicros = std::max(solverTel_.maxMicros, t.maxMicros);
-    solverTel_.cacheHits += t.cacheHits;
-    solverTel_.satCore += t.satCore;
-    solverTel_.blast += t.blast;
-    solverTel_.satVars += t.satVars;
-    solverTel_.satClauses += t.satClauses;
-    solverTel_.canon += t.canon;
-    solverTel_.preEnabled = solverTel_.preEnabled || t.preEnabled;
-    solverTel_.preConsulted += t.preConsulted;
-    solverTel_.preSat += t.preSat;
-    solverTel_.preUnsat += t.preUnsat;
-    solverTel_.preFallback += t.preFallback;
-    solverTel_.preShortcircuit += t.preShortcircuit;
-    solverTel_.directSolves += t.directSolves;
-    solverTel_.preCoreConstraints += t.preCoreConstraints;
-  }
+  solverTel_ = eng.solverSum();
   s.solverUnknowns = solverTel_.unknown;
 
   shapes_.clear();
@@ -823,12 +1325,13 @@ ParallelResult ParallelExplorer::run() {
   if (poolStats_.minWorkerSteps == UINT64_MAX) poolStats_.minWorkerSteps = 0;
 
   if (mainTel_ != nullptr) {
+    mainTel_->metrics().mergeFrom(eng.metricsBase);
     for (const auto& w : workers) {
       if (w->tel) mainTel_->metrics().mergeFrom(w->tel->metrics());
     }
   }
 
-  s.wallSeconds = double(mainClk.nowMicros() - startUs) / 1e6;
+  s.wallSeconds = wallSeconds;
   return res;
 }
 

@@ -36,6 +36,11 @@
 #include "smt/solver.h"
 #include "support/telemetry.h"
 
+namespace adlsym::json {
+class Writer;
+struct Value;
+}
+
 namespace adlsym::smt {
 class QueryCache;
 }
@@ -85,6 +90,43 @@ struct ParallelConfig {
   /// null = none). Invoked from worker threads concurrently, so it must be
   /// thread-safe — the flight recorder (obs::EventBus) qualifies.
   smt::QueryListener* queryListener = nullptr;
+
+  // ---- crash-safe checkpointing (docs/robustness.md) --------------------
+  /// Canonical live gauges at the moment a checkpoint is written, handed
+  /// to ckptExtras so CLI-owned sections can record schedule-independent
+  /// values computed by the quiesced engine instead of their own racy
+  /// rollups.
+  struct CkptInfo {
+    uint64_t steps = 0;
+    uint64_t frontier = 0;
+    uint64_t frontierBytes = 0;
+    uint64_t pathsDone = 0;
+    uint64_t coveredPcs = 0;
+    uint64_t solverQueries = 0;
+    uint64_t cacheHits = 0;
+    uint64_t solverMicros = 0;
+  };
+  /// Write a checkpoint to `checkpointPath` every time all live states
+  /// reach this many per-path steps (a level barrier — the pause point is
+  /// a property of each state, not of scheduling, so checkpoint *content*
+  /// is canonical across --jobs). 0 = no periodic checkpoints (the file,
+  /// if configured, is still written on graceful stop and at run end).
+  uint64_t checkpointEverySteps = 0;
+  std::string checkpointPath;  // adlsym-ckpt-v1 file; empty = off
+  /// Run identity echoed into every checkpoint so --resume can verify the
+  /// resumed command matches the checkpointed one.
+  std::string ckptIsa;
+  std::string ckptStrategy;
+  std::string ckptImageSha;
+  /// Appends extra top-level sections ("sites", "events") to the
+  /// checkpoint document. Called while every worker is quiescent; must
+  /// not call back into the engine.
+  std::function<void(json::Writer&, const CkptInfo&)> ckptExtras;
+  /// Parsed checkpoint to resume from (ckpt::loadCheckpointFile): the
+  /// engine seeds frontier, path records, counters and budgets from it
+  /// instead of the executor's initial state. Not owned; must outlive
+  /// run(). The CLI owns cross-checking the run identity fields.
+  const json::Value* resume = nullptr;
 };
 
 struct ParallelResult {

@@ -52,6 +52,7 @@ enum class TruncReason : uint8_t {
   Steps,     // run stopped: maxTotalSteps exhausted
   Paths,     // run stopped: maxPaths completed paths reached
   EarlyStop, // run stopped: stopAtFirstDefect fired
+  Signal,    // run stopped: graceful SIGINT/SIGTERM drain (support/stop)
 };
 
 const char* truncReasonName(TruncReason r);

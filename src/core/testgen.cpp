@@ -31,6 +31,7 @@ const char* truncReasonName(TruncReason r) {
     case TruncReason::Steps: return "steps";
     case TruncReason::Paths: return "paths";
     case TruncReason::EarlyStop: return "early-stop";
+    case TruncReason::Signal: return "signal";
   }
   return "?";
 }
@@ -113,7 +114,8 @@ void writeSummaryJson(json::Writer& w, const ExploreSummary& s) {
   w.key("truncated_by_reason").beginObject();
   for (const TruncReason tr :
        {TruncReason::Frontier, TruncReason::Memory, TruncReason::Wall,
-        TruncReason::Steps, TruncReason::Paths, TruncReason::EarlyStop}) {
+        TruncReason::Steps, TruncReason::Paths, TruncReason::EarlyStop,
+        TruncReason::Signal}) {
     const uint64_t n = s.truncatedByReason[static_cast<size_t>(tr)];
     if (n) w.kv(truncReasonName(tr), n);
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "analysis/lint.h"
 #include "asmgen/assembler.h"
 #include "asmgen/disasm.h"
+#include "core/checkpoint.h"
 #include "core/pexplorer.h"
 #include "core/rtlprofile.h"
 #include "core/testgen.h"
@@ -28,8 +30,10 @@
 #include "obs/sitestats.h"
 #include "smt/presolver.h"
 #include "smt/qcache.h"
+#include "support/atomicio.h"
 #include "support/error.h"
 #include "support/fault.h"
+#include "support/hash.h"
 #include "support/json.h"
 #include "support/strings.h"
 #include "support/telemetry.h"
@@ -76,6 +80,9 @@ class CommandTelemetry {
 
   telemetry::Telemetry* get() { return tel_.get(); }
   bool wantsStatsJson() const { return !statsJsonPath_.empty(); }
+  /// Non-null iff --clock=manual: --resume advances it to the
+  /// checkpoint's recorded clock position before any component reads it.
+  telemetry::ManualClock* manualClock() { return clock_.get(); }
 
   /// Write the aggregated stats document. `writeBody` fills the
   /// command-specific objects of the already-open top-level object.
@@ -177,8 +184,11 @@ struct FlightRecorder {
   uint64_t codePcs = 0;
 
   /// Throws adlsym::InputError when the events file cannot be opened.
+  /// `append` (--resume) keeps the spliced stream prefix and continues
+  /// after it instead of truncating.
   void open(const ExploreOptions& opt, const adl::ArchModel& model,
-            const loader::Image& image, telemetry::Telemetry* tel) {
+            const loader::Image& image, telemetry::Telemetry* tel,
+            bool append = false) {
     if (opt.eventsPath.empty() && opt.manifestPath.empty() &&
         opt.progressSeconds <= 0.0) {
       return;
@@ -188,7 +198,8 @@ struct FlightRecorder {
     std::ostream* os = &std::cout;
     if (opt.eventsPath != "-") {
       fault::hit("obs.write");
-      file.open(opt.eventsPath, std::ios::binary | std::ios::trunc);
+      file.open(opt.eventsPath, std::ios::binary |
+                                    (append ? std::ios::app : std::ios::trunc));
       if (!file) {
         throw InputError("cannot open events file '" + opt.eventsPath + "'");
       }
@@ -252,7 +263,40 @@ void writeRunManifest(const std::string& isaName, const ExploreOptions& opt) {
   man.addArtifact("profile", opt.profilePath);
   man.addArtifact("profile_folded", opt.profileFoldedPath);
   if (opt.eventsPath != "-") man.addArtifact("events", opt.eventsPath);
+  man.addArtifact("checkpoint", opt.checkpointPath);
   man.writeFile(opt.manifestPath);
+}
+
+/// --resume events splice: check that the first `offset` bytes of the
+/// events file canonicalize to the hash the checkpoint recorded, then cut
+/// the file back to that offset so the resumed run appends exactly where
+/// the checkpointed run left off. Bytes past the offset were written
+/// after the checkpoint (the killed run's doomed suffix) and are
+/// discarded.
+void spliceEventsFile(const std::string& path, const json::Value& ev,
+                      const std::string& resumePath) {
+  const uint64_t offset = core::ckpt::fieldU64(ev, "offset");
+  const std::string want = core::ckpt::fieldStr(ev, "canon_sha256");
+  std::string bytes = support::readFileBytes(path);
+  if (bytes.size() < offset) {
+    throw InputError("events file '" + path + "' is shorter (" +
+                     std::to_string(bytes.size()) + " bytes) than the " +
+                     std::to_string(offset) +
+                     "-byte prefix checkpoint " + resumePath +
+                     " recorded — wrong events file?");
+  }
+  bytes.resize(offset);
+  std::istringstream in(bytes);
+  std::ostringstream canon;
+  obs::canonicalizeEvents(in, canon);
+  const std::string got = hash::sha256Hex(canon.str());
+  if (got != want) {
+    throw InputError("events file '" + path +
+                     "' does not match checkpoint " + resumePath +
+                     " (canonical prefix hash " + got + ", checkpoint has " +
+                     want + ")");
+  }
+  std::filesystem::resize_file(path, offset);
 }
 
 }  // namespace
@@ -323,14 +367,30 @@ std::string usage() {
       "  --inject=SITE:N[,..]   deterministic fault injection: fire the\n"
       "                         named fault site on its Nth hit (sites:\n"
       "                         solver.check, image.read, obs.write,\n"
-      "                         alloc); also via env ADLSYM_FAULTS\n"
+      "                         alloc, ckpt.write, ckpt.read); also via\n"
+      "                         env ADLSYM_FAULTS\n"
       "  --clock=manual[:US]    deterministic manual clock advancing US\n"
       "                         microseconds per read (reproducible\n"
       "                         stats documents)\n"
       "\n"
+      "crash-safe checkpointing (explore; docs/robustness.md):\n"
+      "  --checkpoint=<file>    write an adlsym-ckpt-v1 checkpoint\n"
+      "                         (atomically replaced, self-hashed) at\n"
+      "                         every level barrier, on SIGINT/SIGTERM,\n"
+      "                         and at run end. Requires --clock=manual\n"
+      "  --checkpoint-every=N   level-barrier cadence in per-path steps;\n"
+      "                         checkpoint bytes are identical across\n"
+      "                         --jobs values\n"
+      "  --resume=<file>        continue a checkpointed run; with the\n"
+      "                         same flags, every final artifact is\n"
+      "                         byte-identical to the uninterrupted run\n"
+      "                         (even after kill -9). Corrupt/truncated\n"
+      "                         checkpoints are rejected with exit 2\n"
+      "\n"
       "exit codes: 0 ok; 1 findings (defects, lint errors, replay\n"
       "mismatches); 2 bad input; 3 exploration truncated by a budget\n"
-      "(partial results); 4 internal error / injected fault\n"
+      "or stopped by a signal (partial results); 4 internal error /\n"
+      "injected fault\n"
       "\n"
       "observability (explore and run; docs/observability.md):\n"
       "  --stats-json=<file>   aggregated JSON stats document (summary,\n"
@@ -548,7 +608,38 @@ CommandResult cmdRun(const std::string& isaName, const std::string& imageText,
 
 CommandResult cmdExplore(const std::string& isaName,
                          const std::string& imageText,
-                         const ExploreOptions& opt) {
+                         const ExploreOptions& optIn) {
+  // Checkpointing adjusts the effective options (it routes to the
+  // parallel engine), so work on a copy.
+  ExploreOptions opt = optIn;
+  if (opt.checkpointEverySteps != 0 && opt.checkpointPath.empty()) {
+    return fail("--checkpoint-every requires --checkpoint");
+  }
+  const bool ckptMode = !opt.checkpointPath.empty() || !opt.resumePath.empty();
+  if (ckptMode) {
+    // The kill/resume byte-identity contract (docs/robustness.md) is
+    // defined on the deterministic clock and the parallel engine's
+    // structural path keys; live/timing-coupled artifacts cannot be
+    // spliced across a resume, so they are rejected up front.
+    if (opt.jobs == 0) opt.jobs = 1;
+    if (opt.manualClockStepUs == 0) {
+      return fail("--checkpoint/--resume require --clock=manual");
+    }
+    if (opt.profileStdout || !opt.profilePath.empty() ||
+        !opt.profileFoldedPath.empty()) {
+      return fail("--checkpoint/--resume are not supported with profiling");
+    }
+    if (!opt.tracePath.empty()) {
+      return fail("--checkpoint/--resume are not supported with --trace");
+    }
+    if (opt.progressSeconds > 0.0) {
+      return fail("--checkpoint/--resume are not supported with --progress");
+    }
+    if (opt.eventsPath == "-") {
+      return fail("--checkpoint/--resume need a seekable --events file, "
+                  "not '-'");
+    }
+  }
   SessionOptions sopt;
   if (opt.strategy == "dfs") sopt.explorer.strategy = core::SearchStrategy::DFS;
   else if (opt.strategy == "bfs") sopt.explorer.strategy = core::SearchStrategy::BFS;
@@ -589,14 +680,62 @@ CommandResult cmdExplore(const std::string& isaName,
     if (!opt.queryLogDir.empty()) {
       return fail("--query-log is not supported with --jobs");
     }
+
+    // ---- --resume: load + verify the checkpoint ----------------------
+    const std::string imageSha = hash::sha256Hex(imageText);
+    const bool resuming = !opt.resumePath.empty();
+    json::Value resumeDoc;
+    if (resuming) {
+      resumeDoc = core::ckpt::loadCheckpointFile(opt.resumePath);
+      const auto expect = [&](const char* name, const std::string& want) {
+        const std::string got = core::ckpt::fieldStr(resumeDoc, name);
+        if (got != want) {
+          throw InputError("checkpoint " + opt.resumePath + ": " + name +
+                           " mismatch (checkpoint has '" + got +
+                           "', this run is '" + want + "')");
+        }
+      };
+      expect("isa", isaName);
+      expect("strategy", opt.strategy);
+      expect("image_sha256", imageSha);
+      if (core::ckpt::fieldU64(resumeDoc, "rng_seed") !=
+          sopt.explorer.rngSeed) {
+        throw InputError("checkpoint " + opt.resumePath +
+                         ": rng_seed mismatch");
+      }
+      // The events stream is part of the checkpointed state: a resume
+      // must continue the same stream (or, like the original run, have
+      // none at all).
+      const bool ckptHasEvents = resumeDoc.find("events") != nullptr;
+      if (ckptHasEvents && opt.eventsPath.empty()) {
+        throw InputError("checkpoint " + opt.resumePath +
+                         " was written with --events; pass the same "
+                         "events file to resume");
+      }
+      if (!ckptHasEvents && !opt.eventsPath.empty()) {
+        throw InputError("checkpoint " + opt.resumePath +
+                         " was written without --events; drop the flag "
+                         "to resume");
+      }
+      if (ckptHasEvents) {
+        spliceEventsFile(opt.eventsPath, core::ckpt::field(resumeDoc, "events"),
+                         opt.resumePath);
+      }
+    }
+
     CommandTelemetry ct(opt.statsJsonPath, opt.tracePath,
                         opt.manualClockStepUs);
+    if (resuming && ct.manualClock() != nullptr) {
+      // Continue the manual clock exactly where the checkpointed run's
+      // next read would have been, before any component reads it.
+      ct.manualClock()->advance(core::ckpt::fieldU64(resumeDoc, "clock_us"));
+    }
     // Live observers only; the path forest is rebuilt from the merged
     // tree after the run, so only thread-safe collectors ride along, all
     // behind one locked mux.
     core::LockedObserverMux mux;
     FlightRecorder fr;
-    fr.open(opt, *model, image, ct.get());
+    fr.open(opt, *model, image, ct.get(), resuming);
     if (fr.bus) mux.add(fr.bus.get());
     std::unique_ptr<obs::ProgressMeter> progress;
     if (opt.progressSeconds > 0.0) {
@@ -610,6 +749,11 @@ CommandResult cmdExplore(const std::string& isaName,
     if (ct.wantsStatsJson()) {
       sites = std::make_unique<obs::SiteStatsCollector>(*model, image);
       mux.add(sites.get());
+      if (resuming) {
+        if (const json::Value* sv = resumeDoc.find("sites")) {
+          sites->restoreFromCkpt(*sv);
+        }
+      }
     }
     std::unique_ptr<core::RtlProfile> rtlProf;
     std::unique_ptr<obs::ProfileCollector> profCollector;
@@ -622,6 +766,11 @@ CommandResult cmdExplore(const std::string& isaName,
     std::unique_ptr<smt::QueryCache> qcache;
     if (opt.qcacheOn) {
       qcache = std::make_unique<smt::QueryCache>(opt.qcacheCapacity);
+      if (resuming) {
+        if (const json::Value* qv = resumeDoc.find("qcache")) {
+          qcache->restoreFromCkpt(*qv);
+        }
+      }
     }
 
     core::ParallelConfig pcfg;
@@ -635,6 +784,55 @@ CommandResult cmdExplore(const std::string& isaName,
     pcfg.solverTimeoutMicros = opt.solverTimeoutMs * 1000;
     pcfg.solverShapeProfile = profiling;
     pcfg.queryListener = fr.bus.get();
+    pcfg.checkpointEverySteps = opt.checkpointEverySteps;
+    pcfg.checkpointPath = opt.checkpointPath;
+    pcfg.ckptIsa = isaName;
+    pcfg.ckptStrategy = opt.strategy;
+    pcfg.ckptImageSha = imageSha;
+    if (resuming) pcfg.resume = &resumeDoc;
+    if (!opt.checkpointPath.empty()) {
+      // CLI-owned checkpoint sections. Runs on the checkpointing worker
+      // while every other worker is quiescent, so the collectors are
+      // stable and the events stream is fully flushed.
+      obs::SiteStatsCollector* sitesPtr = sites.get();
+      obs::EventBus* busPtr = fr.bus.get();
+      std::ofstream* eventsFile = &fr.file;
+      const std::string eventsPath = opt.eventsPath;
+      pcfg.ckptExtras = [sitesPtr, busPtr, eventsFile, eventsPath](
+                            json::Writer& w,
+                            const core::ParallelConfig::CkptInfo& info) {
+        if (sitesPtr != nullptr) {
+          w.key("sites");
+          sitesPtr->writeCkptJson(w);
+        }
+        if (busPtr != nullptr) {
+          busPtr->flush();
+          if (eventsFile->is_open()) eventsFile->flush();
+          // Stream watermark: everything written so far is checkpointed
+          // state; --resume cuts the file back to this offset and checks
+          // the canonical-prefix hash before splicing.
+          std::string bytes = support::readFileBytes(eventsPath);
+          std::istringstream in(bytes);
+          std::ostringstream canon;
+          obs::canonicalizeEvents(in, canon);
+          obs::EventBus::CkptGauges g;
+          g.steps = info.steps;
+          g.frontier = info.frontier;
+          g.frontierBytes = info.frontierBytes;
+          g.pathsDone = info.pathsDone;
+          g.covered = info.coveredPcs;
+          g.queries = info.solverQueries;
+          g.cacheHits = info.cacheHits;
+          g.solverMicros = info.solverMicros;
+          w.key("events").beginObject();
+          w.kv("offset", static_cast<uint64_t>(bytes.size()));
+          w.kv("canon_sha256", std::string_view(hash::sha256Hex(canon.str())));
+          w.key("bus");
+          busPtr->writeCkptJson(w, g);
+          w.endObject();
+        }
+      };
+    }
 
     const adl::ArchModel& m = *model;
     core::RtlProfile* rp = rtlProf.get();
@@ -648,7 +846,19 @@ CommandResult cmdExplore(const std::string& isaName,
           return ex;
         },
         ct.get());
-    fr.runBegin(isaName, opt);
+    if (resuming && fr.bus) {
+      // The spliced stream prefix already carries the run_begin event;
+      // adopt the checkpoint's watermarks instead of emitting another.
+      obs::EventBus::RunMeta rm;
+      rm.command = opt.profileStdout ? "profile" : "explore";
+      rm.isa = isaName;
+      rm.strategy = opt.strategy;
+      rm.program = opt.programLabel;
+      fr.bus->resumeRun(
+          rm, core::ckpt::field(core::ckpt::field(resumeDoc, "events"), "bus"));
+    } else {
+      fr.runBegin(isaName, opt);
+    }
     core::ParallelResult pres = pex.run();
     const core::ExploreSummary& summary = pres.summary;
     if (fr.bus) {
@@ -1133,6 +1343,22 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.maxWallMs = *v;
         } else if (startsWith(args[i], "--inject=")) {
           opt.injectSpec = args[i].substr(9);
+        } else if (startsWith(args[i], "--checkpoint=")) {
+          opt.checkpointPath = args[i].substr(13);
+          if (opt.checkpointPath.empty()) {
+            return fail("bad --checkpoint (want a file path)");
+          }
+        } else if (startsWith(args[i], "--checkpoint-every=")) {
+          const auto v = parseInt(args[i].substr(19));
+          if (!v || *v == 0) {
+            return fail("bad --checkpoint-every '" + args[i] + "'");
+          }
+          opt.checkpointEverySteps = *v;
+        } else if (startsWith(args[i], "--resume=")) {
+          opt.resumePath = args[i].substr(9);
+          if (opt.resumePath.empty()) {
+            return fail("bad --resume (want a checkpoint file)");
+          }
         } else if (args[i] == "--clock=manual") {
           opt.manualClockStepUs = 1;
         } else if (startsWith(args[i], "--clock=manual:")) {

@@ -145,6 +145,24 @@ struct ExploreOptions {
   std::string manifestPath;
   /// Full invocation (argv[0] excluded), echoed into the manifest.
   std::vector<std::string> argvEcho;
+
+  // ---- crash-safe checkpointing (docs/robustness.md) -----------------
+  /// Write an adlsym-ckpt-v1 checkpoint here ("" = off): at every level
+  /// barrier (--checkpoint-every), on graceful SIGINT/SIGTERM stop, and
+  /// at run end. Requires --clock=manual (the kill/resume byte-identity
+  /// contract is defined on the deterministic clock) and routes to the
+  /// parallel engine (--jobs defaults to 1 when not given).
+  std::string checkpointPath;
+  /// Checkpoint cadence in per-path steps: a checkpoint is written every
+  /// time all live states reach the next multiple (a level barrier, so
+  /// checkpoint *content* is byte-identical across --jobs values).
+  /// 0 = only the stop/final checkpoints.
+  uint64_t checkpointEverySteps = 0;
+  /// Resume exploration from this checkpoint file ("" = off). The run
+  /// identity (ISA, strategy, RNG seed, image hash) must match the
+  /// checkpointed run, and the remaining flags must be repeated verbatim
+  /// for the byte-identity contract to hold.
+  std::string resumePath;
 };
 
 /// `adlsym explore <isa> <image-text>` — symbolic exploration; prints the

@@ -327,6 +327,84 @@ void EventBus::flush() {
   os_.flush();
 }
 
+void EventBus::writeCkptJson(json::Writer& w, const CkptGauges& g) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  w.beginObject();
+  w.kv("seq", seq_);
+  w.kv("step_events", stepEvents_);
+  w.kv("start_micros", startMicros_);
+  w.kv("started", started_);
+  w.key("counts").beginObject();
+  w.kv("run_begin", counts_.runBegin);
+  w.kv("step", counts_.step);
+  w.kv("snapshot", counts_.snapshot);
+  w.kv("offstep", counts_.offstep);
+  w.kv("merge", counts_.merge);
+  w.kv("path_done", counts_.pathDone);
+  w.kv("query", counts_.query);
+  w.kv("heartbeat", counts_.heartbeat);
+  w.kv("run_end", counts_.runEnd);
+  w.kv("dropped", counts_.dropped);
+  w.endObject();
+  w.key("live").beginObject();
+  w.kv("steps", g.steps);
+  w.kv("frontier", g.frontier);
+  w.kv("frontier_bytes", g.frontierBytes);
+  w.kv("paths_done", g.pathsDone);
+  w.kv("covered", g.covered);
+  w.kv("queries", g.queries);
+  w.kv("cache_hits", g.cacheHits);
+  w.kv("solver_micros", g.solverMicros);
+  w.kv("pre_hits", livePreHits_);
+  w.kv("pre_misses", livePreMisses_);
+  w.endObject();
+  w.endObject();
+}
+
+void EventBus::resumeRun(const RunMeta& meta, const json::Value& v) {
+  const auto u64 = [&](const json::Value& obj, const char* name) -> uint64_t {
+    const json::Value* f = obj.find(name);
+    if (f == nullptr) {
+      throw InputError(std::string("events section: missing '") + name + "'");
+    }
+    return f->asU64();
+  };
+  std::lock_guard<std::mutex> lk(mu_);
+  meta_ = meta;
+  seq_ = u64(v, "seq");
+  stepEvents_ = u64(v, "step_events");
+  startMicros_ = u64(v, "start_micros");
+  const json::Value* started = v.find("started");
+  started_ = started != nullptr && started->boolean;
+  const json::Value* counts = v.find("counts");
+  const json::Value* live = v.find("live");
+  if (counts == nullptr || !counts->isObject() || live == nullptr ||
+      !live->isObject()) {
+    throw InputError("events section: missing 'counts'/'live'");
+  }
+  counts_.runBegin = u64(*counts, "run_begin");
+  counts_.step = u64(*counts, "step");
+  counts_.snapshot = u64(*counts, "snapshot");
+  counts_.offstep = u64(*counts, "offstep");
+  counts_.merge = u64(*counts, "merge");
+  counts_.pathDone = u64(*counts, "path_done");
+  counts_.query = u64(*counts, "query");
+  counts_.heartbeat = u64(*counts, "heartbeat");
+  counts_.runEnd = u64(*counts, "run_end");
+  counts_.dropped = u64(*counts, "dropped");
+  liveSteps_ = u64(*live, "steps");
+  liveFrontier_ = u64(*live, "frontier");
+  liveFrontierBytes_ = u64(*live, "frontier_bytes");
+  livePathsDone_ = u64(*live, "paths_done");
+  liveCovered_ = u64(*live, "covered");
+  liveQueries_ = u64(*live, "queries");
+  liveCacheHits_ = u64(*live, "cache_hits");
+  liveSolverMicros_ = u64(*live, "solver_micros");
+  livePreHits_ = u64(*live, "pre_hits");
+  livePreMisses_ = u64(*live, "pre_misses");
+  for (uint64_t& b : depthHist_) b = 0;
+}
+
 // ---- stream tools -----------------------------------------------------
 
 namespace {

@@ -119,6 +119,36 @@ class EventBus final : public core::ExploreObserver, public smt::QueryListener {
 
   void flush();
 
+  // ---- checkpoint support (adlsym-ckpt-v1, docs/robustness.md) ---------
+
+  /// Canonical replacement values for the live snapshot gauges, computed
+  /// by the quiesced engine at a checkpoint barrier. The bus's own
+  /// rollups are last-writer racy across worker schedules, so checkpoints
+  /// store these instead — keeping checkpoint bytes identical across -jN.
+  struct CkptGauges {
+    uint64_t steps = 0;
+    uint64_t frontier = 0;
+    uint64_t frontierBytes = 0;
+    uint64_t pathsDone = 0;
+    uint64_t covered = 0;
+    uint64_t queries = 0;
+    uint64_t cacheHits = 0;
+    uint64_t solverMicros = 0;
+  };
+
+  /// Append the bus's deterministic watermark state (seq / per-type
+  /// counts / snapshot cadence counter / first-event time) plus the
+  /// canonical gauges as one JSON object. The caller wraps it with the
+  /// stream byte offset and canonical-prefix hash. The inter-snapshot
+  /// depth histogram is deliberately *not* stored (schedule-dependent,
+  /// snapshot-only): a resumed run's first snapshot starts it empty.
+  void writeCkptJson(json::Writer& w, const CkptGauges& gauges) const;
+
+  /// Resume-mode begin: adopt run metadata and restore the counters from
+  /// a checkpoint's "events" section instead of emitting a fresh
+  /// run_begin — the spliced stream prefix already carries one.
+  void resumeRun(const RunMeta& meta, const json::Value& v);
+
  private:
   // Hand-rolled line formatting: emission is on the interpreter hot path
   // (one step event per executed instruction), so events are rendered

@@ -1,5 +1,6 @@
 #include "obs/sitestats.h"
 
+#include "support/error.h"
 #include "support/json.h"
 
 namespace adlsym::obs {
@@ -35,6 +36,44 @@ void SiteStatsCollector::writeJson(json::Writer& w) const {
     w.endObject();
   }
   w.endArray();
+}
+
+void SiteStatsCollector::writeCkptJson(json::Writer& w) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  w.beginObject();
+  w.key("opcodes").beginObject();
+  for (const auto& [name, count] : opcodes_) w.kv(name, count);
+  w.endObject();
+  w.key("sites").beginArray();
+  for (const auto& [pc, site] : sites_) {
+    w.beginArray();
+    w.value(pc).value(site.hits).value(site.forks).value(site.infeasible);
+    w.endArray();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+void SiteStatsCollector::restoreFromCkpt(const json::Value& v) {
+  const json::Value* opcodes = v.find("opcodes");
+  const json::Value* sites = v.find("sites");
+  if (opcodes == nullptr || !opcodes->isObject() || sites == nullptr ||
+      !sites->isArray()) {
+    throw InputError("sites section: missing 'opcodes'/'sites'");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const auto& [name, count] : opcodes->object) {
+    opcodes_[name] += count.asU64();
+  }
+  for (const json::Value& row : sites->array) {
+    if (!row.isArray() || row.array.size() != 4) {
+      throw InputError("sites section: malformed site row");
+    }
+    Site& site = sites_[row.array[0].asU64()];
+    site.hits += row.array[1].asU64();
+    site.forks += row.array[2].asU64();
+    site.infeasible += row.array[3].asU64();
+  }
 }
 
 }  // namespace adlsym::obs

@@ -17,6 +17,7 @@
 
 namespace adlsym::json {
 class Writer;
+struct Value;
 }
 
 namespace adlsym::obs {
@@ -47,6 +48,15 @@ class SiteStatsCollector final : public core::ExploreObserver {
   /// Append the "opcodes" object and "branch_sites" array to an open JSON
   /// object (the v2 stats document).
   void writeJson(json::Writer& w) const;
+
+  /// Full-state serialization for checkpoints (adlsym-ckpt-v1): unlike
+  /// writeJson this includes hit-only sites, so a resumed run's final
+  /// stats document is byte-identical to the uninterrupted run's.
+  void writeCkptJson(json::Writer& w) const;
+
+  /// Fold a parsed writeCkptJson() section in (--resume baseline).
+  /// Throws InputError on malformed input.
+  void restoreFromCkpt(const json::Value& v);
 
  private:
   mutable std::mutex mu_;

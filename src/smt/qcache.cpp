@@ -255,6 +255,89 @@ void QueryCache::abandon(const std::string& key) {
   cv_.notify_all();
 }
 
+void QueryCache::writeCkptJson(json::Writer& w) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  std::vector<const std::string*> keys;
+  keys.reserve(map_.size());
+  for (const auto& [key, e] : map_) {
+    if (e.done) keys.push_back(&key);
+  }
+  std::sort(keys.begin(), keys.end(),
+            [](const std::string* a, const std::string* b) { return *a < *b; });
+  w.beginObject();
+  w.kv("hits", stats_.hits);
+  w.kv("misses", stats_.misses);
+  w.kv("evictions", stats_.evictions);
+  w.key("entries").beginArray();
+  for (const std::string* key : keys) {
+    const Entry& e = map_.at(*key);
+    w.beginObject();
+    w.kv("k", std::string_view(*key));
+    w.kv("r", e.result == CheckResult::Sat ? "sat" : "unsat");
+    w.key("m").beginArray();
+    for (const uint64_t v : e.slotValues) w.value(v);
+    w.endArray();
+    w.key("c").beginArray();
+    w.value(e.cost.terms).value(e.cost.gates).value(e.cost.conflicts);
+    w.endArray();
+    w.kv("hm", e.hasModel);
+    w.kv("p", static_cast<uint64_t>(e.preTag));
+    w.endObject();
+  }
+  w.endArray();
+  w.endObject();
+}
+
+void QueryCache::restoreFromCkpt(const json::Value& v) {
+  const auto u64 = [&](const char* name) -> uint64_t {
+    const json::Value* f = v.find(name);
+    if (f == nullptr) {
+      throw InputError(std::string("qcache section: missing '") + name + "'");
+    }
+    return f->asU64();
+  };
+  const json::Value* entries = v.find("entries");
+  if (entries == nullptr || !entries->isArray()) {
+    throw InputError("qcache section: missing 'entries' array");
+  }
+  std::lock_guard<std::mutex> lk(mu_);
+  stats_.hits = u64("hits");
+  stats_.misses = u64("misses");
+  stats_.evictions = u64("evictions");
+  for (const json::Value& ev : entries->array) {
+    const json::Value* key = ev.find("k");
+    const json::Value* result = ev.find("r");
+    const json::Value* model = ev.find("m");
+    const json::Value* cost = ev.find("c");
+    if (key == nullptr || !key->isString() || result == nullptr ||
+        model == nullptr || !model->isArray() || cost == nullptr ||
+        !cost->isArray() || cost->array.size() != 3) {
+      throw InputError("qcache section: malformed entry");
+    }
+    Entry e;
+    e.done = true;
+    if (result->str == "sat") {
+      e.result = CheckResult::Sat;
+    } else if (result->str == "unsat") {
+      e.result = CheckResult::Unsat;
+    } else {
+      throw InputError("qcache section: bad result '" + result->str + "'");
+    }
+    e.slotValues.reserve(model->array.size());
+    for (const json::Value& m : model->array) e.slotValues.push_back(m.asU64());
+    e.cost.terms = cost->array[0].asU64();
+    e.cost.gates = cost->array[1].asU64();
+    e.cost.conflicts = cost->array[2].asU64();
+    const json::Value* hm = ev.find("hm");
+    const json::Value* p = ev.find("p");
+    e.hasModel = hm == nullptr || hm->boolean;
+    e.preTag = p == nullptr ? 0 : static_cast<uint8_t>(p->asU64());
+    auto [it, inserted] = map_.emplace(key->str, std::move(e));
+    if (inserted) fifo_.push_back(key->str);
+  }
+  cv_.notify_all();
+}
+
 QueryCache::Stats QueryCache::stats() const {
   std::lock_guard<std::mutex> lk(mu_);
   Stats s = stats_;

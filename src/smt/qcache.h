@@ -37,6 +37,7 @@
 
 namespace adlsym::json {
 class Writer;
+struct Value;
 }
 
 namespace adlsym::smt {
@@ -135,6 +136,21 @@ class QueryCache {
   /// exception unwound through the solve). Waiters retry and one becomes
   /// the next owner.
   void abandon(const std::string& key);
+
+  /// Serialize every completed entry plus the schedule-independent stats
+  /// counters — the "qcache" checkpoint section (adlsym-ckpt-v1,
+  /// docs/robustness.md). Entries emit in key order, so the bytes are
+  /// canonical across -jN at a quiescent checkpoint barrier. In-flight
+  /// entries cannot exist at a barrier and are skipped defensively.
+  void writeCkptJson(json::Writer& w) const;
+
+  /// Seed a fresh cache from a parsed writeCkptJson() section (--resume).
+  /// Restored entries hit exactly as the original run's suffix would
+  /// have, which keeps the 4-bucket query accounting byte-identical.
+  /// Restored FIFO order is key order, not original publish order — a
+  /// *binding* capacity may therefore evict differently after a resume
+  /// (same caveat as cross-jN determinism). Throws InputError.
+  void restoreFromCkpt(const json::Value& v);
 
   /// Canonical serialization of permanent ∪ assumptions (see file
   /// comment). `slotVars`, when non-null, receives the caller-pool Var

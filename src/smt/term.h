@@ -186,6 +186,19 @@ class TermManager {
     return import(src, memo);
   }
 
+  /// Hash-cons one operator node exactly as written, for deserializers
+  /// (smt/termio): no simplification, same raw path import() uses, so a
+  /// serialized DAG restores structure-identically. Operands must already
+  /// live in this pool; Const/Var must go through mkConst/mkVar instead
+  /// (they maintain the value/name side tables).
+  TermRef internRaw(Kind kind, unsigned width, TermId a = kInvalidTerm,
+                    TermId b = kInvalidTerm, TermId c = kInvalidTerm,
+                    uint64_t aux = 0) {
+    check(kind != Kind::Const && kind != Kind::Var,
+          "internRaw: leaf terms go through mkConst/mkVar");
+    return intern(kind, width, a, b, c, aux);
+  }
+
  private:
   friend class TermRef;
 

@@ -1,0 +1,66 @@
+#include "support/atomicio.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "support/error.h"
+
+namespace adlsym::support {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& path, const char* what) {
+  throw InputError("cannot " + std::string(what) + " '" + path +
+                   "': " + std::strerror(errno));
+}
+
+}  // namespace
+
+void writeFileAtomic(const std::string& path, std::string_view contents) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail(tmp, "create");
+  size_t off = 0;
+  while (off < contents.size()) {
+    const ssize_t n = ::write(fd, contents.data() + off, contents.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      fail(tmp, "write");
+    }
+    off += static_cast<size_t>(n);
+  }
+  // Durability before visibility: the rename must never expose bytes the
+  // kernel has not committed.
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    fail(tmp, "fsync");
+  }
+  if (::close(fd) != 0) {
+    ::unlink(tmp.c_str());
+    fail(tmp, "close");
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    fail(path, "replace");
+  }
+}
+
+std::string readFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw InputError("cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) throw InputError("cannot read '" + path + "'");
+  return os.str();
+}
+
+}  // namespace adlsym::support

@@ -1,0 +1,23 @@
+// Crash-safe file replacement (docs/robustness.md): checkpoints and other
+// durable artifacts must never be observable half-written. writeFileAtomic
+// stages the contents in a sibling temp file, fsyncs it, and renames it
+// over the destination — readers see either the old bytes or the new
+// bytes, even across kill -9 or power loss mid-write.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace adlsym::support {
+
+/// Replace `path` with `contents` atomically: write "<path>.tmp", fsync,
+/// rename over `path`. The temp file is unlinked on any failure. Throws
+/// adlsym::InputError (exit code 2 at the CLI boundary) when the target
+/// directory is unwritable or the filesystem rejects the write.
+void writeFileAtomic(const std::string& path, std::string_view contents);
+
+/// Read a whole file into memory. Throws adlsym::InputError when the file
+/// cannot be opened or read.
+std::string readFileBytes(const std::string& path);
+
+}  // namespace adlsym::support

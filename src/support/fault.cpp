@@ -44,6 +44,8 @@ const std::vector<std::string>& knownSites() {
       "image.read",    // loader::Image::deserialize entry
       "obs.write",     // every observability file write (stats/forest/qlog)
       "alloc",         // frontier state allocation (throws std::bad_alloc)
+      "ckpt.write",    // checkpoint serialization entry (before the temp file)
+      "ckpt.read",     // checkpoint load entry (--resume)
   };
   return sites;
 }

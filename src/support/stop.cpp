@@ -1,0 +1,33 @@
+#include "support/stop.h"
+
+#include <atomic>
+#include <csignal>
+
+namespace adlsym::support {
+
+namespace {
+
+std::atomic<bool> gStop{false};
+static_assert(std::atomic<bool>::is_always_lock_free,
+              "signal handler requires a lock-free flag");
+
+extern "C" void onStopSignal(int) { gStop.store(true, std::memory_order_relaxed); }
+
+}  // namespace
+
+bool stopRequested() { return gStop.load(std::memory_order_relaxed); }
+
+void requestGracefulStop() { gStop.store(true, std::memory_order_relaxed); }
+
+void clearGracefulStop() { gStop.store(false, std::memory_order_relaxed); }
+
+void installGracefulStopHandlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = onStopSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+}  // namespace adlsym::support

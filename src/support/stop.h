@@ -1,0 +1,22 @@
+// Graceful-stop plumbing (docs/robustness.md): SIGINT/SIGTERM set a
+// process-wide flag; exploration loops poll it, drain, and stop with
+// stop_reason=signal (exit 3) instead of dying artifact-less. Tests drive
+// the same path through requestGracefulStop()/clearGracefulStop().
+#pragma once
+
+namespace adlsym::support {
+
+/// True once a graceful stop has been requested (signal or test hook).
+bool stopRequested();
+
+/// Request a graceful stop programmatically. Async-signal-safe.
+void requestGracefulStop();
+
+/// Reset the flag (between in-process runs in tests).
+void clearGracefulStop();
+
+/// Install SIGINT/SIGTERM handlers that call requestGracefulStop().
+/// Idempotent; called once from the adlsym tool entry point.
+void installGracefulStopHandlers();
+
+}  // namespace adlsym::support

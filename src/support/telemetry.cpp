@@ -4,6 +4,7 @@
 #include <chrono>
 #include <sstream>
 
+#include "support/error.h"
 #include "support/json.h"
 
 namespace adlsym::telemetry {
@@ -79,6 +80,42 @@ std::string MetricsRegistry::toJson() const {
   json::Writer w(os);
   writeJson(w);
   return os.str();
+}
+
+void MetricsRegistry::mergeFromJson(const json::Value& v) {
+  const auto section = [&](const char* name) -> const json::Value* {
+    const json::Value* s = v.find(name);
+    if (s && !s->isObject()) {
+      throw InputError(std::string("metrics: '") + name + "' is not an object");
+    }
+    return s;
+  };
+  if (const json::Value* cs = section("counters")) {
+    for (const auto& [name, val] : cs->object) counters_[name].add(val.asU64());
+  }
+  if (const json::Value* gs = section("gauges")) {
+    for (const auto& [name, val] : gs->object) gauges_[name].setMax(val.asI64());
+  }
+  if (const json::Value* hs = section("histograms")) {
+    for (const auto& [name, val] : hs->object) {
+      const json::Value* buckets = val.find("buckets");
+      if (!buckets || !buckets->isArray() ||
+          buckets->array.size() != Histogram::kBuckets) {
+        throw InputError("metrics: histogram '" + name + "' has bad buckets");
+      }
+      std::array<uint64_t, Histogram::kBuckets> b{};
+      for (size_t i = 0; i < b.size(); ++i) b[i] = buckets->array[i].asU64();
+      const json::Value* count = val.find("count");
+      const json::Value* sum = val.find("sum");
+      const json::Value* max = val.find("max");
+      if (!count || !sum || !max) {
+        throw InputError("metrics: histogram '" + name + "' missing totals");
+      }
+      Histogram h;
+      h.restore(count->asU64(), sum->asU64(), max->asU64(), b);
+      histograms_[name].merge(h);
+    }
+  }
 }
 
 // ---- trace ---------------------------------------------------------------

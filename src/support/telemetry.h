@@ -19,6 +19,7 @@
 
 namespace adlsym::json {
 class Writer;
+struct Value;
 }
 
 namespace adlsym::telemetry {
@@ -46,6 +47,11 @@ class ManualClock final : public Clock {
     return t;
   }
   void advance(uint64_t micros) { now_ += micros; }
+  /// Value the next nowMicros() will return, without advancing. The
+  /// checkpoint writer records the clock position this way so writing a
+  /// checkpoint never consumes a read — a checkpointed run and its
+  /// kill/resume replay see the same read sequence.
+  uint64_t peekMicros() const { return now_; }
 
  private:
   uint64_t now_ = 0;
@@ -82,6 +88,15 @@ class Histogram {
   const std::array<uint64_t, kBuckets>& buckets() const { return buckets_; }
   /// Inclusive upper bound of bucket i (UINT64_MAX for the overflow bucket).
   static uint64_t bucketUpperBound(size_t i);
+
+  /// Overwrite with recorded totals — checkpoint restore (adlsym-ckpt-v1).
+  void restore(uint64_t count, uint64_t sum, uint64_t max,
+               const std::array<uint64_t, kBuckets>& buckets) {
+    count_ = count;
+    sum_ = sum;
+    max_ = max;
+    buckets_ = buckets;
+  }
 
   /// Fold another histogram in (bucket-wise sums; max of maxes). Used to
   /// merge per-worker registries after a parallel run.
@@ -128,6 +143,12 @@ class MetricsRegistry {
   /// mean,buckets:[...]}}} — the "metrics" object of the stats schema.
   void writeJson(json::Writer& w) const;
   std::string toJson() const;
+
+  /// Fold a parsed writeJson() document in, with mergeFrom() semantics
+  /// (counters add, gauges setMax, histograms merge). Checkpoint restore:
+  /// the consumed-budget baseline of a resumed run. Throws InputError on a
+  /// malformed document.
+  void mergeFromJson(const json::Value& v);
 
  private:
   std::map<std::string, Counter> counters_;

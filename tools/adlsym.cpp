@@ -5,8 +5,12 @@
 #include <vector>
 
 #include "driver/cli.h"
+#include "support/stop.h"
 
 int main(int argc, char** argv) {
+  // SIGINT/SIGTERM request a graceful stop: exploration drains, writes a
+  // final checkpoint when configured, and exits 3 (docs/robustness.md).
+  adlsym::support::installGracefulStopHandlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   const auto result = adlsym::driver::cli::dispatch(args);
   std::fputs(result.output.c_str(), stdout);

@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Kill/resume byte-identity smoke (docs/robustness.md): crash a
+# checkpointed exploration at a deterministic point (--inject=ckpt.write),
+# resume from the surviving checkpoint with identical flags, and require
+# every final artifact to match the uninterrupted run — stats, path
+# forest, canonicalized event stream, stdout and the final checkpoint
+# itself — on every shipped ISA at -j1 and -j8. Also checks that the
+# checkpoint *content* is byte-identical across jobs counts.
+#
+# usage: tools/ckpt_smoke.sh <build-dir> <scratch-dir>
+set -euo pipefail
+
+build=${1:?usage: ckpt_smoke.sh <build-dir> <scratch-dir>}
+scratch=${2:?usage: ckpt_smoke.sh <build-dir> <scratch-dir>}
+adlsym="$build/tools/adlsym"
+canon="$build/tools/events_canon"
+wimg="$build/tools/workload_img"
+mkdir -p "$scratch"
+
+for isa in acc8 m16 rv32e stk16; do
+  "$wimg" bitcount3 "$isa" > "$scratch/$isa.img"
+  for j in 1 8; do
+    d="$scratch/$isa-j$j"
+    mkdir -p "$d"
+    run() {
+      local tag=$1
+      shift
+      "$adlsym" explore "$isa" "$scratch/$isa.img" \
+        --clock=manual --jobs "$j" --checkpoint-every=2 \
+        --checkpoint="$d/$tag.ckpt" \
+        --stats-json="$d/$tag-stats.json" \
+        --path-forest="$d/$tag-forest.json" \
+        --events="$d/$tag-events.jsonl" \
+        "$@" > "$d/$tag-out.txt"
+    }
+
+    # Uninterrupted reference run.
+    run ref
+
+    # Kill: the second checkpoint write faults (exit 4) *before* its
+    # temp file exists, so the first barrier's checkpoint survives.
+    rc=0
+    run kill --inject=ckpt.write:2 || rc=$?
+    test "$rc" -eq 4 || {
+      echo "ckpt_smoke: $isa -j$j: expected exit 4 from the injected" \
+           "crash, got $rc" >&2
+      exit 1
+    }
+
+    # Resume from the survivor with identical flags: the finished run's
+    # artifacts must be byte-identical to the uninterrupted reference.
+    run kill "--resume=$d/kill.ckpt"
+    cmp "$d/ref-stats.json" "$d/kill-stats.json"
+    cmp "$d/ref-forest.json" "$d/kill-forest.json"
+    cmp "$d/ref-out.txt" "$d/kill-out.txt"
+    cmp "$d/ref.ckpt" "$d/kill.ckpt"
+    "$canon" "$d/ref-events.jsonl" > "$d/ref-events-canon.jsonl"
+    "$canon" "$d/kill-events.jsonl" > "$d/kill-events-canon.jsonl"
+    cmp "$d/ref-events-canon.jsonl" "$d/kill-events-canon.jsonl"
+    echo "ckpt_smoke: $isa -j$j OK"
+  done
+  # Level-barrier checkpoints are schedule-independent snapshots: the
+  # final checkpoint bytes must match across jobs counts too.
+  cmp "$scratch/$isa-j1/ref.ckpt" "$scratch/$isa-j8/ref.ckpt"
+done
+echo "ckpt_smoke: all ISAs OK"
