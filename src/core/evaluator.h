@@ -28,8 +28,8 @@ class AdlExecutor : public Executor {
   /// Counts accumulate executor-locally and reach `p` on flush — which the
   /// destructor guarantees, so parallel workers flush before
   /// ParallelExplorer::run() returns.
-  void setRtlProfile(RtlProfile* p);
-  void flushRtlProfile();
+  void setRtlProfile(RtlProfile* p) override;
+  void flushRtlProfile() override;
 
  private:
   /// Per-instruction evaluation context.

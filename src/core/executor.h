@@ -68,7 +68,22 @@ struct StepOut {
   /// Schedule-independent — the profiler's "evaluator ticks" unit; engines
   /// without RTL semantics (the rv32e baseline) leave it 0.
   uint64_t rtlTicks = 0;
+  /// Instructions retired by this call: 1 for a plain step; 1+k when the
+  /// executor fused k additional straight-line instructions (stepMany).
+  uint64_t retired = 1;
+  /// pcs of the fused instructions after the first one (empty for plain
+  /// steps). The explorer folds these into its covered set so coverage
+  /// accounting is identical whether or not a stretch was fused.
+  std::vector<uint64_t> fusedPcs;
 };
+
+class RtlProfile;  // core/rtlprofile.h
+
+/// Which ADL-driven engine implementation executes instruction semantics:
+/// the load-time bytecode compiler (core/rtlc.h, the default) or the
+/// tree-walking reference interpreter (core/evaluator.h). The two are
+/// observationally equivalent by contract (docs/bytecode.md).
+enum class AdlEngineKind { Bytecode, Interp };
 
 class Executor {
  public:
@@ -79,6 +94,18 @@ class Executor {
   virtual MachineState initialState() = 0;
   /// Execute the instruction at in.pc.
   virtual void step(const MachineState& in, StepOut& out) = 0;
+  /// Execute up to `fuel` instructions starting at in.pc, stopping early at
+  /// anything that needs per-instruction handling (symbolic data, forks,
+  /// checker activity). Engines without a fused fast path fall back to one
+  /// step. out.retired reports how many instructions actually retired.
+  virtual void stepMany(const MachineState& in, StepOut& out, uint64_t fuel) {
+    (void)fuel;
+    step(in, out);
+  }
+  /// Per-RTL-statement profiling hookup (no-op for engines without RTL
+  /// semantics). See AdlExecutor::setRtlProfile for the flush contract.
+  virtual void setRtlProfile(RtlProfile* p) { (void)p; }
+  virtual void flushRtlProfile() {}
 };
 
 }  // namespace adlsym::core

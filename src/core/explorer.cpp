@@ -269,6 +269,18 @@ ExploreSummary Explorer::run() {
         finishPath(std::move(ev.state), ev.node, std::move(ev.key)));
   };
 
+  // Superblock fusing (Executor::stepMany with fuel > 1) is offered only
+  // when no machinery can observe intermediate instructions: no observer,
+  // no telemetry/tracing, no state merging (needs per-pc frontier hits),
+  // no governor budgets (their eviction points are step-granular), no
+  // fault injection (fault sites must fire at their exact step), and DFS
+  // order (the fused stretch is exactly the sequence DFS would pop).
+  const bool fuseOk = ob == nullptr && tel_ == nullptr &&
+                      !config_.mergeStates &&
+                      config_.strategy == SearchStrategy::DFS &&
+                      config_.maxFrontier == 0 &&
+                      config_.memBudgetBytes == 0 && !fault::armed();
+
   frontier.push_back(Frontier{exec_.initialState(), orderCounter++, 0,
                               nodeCounter++, 0, {}});
   frontier.back().bytes = frontier.back().state.approxBytes();
@@ -334,10 +346,22 @@ ExploreSummary Explorer::run() {
       ob->onStepBegin(cur.node, cur.state);
     }
     StepOut out;
-    exec_.step(cur.state, out);
-    ++summary.totalSteps;
-    if (stepsCtr_) stepsCtr_->add();
+    if (fuseOk) {
+      // Fuel caps reproduce every stop boundary a per-instruction loop
+      // would hit: per-path budget, total-step budget, and (bounded slab
+      // size) the wall-clock check cadence.
+      uint64_t fuel = config_.maxStepsPerPath - cur.state.steps;
+      fuel = std::min(fuel, config_.maxTotalSteps - summary.totalSteps);
+      fuel = std::min<uint64_t>(fuel, 4096);
+      if (config_.maxWallSeconds > 0.0) fuel = std::min<uint64_t>(fuel, 128);
+      exec_.stepMany(cur.state, out, fuel);
+    } else {
+      exec_.step(cur.state, out);
+    }
+    summary.totalSteps += out.retired;
+    if (stepsCtr_) stepsCtr_->add(out.retired);
     const bool newPcHere = covered_.insert(cur.state.pc).second;
+    for (const uint64_t fpc : out.fusedPcs) covered_.insert(fpc);
     if (tel_ && tel_->tracing()) {
       tel_->emit(telemetry::EventKind::Step,
                  {{"pc", cur.state.pc},

@@ -299,6 +299,12 @@ struct Engine {
   // Serialize structural keys into StepInfo/PathResult for the event
   // stream (resolved once, before workers start).
   const bool wantKeys;
+  // Offer superblock fusing (stepMany, fuel > 1) to the executors. Set
+  // once before workers start; requires that nothing can observe
+  // intermediate instructions (no observer, no per-worker telemetry, no
+  // governor budgets, no fault injection, DFS order). Checkpoint level
+  // barriers stay exact via the per-call fuel cap.
+  bool fuseOk = false;
 
   // ---- pool coordination (mu) -----------------------------------------
   std::mutex mu;
@@ -805,15 +811,37 @@ struct Engine {
     const smt::SmtSolver::Stats before = w.solver.stats();
     if (ob) ob->onStepBegin(0, cur.state);
     StepOut out;
-    w.exec->step(cur.state, out);
-    ++w.steps;
-    gSteps.fetch_add(1, std::memory_order_relaxed);
-    if (w.stepsCtr) w.stepsCtr->add();
+    if (fuseOk) {
+      // Fuel caps reproduce every per-instruction stop boundary: the
+      // per-path budget, the checkpoint level barrier, the global step
+      // budget (approximate under concurrency, same as unfused), and a
+      // bounded slab size for wall-clock check cadence.
+      uint64_t fuel = base.maxStepsPerPath - cur.state.steps;
+      const uint64_t lvl = levelLimit.load(std::memory_order_relaxed);
+      if (lvl != UINT64_MAX) fuel = std::min(fuel, lvl - cur.state.steps);
+      const uint64_t g = gSteps.load(std::memory_order_relaxed);
+      fuel = std::min(fuel, base.maxTotalSteps > g
+                                ? base.maxTotalSteps - g
+                                : uint64_t{1});
+      fuel = std::min<uint64_t>(fuel, 4096);
+      if (wallDeadlineSteadyUs != 0) fuel = std::min<uint64_t>(fuel, 128);
+      w.exec->stepMany(cur.state, out, fuel);
+    } else {
+      w.exec->step(cur.state, out);
+    }
+    w.steps += out.retired;
+    gSteps.fetch_add(out.retired, std::memory_order_relaxed);
+    if (w.stepsCtr) w.stepsCtr->add(out.retired);
+    // Where this scheduling slot's last instruction ran: forks, drops and
+    // defects of a fused run happen at its final (bailed) instruction.
+    const uint64_t stepPc =
+        out.fusedPcs.empty() ? cur.state.pc : out.fusedPcs.back();
     bool newPcHere;
     size_t covSize;
     {
       std::lock_guard<std::mutex> ck(covMu);
       newPcHere = covered.insert(cur.state.pc).second;
+      for (const uint64_t fpc : out.fusedPcs) covered.insert(fpc);
       covSize = covered.size();
     }
 
@@ -832,7 +860,7 @@ struct Engine {
         PathKey ck = cur.key;
         ck.push_back(static_cast<char32_t>(i));
         NodeRec& child = recs[ck];
-        child.forkPc = cur.state.pc;
+        child.forkPc = stepPc;
         child.entryPc = succ.pc;
         std::string cond;
         for (size_t j = condBefore; j < succ.pathCond.size(); ++j) {
@@ -849,9 +877,9 @@ struct Engine {
         std::lock_guard<std::mutex> rk(recMu);
         NodeRec& n = recs[cur.key];
         n.dropped = true;
-        n.dropPc = cur.state.pc;
+        n.dropPc = stepPc;
       }
-      if (ob) ob->onDrop(0, cur.state.pc);
+      if (ob) ob->onDrop(0, stepPc);
     }
 
     bool sawDefect = false;
@@ -1103,6 +1131,13 @@ ParallelResult ParallelExplorer::run() {
   eng.mainClk = &mainClk;
   eng.mainTel = mainTel_;
   eng.wallStartUs = startUs;
+  // Per-worker telemetry exists when a manual clock is configured or the
+  // coordinator carries a Telemetry (mirrors worker construction above).
+  eng.fuseOk = eng.ob == nullptr && cfg_.manualClockStepUs == 0 &&
+               mainTel_ == nullptr &&
+               cfg_.base.strategy == SearchStrategy::DFS &&
+               cfg_.base.maxFrontier == 0 && cfg_.base.memBudgetBytes == 0 &&
+               !fault::armed();
   if (cfg_.checkpointEverySteps != 0) {
     eng.levelLimit.store(cfg_.checkpointEverySteps, std::memory_order_relaxed);
   }

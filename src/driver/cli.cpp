@@ -15,6 +15,7 @@
 #include "asmgen/disasm.h"
 #include "core/checkpoint.h"
 #include "core/pexplorer.h"
+#include "core/rtlc.h"
 #include "core/rtlprofile.h"
 #include "core/testgen.h"
 #include "decode/decoder.h"
@@ -97,7 +98,7 @@ class CommandTelemetry {
     }
     json::Writer w(out);
     w.beginObject();
-    w.kv("schema", "adlsym-stats-v7");
+    w.kv("schema", "adlsym-stats-v8");
     w.kv("command", std::string_view(command));
     w.kv("isa", std::string_view(isa));
     writeBody(w);
@@ -346,6 +347,12 @@ std::string usage() {
       "                                       pre-solver in front of bit-\n"
       "                                       blasting (default on;\n"
       "                                       docs/absdomain.md)\n"
+      "  --engine=bytecode|interp             ADL execution engine: load-\n"
+      "                                       time RTL bytecode compiler\n"
+      "                                       (default) or the tree-walking\n"
+      "                                       reference interpreter; all\n"
+      "                                       artifacts are byte-identical\n"
+      "                                       (docs/bytecode.md)\n"
       "\n"
       "parallel exploration (explore; docs/parallelism.md):\n"
       "  --jobs N             worker threads (1..64); results are byte-\n"
@@ -836,10 +843,17 @@ CommandResult cmdExplore(const std::string& isaName,
 
     const adl::ArchModel& m = *model;
     core::RtlProfile* rp = rtlProf.get();
+    const bool interp = opt.engine == "interp";
     core::ParallelExplorer pex(
         image, sopt.engine, pcfg,
-        [&m, rp](core::EngineServices& svc) -> std::unique_ptr<core::Executor> {
-          auto ex = std::make_unique<core::AdlExecutor>(m, svc);
+        [&m, rp, interp](
+            core::EngineServices& svc) -> std::unique_ptr<core::Executor> {
+          std::unique_ptr<core::Executor> ex;
+          if (interp) {
+            ex = std::make_unique<core::AdlExecutor>(m, svc);
+          } else {
+            ex = std::make_unique<core::BytecodeExecutor>(m, svc);
+          }
           // Workers are destroyed inside run(), so the destructor flush
           // lands every worker's statement counts before we read them.
           if (rp != nullptr) ex->setRtlProfile(rp);
@@ -911,6 +925,12 @@ CommandResult cmdExplore(const std::string& isaName,
 
     ct.writeStatsJson("explore", isaName, [&](json::Writer& w) {
       w.kv("strategy", std::string_view(opt.strategy));
+      // v8 addition: which ADL engine ran. Stripped by stats_strip — the
+      // byte-identity contract holds *across* engines (docs/bytecode.md).
+      w.key("engine");
+      w.beginObject();
+      w.kv("name", std::string_view(opt.engine));
+      w.endObject();
       w.key("summary");
       core::writeSummaryJson(w, summary);
       w.key("solver");
@@ -1031,12 +1051,17 @@ CommandResult cmdExplore(const std::string& isaName,
   if (!mux.empty()) sopt.explorer.observer = &mux;
 
   core::EngineServices services(tm, solver, image, sopt.engine, ct.get());
-  core::AdlExecutor executor(*model, services);
-  if (rtlProf) executor.setRtlProfile(rtlProf.get());
-  core::Explorer explorer(executor, services, sopt.explorer);
+  std::unique_ptr<core::Executor> executor;
+  if (opt.engine == "interp") {
+    executor = std::make_unique<core::AdlExecutor>(*model, services);
+  } else {
+    executor = std::make_unique<core::BytecodeExecutor>(*model, services);
+  }
+  if (rtlProf) executor->setRtlProfile(rtlProf.get());
+  core::Explorer explorer(*executor, services, sopt.explorer);
   fr.runBegin(isaName, opt);
   const auto summary = explorer.run();
-  if (rtlProf) executor.flushRtlProfile();
+  if (rtlProf) executor->flushRtlProfile();
   if (fr.bus) {
     fr.bus->runEnd(summary, solver.telemetrySnapshot(),
                    rtlProf ? rtlProf->total() : 0);
@@ -1069,6 +1094,12 @@ CommandResult cmdExplore(const std::string& isaName,
 
   ct.writeStatsJson("explore", isaName, [&](json::Writer& w) {
     w.kv("strategy", std::string_view(opt.strategy));
+    // v8 addition: which ADL engine ran. Stripped by stats_strip — the
+    // byte-identity contract holds *across* engines (docs/bytecode.md).
+    w.key("engine");
+    w.beginObject();
+    w.kv("name", std::string_view(opt.engine));
+    w.endObject();
     w.key("summary");
     core::writeSummaryJson(w, summary);
     w.key("solver");
@@ -1381,6 +1412,12 @@ CommandResult dispatch(const std::vector<std::string>& args) {
           opt.prefilterOn = false;
         } else if (startsWith(args[i], "--prefilter=")) {
           return fail("bad --prefilter '" + args[i] + "' (want on|off)");
+        } else if (args[i] == "--engine=bytecode" ||
+                   args[i] == "--engine=interp") {
+          opt.engine = args[i].substr(9);
+        } else if (startsWith(args[i], "--engine=")) {
+          return fail("bad --engine '" + args[i] +
+                      "' (want bytecode|interp)");
         } else if (args[i] == "--qcache=on") {
           opt.qcacheOn = true;
           opt.qcacheCapacity = 0;

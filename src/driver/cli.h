@@ -117,6 +117,11 @@ struct ExploreOptions {
   /// (--prefilter=on|off, docs/absdomain.md). Applies to both engines;
   /// per-worker in the parallel engine (shared-nothing).
   bool prefilterOn = true;
+  /// ADL execution engine (--engine=bytecode|interp): the load-time RTL
+  /// bytecode compiler with superblock fusing (default) or the
+  /// tree-walking reference interpreter. Artifacts are byte-identical
+  /// between the two (docs/bytecode.md).
+  std::string engine = "bytecode";
 
   // ---- profiler (docs/observability.md) ------------------------------
   /// Write the adlsym-profile-v2 cost-attribution document here ("" =
@@ -197,7 +202,7 @@ CommandResult cmdTail(const std::string& eventsPath, const TailOptions& opt);
 /// `adlsym events summarize <events-file> [--stats=<stats.json>]` —
 /// recompute the run's counters from the stream, check every
 /// reconciliation identity, and (with --stats) cross-check against the
-/// adlsym-stats-v7 document. Exit 1 when any identity fails.
+/// adlsym-stats-v8 document. Exit 1 when any identity fails.
 CommandResult cmdEventsSummarize(const std::string& eventsPath,
                                  const std::string& statsJsonPath);
 

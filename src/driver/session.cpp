@@ -1,6 +1,7 @@
 #include "driver/session.h"
 
 #include "baseline/rv32_engine.h"
+#include "core/rtlc.h"
 #include "isa/registry.h"
 
 namespace adlsym::driver {
@@ -32,8 +33,10 @@ Session::Session(const std::string& isa, const std::string& asmSource,
   if (opt_.useBaselineEngine) {
     check(isa == "rv32e", "baseline engine only exists for rv32e");
     exec_ = std::make_unique<baseline::Rv32Engine>(*svc_);
-  } else {
+  } else if (opt_.engineKind == core::AdlEngineKind::Interp) {
     exec_ = std::make_unique<core::AdlExecutor>(*model_, *svc_);
+  } else {
+    exec_ = std::make_unique<core::BytecodeExecutor>(*model_, *svc_);
   }
 }
 

@@ -28,6 +28,10 @@ struct SessionOptions {
   /// Use the hand-written baseline engine instead of the ADL evaluator
   /// (rv32e only; the E2 comparison).
   bool useBaselineEngine = false;
+  /// ADL execution engine: the load-time bytecode compiler (core/rtlc.h,
+  /// the default) or the tree-walking reference interpreter. Ignored when
+  /// useBaselineEngine is set. See docs/bytecode.md.
+  core::AdlEngineKind engineKind = core::AdlEngineKind::Bytecode;
   /// Disable the term rewriter (E4 ablation).
   bool rewriting = true;
   /// Disable the solver's query cache (E4 ablation).

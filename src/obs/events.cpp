@@ -752,8 +752,8 @@ std::vector<std::string> reconcileWithStats(const EventsSummary& es,
 
   const json::Value* schema = stats.find("schema");
   if (schema == nullptr || !schema->isString() ||
-      schema->str != "adlsym-stats-v7") {
-    out.push_back("stats schema is not adlsym-stats-v7");
+      schema->str != "adlsym-stats-v8") {
+    out.push_back("stats schema is not adlsym-stats-v8");
   }
   check({"summary", "total_steps"}, es.steps, "event steps");
   check({"summary", "total_forks"}, es.forks, "event forks");

@@ -324,7 +324,7 @@ struct EventsSummary {
 /// adlsym::InputError on unreadable/malformed JSONL.
 EventsSummary summarizeEvents(std::istream& in);
 
-/// Cross-check a summarized stream against a parsed adlsym-stats-v7
+/// Cross-check a summarized stream against a parsed adlsym-stats-v8
 /// document (the run's --stats-json). Returns mismatch descriptions
 /// (empty = the stream reconciles exactly with the stats counters).
 std::vector<std::string> reconcileWithStats(const EventsSummary& es,

@@ -128,7 +128,7 @@ struct ProfileReport {
   /// Roots name their unit: exec_ticks (RTL statements), solver_gates
   /// (canonical AIG gates).
   void writeFolded(std::ostream& os) const;
-  /// The top-level "profile" summary block of adlsym-stats-v7 (appended
+  /// The top-level "profile" summary block of adlsym-stats-v8 (appended
   /// to an open object; emitted only on profiling runs).
   void writeSummary(json::Writer& w) const;
   /// Human-readable tables for `adlsym profile` stdout.

@@ -1,5 +1,5 @@
 // Per-opcode and per-branch-site accounting for the stats document
-// (docs/observability.md, adlsym-stats-v7): an ExploreObserver that
+// (docs/observability.md, adlsym-stats-v8): an ExploreObserver that
 // decodes every executed pc through the loaded ADL model and counts
 // executions per mnemonic, plus a per-pc table of fork/infeasible events
 // — the branch sites that actually split or killed paths. The decoder

@@ -49,7 +49,7 @@ TEST(JsonReader, WriterOutputRoundTrips) {
   std::ostringstream os;
   json::Writer w(os);
   w.beginObject();
-  w.kv("schema", "adlsym-stats-v7");
+  w.kv("schema", "adlsym-stats-v8");
   w.kv("count", uint64_t{42});
   w.kv("rate", 0.5);
   w.kv("ok", true);
@@ -61,7 +61,7 @@ TEST(JsonReader, WriterOutputRoundTrips) {
   const json::Value doc = json::parse(os.str());
   ASSERT_TRUE(doc.isObject());
   ASSERT_NE(doc.find("schema"), nullptr);
-  EXPECT_EQ(doc.find("schema")->str, "adlsym-stats-v7");
+  EXPECT_EQ(doc.find("schema")->str, "adlsym-stats-v8");
   EXPECT_DOUBLE_EQ(doc.find("count")->number, 42.0);
   EXPECT_DOUBLE_EQ(doc.find("rate")->number, 0.5);
   EXPECT_TRUE(doc.find("ok")->boolean);
@@ -103,7 +103,7 @@ TEST(JsonReader, EscapesAndFind) {
 // ---------------------------------------------------------------------
 
 json::Value benchDoc(const std::string& tablesJson) {
-  return json::parse("{\"schema\":\"adlsym-stats-v7\",\"command\":\"bench\","
+  return json::parse("{\"schema\":\"adlsym-stats-v8\",\"command\":\"bench\","
                      "\"bench\":\"fixture\",\"tables\":" +
                      tablesJson + "}");
 }
@@ -557,7 +557,7 @@ class ProfileDeterminism : public ::testing::Test {
     EXPECT_EQ(rtlTicks, engine->find("rtl_ticks")->number) << where;
 
     // The stats document carries the v5 profile summary block.
-    EXPECT_NE(a.statsJson.find("\"schema\":\"adlsym-stats-v7\""),
+    EXPECT_NE(a.statsJson.find("\"schema\":\"adlsym-stats-v8\""),
               std::string::npos)
         << where;
     EXPECT_NE(a.statsJson.find("\"profile\":{\"schema\":\"adlsym-profile-v2\""),

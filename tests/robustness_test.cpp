@@ -347,7 +347,7 @@ TEST_F(CliRobustness, ExhaustedBudgetExitsThreeWithTruncationStats) {
        "--stats-json=" + stats});
   EXPECT_EQ(r.exitCode, 3) << r.output;
   const std::string doc = slurpFile(stats);
-  EXPECT_NE(doc.find("\"schema\":\"adlsym-stats-v7\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"adlsym-stats-v8\""), std::string::npos);
   EXPECT_NE(doc.find("\"stop_reason\":\"max-steps\""), std::string::npos)
       << doc;
   EXPECT_NE(doc.find("\"truncated_by_reason\":{\"steps\":"), std::string::npos)
@@ -435,7 +435,7 @@ TEST_F(CliRobustness, ParallelBudgetExhaustionMatchesContract) {
        "--clock=manual", "--stats-json=" + stats});
   EXPECT_EQ(r.exitCode, 3) << r.output;
   const std::string doc = slurpFile(stats);
-  EXPECT_NE(doc.find("\"schema\":\"adlsym-stats-v7\""), std::string::npos);
+  EXPECT_NE(doc.find("\"schema\":\"adlsym-stats-v8\""), std::string::npos);
   EXPECT_NE(doc.find("\"stop_reason\":\"max-steps\""), std::string::npos)
       << doc;
   EXPECT_NE(doc.find("\"truncated_by_reason\":{\"steps\":"), std::string::npos)

@@ -24,8 +24,15 @@ TEST(Session, AccessorsWork) {
   Session s("m16", "movi r1, 1\nhalt r1\n");
   EXPECT_EQ(s.model().name, "m16");
   EXPECT_FALSE(s.image().sections().empty());
-  EXPECT_EQ(s.executor().name(), "adl:m16");
+  // The bytecode engine is the default; --engine=interp selects the
+  // tree-walking reference evaluator (docs/bytecode.md).
+  EXPECT_EQ(s.executor().name(), "rtlc:m16");
   EXPECT_TRUE(s.options().rewriting);
+
+  SessionOptions interp;
+  interp.engineKind = core::AdlEngineKind::Interp;
+  Session si("m16", "movi r1, 1\nhalt r1\n", interp);
+  EXPECT_EQ(si.executor().name(), "adl:m16");
 }
 
 TEST(Session, WallClockBudgetStopsExploration) {

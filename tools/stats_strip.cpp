@@ -13,7 +13,7 @@
 //                                          # document declares an unknown
 //                                          # schema version or contains a
 //                                          # top-level key outside the
-//                                          # adlsym-stats-v7 allowlist
+//                                          # adlsym-stats-v8 allowlist
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
@@ -43,7 +43,9 @@ void emitNumber(double d, std::string* out) {
 }
 
 bool dropTopLevel(const std::string& key) {
-  return key == "prefilter" || key == "metrics";
+  // "engine" (v8): which ADL engine ran — the one field allowed to differ
+  // in the bytecode/interp byte-identity smoke (docs/bytecode.md).
+  return key == "prefilter" || key == "metrics" || key == "engine";
 }
 
 bool dropInSolver(const std::string& key) {
@@ -108,7 +110,7 @@ void emit(const Value& v, std::string* out, bool inSolver) {
 }
 
 // Every top-level key any adlsym command may write into an
-// adlsym-stats-v7 document. The --check-keys gate fails CI when a new
+// adlsym-stats-v8 document. The --check-keys gate fails CI when a new
 // block lands without being registered here (and documented in
 // docs/observability.md).
 int checkKeys(const Value& doc, const char* path) {
@@ -116,7 +118,7 @@ int checkKeys(const Value& doc, const char* path) {
       "schema",   "command", "isa",          "strategy", "summary",
       "solver",   "prefilter", "qcache",     "opcodes",  "branch_sites",
       "profile",  "metrics", "lint",         "run",      "outputs",
-      "events",
+      "events",   "engine",
   };
   int rc = 0;
   const Value* schema = nullptr;
@@ -131,7 +133,7 @@ int checkKeys(const Value& doc, const char* path) {
   if (schema == nullptr || schema->kind != Value::Kind::String) {
     std::fprintf(stderr, "stats_strip: %s: missing schema key\n", path);
     rc = 1;
-  } else if (schema->str != "adlsym-stats-v7") {
+  } else if (schema->str != "adlsym-stats-v8") {
     std::fprintf(stderr, "stats_strip: %s: unexpected schema '%s'\n", path,
                  schema->str.c_str());
     rc = 1;
